@@ -1,0 +1,100 @@
+//! E13 — the paper's DSM motivation, closed-loop: "in distributed
+//! shared-memory multiprocessors, the interconnection network is used
+//! either to access remote memory locations or to support a cache
+//! coherence protocol … reducing the network hardware latency and
+//! increasing network throughput is crucial" (§1).
+//!
+//! Each node keeps a bounded number of outstanding remote accesses to its
+//! hot home nodes: a 4-flit request, a served 64-flit reply. The headline
+//! metric is the **round-trip time** — the quantity that actually stalls
+//! a DSM processor. Sweep: home-locality, wormhole vs CLRP.
+//!
+//! Expected shape: with locality, CLRP's request *and* reply both ride
+//! cached circuits (homes cache the reverse circuit too), cutting the
+//! round trip; with no locality the circuit thrash erodes the advantage.
+
+use wavesim_core::{ProtocolKind, WaveConfig};
+use wavesim_workloads::{ReqRepConfig, ReqRepWorkload};
+
+use crate::runner::{run_request_reply, RunSpec};
+use crate::table::{f2, pct};
+use crate::{Scale, Table};
+
+/// Runs E13.
+#[must_use]
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E13",
+        "closed-loop DSM remote accesses: round-trip time, wormhole vs CLRP",
+        &[
+            "locality",
+            "WH rtt",
+            "CLRP rtt",
+            "speedup",
+            "CLRP hit rate",
+            "completed",
+        ],
+    );
+    let spec = RunSpec::standard(scale.warmup, scale.measure);
+    let localities = scale.sweep(&[0.0, 0.5, 0.9]);
+
+    for &loc in &localities {
+        let go = |protocol: ProtocolKind| {
+            let cfg = WaveConfig {
+                protocol,
+                ..WaveConfig::default()
+            };
+            let mut net = crate::experiments::net_with(scale.side, cfg);
+            let mut wl = ReqRepWorkload::new(
+                net.topology().clone(),
+                ReqRepConfig {
+                    partners: 3,
+                    locality: loc,
+                    outstanding: 2,
+                    req_len: 4,
+                    reply_len: 64,
+                    service_time: 20,
+                    think_time: 10,
+                    seed: 161,
+                    stop_at: u64::MAX,
+                },
+            );
+            run_request_reply(&mut net, &mut wl, spec)
+        };
+        let wh = go(ProtocolKind::WormholeOnly);
+        let wv = go(ProtocolKind::Clrp);
+        t.push(vec![
+            f2(loc),
+            f2(wh.avg_round_trip),
+            f2(wv.avg_round_trip),
+            f2(wh.avg_round_trip / wv.avg_round_trip.max(1e-9)),
+            pct(wv.wave.hit_rate()),
+            format!("{}+{}", wh.completed, wv.completed),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsm_round_trips_complete_cleanly() {
+        let t = run(Scale::small());
+        assert!(!t.rows.is_empty());
+        for row in &t.rows {
+            let wh: f64 = row[1].parse().unwrap();
+            let wv: f64 = row[2].parse().unwrap();
+            assert!(wh > 0.0 && wv > 0.0, "round trips measured: {row:?}");
+        }
+        // Hit rate grows with locality.
+        let parse_pct = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
+        let first = parse_pct(&t.rows.first().unwrap()[4]);
+        let last = parse_pct(&t.rows.last().unwrap()[4]);
+        assert!(
+            last > first,
+            "locality must raise the hit rate: {first} -> {last}"
+        );
+    }
+}

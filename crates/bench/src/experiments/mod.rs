@@ -1,0 +1,100 @@
+//! The experiment suite (E1–E13). See the crate docs and EXPERIMENTS.md
+//! for the claim-to-experiment mapping.
+
+pub mod e10_variants;
+pub mod e11_loadsweep;
+pub mod e12_ablations;
+pub mod e13_dsm;
+pub mod e1_deadlock;
+pub mod e2_livelock;
+pub mod e3_msglen;
+pub mod e4_reuse;
+pub mod e5_locality;
+pub mod e6_replacement;
+pub mod e7_misroute;
+pub mod e8_faults;
+pub mod e9_arch;
+
+use wavesim_core::{ProtocolKind, WaveConfig, WaveNetwork};
+use wavesim_topology::Topology;
+use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
+
+use crate::{Scale, Table};
+
+/// Square 2-D mesh of the given side.
+#[must_use]
+pub fn mesh(side: u16) -> Topology {
+    Topology::mesh(&[side, side])
+}
+
+/// A wave network on a square mesh with the given protocol and otherwise
+/// default parameters.
+#[must_use]
+pub fn net(side: u16, protocol: ProtocolKind) -> WaveNetwork {
+    WaveNetwork::new(
+        mesh(side),
+        WaveConfig {
+            protocol,
+            ..WaveConfig::default()
+        },
+    )
+}
+
+/// A wave network with an explicit config on a square mesh.
+#[must_use]
+pub fn net_with(side: u16, cfg: WaveConfig) -> WaveNetwork {
+    WaveNetwork::new(mesh(side), cfg)
+}
+
+/// Open-loop traffic on `topo`.
+#[must_use]
+pub fn traffic(
+    topo: &Topology,
+    load: f64,
+    pattern: TrafficPattern,
+    len: LengthDist,
+    seed: u64,
+) -> TrafficSource {
+    TrafficSource::new(
+        topo.clone(),
+        TrafficConfig {
+            load,
+            pattern,
+            len,
+            seed,
+            stop_at: u64::MAX,
+        },
+    )
+}
+
+/// Runs one experiment by id (`"e1"`..`"e10"`). Returns its tables.
+///
+/// # Panics
+/// Panics on an unknown id.
+#[must_use]
+pub fn run_by_id(id: &str, scale: Scale) -> Vec<Table> {
+    match id {
+        "e1" => vec![e1_deadlock::run(scale)],
+        "e2" => vec![e2_livelock::run(scale)],
+        "e3" => vec![e3_msglen::run(scale)],
+        "e4" => vec![e4_reuse::run(scale)],
+        "e5" => vec![e5_locality::run(scale)],
+        "e6" => vec![e6_replacement::run(scale)],
+        "e7" => vec![e7_misroute::run(scale)],
+        "e8" => vec![e8_faults::run(scale)],
+        "e9" => vec![e9_arch::run(scale)],
+        "e10" => vec![e10_variants::run(scale)],
+        "e11" => vec![e11_loadsweep::run(scale)],
+        "e12" => vec![e12_ablations::run(scale)],
+        "e13" => vec![e13_dsm::run(scale)],
+        other => panic!("unknown experiment id {other:?} (use e1..e13)"),
+    }
+}
+
+/// All experiment ids, in order.
+#[must_use]
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+    ]
+}

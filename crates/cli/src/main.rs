@@ -1,0 +1,301 @@
+//! `wavesim` — command-line experiment runner.
+//!
+//! ```text
+//! wavesim all [--scale small|paper] [--json]   run every experiment
+//! wavesim e1 .. e13 [--scale ...] [--json]     run one experiment
+//! wavesim run [workload flags]                 one custom simulation
+//! wavesim check [--side N]                     static deadlock-freedom checks (CDG)
+//! wavesim info                                 print the default configuration
+//!
+//! `run` flags: --protocol clrp|carp|wormhole  --topology mesh|torus
+//!              --side N  --load F  --len N  --locality F  --cycles N
+//!              --seed N  --k N  --alpha N  --cache N  --misroutes N
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use wavesim_bench::{experiments, run_open_loop, RunSpec, Scale};
+use wavesim_core::{ProtocolKind, WaveConfig, WaveNetwork};
+use wavesim_topology::{RoutingKind, Topology};
+use wavesim_verify::check_deadlock_freedom;
+use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wavesim <all|e1..e13|run|check|info> [--scale small|paper] [--json] [--side N]\n\
+         run flags: --protocol clrp|carp|wormhole --topology mesh|torus --side N --load F\n\
+                    --len N --locality F --cycles N --seed N --k N --alpha N --cache N --misroutes N"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    cmd: String,
+    scale: Scale,
+    json: bool,
+    side: u16,
+    // `run` knobs
+    protocol: ProtocolKind,
+    torus: bool,
+    load: f64,
+    len: u32,
+    locality: f64,
+    cycles: u64,
+    seed: u64,
+    k: u8,
+    alpha: u32,
+    cache: usize,
+    misroutes: u8,
+}
+
+fn parse_args() -> Args {
+    let mut argv = env::args().skip(1);
+    let cmd = argv.next().unwrap_or_else(|| usage());
+    let mut args = Args {
+        cmd,
+        scale: Scale::paper(),
+        json: false,
+        side: 8,
+        protocol: ProtocolKind::Clrp,
+        torus: false,
+        load: 0.2,
+        len: 64,
+        locality: 0.7,
+        cycles: 20_000,
+        seed: 1,
+        k: 2,
+        alpha: 4,
+        cache: 16,
+        misroutes: 2,
+    };
+    macro_rules! next_parse {
+        ($argv:ident) => {
+            $argv
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+    }
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--scale" => match argv.next().as_deref() {
+                Some("small") => args.scale = Scale::small(),
+                Some("paper") => args.scale = Scale::paper(),
+                _ => usage(),
+            },
+            "--json" => args.json = true,
+            "--side" => args.side = next_parse!(argv),
+            "--protocol" => {
+                args.protocol = match argv.next().as_deref() {
+                    Some("clrp") => ProtocolKind::Clrp,
+                    Some("carp") => ProtocolKind::Carp,
+                    Some("wormhole") => ProtocolKind::WormholeOnly,
+                    _ => usage(),
+                }
+            }
+            "--topology" => {
+                args.torus = match argv.next().as_deref() {
+                    Some("mesh") => false,
+                    Some("torus") => true,
+                    _ => usage(),
+                }
+            }
+            "--load" => args.load = next_parse!(argv),
+            "--len" => args.len = next_parse!(argv),
+            "--locality" => args.locality = next_parse!(argv),
+            "--cycles" => args.cycles = next_parse!(argv),
+            "--seed" => args.seed = next_parse!(argv),
+            "--k" => args.k = next_parse!(argv),
+            "--alpha" => args.alpha = next_parse!(argv),
+            "--cache" => args.cache = next_parse!(argv),
+            "--misroutes" => args.misroutes = next_parse!(argv),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn custom_run(args: &Args) -> bool {
+    let topo = if args.torus {
+        Topology::torus(&[args.side, args.side])
+    } else {
+        Topology::mesh(&[args.side, args.side])
+    };
+    let cfg = WaveConfig {
+        protocol: args.protocol,
+        k: args.k,
+        clock_multiplier: args.alpha,
+        cache_capacity: args.cache,
+        misroutes: args.misroutes,
+        seed: args.seed,
+        ..WaveConfig::default()
+    };
+    let mut net = WaveNetwork::new(topo.clone(), cfg);
+    let mut src = TrafficSource::new(
+        topo,
+        TrafficConfig {
+            load: args.load,
+            pattern: if args.locality > 0.0 {
+                TrafficPattern::HotPairs {
+                    partners: 3,
+                    locality: args.locality,
+                }
+            } else {
+                TrafficPattern::Uniform
+            },
+            len: LengthDist::Fixed(args.len),
+            seed: args.seed,
+            stop_at: u64::MAX,
+        },
+    );
+    let warmup = args.cycles / 5;
+    let r = run_open_loop(&mut net, &mut src, RunSpec::standard(warmup, args.cycles));
+    println!(
+        "single run: {:?} on {}x{} {}",
+        args.protocol,
+        args.side,
+        args.side,
+        if args.torus { "torus" } else { "mesh" }
+    );
+    println!(
+        "  offered load     : {} flits/node/cycle (len {} flits, locality {})",
+        args.load, args.len, args.locality
+    );
+    println!("  sent / delivered : {} / {}", r.sent, r.delivered);
+    println!(
+        "  avg latency      : {:.1} cycles (p99 <= {})",
+        r.avg_latency, r.p99_latency
+    );
+    println!("  accepted thpt    : {:.3} flits/node/cycle", r.throughput);
+    println!("  circuit fraction : {:.1}%", r.circuit_fraction * 100.0);
+    let s = r.wave;
+    println!(
+        "  probes {} (ok {} / exhausted {}), backtracks {}, misroutes {}",
+        s.probes_sent, s.probes_reached, s.probes_exhausted, s.probe_backtracks, s.probe_misroutes
+    );
+    println!(
+        "  cache hits {} / misses {} / evictions {}; forced releases {} local + {} remote",
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
+        s.forced_local_releases,
+        s.forced_remote_releases
+    );
+    println!(
+        "  verdict          : {}",
+        if r.clean() { "CLEAN" } else { "CHECK FAILED" }
+    );
+    r.clean()
+}
+
+fn run_experiments(ids: &[&str], scale: Scale, json: bool) {
+    for id in ids {
+        for table in experiments::run_by_id(id, scale) {
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&table).expect("tables serialize")
+                );
+            } else {
+                table.print();
+            }
+        }
+    }
+}
+
+fn static_checks(side: u16) -> bool {
+    let mut ok = true;
+    let cases: Vec<(String, Topology, RoutingKind, u8)> = vec![
+        (
+            format!("{side}x{side} mesh, deterministic DOR"),
+            Topology::mesh(&[side, side]),
+            RoutingKind::Deterministic,
+            2,
+        ),
+        (
+            format!("{side}x{side} torus, dateline DOR"),
+            Topology::torus(&[side, side]),
+            RoutingKind::Deterministic,
+            2,
+        ),
+        (
+            format!("{side}x{side} mesh, Duato adaptive"),
+            Topology::mesh(&[side, side]),
+            RoutingKind::Adaptive,
+            3,
+        ),
+        (
+            format!("{side}x{side} torus, Duato adaptive"),
+            Topology::torus(&[side, side]),
+            RoutingKind::Adaptive,
+            3,
+        ),
+    ];
+    println!("static channel-dependency-graph checks (paper §4 grounding):");
+    for (name, topo, kind, w) in cases {
+        let routing = kind.build(&topo, w);
+        let rep = check_deadlock_freedom(&topo, routing.as_ref());
+        println!(
+            "  {name:<40} mode={:?} vertices={} edges={} -> {}",
+            rep.mode,
+            rep.vertices,
+            rep.edges,
+            if rep.deadlock_free {
+                "DEADLOCK-FREE"
+            } else {
+                ok = false;
+                "CYCLE FOUND"
+            }
+        );
+    }
+    ok
+}
+
+fn info() {
+    let cfg = WaveConfig::default();
+    println!("wavesim — wave switching (Duato/Lopez/Yalamanchili, IPPS'97) reproduction");
+    println!("default configuration:");
+    println!("  wave switches per router (k) : {}", cfg.k);
+    println!("  wave clock multiplier (alpha): {}", cfg.clock_multiplier);
+    println!("  channel split (sigma)        : {}", cfg.channel_split);
+    println!(
+        "  per-circuit lane bandwidth   : {}/{} flits/cycle",
+        cfg.lane_rate().0,
+        cfg.lane_rate().1
+    );
+    println!("  windowing window             : {} flits", cfg.window);
+    println!("  MB-m misroute budget (m)     : {}", cfg.misroutes);
+    println!("  circuit cache entries/node   : {}", cfg.cache_capacity);
+    println!("  replacement policy           : {:?}", cfg.replacement);
+    println!("  wormhole VCs per link (w)    : {}", cfg.wormhole.w);
+    println!(
+        "  wormhole buffer depth        : {}",
+        cfg.wormhole.buffer_depth
+    );
+    println!();
+    println!("experiments: {}", experiments::all_ids().join(", "));
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match args.cmd.as_str() {
+        "all" => run_experiments(&experiments::all_ids(), args.scale, args.json),
+        "check" => {
+            if !static_checks(args.side) {
+                return ExitCode::FAILURE;
+            }
+        }
+        "info" => info(),
+        "run" => {
+            if !custom_run(&args) {
+                return ExitCode::FAILURE;
+            }
+        }
+        id if experiments::all_ids().contains(&id) => {
+            run_experiments(&[id], args.scale, args.json);
+        }
+        _ => usage(),
+    }
+    ExitCode::SUCCESS
+}

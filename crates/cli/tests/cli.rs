@@ -1,0 +1,74 @@
+//! End-to-end tests of the `wavesim` binary.
+
+use std::process::Command;
+
+fn wavesim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wavesim"))
+}
+
+#[test]
+fn info_prints_configuration() {
+    let out = wavesim().arg("info").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("wave switches per router"));
+    assert!(text.contains("e13"));
+}
+
+#[test]
+fn check_certifies_routing() {
+    let out = wavesim()
+        .args(["check", "--side", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "static checks must pass");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.matches("DEADLOCK-FREE").count(), 4);
+    assert!(!text.contains("CYCLE FOUND"));
+}
+
+#[test]
+fn experiment_json_output_is_valid() {
+    let out = wavesim()
+        .args(["e4", "--scale", "small", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON table");
+    assert_eq!(v["id"], "E4");
+    assert!(v["rows"].as_array().unwrap().len() >= 2);
+}
+
+#[test]
+fn custom_run_reports_clean() {
+    let out = wavesim()
+        .args([
+            "run",
+            "--protocol",
+            "clrp",
+            "--side",
+            "4",
+            "--load",
+            "0.1",
+            "--cycles",
+            "2000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("verdict          : CLEAN"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = wavesim().arg("bogus").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"));
+}

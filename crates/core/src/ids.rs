@@ -1,0 +1,78 @@
+//! Identifiers for circuits, probes, and wave lanes.
+
+use serde::{Deserialize, Serialize};
+use wavesim_topology::LinkId;
+
+/// Identifier of one circuit-establishment attempt and, if it succeeds, of
+/// the established physical circuit. Unique for the lifetime of a
+/// simulation (never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CircuitId(pub u64);
+
+impl std::fmt::Display for CircuitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a routing probe. One probe exists per establishment
+/// attempt per switch tried, so a circuit attempt may own several probe
+/// ids over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProbeId(pub u64);
+
+impl std::fmt::Display for ProbeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A wave lane: the slice of one unidirectional physical link that belongs
+/// to wave switch `S_{switch}` (`switch` is 1-based, `1..=k`), paired with
+/// its dedicated control channel. A circuit through switch `S_i` occupies
+/// the `S_i` lane of every link on its path — the paper's rule that a
+/// circuit uses *the same switch at every intermediate node*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LaneId {
+    /// The physical link.
+    pub link: LinkId,
+    /// Wave switch index, 1-based (`1..=k`).
+    pub switch: u8,
+}
+
+impl LaneId {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    /// Panics if `switch == 0` (switch 0 is the wormhole switch, which has
+    /// no lanes).
+    #[must_use]
+    pub fn new(link: LinkId, switch: u8) -> Self {
+        assert!(switch >= 1, "lanes belong to wave switches S1..Sk");
+        Self { link, switch }
+    }
+}
+
+impl std::fmt::Display for LaneId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}@S{}", self.link.0, self.switch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CircuitId(3).to_string(), "c3");
+        assert_eq!(ProbeId(9).to_string(), "p9");
+        assert_eq!(LaneId::new(LinkId(7), 2).to_string(), "l7@S2");
+    }
+
+    #[test]
+    #[should_panic(expected = "S1..Sk")]
+    fn lane_on_switch_zero_rejected() {
+        let _ = LaneId::new(LinkId(0), 0);
+    }
+}

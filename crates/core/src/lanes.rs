@@ -1,0 +1,291 @@
+//! Wave-lane bookkeeping: the physical channels of switches `S1..Sk`.
+//!
+//! Each unidirectional physical link is split into `k` lanes, one per wave
+//! switch, each paired with its dedicated one-flit control channel
+//! (paper §2). A lane is the unit of reservation: the probe reserves
+//! "a bidirectional control channel and the associated physical channel in
+//! switch `S_i` … both of them … at the same time", so one state machine
+//! per lane suffices.
+//!
+//! Lanes can also be marked **faulty** — the fault-injection hook for the
+//! E8 experiment (the paper notes MB-m "is very resilient to static faults
+//! in the network").
+
+use wavesim_topology::{LinkId, Topology};
+
+use crate::ids::{CircuitId, LaneId, ProbeId};
+
+/// Occupancy state of one wave lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneState {
+    /// Available for reservation.
+    Free,
+    /// Reserved by (or part of) the given circuit.
+    Reserved(CircuitId),
+    /// Statically faulty: never reservable (E8 fault injection).
+    Faulty,
+}
+
+/// One lane's full bookkeeping: occupancy plus probes parked on it waiting
+/// for a forced release (CLRP phase two).
+#[derive(Debug, Clone)]
+struct Lane {
+    state: LaneState,
+    waiters: Vec<ProbeId>,
+}
+
+/// All wave lanes of the network, indexed densely by `(link, switch)`.
+#[derive(Debug, Clone)]
+pub struct LaneTable {
+    k: u8,
+    lanes: Vec<Lane>,
+}
+
+impl LaneTable {
+    /// Builds the table for `topo` with `k` wave switches.
+    #[must_use]
+    pub fn new(topo: &Topology, k: u8) -> Self {
+        Self {
+            k,
+            lanes: vec![
+                Lane {
+                    state: LaneState::Free,
+                    waiters: Vec::new(),
+                };
+                topo.num_link_slots() * k as usize
+            ],
+        }
+    }
+
+    /// Number of wave switches.
+    #[must_use]
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    fn idx(&self, lane: LaneId) -> usize {
+        assert!(
+            lane.switch >= 1 && lane.switch <= self.k,
+            "switch {} out of range 1..={}",
+            lane.switch,
+            self.k
+        );
+        lane.link.0 as usize * self.k as usize + (lane.switch as usize - 1)
+    }
+
+    /// Current state of `lane`.
+    #[must_use]
+    pub fn state(&self, lane: LaneId) -> &LaneState {
+        &self.lanes[self.idx(lane)].state
+    }
+
+    /// True when `lane` can be reserved right now.
+    #[must_use]
+    pub fn is_free(&self, lane: LaneId) -> bool {
+        matches!(self.lanes[self.idx(lane)].state, LaneState::Free)
+    }
+
+    /// Circuit currently holding `lane`, if any.
+    #[must_use]
+    pub fn holder(&self, lane: LaneId) -> Option<CircuitId> {
+        match self.lanes[self.idx(lane)].state {
+            LaneState::Reserved(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Reserves `lane` for `circuit`.
+    ///
+    /// # Panics
+    /// Panics if the lane is not free — callers must check first; the
+    /// hardware performs the check-and-set atomically in the PCS unit.
+    pub fn reserve(&mut self, lane: LaneId, circuit: CircuitId) {
+        let i = self.idx(lane);
+        assert_eq!(
+            self.lanes[i].state,
+            LaneState::Free,
+            "lane {lane} reserved while not free"
+        );
+        self.lanes[i].state = LaneState::Reserved(circuit);
+    }
+
+    /// Releases `lane` (backtrack or teardown) and returns the probes that
+    /// were parked waiting for it, so the caller can retry them.
+    ///
+    /// # Panics
+    /// Panics if the lane was not reserved by `circuit` (protocol
+    /// invariant: only the holder releases).
+    pub fn release(&mut self, lane: LaneId, circuit: CircuitId) -> Vec<ProbeId> {
+        let i = self.idx(lane);
+        assert_eq!(
+            self.lanes[i].state,
+            LaneState::Reserved(circuit),
+            "lane {lane} released by non-holder {circuit}"
+        );
+        self.lanes[i].state = LaneState::Free;
+        std::mem::take(&mut self.lanes[i].waiters)
+    }
+
+    /// Parks `probe` on `lane` until the holder tears down.
+    ///
+    /// # Panics
+    /// Panics if the lane is free (nothing to wait for).
+    pub fn park(&mut self, lane: LaneId, probe: ProbeId) {
+        let i = self.idx(lane);
+        assert!(
+            matches!(self.lanes[i].state, LaneState::Reserved(_)),
+            "parking on a lane that is not reserved"
+        );
+        if !self.lanes[i].waiters.contains(&probe) {
+            self.lanes[i].waiters.push(probe);
+        }
+    }
+
+    /// Removes `probe` from `lane`'s waiter list (probe gave up or died).
+    pub fn unpark(&mut self, lane: LaneId, probe: ProbeId) {
+        let i = self.idx(lane);
+        self.lanes[i].waiters.retain(|&p| p != probe);
+    }
+
+    /// Marks `lane` faulty. Only legal before it is reserved (static
+    /// faults, per the paper's fault model).
+    ///
+    /// # Panics
+    /// Panics if the lane is currently reserved.
+    pub fn set_faulty(&mut self, lane: LaneId) {
+        let i = self.idx(lane);
+        assert!(
+            !matches!(self.lanes[i].state, LaneState::Reserved(_)),
+            "cannot fault a reserved lane (static fault model)"
+        );
+        self.lanes[i].state = LaneState::Faulty;
+    }
+
+    /// Marks every lane of `link` (all switches) faulty — a whole-link
+    /// fault.
+    pub fn set_link_faulty(&mut self, link: LinkId) {
+        for s in 1..=self.k {
+            self.set_faulty(LaneId::new(link, s));
+        }
+    }
+
+    /// Number of lanes in each state: `(free, reserved, faulty)`.
+    #[must_use]
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut free = 0;
+        let mut reserved = 0;
+        let mut faulty = 0;
+        for l in &self.lanes {
+            match l.state {
+                LaneState::Free => free += 1,
+                LaneState::Reserved(_) => reserved += 1,
+                LaneState::Faulty => faulty += 1,
+            }
+        }
+        (free, reserved, faulty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (Topology, LaneTable) {
+        let t = Topology::mesh(&[4, 4]);
+        let lt = LaneTable::new(&t, 2);
+        (t, lt)
+    }
+
+    #[test]
+    fn reserve_release_cycle() {
+        let (t, mut lt) = table();
+        let link = t.links().next().unwrap();
+        let lane = LaneId::new(link, 1);
+        assert!(lt.is_free(lane));
+        lt.reserve(lane, CircuitId(7));
+        assert!(!lt.is_free(lane));
+        assert_eq!(lt.holder(lane), Some(CircuitId(7)));
+        let woken = lt.release(lane, CircuitId(7));
+        assert!(woken.is_empty());
+        assert!(lt.is_free(lane));
+    }
+
+    #[test]
+    fn lanes_are_independent_per_switch() {
+        let (t, mut lt) = table();
+        let link = t.links().next().unwrap();
+        lt.reserve(LaneId::new(link, 1), CircuitId(1));
+        assert!(lt.is_free(LaneId::new(link, 2)), "S2 lane unaffected");
+    }
+
+    #[test]
+    fn park_wakes_on_release() {
+        let (t, mut lt) = table();
+        let lane = LaneId::new(t.links().next().unwrap(), 1);
+        lt.reserve(lane, CircuitId(1));
+        lt.park(lane, ProbeId(10));
+        lt.park(lane, ProbeId(11));
+        lt.park(lane, ProbeId(10)); // duplicate ignored
+        let woken = lt.release(lane, CircuitId(1));
+        assert_eq!(woken, vec![ProbeId(10), ProbeId(11)]);
+    }
+
+    #[test]
+    fn unpark_removes_waiter() {
+        let (t, mut lt) = table();
+        let lane = LaneId::new(t.links().next().unwrap(), 1);
+        lt.reserve(lane, CircuitId(1));
+        lt.park(lane, ProbeId(10));
+        lt.unpark(lane, ProbeId(10));
+        assert!(lt.release(lane, CircuitId(1)).is_empty());
+    }
+
+    #[test]
+    fn faulty_lane_is_never_free() {
+        let (t, mut lt) = table();
+        let link = t.links().next().unwrap();
+        let lane = LaneId::new(link, 2);
+        lt.set_faulty(lane);
+        assert!(!lt.is_free(lane));
+        assert_eq!(*lt.state(lane), LaneState::Faulty);
+        let (_, _, faulty) = lt.census();
+        assert_eq!(faulty, 1);
+    }
+
+    #[test]
+    fn whole_link_fault_covers_all_switches() {
+        let (t, mut lt) = table();
+        let link = t.links().next().unwrap();
+        lt.set_link_faulty(link);
+        assert!(!lt.is_free(LaneId::new(link, 1)));
+        assert!(!lt.is_free(LaneId::new(link, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not free")]
+    fn double_reserve_panics() {
+        let (t, mut lt) = table();
+        let lane = LaneId::new(t.links().next().unwrap(), 1);
+        lt.reserve(lane, CircuitId(1));
+        lt.reserve(lane, CircuitId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-holder")]
+    fn release_by_non_holder_panics() {
+        let (t, mut lt) = table();
+        let lane = LaneId::new(t.links().next().unwrap(), 1);
+        lt.reserve(lane, CircuitId(1));
+        let _ = lt.release(lane, CircuitId(2));
+    }
+
+    #[test]
+    fn census_counts() {
+        let (t, mut lt) = table();
+        let total = t.num_link_slots() * 2;
+        assert_eq!(lt.census(), (total, 0, 0));
+        let lane = LaneId::new(t.links().next().unwrap(), 1);
+        lt.reserve(lane, CircuitId(1));
+        assert_eq!(lt.census(), (total - 1, 1, 0));
+    }
+}

@@ -1,0 +1,179 @@
+//! The PCS routing control unit's status registers — Fig. 3 of the paper.
+//!
+//! Every router keeps, for its control channels:
+//!
+//! * **Channel Status** — free/busy(/faulty) per output control channel;
+//!   held by [`crate::lanes::LaneTable`], since the paper reserves the
+//!   control channel and the wave-switch channel "at the same time";
+//! * **Direct Channel Mappings** and **Reverse Channel Mappings** — which
+//!   input lane maps to which output lane for each circuit crossing the
+//!   router (needed to forward acks backwards and teardowns forwards);
+//! * **History Store** — per-probe set of already-searched output links;
+//!   kept inside [`crate::probe::ProbeState`] (observationally equivalent
+//!   centralisation, documented there);
+//! * **Ack Returned** — one bit per output control channel: the path-setup
+//!   acknowledgment has passed through here, so the circuit fragment is
+//!   established (force-mode victim selection may only pick such
+//!   circuits).
+//!
+//! This module holds the mapping registers ([`PcsUnit`]), one per node.
+
+use std::collections::HashMap;
+
+use crate::ids::{CircuitId, LaneId};
+
+/// The direct/reverse channel mapping of one circuit at one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitHop {
+    /// Wave switch the circuit uses (same at every hop, §2).
+    pub switch: u8,
+    /// Lane the circuit arrives on (`None` at the circuit's source).
+    pub in_lane: Option<LaneId>,
+    /// Lane the circuit leaves on (`None` at the destination).
+    pub out_lane: Option<LaneId>,
+    /// Ack Returned bit for the output control channel.
+    pub ack_returned: bool,
+}
+
+/// The PCS routing control unit registers of one router.
+#[derive(Debug, Clone, Default)]
+pub struct PcsUnit {
+    hops: HashMap<CircuitId, CircuitHop>,
+}
+
+impl PcsUnit {
+    /// Fresh unit with no circuits.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the probe's reservation at this router: arriving over
+    /// `in_lane` (None at the source), leaving over `out_lane` (None when
+    /// the probe just reached the destination).
+    pub fn record(
+        &mut self,
+        circuit: CircuitId,
+        switch: u8,
+        in_lane: Option<LaneId>,
+        out_lane: Option<LaneId>,
+    ) {
+        self.hops.insert(
+            circuit,
+            CircuitHop {
+                switch,
+                in_lane,
+                out_lane,
+                ack_returned: false,
+            },
+        );
+    }
+
+    /// Replaces the outgoing lane after a backtrack re-route (the probe
+    /// came back and left through a different port).
+    ///
+    /// # Panics
+    /// Panics if the circuit has no mapping here.
+    pub fn set_out_lane(&mut self, circuit: CircuitId, out_lane: Option<LaneId>) {
+        self.hops
+            .get_mut(&circuit)
+            .expect("set_out_lane on unmapped circuit")
+            .out_lane = out_lane;
+    }
+
+    /// Marks the acknowledgment as having passed through this router.
+    ///
+    /// # Panics
+    /// Panics if the circuit has no mapping here.
+    pub fn mark_ack(&mut self, circuit: CircuitId) {
+        self.hops
+            .get_mut(&circuit)
+            .expect("ack for unmapped circuit")
+            .ack_returned = true;
+    }
+
+    /// The mapping for `circuit`, if it crosses (or starts/ends at) this
+    /// router.
+    #[must_use]
+    pub fn hop(&self, circuit: CircuitId) -> Option<&CircuitHop> {
+        self.hops.get(&circuit)
+    }
+
+    /// Removes the mapping (teardown passed, or probe backtracked away).
+    pub fn clear(&mut self, circuit: CircuitId) -> Option<CircuitHop> {
+        self.hops.remove(&circuit)
+    }
+
+    /// Number of circuits with state at this router.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True when no circuit crosses this router.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Iterates over `(circuit, hop)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&CircuitId, &CircuitHop)> {
+        self.hops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_topology::LinkId;
+
+    fn lane(l: u32) -> LaneId {
+        LaneId::new(LinkId(l), 1)
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut u = PcsUnit::new();
+        u.record(CircuitId(1), 1, None, Some(lane(4)));
+        let h = u.hop(CircuitId(1)).unwrap();
+        assert_eq!(h.in_lane, None, "source hop has no input lane");
+        assert_eq!(h.out_lane, Some(lane(4)));
+        assert!(!h.ack_returned);
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn ack_marks_fragment_established() {
+        let mut u = PcsUnit::new();
+        u.record(CircuitId(2), 1, Some(lane(1)), Some(lane(2)));
+        u.mark_ack(CircuitId(2));
+        assert!(u.hop(CircuitId(2)).unwrap().ack_returned);
+    }
+
+    #[test]
+    fn clear_removes_mapping() {
+        let mut u = PcsUnit::new();
+        u.record(CircuitId(3), 2, Some(lane(1)), None);
+        let h = u.clear(CircuitId(3)).unwrap();
+        assert_eq!(h.switch, 2);
+        assert!(u.is_empty());
+        assert!(u.clear(CircuitId(3)).is_none());
+    }
+
+    #[test]
+    fn out_lane_can_be_rerouted_after_backtrack() {
+        let mut u = PcsUnit::new();
+        u.record(CircuitId(4), 1, Some(lane(1)), Some(lane(2)));
+        u.set_out_lane(CircuitId(4), Some(lane(3)));
+        assert_eq!(u.hop(CircuitId(4)).unwrap().out_lane, Some(lane(3)));
+        u.set_out_lane(CircuitId(4), None);
+        assert_eq!(u.hop(CircuitId(4)).unwrap().out_lane, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped circuit")]
+    fn ack_for_unknown_circuit_panics() {
+        let mut u = PcsUnit::new();
+        u.mark_ack(CircuitId(9));
+    }
+}

@@ -1,0 +1,244 @@
+//! Routing probes and the MB-m search state.
+//!
+//! [`ProbeFlit`] reproduces the probe format of the paper's Fig. 4 field
+//! for field (Header, Backtrack, Misroute, Force, per-dimension offsets);
+//! [`ProbeState`] is the bookkeeping a probe accumulates while walking the
+//! control network — the path of reserved lanes (mirrored in the PCS
+//! direct/reverse mapping registers) and the per-node History Store
+//! entries that guarantee livelock freedom ("the probe is kept small" by
+//! storing search history in the routers, §2; the simulator centralises
+//! that distributed state per probe, which is observationally equivalent).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use wavesim_topology::{NodeId, Topology};
+
+use crate::ids::{CircuitId, LaneId, ProbeId};
+
+/// The wire format of a routing probe — Fig. 4 of the paper.
+///
+/// | Header | Backtrack | Misroute | Force | X1-offset … Xn-offset |
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeFlit {
+    /// Identifies the flit as a probe (always set for probes).
+    pub header: bool,
+    /// Whether the probe is progressing (`false`) or backtracking (`true`).
+    pub backtrack: bool,
+    /// Number of misrouting operations performed so far.
+    pub misroute: u8,
+    /// Forces channel release of established circuits (CLRP phase two).
+    pub force: bool,
+    /// Signed offsets from the destination node, one per dimension,
+    /// updated at every hop.
+    pub offsets: Vec<i32>,
+}
+
+impl ProbeFlit {
+    /// Builds the probe flit a source emits toward `dest`.
+    #[must_use]
+    pub fn new(topo: &Topology, src: NodeId, dest: NodeId, force: bool) -> Self {
+        Self {
+            header: true,
+            backtrack: false,
+            misroute: 0,
+            force,
+            offsets: topo.offsets(src, dest),
+        }
+    }
+
+    /// Recomputes the offset fields for the probe sitting at `node`.
+    pub fn update_offsets(&mut self, topo: &Topology, node: NodeId, dest: NodeId) {
+        self.offsets = topo.offsets(node, dest);
+    }
+
+    /// True when every offset is zero — the probe has reached its
+    /// destination.
+    #[must_use]
+    pub fn at_destination(&self) -> bool {
+        self.offsets.iter().all(|&o| o == 0)
+    }
+}
+
+/// Why a probe terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeOutcome {
+    /// The full path was reserved and the destination reached.
+    Reached,
+    /// The probe backtracked all the way to the source with nothing left
+    /// to search on its switch.
+    Exhausted,
+}
+
+/// Live state of a probe walking the control network.
+#[derive(Debug, Clone)]
+pub struct ProbeState {
+    /// This probe's id.
+    pub id: ProbeId,
+    /// The circuit attempt this probe works for.
+    pub circuit: CircuitId,
+    /// Source node (where backtracking ends).
+    pub src: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Wave switch being searched (1-based).
+    pub switch: u8,
+    /// The Fig. 4 flit contents.
+    pub flit: ProbeFlit,
+    /// Node the probe currently occupies.
+    pub at: NodeId,
+    /// Lanes reserved so far, in path order (source first). The PCS
+    /// direct/reverse channel mappings hold the same information
+    /// distributed across the routers.
+    pub path: Vec<LaneId>,
+    /// History Store: per visited node, bitmask of output ports already
+    /// searched by this probe.
+    pub history: HashMap<NodeId, u32>,
+    /// Lane this probe is parked on, waiting for a forced teardown
+    /// (CLRP phase two).
+    pub parked_on: Option<LaneId>,
+    /// Total hops walked (forward + backward), for livelock accounting.
+    pub hops: u64,
+    /// Total backtrack operations, for statistics.
+    pub backtracks: u64,
+}
+
+impl ProbeState {
+    /// Creates a fresh probe at its source.
+    #[must_use]
+    pub fn new(
+        id: ProbeId,
+        circuit: CircuitId,
+        topo: &Topology,
+        src: NodeId,
+        dest: NodeId,
+        switch: u8,
+        force: bool,
+    ) -> Self {
+        assert!(switch >= 1, "probes search wave switches S1..Sk");
+        Self {
+            id,
+            circuit,
+            src,
+            dest,
+            switch,
+            flit: ProbeFlit::new(topo, src, dest, force),
+            at: src,
+            path: Vec::new(),
+            history: HashMap::new(),
+            parked_on: None,
+            hops: 0,
+            backtracks: 0,
+        }
+    }
+
+    /// Marks output port `port_index` of `node` as searched.
+    pub fn mark_searched(&mut self, node: NodeId, port_index: usize) {
+        *self.history.entry(node).or_insert(0) |= 1 << port_index;
+    }
+
+    /// True when output port `port_index` of `node` was already searched.
+    #[must_use]
+    pub fn searched(&self, node: NodeId, port_index: usize) -> bool {
+        self.history
+            .get(&node)
+            .is_some_and(|m| m & (1 << port_index) != 0)
+    }
+
+    /// An upper bound on the steps this probe may take, used by the
+    /// livelock monitor: each (node, port) pair is searched at most once
+    /// per direction, so hops ≤ 2 · links · (something small). We use
+    /// `2 · (ports searched bound) + 2` with ports ≤ 2·ndims per node.
+    #[must_use]
+    pub fn step_bound(topo: &Topology) -> u64 {
+        // Every forward step burns one History Store bit somewhere; every
+        // backtrack unwinds one forward step. +2 covers source/destination
+        // processing slack.
+        2 * (topo.num_nodes() as u64) * (2 * topo.ndims() as u64) + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_topology::{Coords, LinkId, Topology};
+
+    fn t() -> Topology {
+        Topology::mesh(&[4, 4])
+    }
+
+    #[test]
+    fn probe_flit_matches_fig4() {
+        let topo = t();
+        let src = topo.node(Coords::new(&[0, 0]));
+        let dest = topo.node(Coords::new(&[3, 1]));
+        let f = ProbeFlit::new(&topo, src, dest, false);
+        assert!(f.header);
+        assert!(!f.backtrack);
+        assert_eq!(f.misroute, 0);
+        assert!(!f.force);
+        assert_eq!(f.offsets, vec![3, 1]);
+        assert!(!f.at_destination());
+    }
+
+    #[test]
+    fn offsets_reach_zero_at_destination() {
+        let topo = t();
+        let dest = topo.node(Coords::new(&[2, 2]));
+        let mut f = ProbeFlit::new(&topo, topo.node(Coords::new(&[0, 0])), dest, true);
+        f.update_offsets(&topo, dest, dest);
+        assert!(f.at_destination());
+        assert!(f.force, "force bit survives offset updates");
+    }
+
+    #[test]
+    fn history_store_marks_ports() {
+        let topo = t();
+        let mut p = ProbeState::new(
+            ProbeId(1),
+            CircuitId(1),
+            &topo,
+            NodeId(0),
+            NodeId(5),
+            1,
+            false,
+        );
+        let n = NodeId(3);
+        assert!(!p.searched(n, 0));
+        p.mark_searched(n, 0);
+        p.mark_searched(n, 3);
+        assert!(p.searched(n, 0));
+        assert!(!p.searched(n, 1));
+        assert!(p.searched(n, 3));
+        // Other nodes unaffected.
+        assert!(!p.searched(NodeId(4), 0));
+    }
+
+    #[test]
+    fn step_bound_is_finite_and_scales() {
+        let small = ProbeState::step_bound(&Topology::mesh(&[4, 4]));
+        let big = ProbeState::step_bound(&Topology::mesh(&[8, 8]));
+        assert!(small > 0);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn fresh_probe_holds_nothing() {
+        let topo = t();
+        let p = ProbeState::new(
+            ProbeId(9),
+            CircuitId(2),
+            &topo,
+            NodeId(1),
+            NodeId(9),
+            2,
+            true,
+        );
+        assert!(p.path.is_empty());
+        assert!(p.parked_on.is_none());
+        assert_eq!(p.at, NodeId(1));
+        assert!(p.flit.force);
+        assert_eq!(p.switch, 2);
+        let _ = LaneId::new(LinkId(0), 1); // silence unused import in cfg(test)
+    }
+}

@@ -1,0 +1,133 @@
+//! Circuit-cache replacement algorithms.
+//!
+//! "When a line is required and the cache is full, a replacement algorithm
+//! selects a line to be removed" (§3.1). The `Replace` field of the Fig. 5
+//! registers "stores accounting information regarding the use of the
+//! circuit; the meaning of this field depends on the replacement
+//! algorithm" — here that field is a `u64` score and each policy defines
+//! how it is maintained and compared.
+
+use crate::cache::CacheEntry;
+use crate::config::ReplacementPolicy;
+
+/// SplitMix64 finaliser — a tiny, deterministic integer hash used by the
+/// Random policy so victim choice is reproducible from the config seed.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The eviction score of `entry` under `policy` — **lower is evicted
+/// first**.
+#[must_use]
+pub fn eviction_score(entry: &CacheEntry, policy: ReplacementPolicy, seed: u64) -> u64 {
+    match policy {
+        // LRU: Replace holds the cycle of last use; oldest goes first.
+        ReplacementPolicy::Lru => entry.replace,
+        // LFU: Replace holds the use count; least used goes first.
+        ReplacementPolicy::Lfu => entry.replace,
+        // FIFO: Replace holds the establishment sequence number.
+        ReplacementPolicy::Fifo => entry.replace,
+        // Random: deterministic hash of the circuit identity.
+        ReplacementPolicy::Random => splitmix64(entry.circuit.0 ^ seed),
+    }
+}
+
+/// Updates `entry.replace` when the circuit is used at cycle `now`.
+pub fn on_use(entry: &mut CacheEntry, policy: ReplacementPolicy, now: u64) {
+    match policy {
+        ReplacementPolicy::Lru => entry.replace = now,
+        ReplacementPolicy::Lfu => entry.replace = entry.replace.saturating_add(1),
+        ReplacementPolicy::Fifo | ReplacementPolicy::Random => {}
+    }
+}
+
+/// Initialises `entry.replace` when the circuit is created: `now` for LRU
+/// (freshly used), zero uses for LFU, the creation sequence for FIFO.
+pub fn on_create(entry: &mut CacheEntry, policy: ReplacementPolicy, now: u64, seq: u64) {
+    entry.replace = match policy {
+        ReplacementPolicy::Lru => now,
+        ReplacementPolicy::Lfu => 0,
+        ReplacementPolicy::Fifo => seq,
+        ReplacementPolicy::Random => 0,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheEntry, EntryState};
+    use crate::ids::CircuitId;
+    use wavesim_topology::NodeId;
+
+    fn entry(circuit: u64) -> CacheEntry {
+        CacheEntry::new(NodeId(1), CircuitId(circuit), 1, 1)
+    }
+
+    #[test]
+    fn lru_prefers_oldest() {
+        let mut a = entry(1);
+        let mut b = entry(2);
+        on_create(&mut a, ReplacementPolicy::Lru, 100, 0);
+        on_create(&mut b, ReplacementPolicy::Lru, 200, 1);
+        on_use(&mut a, ReplacementPolicy::Lru, 500);
+        // b now least recently used.
+        assert!(
+            eviction_score(&b, ReplacementPolicy::Lru, 0)
+                < eviction_score(&a, ReplacementPolicy::Lru, 0)
+        );
+    }
+
+    #[test]
+    fn lfu_prefers_least_used() {
+        let mut a = entry(1);
+        let mut b = entry(2);
+        on_create(&mut a, ReplacementPolicy::Lfu, 0, 0);
+        on_create(&mut b, ReplacementPolicy::Lfu, 0, 1);
+        for _ in 0..5 {
+            on_use(&mut a, ReplacementPolicy::Lfu, 0);
+        }
+        on_use(&mut b, ReplacementPolicy::Lfu, 0);
+        assert!(
+            eviction_score(&b, ReplacementPolicy::Lfu, 0)
+                < eviction_score(&a, ReplacementPolicy::Lfu, 0)
+        );
+    }
+
+    #[test]
+    fn fifo_ignores_use() {
+        let mut a = entry(1);
+        let mut b = entry(2);
+        on_create(&mut a, ReplacementPolicy::Fifo, 0, 10);
+        on_create(&mut b, ReplacementPolicy::Fifo, 0, 20);
+        for _ in 0..100 {
+            on_use(&mut a, ReplacementPolicy::Fifo, 999);
+        }
+        assert!(
+            eviction_score(&a, ReplacementPolicy::Fifo, 0)
+                < eviction_score(&b, ReplacementPolicy::Fifo, 0),
+            "FIFO evicts the older circuit regardless of use"
+        );
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        let a = entry(7);
+        let s1 = eviction_score(&a, ReplacementPolicy::Random, 42);
+        let s2 = eviction_score(&a, ReplacementPolicy::Random, 42);
+        let s3 = eviction_score(&a, ReplacementPolicy::Random, 43);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+        let _ = EntryState::Ready; // keep import used
+    }
+
+    #[test]
+    fn splitmix_spreads_bits() {
+        let xs: Vec<u64> = (0..64).map(splitmix64).collect();
+        let distinct: std::collections::HashSet<_> = xs.iter().collect();
+        assert_eq!(distinct.len(), 64);
+    }
+}

@@ -1,0 +1,119 @@
+//! Protocol-level statistics for wave-switched networks.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by [`crate::network::WaveNetwork`] over a run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct WaveStats {
+    /// Messages submitted through the protocol layer.
+    pub msgs_sent: u64,
+    /// Messages delivered over pre-established circuits.
+    pub msgs_circuit: u64,
+    /// Messages delivered through wormhole switching.
+    pub msgs_wormhole: u64,
+    /// Circuit-cache hits (send found a Ready circuit).
+    pub cache_hits: u64,
+    /// Circuit-cache misses that triggered an establishment.
+    pub cache_misses: u64,
+    /// Source-side evictions performed to make cache room.
+    pub cache_evictions: u64,
+
+    /// Probes launched (one per switch attempt).
+    pub probes_sent: u64,
+    /// Total probe hops (forward + backward).
+    pub probe_hops: u64,
+    /// Backtrack operations.
+    pub probe_backtracks: u64,
+    /// Misroute operations.
+    pub probe_misroutes: u64,
+    /// Probes that reserved a full path.
+    pub probes_reached: u64,
+    /// Probes that exhausted their switch's search space.
+    pub probes_exhausted: u64,
+    /// Probes rejected by faulty lanes at least once (fault encounters).
+    pub probe_fault_encounters: u64,
+
+    /// Establishment attempts that eventually succeeded (any switch).
+    pub setups_ok: u64,
+    /// Establishment attempts that failed across every switch.
+    pub setups_failed: u64,
+    /// Force-mode victim selections of circuits starting at the stuck node.
+    pub forced_local_releases: u64,
+    /// Force-mode release requests sent to remote sources.
+    pub forced_remote_releases: u64,
+    /// Release-request control flits discarded (circuit already releasing
+    /// or gone — §4's discard rule).
+    pub release_requests_discarded: u64,
+    /// Circuits torn down (any reason).
+    pub teardowns: u64,
+
+    /// Messages that fell back to wormhole because establishment failed
+    /// (CLRP phase 3 / CARP fallback).
+    pub wormhole_fallbacks: u64,
+    /// End-point buffer re-allocations (CLRP circuits hit by a message
+    /// longer than the allocated buffer, §2).
+    pub buffer_reallocs: u64,
+}
+
+impl WaveStats {
+    /// Circuit-cache hit rate over sends that consulted the cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of launched probes that reserved a path.
+    #[must_use]
+    pub fn probe_success_rate(&self) -> f64 {
+        if self.probes_sent == 0 {
+            0.0
+        } else {
+            self.probes_reached as f64 / self.probes_sent as f64
+        }
+    }
+
+    /// Fraction of establishment attempts that succeeded.
+    #[must_use]
+    pub fn setup_success_rate(&self) -> f64 {
+        let total = self.setups_ok + self.setups_failed;
+        if total == 0 {
+            0.0
+        } else {
+            self.setups_ok as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = WaveStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.probe_success_rate(), 0.0);
+        assert_eq!(s.setup_success_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = WaveStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            probes_sent: 10,
+            probes_reached: 5,
+            setups_ok: 4,
+            setups_failed: 1,
+            ..WaveStats::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.probe_success_rate() - 0.5).abs() < 1e-12);
+        assert!((s.setup_success_rate() - 0.8).abs() < 1e-12);
+    }
+}

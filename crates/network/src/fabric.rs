@@ -1,0 +1,803 @@
+//! The wormhole fabric: every router of the network plus the per-cycle
+//! pipeline that moves flits between them.
+//!
+//! Each simulated cycle runs four phases over all routers in deterministic
+//! node order:
+//!
+//! 1. **VA** — routing + virtual-channel allocation: unrouted head flits at
+//!    buffer fronts ask the routing function for candidates and try to
+//!    acquire a free output VC (round-robin over input VCs);
+//! 2. **SA** — switch allocation + traversal: every output port forwards at
+//!    most one flit from an eligible input VC (credits permitting), every
+//!    input port contributes at most one flit (crossbar constraint);
+//! 3. **Injection** — queued messages claim idle injection VCs and stream
+//!    one flit per cycle into their buffers;
+//! 4. **Commit** — flits sent in phase 2 arrive in downstream buffers and
+//!    credits return upstream, both with one-cycle latency.
+//!
+//! Tail flits release resources as they pass: the input-VC route when the
+//! tail leaves a router, the output-VC ownership when the tail is forwarded
+//! through it — the defining behaviour of wormhole switching that makes
+//! blocked messages hold channels (paper §1) and deadlock a real danger.
+
+use std::collections::HashMap;
+
+use wavesim_sim::Cycle;
+use wavesim_topology::{Candidate, NodeId, PortDir, RoutingKind, Topology, WormholeRouting};
+
+use crate::message::{Delivery, DeliveryMode, Flit, Message, MessageId};
+use crate::router::{Emitting, Router};
+
+/// Configuration of the wormhole fabric (the paper's `S0` switch plane).
+#[derive(Debug, Clone, Copy)]
+pub struct WormholeConfig {
+    /// Virtual channels per physical link — the paper's `w` parameter.
+    pub w: u8,
+    /// Flit buffer depth per virtual channel.
+    pub buffer_depth: u32,
+    /// Routing function family.
+    pub routing: RoutingKind,
+    /// Cycles a head flit spends in the routing control unit per hop.
+    pub routing_delay: u32,
+}
+
+impl Default for WormholeConfig {
+    fn default() -> Self {
+        Self {
+            w: 2,
+            buffer_depth: 4,
+            routing: RoutingKind::Deterministic,
+            routing_delay: 1,
+        }
+    }
+}
+
+/// Aggregate fabric statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FabricStats {
+    /// Messages accepted by [`WormholeFabric::inject`].
+    pub injected_msgs: u64,
+    /// Messages fully delivered.
+    pub delivered_msgs: u64,
+    /// Flits handed to destination delivery buffers.
+    pub delivered_flits: u64,
+    /// Flits forwarded across links (hop count · flit count).
+    pub flit_hops: u64,
+    /// Successful output-VC allocations.
+    pub va_allocs: u64,
+}
+
+/// A node in the output-VC wait-for graph exposed for deadlock diagnosis:
+/// `(router id, dense output-VC index)`.
+pub type WaitVc = (u32, u16);
+
+/// The flit-level wormhole network.
+pub struct WormholeFabric {
+    topo: Topology,
+    routing: Box<dyn WormholeRouting>,
+    cfg: WormholeConfig,
+    w: usize,
+    nports: usize,
+    local: usize,
+    routers: Vec<Router>,
+    /// In-flight message metadata, keyed by id.
+    meta: HashMap<MessageId, Message>,
+    /// Output VCs currently held by each in-flight message, in path order.
+    held: HashMap<MessageId, Vec<WaitVc>>,
+    deliveries: Vec<Delivery>,
+    arrivals: Vec<(u32, u16, Flit)>,
+    credit_returns: Vec<(u32, u16)>,
+    in_flight_flits: u64,
+    emitting_msgs: u64,
+    last_progress: Cycle,
+    stats: FabricStats,
+    cand: Vec<Candidate>,
+}
+
+impl WormholeFabric {
+    /// Builds the fabric for `topo` under `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `cfg.w` is insufficient for the routing function on this
+    /// topology (see [`RoutingKind::build`]) or `buffer_depth == 0`.
+    #[must_use]
+    pub fn new(topo: Topology, cfg: WormholeConfig) -> Self {
+        let routing = cfg.routing.build(&topo, cfg.w);
+        Self::with_routing(topo, cfg, routing)
+    }
+
+    /// Builds the fabric with an explicit routing function (used by tests
+    /// and by the verify crate's negative controls, which deliberately run
+    /// broken functions the safe constructor would reject).
+    ///
+    /// # Panics
+    /// Panics if the function's VC requirement differs from `cfg.w` or
+    /// `buffer_depth == 0`.
+    #[must_use]
+    pub fn with_routing(
+        topo: Topology,
+        cfg: WormholeConfig,
+        routing: Box<dyn WormholeRouting>,
+    ) -> Self {
+        assert!(cfg.buffer_depth >= 1, "buffers need at least one slot");
+        assert_eq!(
+            routing.vcs_per_link(),
+            cfg.w,
+            "routing must use exactly w VCs"
+        );
+        let w = cfg.w as usize;
+        let nports = 2 * topo.ndims() + 1;
+        let routers = (0..topo.num_nodes())
+            .map(|_| Router::new(nports, w, cfg.buffer_depth))
+            .collect();
+        Self {
+            w,
+            nports,
+            local: nports - 1,
+            routers,
+            meta: HashMap::new(),
+            held: HashMap::new(),
+            deliveries: Vec::new(),
+            arrivals: Vec::new(),
+            credit_returns: Vec::new(),
+            in_flight_flits: 0,
+            emitting_msgs: 0,
+            last_progress: 0,
+            stats: FabricStats::default(),
+            cand: Vec::new(),
+            routing,
+            topo,
+            cfg,
+        }
+    }
+
+    /// The topology this fabric runs on.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The fabric configuration.
+    #[must_use]
+    pub fn config(&self) -> &WormholeConfig {
+        &self.cfg
+    }
+
+    /// The routing function in use.
+    #[must_use]
+    pub fn routing(&self) -> &dyn WormholeRouting {
+        self.routing.as_ref()
+    }
+
+    /// Replaces the routing function (testing/negative controls only).
+    ///
+    /// # Panics
+    /// Panics if the function's VC requirement differs from `cfg.w`.
+    pub fn set_routing_for_test(&mut self, routing: Box<dyn WormholeRouting>) {
+        assert_eq!(routing.vcs_per_link() as usize, self.w);
+        self.routing = routing;
+    }
+
+    /// Accepts a message for injection at its source node.
+    pub fn inject(&mut self, msg: Message) {
+        assert!(msg.src.0 < self.topo.num_nodes(), "source out of range");
+        assert!(msg.dest.0 < self.topo.num_nodes(), "dest out of range");
+        self.meta.insert(msg.id, msg);
+        self.routers[msg.src.0 as usize].inj_queue.push_back(msg);
+        self.emitting_msgs += 1;
+        self.stats.injected_msgs += 1;
+    }
+
+    /// Messages injected but not yet delivered.
+    #[must_use]
+    pub fn in_flight_msgs(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Flits currently buffered somewhere in the network.
+    #[must_use]
+    pub fn in_flight_flits(&self) -> u64 {
+        self.in_flight_flits
+    }
+
+    /// Cycles since any flit last moved (0 when progress happened at `now`).
+    #[must_use]
+    pub fn progress_age(&self, now: Cycle) -> u64 {
+        now.saturating_sub(self.last_progress)
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// Drains and returns all deliveries completed since the last call.
+    pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// True while any message is queued, emitting, or in flight.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.in_flight_flits > 0 || self.emitting_msgs > 0
+    }
+
+    fn ivc(&self, port: usize, vc: usize) -> usize {
+        port * self.w + vc
+    }
+
+    /// Advances the fabric by one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        for r in 0..self.routers.len() {
+            self.va_stage(r, now);
+        }
+        for r in 0..self.routers.len() {
+            self.sa_stage(r, now);
+        }
+        for r in 0..self.routers.len() {
+            self.injection_stage(r);
+        }
+        self.commit();
+    }
+
+    /// Phase 1: routing computation + output-VC allocation.
+    fn va_stage(&mut self, r: usize, now: Cycle) {
+        let node = NodeId(r as u32);
+        let n_ivc = self.nports * self.w;
+        let start = self.routers[r].va_rr as usize % n_ivc;
+        for off in 0..n_ivc {
+            let i = (start + off) % n_ivc;
+            // Inspect the front flit without holding a borrow.
+            let (front_head, front_msg, front_dest) = {
+                let vc = &self.routers[r].inputs[i];
+                if vc.route.is_some() {
+                    continue;
+                }
+                match vc.buf.front() {
+                    Some(f) if f.is_head => (true, f.msg, f.dest),
+                    _ => continue,
+                }
+            };
+            debug_assert!(front_head);
+            // Routing-delay accounting.
+            let since = {
+                let vc = &mut self.routers[r].inputs[i];
+                *vc.head_since.get_or_insert(now)
+            };
+            if now < since + u64::from(self.cfg.routing_delay) {
+                continue;
+            }
+            if front_dest == node {
+                // Ejection needs no output VC: mark the route to the local
+                // port; SA treats it with infinite credit.
+                self.routers[r].inputs[i].route = Some(crate::router::RouteHold {
+                    out_port: self.local as u8,
+                    out_vc: 0,
+                });
+                self.routers[r].inputs[i].head_since = None;
+                continue;
+            }
+            self.cand.clear();
+            self.routing
+                .route(&self.topo, node, front_dest, &mut self.cand);
+            debug_assert!(!self.cand.is_empty(), "routing gave no candidates");
+            for ci in 0..self.cand.len() {
+                let c = self.cand[ci];
+                let oidx = self.ivc(c.port.index(), c.vc as usize);
+                if self.routers[r].outputs[oidx].owner.is_none() {
+                    self.routers[r].outputs[oidx].owner = Some(i as u16);
+                    self.routers[r].inputs[i].route = Some(crate::router::RouteHold {
+                        out_port: c.port.index() as u8,
+                        out_vc: c.vc,
+                    });
+                    self.routers[r].inputs[i].head_since = None;
+                    self.held
+                        .entry(front_msg)
+                        .or_default()
+                        .push((r as u32, oidx as u16));
+                    self.stats.va_allocs += 1;
+                    break;
+                }
+            }
+        }
+        self.routers[r].va_rr = ((start + 1) % n_ivc) as u16;
+    }
+
+    /// Phase 2: switch allocation and flit forwarding / delivery.
+    fn sa_stage(&mut self, r: usize, now: Cycle) {
+        let node = NodeId(r as u32);
+        let n_ivc = self.nports * self.w;
+        let mut input_port_used = [false; 32];
+        debug_assert!(self.nports <= 32);
+
+        for out_port in 0..self.nports {
+            let start = self.routers[r].sa_rr[out_port] as usize % n_ivc;
+            let mut pick: Option<usize> = None;
+            for off in 0..n_ivc {
+                let i = (start + off) % n_ivc;
+                let vc = &self.routers[r].inputs[i];
+                let Some(route) = vc.route else { continue };
+                if route.out_port as usize != out_port || vc.buf.is_empty() {
+                    continue;
+                }
+                if input_port_used[i / self.w] {
+                    continue;
+                }
+                if out_port != self.local {
+                    let oidx = self.ivc(out_port, route.out_vc as usize);
+                    if self.routers[r].outputs[oidx].credits == 0 {
+                        continue;
+                    }
+                }
+                pick = Some(i);
+                break;
+            }
+            let Some(i) = pick else { continue };
+            input_port_used[i / self.w] = true;
+            self.routers[r].sa_rr[out_port] = ((i + 1) % n_ivc) as u16;
+
+            let route = self.routers[r].inputs[i]
+                .route
+                .expect("picked VC has route");
+            let flit = self.routers[r].inputs[i]
+                .buf
+                .pop_front()
+                .expect("picked VC has a flit");
+
+            // Return a credit upstream for the slot just freed (network
+            // input ports only; injection buffers are local).
+            let in_port = i / self.w;
+            let in_vc = i % self.w;
+            if in_port != self.local {
+                let p = PortDir::from_index(in_port);
+                let up = self
+                    .topo
+                    .neighbor(node, p)
+                    .expect("flits only arrive over real links");
+                let up_ovc = self.ivc(p.opposite().index(), in_vc);
+                self.credit_returns.push((up.0, up_ovc as u16));
+            }
+
+            self.last_progress = now;
+            if out_port == self.local {
+                // Delivery.
+                self.in_flight_flits -= 1;
+                self.stats.delivered_flits += 1;
+                if flit.is_tail {
+                    self.routers[r].inputs[i].route = None;
+                    let msg = self
+                        .meta
+                        .remove(&flit.msg)
+                        .expect("delivered message must have metadata");
+                    self.held.remove(&flit.msg);
+                    self.stats.delivered_msgs += 1;
+                    self.deliveries.push(Delivery {
+                        msg,
+                        delivered_at: now,
+                        mode: DeliveryMode::Wormhole,
+                    });
+                }
+            } else {
+                let oidx = self.ivc(out_port, route.out_vc as usize);
+                self.routers[r].outputs[oidx].credits -= 1;
+                let p = PortDir::from_index(out_port);
+                let down = self
+                    .topo
+                    .neighbor(node, p)
+                    .expect("allocated outputs point at real links");
+                let down_ivc = self.ivc(p.opposite().index(), route.out_vc as usize);
+                self.arrivals.push((down.0, down_ivc as u16, flit));
+                self.stats.flit_hops += 1;
+                if flit.is_tail {
+                    self.routers[r].outputs[oidx].owner = None;
+                    self.routers[r].inputs[i].route = None;
+                    // The tail has left this router: the message no longer
+                    // holds this output VC.
+                    if let Some(hs) = self.held.get_mut(&flit.msg) {
+                        let pos = hs
+                            .iter()
+                            .position(|&(hr, ho)| hr == r as u32 && ho == oidx as u16)
+                            .expect("held list tracks allocations in path order");
+                        hs.remove(pos);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 3: message flit emission at sources.
+    fn injection_stage(&mut self, r: usize) {
+        // Continue in-progress emissions: one flit per injection VC per cycle.
+        for v in 0..self.w {
+            let idx = self.ivc(self.local, v);
+            let Some(em) = self.routers[r].emitting[v] else {
+                continue;
+            };
+            if self.routers[r].inputs[idx].buf.len() < self.cfg.buffer_depth as usize {
+                let flit = Flit::of(&em.msg, em.sent);
+                self.routers[r].inputs[idx].buf.push_back(flit);
+                self.in_flight_flits += 1;
+                let sent = em.sent + 1;
+                if sent == em.msg.len_flits {
+                    self.routers[r].emitting[v] = None;
+                    self.emitting_msgs -= 1;
+                } else {
+                    self.routers[r].emitting[v] = Some(Emitting { msg: em.msg, sent });
+                }
+            }
+        }
+        // Claim idle injection VCs for queued messages.
+        for v in 0..self.w {
+            if self.routers[r].inj_queue.is_empty() {
+                break;
+            }
+            let idx = self.ivc(self.local, v);
+            if self.routers[r].emitting[v].is_none() && self.routers[r].inputs[idx].idle() {
+                let msg = self.routers[r].inj_queue.pop_front().expect("non-empty");
+                self.routers[r].emitting[v] = Some(Emitting { msg, sent: 0 });
+            }
+        }
+    }
+
+    /// Phase 4: arrivals and credits become visible for the next cycle.
+    fn commit(&mut self) {
+        for (r, ivc, flit) in self.arrivals.drain(..) {
+            let vc = &mut self.routers[r as usize].inputs[ivc as usize];
+            vc.buf.push_back(flit);
+            assert!(
+                vc.buf.len() <= self.cfg.buffer_depth as usize,
+                "credit protocol violated: buffer overflow at router {r} vc {ivc}"
+            );
+        }
+        for (r, ovc) in self.credit_returns.drain(..) {
+            let out = &mut self.routers[r as usize].outputs[ovc as usize];
+            out.credits += 1;
+            assert!(
+                out.credits <= self.cfg.buffer_depth,
+                "credit protocol violated: credit overflow at router {r} ovc {ovc}"
+            );
+        }
+    }
+
+    /// Builds the current output-VC wait-for graph for deadlock diagnosis:
+    /// one edge per `(held VC → requested VC)` pair over packets whose head
+    /// flit is waiting for a free output VC. For deterministic routing a
+    /// cycle in this graph is a genuine deadlock.
+    #[must_use]
+    pub fn wait_edges(&self) -> Vec<(WaitVc, WaitVc)> {
+        let mut edges = Vec::new();
+        let mut cand = Vec::new();
+        for (r, router) in self.routers.iter().enumerate() {
+            let node = NodeId(r as u32);
+            for vc in router.inputs.iter() {
+                if vc.route.is_some() {
+                    continue;
+                }
+                let Some(front) = vc.buf.front() else {
+                    continue;
+                };
+                if !front.is_head || front.dest == node {
+                    continue;
+                }
+                let Some(hs) = self.held.get(&front.msg) else {
+                    continue; // still at the source: holds nothing
+                };
+                let Some(&holder) = hs.last() else { continue };
+                cand.clear();
+                self.routing.route(&self.topo, node, front.dest, &mut cand);
+                for c in &cand {
+                    let oidx = self.ivc(c.port.index(), c.vc as usize);
+                    edges.push((holder, (r as u32, oidx as u16)));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Per-VC buffer occupancy snapshot `(router, dense input VC, flits)`,
+    /// for instrumentation.
+    #[must_use]
+    pub fn occupancy(&self) -> Vec<(u32, u16, usize)> {
+        let mut out = Vec::new();
+        for (r, router) in self.routers.iter().enumerate() {
+            for (i, vc) in router.inputs.iter().enumerate() {
+                if !vc.buf.is_empty() {
+                    out.push((r as u32, i as u16, vc.buf.len()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_topology::Coords;
+
+    fn mesh44(w: u8) -> WormholeFabric {
+        WormholeFabric::new(
+            Topology::mesh(&[4, 4]),
+            WormholeConfig {
+                w,
+                buffer_depth: 4,
+                routing: RoutingKind::Deterministic,
+                routing_delay: 1,
+            },
+        )
+    }
+
+    fn run(fabric: &mut WormholeFabric, from: Cycle, max: Cycle) -> Cycle {
+        let mut now = from;
+        while fabric.busy() && now < max {
+            fabric.tick(now);
+            now += 1;
+        }
+        now
+    }
+
+    #[test]
+    fn single_message_is_delivered_with_plausible_latency() {
+        let mut f = mesh44(1);
+        let topo = f.topology().clone();
+        let src = topo.node(Coords::new(&[0, 0]));
+        let dest = topo.node(Coords::new(&[3, 0]));
+        f.inject(Message::new(1, src, dest, 5, 0));
+        let end = run(&mut f, 0, 10_000);
+        assert!(!f.busy(), "message must drain");
+        let ds = f.drain_deliveries();
+        assert_eq!(ds.len(), 1);
+        let d = ds[0];
+        assert_eq!(d.msg.id, MessageId(1));
+        // 3 hops * ~2 cycles/hop + 5 flits serialization + injection/ejection
+        // overhead: latency must be tens of cycles, not hundreds.
+        assert!(d.latency() >= 8, "latency {} too small", d.latency());
+        assert!(d.latency() <= 40, "latency {} too large", d.latency());
+        assert!(end < 100);
+        assert_eq!(f.stats().delivered_flits, 5);
+    }
+
+    #[test]
+    fn longer_messages_pay_serialization_latency() {
+        let mut short = mesh44(1);
+        let mut long = mesh44(1);
+        let topo = short.topology().clone();
+        let src = topo.node(Coords::new(&[0, 0]));
+        let dest = topo.node(Coords::new(&[3, 3]));
+        short.inject(Message::new(1, src, dest, 2, 0));
+        long.inject(Message::new(2, src, dest, 64, 0));
+        run(&mut short, 0, 10_000);
+        run(&mut long, 0, 10_000);
+        let ls = short.drain_deliveries()[0].latency();
+        let ll = long.drain_deliveries()[0].latency();
+        assert!(
+            ll >= ls + 60,
+            "64-flit message ({ll}) must trail 2-flit message ({ls}) by ~62 cycles"
+        );
+    }
+
+    #[test]
+    fn all_pairs_traffic_drains_on_mesh() {
+        let mut f = mesh44(2);
+        let topo = f.topology().clone();
+        let mut id = 0;
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a != b {
+                    f.inject(Message::new(id, a, b, 4, 0));
+                    id += 1;
+                }
+            }
+        }
+        run(&mut f, 0, 200_000);
+        assert!(!f.busy(), "all-pairs traffic must drain without deadlock");
+        let ds = f.drain_deliveries();
+        assert_eq!(ds.len(), 16 * 15);
+        assert_eq!(f.in_flight_msgs(), 0);
+    }
+
+    #[test]
+    fn all_pairs_traffic_drains_on_torus_with_dateline() {
+        let topo = Topology::torus(&[4, 4]);
+        let mut f = WormholeFabric::new(
+            topo.clone(),
+            WormholeConfig {
+                w: 2,
+                buffer_depth: 2,
+                routing: RoutingKind::Deterministic,
+                routing_delay: 1,
+            },
+        );
+        let mut id = 0;
+        for a in topo.nodes() {
+            for b in topo.nodes() {
+                if a != b {
+                    f.inject(Message::new(id, a, b, 6, 0));
+                    id += 1;
+                }
+            }
+        }
+        run(&mut f, 0, 500_000);
+        assert!(!f.busy(), "torus all-pairs must drain with dateline DOR");
+        assert_eq!(f.drain_deliveries().len(), 16 * 15);
+    }
+
+    #[test]
+    fn adaptive_routing_drains_hotspot_traffic() {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut f = WormholeFabric::new(
+            topo.clone(),
+            WormholeConfig {
+                w: 3,
+                buffer_depth: 4,
+                routing: RoutingKind::Adaptive,
+                routing_delay: 1,
+            },
+        );
+        let hot = topo.node(Coords::new(&[3, 3]));
+        let mut id = 0;
+        for a in topo.nodes() {
+            if a != hot {
+                for _ in 0..4 {
+                    f.inject(Message::new(id, a, hot, 8, 0));
+                    id += 1;
+                }
+            }
+        }
+        run(&mut f, 0, 500_000);
+        assert!(!f.busy());
+        assert_eq!(f.drain_deliveries().len(), 15 * 4);
+    }
+
+    #[test]
+    fn wormhole_blocks_hold_channels_but_release_on_tail() {
+        // Two long messages share a column link; the second must block
+        // until the first's tail releases the VC, then complete.
+        let mut f = mesh44(1);
+        let topo = f.topology().clone();
+        let a = topo.node(Coords::new(&[0, 0]));
+        let b = topo.node(Coords::new(&[1, 0]));
+        let dest = topo.node(Coords::new(&[3, 0]));
+        f.inject(Message::new(1, a, dest, 32, 0));
+        f.inject(Message::new(2, b, dest, 32, 0));
+        run(&mut f, 0, 10_000);
+        let mut ds = f.drain_deliveries();
+        assert_eq!(ds.len(), 2);
+        ds.sort_by_key(|d| d.delivered_at);
+        // Both complete; the trailing one pays blocking delay.
+        assert!(ds[1].delivered_at > ds[0].delivered_at);
+    }
+
+    #[test]
+    fn broken_torus_routing_deadlocks_and_is_diagnosable() {
+        // Negative control: single-class torus DOR with ring-filling
+        // traffic must stop making progress, and the wait-for graph must
+        // contain a cycle.
+        let topo = Topology::torus(&[4, 3]);
+        let mut f = WormholeFabric::with_routing(
+            topo.clone(),
+            WormholeConfig {
+                w: 1,
+                buffer_depth: 1,
+                routing: RoutingKind::Deterministic,
+                routing_delay: 1,
+            },
+            Box::new(wavesim_topology::NaiveTorusDor::new(1)),
+        );
+        // Every node on row 0 sends 2 hops around its ring: with radix 4
+        // and long messages these wormholes wrap the ring and deadlock.
+        for x in 0..4u16 {
+            let src = topo.node(Coords::new(&[x, 0]));
+            let dest = topo.node(Coords::new(&[(x + 2) % 4, 0]));
+            f.inject(Message::new(u64::from(x), src, dest, 64, 0));
+        }
+        let mut now = 0;
+        while f.busy() && now < 5_000 {
+            f.tick(now);
+            now += 1;
+        }
+        assert!(f.busy(), "expected a deadlock to freeze the ring");
+        assert!(
+            f.progress_age(now) > 1_000,
+            "no progress for a long time: age={}",
+            f.progress_age(now)
+        );
+        // The wait-for graph has a cycle among the ring's output VCs.
+        let edges = f.wait_edges();
+        assert!(!edges.is_empty());
+        let mut adj: HashMap<WaitVc, Vec<WaitVc>> = HashMap::new();
+        for (a, b) in &edges {
+            adj.entry(*a).or_default().push(*b);
+        }
+        fn has_cycle(
+            v: WaitVc,
+            adj: &HashMap<WaitVc, Vec<WaitVc>>,
+            path: &mut Vec<WaitVc>,
+            seen: &mut std::collections::HashSet<WaitVc>,
+        ) -> bool {
+            if path.contains(&v) {
+                return true;
+            }
+            if !seen.insert(v) {
+                return false;
+            }
+            path.push(v);
+            let out = adj.get(&v).cloned().unwrap_or_default();
+            for w in out {
+                if has_cycle(w, adj, path, seen) {
+                    return true;
+                }
+            }
+            path.pop();
+            false
+        }
+        let mut seen = std::collections::HashSet::new();
+        let cyclic = adj
+            .keys()
+            .any(|&v| has_cycle(v, &adj, &mut Vec::new(), &mut seen));
+        assert!(cyclic, "deadlocked fabric must show a wait-for cycle");
+    }
+
+    #[test]
+    fn determinism_same_workload_same_schedule() {
+        let build = || {
+            let mut f = mesh44(2);
+            let topo = f.topology().clone();
+            let mut id = 0;
+            for a in topo.nodes() {
+                for b in topo.nodes() {
+                    if a != b && (a.0 + b.0) % 3 == 0 {
+                        f.inject(Message::new(id, a, b, 7, 0));
+                        id += 1;
+                    }
+                }
+            }
+            let mut now = 0;
+            while f.busy() && now < 100_000 {
+                f.tick(now);
+                now += 1;
+            }
+            f.drain_deliveries()
+                .iter()
+                .map(|d| (d.msg.id.0, d.delivered_at))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn injection_respects_vc_count() {
+        // With w=1, two messages from the same source serialize.
+        let mut f = mesh44(1);
+        let topo = f.topology().clone();
+        let src = topo.node(Coords::new(&[0, 0]));
+        let d1 = topo.node(Coords::new(&[3, 0]));
+        let d2 = topo.node(Coords::new(&[0, 3]));
+        f.inject(Message::new(1, src, d1, 16, 0));
+        f.inject(Message::new(2, src, d2, 16, 0));
+        run(&mut f, 0, 10_000);
+        let mut ds = f.drain_deliveries();
+        ds.sort_by_key(|d| d.msg.id);
+        // Disjoint paths, but single injection VC: the second message's
+        // emission cannot start until the first finishes.
+        assert!(ds[1].delivered_at >= ds[0].delivered_at);
+        assert!(ds[1].latency() > 16);
+    }
+
+    #[test]
+    fn stats_account_for_all_flits() {
+        let mut f = mesh44(2);
+        let topo = f.topology().clone();
+        let src = topo.node(Coords::new(&[0, 0]));
+        let dest = topo.node(Coords::new(&[2, 2]));
+        f.inject(Message::new(1, src, dest, 10, 0));
+        run(&mut f, 0, 10_000);
+        let s = f.stats();
+        assert_eq!(s.injected_msgs, 1);
+        assert_eq!(s.delivered_msgs, 1);
+        assert_eq!(s.delivered_flits, 10);
+        // 4 hops * 10 flits forwarded across links.
+        assert_eq!(s.flit_hops, 40);
+    }
+}

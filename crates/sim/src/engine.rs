@@ -1,0 +1,246 @@
+//! Hybrid cycle/event simulation driver.
+//!
+//! Flit-level wormhole models need to do work *every* cycle while traffic is
+//! in flight, but pure circuit traffic and idle phases are naturally
+//! event-driven. [`Engine`] supports both: each step it (1) delivers all
+//! events due at the current cycle, (2) calls the model's `tick`, then
+//! (3) advances time by one cycle if the model reports itself busy, or
+//! fast-forwards straight to the next scheduled event otherwise.
+//!
+//! The engine never invents time: if the model is idle and no events are
+//! pending, the simulation is quiescent and the run stops.
+
+use crate::event::EventQueue;
+use crate::time::Cycle;
+
+/// A simulated system driven by the [`Engine`].
+pub trait Model {
+    /// The event payload type this model schedules for itself.
+    type Event;
+
+    /// Called once per simulated cycle after due events were delivered.
+    fn tick(&mut self, now: Cycle, queue: &mut EventQueue<Self::Event>);
+
+    /// Called for each event due at the current cycle, in FIFO order.
+    fn handle(&mut self, now: Cycle, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// True while the model has cycle-by-cycle work (flits in flight,
+    /// probes walking, arbitration pending). When false, the engine may
+    /// fast-forward over idle cycles to the next scheduled event.
+    fn busy(&self) -> bool;
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The cycle limit was reached.
+    Deadline,
+    /// Model idle and no events pending — nothing can ever happen again.
+    Quiescent,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Cycle at which the run stopped.
+    pub now: Cycle,
+    /// Number of `tick` invocations performed during this run.
+    pub ticks: u64,
+    /// Number of events delivered during this run.
+    pub events_delivered: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+/// The simulation driver: clock + event calendar + model.
+#[derive(Debug)]
+pub struct Engine<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: Cycle,
+}
+
+impl<M: Model> Engine<M> {
+    /// Wraps `model` with a fresh clock and empty calendar.
+    pub fn new(model: M) -> Self {
+        Self {
+            model,
+            queue: EventQueue::new(),
+            now: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model (e.g. to inject traffic between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Exclusive access to the event calendar (e.g. to pre-seed arrivals).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<M::Event> {
+        &mut self.queue
+    }
+
+    /// Executes one simulation step at the current time: delivers due
+    /// events, ticks the model, then advances the clock. Returns `false`
+    /// when the system is quiescent (clock did not advance and never will).
+    pub fn step(&mut self) -> bool {
+        self.step_counting(&mut 0)
+    }
+
+    fn step_counting(&mut self, events_delivered: &mut u64) -> bool {
+        while let Some(ev) = self.queue.pop_due(self.now) {
+            self.model.handle(self.now, ev.event, &mut self.queue);
+            *events_delivered += 1;
+        }
+        self.model.tick(self.now, &mut self.queue);
+        if self.model.busy() {
+            self.now += 1;
+            true
+        } else if let Some(next) = self.queue.next_time() {
+            // Idle: fast-forward to the next event (but never backwards;
+            // the model may have scheduled an event for the current cycle,
+            // in which case we advance by one and deliver it next step).
+            self.now = next.max(self.now + 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs until the clock reaches `deadline` or the system quiesces.
+    pub fn run_until(&mut self, deadline: Cycle) -> EngineReport {
+        let mut ticks = 0u64;
+        let mut events = 0u64;
+        while self.now < deadline {
+            ticks += 1;
+            if !self.step_counting(&mut events) {
+                return EngineReport {
+                    now: self.now,
+                    ticks,
+                    events_delivered: events,
+                    stop: StopReason::Quiescent,
+                };
+            }
+        }
+        EngineReport {
+            now: self.now,
+            ticks,
+            events_delivered: events,
+            stop: StopReason::Deadline,
+        }
+    }
+
+    /// Runs until quiescent, with a hard safety deadline to bound runaway
+    /// simulations (a livelocked protocol would otherwise spin forever —
+    /// the verify crate turns a `Deadline` stop into a diagnosis).
+    pub fn run_to_quiescence(&mut self, max: Cycle) -> EngineReport {
+        self.run_until(max)
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy model: a pipeline that holds `work` tokens; each tick retires
+    /// one token; events add tokens.
+    struct Toy {
+        work: u64,
+        ticked_at: Vec<Cycle>,
+        handled: Vec<(Cycle, u64)>,
+    }
+
+    impl Model for Toy {
+        type Event = u64;
+        fn tick(&mut self, now: Cycle, _q: &mut EventQueue<u64>) {
+            self.ticked_at.push(now);
+            self.work = self.work.saturating_sub(1);
+        }
+        fn handle(&mut self, now: Cycle, ev: u64, _q: &mut EventQueue<u64>) {
+            self.handled.push((now, ev));
+            self.work += ev;
+        }
+        fn busy(&self) -> bool {
+            self.work > 0
+        }
+    }
+
+    fn toy(work: u64) -> Toy {
+        Toy {
+            work,
+            ticked_at: Vec::new(),
+            handled: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn quiesces_when_done() {
+        let mut e = Engine::new(toy(3));
+        let rep = e.run_until(1000);
+        assert_eq!(rep.stop, StopReason::Quiescent);
+        assert!(rep.now <= 4);
+        assert!(!e.model().busy());
+    }
+
+    #[test]
+    fn deadline_stops_busy_model() {
+        let mut e = Engine::new(toy(1_000_000));
+        let rep = e.run_until(50);
+        assert_eq!(rep.stop, StopReason::Deadline);
+        assert_eq!(rep.now, 50);
+        assert_eq!(rep.ticks, 50);
+    }
+
+    #[test]
+    fn fast_forwards_over_idle_gaps() {
+        let mut e = Engine::new(toy(0));
+        e.queue_mut().schedule(1000, 5);
+        let rep = e.run_until(10_000);
+        assert_eq!(rep.stop, StopReason::Quiescent);
+        // One idle tick at cycle 0, jump to 1000, then ~5 busy ticks.
+        assert!(rep.now >= 1004 && rep.now <= 1007, "now={}", rep.now);
+        assert_eq!(e.model().handled, vec![(1000, 5)]);
+        // The engine must NOT have ticked cycles 1..999 one by one.
+        assert!(rep.ticks < 20, "ticks={}", rep.ticks);
+    }
+
+    #[test]
+    fn events_delivered_in_order_with_ticks() {
+        let mut e = Engine::new(toy(0));
+        e.queue_mut().schedule(3, 1);
+        e.queue_mut().schedule(3, 2);
+        e.queue_mut().schedule(7, 3);
+        let rep = e.run_until(100);
+        assert_eq!(rep.events_delivered, 3);
+        assert_eq!(
+            e.model().handled,
+            vec![(3, 1), (3, 2), (7, 3)],
+            "same-cycle events keep FIFO order"
+        );
+    }
+
+    #[test]
+    fn step_returns_false_only_at_quiescence() {
+        let mut e = Engine::new(toy(3));
+        assert!(e.step()); // work 3 -> 2, still busy
+        assert!(e.step()); // work 2 -> 1, still busy
+                           // Third step drains the last token; model reports idle and the
+                           // empty calendar makes the system quiescent.
+        assert!(!e.step());
+    }
+}

@@ -1,0 +1,553 @@
+//! Measurement instruments.
+//!
+//! Interconnection-network papers of the wormhole era report two headline
+//! metrics — **average message latency** (cycles, injection to last-flit
+//! delivery) and **accepted throughput** (flits/node/cycle) — measured after
+//! a warm-up period so the network is in steady state. This module provides
+//! the instruments to collect them plus the distributional detail the
+//! experiment harness prints:
+//!
+//! * [`Counter`] — saturating event counter;
+//! * [`Accumulator`] — Welford running mean/variance/min/max;
+//! * [`Histogram`] — power-of-two bucketed latency histogram with quantile
+//!   estimates;
+//! * [`Warmup`] — gate that discards samples before the warm-up horizon;
+//! * [`ThroughputMeter`] — flits delivered per node per cycle over a window.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Cycle;
+
+/// A saturating event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Welford online mean/variance accumulator with min/max tracking.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0.0 with <2 samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Power-of-two bucketed histogram for cycle-valued samples.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))`, with bucket 0 covering `{0, 1}`.
+/// Coarse but allocation-free and adequate for latency-shape reporting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    acc: Accumulator,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (64 log2 buckets, enough for any `u64`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; 64],
+            acc: Accumulator::new(),
+        }
+    }
+
+    fn bucket_of(x: u64) -> usize {
+        (64 - x.max(1).leading_zeros() as usize).saturating_sub(1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: u64) {
+        self.buckets[Self::bucket_of(x)] += 1;
+        self.acc.record(x as f64);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.acc.count()
+    }
+
+    /// Sample mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.acc.mean()
+    }
+
+    /// Largest sample seen.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.acc.max().unwrap_or(0.0) as u64
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (e.g. 0.99).
+    /// Returns 0 when empty.
+    #[must_use]
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.acc.merge(&other.acc);
+    }
+
+    /// Non-empty `(bucket_low, bucket_high, count)` triples, for printing.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+/// Warm-up gate: ignores samples until a configured cycle horizon so
+/// steady-state statistics are not polluted by the cold start.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Warmup {
+    horizon: Cycle,
+}
+
+impl Warmup {
+    /// Creates a gate that opens at `horizon`.
+    #[must_use]
+    pub fn new(horizon: Cycle) -> Self {
+        Self { horizon }
+    }
+
+    /// True when samples at time `now` should be recorded.
+    #[must_use]
+    pub fn open(&self, now: Cycle) -> bool {
+        now >= self.horizon
+    }
+
+    /// The warm-up horizon.
+    #[must_use]
+    pub fn horizon(&self) -> Cycle {
+        self.horizon
+    }
+}
+
+/// Accepted-throughput meter: flits delivered per node per cycle, measured
+/// from the end of warm-up.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    warmup: Warmup,
+    nodes: u64,
+    flits: u64,
+    first: Option<Cycle>,
+    last: Cycle,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter for a `nodes`-node network with the given warm-up.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    #[must_use]
+    pub fn new(nodes: u64, warmup: Warmup) -> Self {
+        assert!(nodes > 0, "a network has at least one node");
+        Self {
+            warmup,
+            nodes,
+            flits: 0,
+            first: None,
+            last: 0,
+        }
+    }
+
+    /// Records `flits` flits delivered at cycle `now`.
+    pub fn record(&mut self, now: Cycle, flits: u64) {
+        if !self.warmup.open(now) {
+            return;
+        }
+        if self.first.is_none() {
+            self.first = Some(self.warmup.horizon());
+        }
+        self.flits += flits;
+        self.last = self.last.max(now);
+    }
+
+    /// Flits counted after warm-up.
+    #[must_use]
+    pub fn flits(&self) -> u64 {
+        self.flits
+    }
+
+    /// Throughput in flits/node/cycle over the measured span, at observation
+    /// time `now`.
+    #[must_use]
+    pub fn rate(&self, now: Cycle) -> f64 {
+        let Some(first) = self.first else { return 0.0 };
+        let span = now.max(self.last).saturating_sub(first).max(1);
+        self.flits as f64 / (span as f64 * self.nodes as f64)
+    }
+}
+
+/// Fixed-interval time series: records one `(cycle, value)` point every
+/// `interval` cycles, for latency-over-time or occupancy-over-time plots.
+/// Offerings between sample points are ignored, keeping memory bounded by
+/// run length / interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    interval: u64,
+    next: Cycle,
+    points: Vec<(Cycle, f64)>,
+}
+
+impl Series {
+    /// Creates a series sampling every `interval` cycles (first sample at
+    /// cycle 0).
+    ///
+    /// # Panics
+    /// Panics if `interval == 0`.
+    #[must_use]
+    pub fn new(interval: u64) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        Self {
+            interval,
+            next: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Offers the current `value` at time `now`; records it iff a sample
+    /// is due. Returns whether a point was recorded.
+    pub fn offer(&mut self, now: Cycle, value: f64) -> bool {
+        if now < self.next {
+            return false;
+        }
+        self.points.push((now, value));
+        // Re-anchor so late offers do not cause sample bursts.
+        self.next = now + self.interval;
+        true
+    }
+
+    /// The recorded `(cycle, value)` points, in time order.
+    #[must_use]
+    pub fn points(&self) -> &[(Cycle, f64)] {
+        &self.points
+    }
+
+    /// Number of recorded points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn accumulator_matches_naive() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut a = Accumulator::new();
+        for &x in &xs {
+            a.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((a.mean() - mean).abs() < 1e-12);
+        assert!((a.variance() - var).abs() < 1e-12);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(9.0));
+    }
+
+    #[test]
+    fn accumulator_merge_equals_combined() {
+        let mut all = Accumulator::new();
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for i in 0..100 {
+            let x = (i * 37 % 11) as f64;
+            all.record(x);
+            if i % 2 == 0 {
+                left.record(x);
+            } else {
+                right.record(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_merge_with_empty() {
+        let mut a = Accumulator::new();
+        a.record(5.0);
+        let before = a.clone();
+        a.merge(&Accumulator::new());
+        assert_eq!(a.count(), before.count());
+        let mut empty = Accumulator::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 5.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_merge() {
+        let mut h = Histogram::new();
+        for x in 0..1000u64 {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!(h.quantile_bound(0.5) >= 499);
+        assert!(h.quantile_bound(1.0) >= 999);
+        assert_eq!(h.quantile_bound(0.0), 1); // first nonempty bucket bound
+
+        let mut h2 = Histogram::new();
+        h2.record(5000);
+        h.merge(&h2);
+        assert_eq!(h.count(), 1001);
+        assert_eq!(h.max(), 5000);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_bound(0.99), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn warmup_gate() {
+        let w = Warmup::new(100);
+        assert!(!w.open(99));
+        assert!(w.open(100));
+        assert!(w.open(1000));
+    }
+
+    #[test]
+    fn throughput_meter_ignores_warmup_and_computes_rate() {
+        let mut m = ThroughputMeter::new(4, Warmup::new(100));
+        m.record(50, 1000); // discarded
+        assert_eq!(m.flits(), 0);
+        m.record(100, 40);
+        m.record(200, 40);
+        assert_eq!(m.flits(), 80);
+        // span = 200-100 = 100 cycles, 4 nodes -> 80/(100*4) = 0.2
+        assert!((m.rate(200) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_meter_empty_rate_zero() {
+        let m = ThroughputMeter::new(4, Warmup::new(0));
+        assert_eq!(m.rate(1000), 0.0);
+    }
+
+    #[test]
+    fn series_samples_at_interval() {
+        let mut s = Series::new(10);
+        let mut recorded = 0;
+        for now in 0..100 {
+            if s.offer(now, now as f64) {
+                recorded += 1;
+            }
+        }
+        assert_eq!(recorded, 10);
+        assert_eq!(s.len(), 10);
+        let pts = s.points();
+        assert_eq!(pts[0], (0, 0.0));
+        assert_eq!(pts[1].0, 10);
+        assert!(pts.windows(2).all(|w| w[1].0 - w[0].0 == 10));
+    }
+
+    #[test]
+    fn series_handles_sparse_offers() {
+        let mut s = Series::new(10);
+        assert!(s.offer(0, 1.0));
+        // Nothing offered for a long gap; the next offer records once and
+        // re-anchors (no burst of catch-up samples).
+        assert!(s.offer(55, 2.0));
+        assert!(!s.offer(56, 3.0));
+        assert!(!s.offer(64, 4.0));
+        assert!(s.offer(65, 5.0));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn series_zero_interval_rejected() {
+        let _ = Series::new(0);
+    }
+}

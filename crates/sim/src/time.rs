@@ -1,0 +1,68 @@
+//! Simulation time.
+//!
+//! All wavesim models advance in units of the *base clock* of the wormhole
+//! core (switch `S0`). Wave-pipelined resources that run at a multiple of
+//! the base clock are expressed through bandwidth multipliers rather than a
+//! second clock domain, matching how the ICPP'96 paper reduces its Spice
+//! results to a single clock-ratio parameter.
+
+/// A point in simulated time, measured in base-clock cycles since reset.
+pub type Cycle = u64;
+
+/// A span of simulated time in base-clock cycles.
+pub type Duration = u64;
+
+/// Ceiling division helper used when converting flit counts moved at a
+/// fractional per-cycle rate into whole cycles.
+///
+/// `cycles_for(flits, num, den)` returns the number of base cycles needed to
+/// move `flits` flits at a rate of `num/den` flits per cycle.
+///
+/// # Panics
+/// Panics if `num` is zero (a zero-bandwidth resource can never complete).
+///
+/// # Examples
+/// ```
+/// // 128 flits at 2 flits/cycle -> 64 cycles
+/// assert_eq!(wavesim_sim::time::cycles_for(128, 2, 1), 64);
+/// // 10 flits at 4/2 = 2 flits/cycle -> 5 cycles
+/// assert_eq!(wavesim_sim::time::cycles_for(10, 4, 2), 5);
+/// // 3 flits at 1/2 flit per cycle -> 6 cycles
+/// assert_eq!(wavesim_sim::time::cycles_for(3, 1, 2), 6);
+/// ```
+#[must_use]
+pub fn cycles_for(flits: u64, num: u64, den: u64) -> Duration {
+    assert!(num > 0, "bandwidth numerator must be positive");
+    // ceil(flits * den / num)
+    let total = flits
+        .checked_mul(den)
+        .expect("flit count * clock denominator overflowed u64");
+    total.div_ceil(num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_rates() {
+        assert_eq!(cycles_for(0, 1, 1), 0);
+        assert_eq!(cycles_for(1, 1, 1), 1);
+        assert_eq!(cycles_for(100, 1, 1), 100);
+        assert_eq!(cycles_for(100, 4, 1), 25);
+    }
+
+    #[test]
+    fn fractional_rates_round_up() {
+        assert_eq!(cycles_for(1, 4, 1), 1);
+        assert_eq!(cycles_for(5, 4, 1), 2);
+        assert_eq!(cycles_for(5, 4, 2), 3);
+        assert_eq!(cycles_for(7, 3, 2), 5); // ceil(14/3)
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth numerator")]
+    fn zero_rate_panics() {
+        let _ = cycles_for(1, 0, 1);
+    }
+}

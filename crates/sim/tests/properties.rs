@@ -1,0 +1,103 @@
+//! Property-based tests of the simulation kernel's contracts.
+
+use proptest::prelude::*;
+use wavesim_sim::stats::{Accumulator, Histogram};
+use wavesim_sim::time::cycles_for;
+use wavesim_sim::EventQueue;
+
+proptest! {
+    /// Popping returns events sorted by time, FIFO within a timestamp,
+    /// regardless of the schedule order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, (t, i));
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e.event);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            let (t1, i1) = w[0];
+            let (t2, i2) = w[1];
+            prop_assert!(t1 < t2 || (t1 == t2 && i1 < i2),
+                "order violated: ({t1},{i1}) before ({t2},{i2})");
+        }
+    }
+
+    /// Interleaved scheduling and popping never reorders already-due work.
+    #[test]
+    fn event_queue_interleaved(ops in proptest::collection::vec((0u64..100, any::<bool>()), 1..100)) {
+        let mut q = EventQueue::new();
+        let mut clock = 0u64;
+        let mut last: Option<u64> = None;
+        for (dt, pop) in ops {
+            if pop {
+                if let Some(e) = q.pop() {
+                    if let Some(prev) = last {
+                        prop_assert!(e.at >= prev);
+                    }
+                    last = Some(e.at);
+                    clock = clock.max(e.at);
+                }
+            } else {
+                q.schedule(clock + dt, ());
+            }
+        }
+    }
+
+    /// `cycles_for` is the exact ceiling of flits·den/num.
+    #[test]
+    fn cycles_for_is_exact_ceiling(flits in 0u64..1_000_000, num in 1u64..64, den in 1u64..64) {
+        let c = cycles_for(flits, num, den);
+        // c cycles at num/den flits per cycle move at least `flits` flits...
+        prop_assert!(c * num >= flits * den);
+        // ...and c-1 cycles do not (when c > 0).
+        if c > 0 {
+            prop_assert!((c - 1) * num < flits * den);
+        }
+    }
+
+    /// Merging accumulators in any split equals accumulating everything.
+    #[test]
+    fn accumulator_merge_invariant(xs in proptest::collection::vec(-1e6f64..1e6, 1..200), split in 0usize..200) {
+        let split = split % xs.len();
+        let mut all = Accumulator::new();
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        for (i, &x) in xs.iter().enumerate() {
+            all.record(x);
+            if i < split { a.record(x) } else { b.record(x) };
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+        prop_assert!((a.variance() - all.variance()).abs() < 1e-3 * (1.0 + all.variance()));
+    }
+
+    /// Histogram quantile bounds bracket the true quantiles and merging
+    /// preserves counts.
+    #[test]
+    fn histogram_quantiles_bracket(xs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        for &q in &[0.5, 0.9, 0.99, 1.0] {
+            let bound = h.quantile_bound(q);
+            let idx = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len()) - 1;
+            prop_assert!(bound >= sorted[idx],
+                "q={q}: bound {bound} below true quantile {}", sorted[idx]);
+        }
+        // Merge with itself doubles the count, same max bucket.
+        let mut h2 = h.clone();
+        h2.merge(&h);
+        prop_assert_eq!(h2.count(), 2 * h.count());
+        prop_assert_eq!(h2.quantile_bound(1.0), h.quantile_bound(1.0));
+    }
+}

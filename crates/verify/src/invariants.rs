@@ -1,0 +1,101 @@
+//! Structural invariant audits for the protocol plane.
+//!
+//! Beyond "nothing freezes" (deadlock) and "everything finishes"
+//! (livelock), the protocols maintain structural invariants the paper's
+//! arguments implicitly rely on. [`audit_wave`] cross-checks them:
+//!
+//! * every `Ready` circuit holds exactly the lanes of its path, and every
+//!   reserved lane is attributable to a live circuit or probe
+//!   (`WaveNetwork::audit`);
+//! * lane census arithmetic closes: reserved lanes = Σ path lengths of
+//!   Ready circuits + Σ reserved prefixes of live probes + lanes of
+//!   circuits mid-teardown (checked only at quiescence, where the third
+//!   term is zero);
+//! * no circuit cache exceeds its register-file capacity.
+
+use wavesim_core::{CircuitStatus, WaveNetwork};
+
+/// Runs every structural audit; returns human-readable violations
+/// (empty = consistent). `quiescent` enables the strict census check.
+#[must_use]
+pub fn audit_wave(net: &WaveNetwork, quiescent: bool) -> Vec<String> {
+    let mut problems = net.audit();
+
+    // Cache capacity.
+    for node in net.topology().nodes() {
+        let c = net.cache(node);
+        if c.len() > c.capacity() {
+            problems.push(format!(
+                "node {node}: cache holds {} > capacity {}",
+                c.len(),
+                c.capacity()
+            ));
+        }
+    }
+
+    if quiescent {
+        let (_, reserved, _) = net.lanes().census();
+        let circuit_lanes: usize = net
+            .circuits()
+            .values()
+            .filter(|c| c.status == CircuitStatus::Ready)
+            .map(|c| c.path.len())
+            .sum();
+        let probe_lanes: usize = net.probes().values().map(|p| p.path.len()).sum();
+        let tearing: usize = net
+            .circuits()
+            .values()
+            .filter(|c| c.status != CircuitStatus::Ready)
+            .count();
+        if tearing == 0 && reserved != circuit_lanes + probe_lanes {
+            problems.push(format!(
+                "lane census mismatch: {reserved} reserved vs {circuit_lanes} circuit + {probe_lanes} probe lanes"
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_core::{ProtocolKind, WaveConfig, WaveNetwork};
+    use wavesim_network::Message;
+    use wavesim_topology::{NodeId, Topology};
+
+    #[test]
+    fn fresh_network_is_consistent() {
+        let net = WaveNetwork::new(Topology::mesh(&[4, 4]), WaveConfig::default());
+        assert!(audit_wave(&net, true).is_empty());
+    }
+
+    #[test]
+    fn network_with_live_circuits_is_consistent() {
+        let mut net = WaveNetwork::new(
+            Topology::mesh(&[5, 5]),
+            WaveConfig {
+                protocol: ProtocolKind::Clrp,
+                cache_capacity: 3,
+                ..WaveConfig::default()
+            },
+        );
+        let mut id = 0;
+        for s in 0..5u32 {
+            for off in [7u32, 11, 13] {
+                net.send(
+                    0,
+                    Message::new(id, NodeId(s), NodeId((s + off) % 25), 24, 0),
+                );
+                id += 1;
+            }
+        }
+        let mut now = 0;
+        while net.busy() && now < 500_000 {
+            net.tick(now);
+            now += 1;
+        }
+        assert!(!net.busy());
+        let problems = audit_wave(&net, true);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Static fault plans for the wave plane (experiment E8).
+//!
+//! The paper highlights that the MB-m probe protocol "is very resilient to
+//! static faults in the network" (§2, citing ref \[12\]). This module draws
+//! deterministic fault sets: each wave lane fails independently with a
+//! configured probability. Faults are returned as `(link, switch)` pairs;
+//! `wavesim-core` applies them with `WaveNetwork::inject_lane_fault`.
+//!
+//! Only the wave plane faults: the wormhole fallback uses deterministic
+//! routing that cannot route around faults, so (as in the paper, where
+//! fault tolerance is a property of PCS, not of the wormhole plane) the
+//! `S0` network is assumed fault-free. DESIGN.md records this scoping.
+
+use wavesim_sim::SimRng;
+use wavesim_topology::{LinkId, Topology};
+
+/// A deterministic set of faulty wave lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Faulty `(link, switch)` lanes; switch is 1-based.
+    pub lanes: Vec<(LinkId, u8)>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { lanes: Vec::new() }
+    }
+
+    /// Each lane of each valid link fails independently with probability
+    /// `rate`, drawn deterministically from `seed`.
+    #[must_use]
+    pub fn random_lanes(topo: &Topology, k: u8, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate is a probability");
+        let mut rng = SimRng::new(seed ^ 0xFA17_FA17);
+        let mut lanes = Vec::new();
+        for link in topo.links() {
+            for s in 1..=k {
+                if rng.chance(rate) {
+                    lanes.push((link, s));
+                }
+            }
+        }
+        Self { lanes }
+    }
+
+    /// Fails every lane (all switches) of `count` whole links — the
+    /// harsher broken-cable model.
+    #[must_use]
+    pub fn random_links(topo: &Topology, k: u8, count: usize, seed: u64) -> Self {
+        let mut links: Vec<LinkId> = topo.links().collect();
+        let mut rng = SimRng::new(seed ^ 0xFA17_0000);
+        rng.shuffle(&mut links);
+        let mut lanes = Vec::new();
+        for link in links.into_iter().take(count) {
+            for s in 1..=k {
+                lanes.push((link, s));
+            }
+        }
+        Self { lanes }
+    }
+
+    /// Number of faulty lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True when no lanes are faulty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::mesh(&[8, 8])
+    }
+
+    #[test]
+    fn zero_rate_is_empty() {
+        let p = FaultPlan::random_lanes(&topo(), 2, 0.0, 1);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn full_rate_faults_everything() {
+        let t = topo();
+        let p = FaultPlan::random_lanes(&t, 2, 1.0, 1);
+        assert_eq!(p.len(), t.links().count() * 2);
+    }
+
+    #[test]
+    fn rate_is_approximated() {
+        let t = topo();
+        let total = t.links().count() * 2;
+        let p = FaultPlan::random_lanes(&t, 2, 0.1, 7);
+        let frac = p.len() as f64 / total as f64;
+        assert!(frac > 0.05 && frac < 0.16, "fault fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let t = topo();
+        let a = FaultPlan::random_lanes(&t, 2, 0.2, 3);
+        let b = FaultPlan::random_lanes(&t, 2, 0.2, 3);
+        let c = FaultPlan::random_lanes(&t, 2, 0.2, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn link_faults_cover_all_switches() {
+        let t = topo();
+        let p = FaultPlan::random_links(&t, 3, 5, 2);
+        assert_eq!(p.len(), 15);
+        // Every faulted link appears exactly 3 times (once per switch).
+        let mut by_link = std::collections::HashMap::new();
+        for (l, _) in &p.lanes {
+            *by_link.entry(*l).or_insert(0) += 1;
+        }
+        assert_eq!(by_link.len(), 5);
+        assert!(by_link.values().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn only_valid_links_are_faulted() {
+        let t = Topology::mesh(&[4, 4]); // mesh has boundary slots
+        let p = FaultPlan::random_lanes(&t, 1, 1.0, 1);
+        for (l, _) in &p.lanes {
+            assert!(t.has_link(*l));
+        }
+    }
+}

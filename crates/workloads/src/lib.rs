@@ -1,0 +1,35 @@
+//! # wavesim-workloads — traffic for wave-switched networks
+//!
+//! Substrate #11: synthetic workload generators standing in for the
+//! application traces the paper's era used (none survive; DESIGN.md
+//! documents the substitution). Four families:
+//!
+//! * [`patterns`] — the classical spatial patterns of the interconnect
+//!   literature (uniform, transpose, bit-reversal, bit-complement,
+//!   hotspot, nearest-neighbour) plus a **hot-pairs** pattern whose
+//!   `locality` knob dials the temporal communication locality that wave
+//!   switching exploits (§1: "in many cases, this locality is not only
+//!   spatial but also temporal");
+//! * [`traffic`] — an open-loop Bernoulli injection process per node with
+//!   configurable offered load and message-length distribution;
+//! * [`carp`] — instruction traces for the Compiler-Aided Routing
+//!   Protocol: timed `ESTABLISH` / `SEND` / `TEARDOWN` op streams shaped
+//!   like the phased communication of stencil and pairwise-exchange
+//!   kernels (the "compiler" of §3.2, modelled as a trace generator);
+//! * [`faults`] — static lane-fault plans for the E8 resilience
+//!   experiment.
+
+#![warn(missing_docs)]
+
+pub mod carp;
+pub mod faults;
+pub mod patterns;
+pub mod reqrep;
+pub mod trace_io;
+pub mod traffic;
+
+pub use carp::{CarpOp, CarpTrace, PairwiseSpec};
+pub use faults::FaultPlan;
+pub use patterns::TrafficPattern;
+pub use reqrep::{ReqRepConfig, ReqRepWorkload};
+pub use traffic::{LengthDist, TrafficConfig, TrafficSource};

@@ -1,0 +1,296 @@
+//! Closed-loop request/reply (DSM) workload.
+//!
+//! The paper's introduction motivates wave switching with
+//! distributed-shared-memory machines, where "messages are directly sent
+//! by the hardware … as a consequence of remote memory accesses or
+//! coherence commands" and "reducing the network hardware latency … is
+//! crucial". The natural workload is *closed-loop*: a node issues a short
+//! **request** to a home node, the home services it, and a longer
+//! **reply** (the cache line / page data) returns; the requester only has
+//! a bounded number of outstanding requests.
+//!
+//! [`ReqRepWorkload`] generates that pattern over the same hot-partner
+//! sets as [`crate::patterns::TrafficPattern::HotPairs`], so open-loop and
+//! closed-loop experiments are comparable. The driving loop lives in
+//! `wavesim-bench::runner::run_request_reply`.
+
+use std::collections::HashMap;
+
+use wavesim_network::Message;
+use wavesim_sim::{Cycle, SimRng};
+use wavesim_topology::{NodeId, Topology};
+
+use crate::patterns::{partners_of, pick_partner};
+
+/// Configuration of the request/reply workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ReqRepConfig {
+    /// Hot home nodes per requester.
+    pub partners: u8,
+    /// Probability a request targets a hot home (vs uniform).
+    pub locality: f64,
+    /// Outstanding requests allowed per node (MSHR-like bound).
+    pub outstanding: u32,
+    /// Request length in flits (address + command).
+    pub req_len: u32,
+    /// Reply length in flits (the data).
+    pub reply_len: u32,
+    /// Cycles the home node takes to service a request.
+    pub service_time: u64,
+    /// Think time before a completed slot issues the next request.
+    pub think_time: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// No new requests after this cycle.
+    pub stop_at: Cycle,
+}
+
+impl Default for ReqRepConfig {
+    fn default() -> Self {
+        Self {
+            partners: 3,
+            locality: 0.8,
+            outstanding: 2,
+            req_len: 4,
+            reply_len: 64,
+            service_time: 20,
+            think_time: 10,
+            seed: 1,
+            stop_at: Cycle::MAX,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingReq {
+    requester: NodeId,
+    issued_at: Cycle,
+}
+
+/// The closed-loop generator plus its in-flight bookkeeping.
+pub struct ReqRepWorkload {
+    topo: Topology,
+    cfg: ReqRepConfig,
+    rng: SimRng,
+    /// Per node: cycle at which each request slot becomes free again
+    /// (slots with a value > now are busy).
+    slots: Vec<Vec<Cycle>>,
+    next_id: u64,
+    /// Outstanding requests by message id.
+    pending: HashMap<u64, PendingReq>,
+    /// Completed round trips: (issued_at, completed_at).
+    completed: Vec<(Cycle, Cycle)>,
+    requests_issued: u64,
+}
+
+impl ReqRepWorkload {
+    /// Builds the workload over `topo`.
+    #[must_use]
+    pub fn new(topo: Topology, cfg: ReqRepConfig) -> Self {
+        assert!(cfg.outstanding >= 1);
+        assert!(cfg.req_len >= 1 && cfg.reply_len >= 1);
+        let n = topo.num_nodes() as usize;
+        Self {
+            rng: SimRng::new(cfg.seed ^ 0xD5_0001),
+            slots: vec![vec![0; cfg.outstanding as usize]; n],
+            next_id: 0,
+            pending: HashMap::new(),
+            completed: Vec::new(),
+            requests_issued: 0,
+            topo,
+            cfg,
+        }
+    }
+
+    fn draw_home(&mut self, src: NodeId) -> Option<NodeId> {
+        let n = self.topo.num_nodes();
+        if n < 2 {
+            return None;
+        }
+        if self.rng.chance(self.cfg.locality) {
+            let ps = partners_of(&self.topo, src, self.cfg.partners, self.cfg.seed);
+            if !ps.is_empty() {
+                return Some(ps[pick_partner(&mut self.rng, ps.len())]);
+            }
+        }
+        let mut d = NodeId(self.rng.below(u64::from(n)) as u32);
+        while d == src {
+            d = NodeId(self.rng.below(u64::from(n)) as u32);
+        }
+        Some(d)
+    }
+
+    /// Requests to inject at cycle `now` (call once per cycle with
+    /// non-decreasing `now`).
+    pub fn poll(&mut self, now: Cycle) -> Vec<Message> {
+        let mut out = Vec::new();
+        if now >= self.cfg.stop_at {
+            return out;
+        }
+        for node in 0..self.slots.len() {
+            for slot in 0..self.slots[node].len() {
+                if self.slots[node][slot] > now {
+                    continue;
+                }
+                let src = NodeId(node as u32);
+                let Some(home) = self.draw_home(src) else {
+                    continue;
+                };
+                let id = self.next_id;
+                self.next_id += 1;
+                self.requests_issued += 1;
+                self.pending.insert(
+                    id,
+                    PendingReq {
+                        requester: src,
+                        issued_at: now,
+                    },
+                );
+                // Slot busy until the reply completes (on_delivered frees it).
+                self.slots[node][slot] = Cycle::MAX;
+                out.push(Message::new(id, src, home, self.cfg.req_len, now));
+            }
+        }
+        out
+    }
+
+    /// Feeds a delivery back into the workload. A delivered **request**
+    /// yields `Some((send_at, reply))` — the home node's reply, available
+    /// after the service time. A delivered **reply** completes the round
+    /// trip, records it, and frees the requester's slot after the think
+    /// time.
+    pub fn on_delivered(
+        &mut self,
+        msg_id: u64,
+        dest: NodeId,
+        now: Cycle,
+    ) -> Option<(Cycle, Message)> {
+        const REPLY_BIT: u64 = 1 << 63;
+        let entry = self
+            .pending
+            .remove(&msg_id)
+            .expect("delivery of a message this workload never issued");
+        if msg_id & REPLY_BIT == 0 {
+            // A request reached its home: emit the reply after service.
+            let reply_id = msg_id | REPLY_BIT;
+            let send_at = now + self.cfg.service_time;
+            self.pending.insert(reply_id, entry);
+            Some((
+                send_at,
+                Message::new(reply_id, dest, entry.requester, self.cfg.reply_len, send_at),
+            ))
+        } else {
+            // The reply is home: round trip complete.
+            debug_assert_eq!(entry.requester, dest, "reply delivered to requester");
+            self.completed.push((entry.issued_at, now));
+            let node = entry.requester.0 as usize;
+            let slot = self.slots[node]
+                .iter()
+                .position(|&t| t == Cycle::MAX)
+                .expect("requester has a busy slot to free");
+            self.slots[node][slot] = now + self.cfg.think_time;
+            None
+        }
+    }
+
+    /// Completed round trips so far: `(issued_at, completed_at)` pairs.
+    #[must_use]
+    pub fn completed(&self) -> &[(Cycle, Cycle)] {
+        &self.completed
+    }
+
+    /// Requests issued so far.
+    #[must_use]
+    pub fn requests_issued(&self) -> u64 {
+        self.requests_issued
+    }
+
+    /// Requests (or replies) still in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::mesh(&[4, 4])
+    }
+
+    fn wl(outstanding: u32) -> ReqRepWorkload {
+        ReqRepWorkload::new(
+            topo(),
+            ReqRepConfig {
+                outstanding,
+                stop_at: 1_000,
+                ..ReqRepConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn issues_up_to_outstanding_per_node() {
+        let mut w = wl(2);
+        let reqs = w.poll(0);
+        assert_eq!(reqs.len(), 16 * 2, "every node fills its two slots");
+        // No further requests until replies complete.
+        assert!(w.poll(1).is_empty());
+        assert_eq!(w.in_flight(), 32);
+    }
+
+    #[test]
+    fn request_reply_round_trip_bookkeeping() {
+        let mut w = wl(1);
+        let reqs = w.poll(0);
+        let r = reqs[0];
+        // The request arrives at its home at t=50.
+        let (send_at, reply) = w.on_delivered(r.id.0, r.dest, 50).expect("a reply");
+        assert_eq!(send_at, 50 + 20, "service time honoured");
+        assert_eq!(reply.src, r.dest);
+        assert_eq!(reply.dest, r.src);
+        assert_eq!(reply.len_flits, 64);
+        assert!(reply.id.0 & (1 << 63) != 0);
+        // The reply arrives back at t=100: round trip recorded.
+        assert!(w.on_delivered(reply.id.0, reply.dest, 100).is_none());
+        assert_eq!(w.completed(), &[(0, 100)]);
+        // The slot reopens after think time (10): nothing at 105, new
+        // request at 110.
+        let none_yet: Vec<_> = w.poll(105).into_iter().filter(|m| m.src == r.src).collect();
+        assert!(none_yet.is_empty());
+        let again: Vec<_> = w.poll(110).into_iter().filter(|m| m.src == r.src).collect();
+        assert_eq!(again.len(), 1);
+    }
+
+    #[test]
+    fn locality_targets_partner_homes() {
+        let cfg = ReqRepConfig {
+            locality: 1.0,
+            partners: 2,
+            stop_at: 10,
+            ..ReqRepConfig::default()
+        };
+        let t = topo();
+        let mut w = ReqRepWorkload::new(t.clone(), cfg);
+        for m in w.poll(0) {
+            let ps = partners_of(&t, m.src, 2, cfg.seed);
+            assert!(ps.contains(&m.dest), "{} not a home of {}", m.dest, m.src);
+        }
+    }
+
+    #[test]
+    fn stop_at_halts_generation() {
+        let mut w = wl(1);
+        assert!(!w.poll(999).is_empty() || w.in_flight() > 0);
+        let mut w2 = ReqRepWorkload::new(
+            topo(),
+            ReqRepConfig {
+                stop_at: 0,
+                ..ReqRepConfig::default()
+            },
+        );
+        assert!(w2.poll(0).is_empty());
+    }
+}

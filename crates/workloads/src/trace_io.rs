@@ -1,0 +1,131 @@
+//! Trace persistence: save/load CARP instruction traces and message
+//! scripts as JSON, so experiment inputs are shareable, versionable
+//! artifacts (and so a future real compiler could emit them directly —
+//! the interface §3.2 defines is exactly this instruction stream).
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+use wavesim_network::Message;
+use wavesim_sim::Cycle;
+
+use crate::carp::{CarpOp, CarpTrace};
+
+/// Versioned on-disk form of a CARP trace.
+#[derive(Debug, Serialize, Deserialize)]
+struct TraceFile {
+    /// Format version (bump on breaking change).
+    version: u32,
+    /// The instruction stream.
+    ops: Vec<(Cycle, CarpOp)>,
+}
+
+const VERSION: u32 = 1;
+
+/// Serializes `trace` as pretty JSON.
+///
+/// # Errors
+/// Propagates I/O and serialization errors.
+pub fn save_trace<W: Write>(trace: &CarpTrace, writer: W) -> Result<(), serde_json::Error> {
+    let file = TraceFile {
+        version: VERSION,
+        ops: trace.ops.clone(),
+    };
+    serde_json::to_writer_pretty(writer, &file)
+}
+
+/// Deserializes a trace saved by [`save_trace`].
+///
+/// # Errors
+/// Fails on malformed JSON, an unknown version, or a time-unsorted stream.
+pub fn load_trace<R: Read>(reader: R) -> Result<CarpTrace, String> {
+    let file: TraceFile =
+        serde_json::from_reader(reader).map_err(|e| format!("malformed trace: {e}"))?;
+    if file.version != VERSION {
+        return Err(format!(
+            "unsupported trace version {} (expected {VERSION})",
+            file.version
+        ));
+    }
+    if !file.ops.windows(2).all(|w| w[0].0 <= w[1].0) {
+        return Err("trace ops are not time-sorted".into());
+    }
+    Ok(CarpTrace { ops: file.ops })
+}
+
+/// Serializes a timed message script (as used by scripted experiments).
+///
+/// # Errors
+/// Propagates I/O and serialization errors.
+pub fn save_script<W: Write>(
+    script: &[(Cycle, Message)],
+    writer: W,
+) -> Result<(), serde_json::Error> {
+    serde_json::to_writer_pretty(writer, script)
+}
+
+/// Deserializes a message script saved by [`save_script`].
+///
+/// # Errors
+/// Fails on malformed JSON or a time-unsorted script.
+pub fn load_script<R: Read>(reader: R) -> Result<Vec<(Cycle, Message)>, String> {
+    let script: Vec<(Cycle, Message)> =
+        serde_json::from_reader(reader).map_err(|e| format!("malformed script: {e}"))?;
+    if !script.windows(2).all(|w| w[0].0 <= w[1].0) {
+        return Err("script is not time-sorted".into());
+    }
+    Ok(script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_topology::{NodeId, Topology};
+
+    #[test]
+    fn trace_roundtrip() {
+        let topo = Topology::mesh(&[4, 4]);
+        let trace = CarpTrace::stencil(&topo, 2, 3, 32, 1000, 100);
+        let mut buf = Vec::new();
+        save_trace(&trace, &mut buf).unwrap();
+        let loaded = load_trace(buf.as_slice()).unwrap();
+        assert_eq!(loaded.ops, trace.ops);
+    }
+
+    #[test]
+    fn script_roundtrip() {
+        let script = vec![
+            (0u64, Message::new(1, NodeId(0), NodeId(5), 16, 0)),
+            (10, Message::new(2, NodeId(3), NodeId(7), 64, 10)),
+        ];
+        let mut buf = Vec::new();
+        save_script(&script, &mut buf).unwrap();
+        let loaded = load_script(buf.as_slice()).unwrap();
+        assert_eq!(loaded, script);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let json = r#"{"version": 99, "ops": []}"#;
+        let err = load_trace(json.as_bytes()).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn unsorted_trace_rejected() {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut trace = CarpTrace::stencil(&topo, 1, 2, 8, 100, 10);
+        let last = trace.ops.len() - 1;
+        trace.ops.swap(0, last);
+        let mut buf = Vec::new();
+        save_trace(&trace, &mut buf).unwrap();
+        let err = load_trace(buf.as_slice()).unwrap_err();
+        assert!(err.contains("sorted"), "{err}");
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(load_trace(&b"not json"[..]).is_err());
+        assert!(load_script(&b"{}"[..]).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! # wavesim — wave switching, reproduced
+//!
+//! Umbrella crate for the reproduction of *“Deadlock- and Livelock-Free
+//! Routing Protocols for Wave Switching”* (Duato, López, Yalamanchili,
+//! IPPS 1997). Re-exports every subsystem crate under one roof so examples
+//! and downstream users can depend on a single package.
+//!
+//! * [`sim`] — discrete-event simulation kernel;
+//! * [`topology`] — k-ary n-cube meshes/tori and hypercubes plus
+//!   deadlock-free wormhole routing functions;
+//! * [`network`] — flit-level wormhole fabric with virtual channels and
+//!   credit-based flow control;
+//! * [`core`] — the paper's contribution: the hybrid wave router, PCS
+//!   control unit, MB-m probe protocol, circuit cache, and the CLRP and
+//!   CARP routing protocols;
+//! * [`workloads`] — synthetic traffic, locality generators, CARP traces;
+//! * [`verify`] — deadlock/livelock detectors and invariant audits.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use wavesim_core as core;
+pub use wavesim_network as network;
+pub use wavesim_sim as sim;
+pub use wavesim_topology as topology;
+pub use wavesim_verify as verify;
+pub use wavesim_workloads as workloads;

@@ -1,0 +1,217 @@
+//! Edge cases of circuit management: release-request races, windowing
+//! effects, initial-switch staggering, and queue-drain semantics.
+
+use wavesim::core::{ProtocolKind, WaveConfig, WaveNetwork};
+use wavesim::network::message::DeliveryMode;
+use wavesim::network::Message;
+use wavesim::topology::{Coords, NodeId, Topology};
+
+fn run(net: &mut WaveNetwork, from: u64, max: u64) -> u64 {
+    let mut now = from;
+    while net.busy() && now < max {
+        net.tick(now);
+        now += 1;
+    }
+    assert!(!net.busy(), "network did not drain by {max}");
+    now
+}
+
+/// Two probes simultaneously force-request the *same* victim circuit from
+/// different nodes: the paper's §4 discard rule ("the second control flit
+/// will be discarded") must apply, and both probes must still complete.
+#[test]
+fn concurrent_release_requests_one_discarded_both_probes_succeed() {
+    let topo = Topology::mesh(&[6]);
+    let mut net = WaveNetwork::new(
+        topo.clone(),
+        WaveConfig {
+            protocol: ProtocolKind::Clrp,
+            k: 1,
+            misroutes: 0,
+            ..WaveConfig::default()
+        },
+    );
+    // Victim A spans the whole line 0 -> 5.
+    net.send(0, Message::new(1, NodeId(0), NodeId(5), 16, 0));
+    let t = run(&mut net, 0, 50_000);
+    // B (1 -> 2) and C (3 -> 4) both need lanes of A, at different nodes,
+    // in the same cycle.
+    net.send(t, Message::new(2, NodeId(1), NodeId(2), 16, t));
+    net.send(t, Message::new(3, NodeId(3), NodeId(4), 16, t));
+    run(&mut net, t, t + 100_000);
+    let s = net.stats();
+    assert_eq!(net.drain_deliveries().len(), 3);
+    assert!(
+        s.forced_remote_releases >= 2,
+        "both probes had to request the release: {s:?}"
+    );
+    assert!(
+        s.release_requests_discarded >= 1,
+        "the second request for the same circuit is discarded: {s:?}"
+    );
+    assert!(net.audit().is_empty(), "{:?}", net.audit());
+}
+
+/// A small window throttles long-haul circuit transfers (the §2 windowing
+/// protocol); a window sized past bandwidth × RTT restores full rate.
+#[test]
+fn window_size_gates_circuit_throughput() {
+    let latency_with_window = |window: u32| {
+        let topo = Topology::mesh(&[8, 8]);
+        let mut net = WaveNetwork::new(
+            topo.clone(),
+            WaveConfig {
+                window,
+                ..WaveConfig::default()
+            },
+        );
+        let src = topo.node(Coords::new(&[0, 0]));
+        let dest = topo.node(Coords::new(&[7, 7]));
+        net.send(0, Message::new(1, src, dest, 512, 0));
+        run(&mut net, 0, 200_000);
+        let ds = net.drain_deliveries();
+        assert_eq!(ds[0].mode, DeliveryMode::Circuit);
+        ds[0].latency()
+    };
+    let tight = latency_with_window(4);
+    let ample = latency_with_window(256);
+    assert!(
+        tight > ample * 2,
+        "a 4-flit window over 14 hops must throttle hard: {tight} vs {ample}"
+    );
+}
+
+/// Neighbouring nodes start their searches on different wave switches —
+/// the paper's `1 + (x + y) mod k` staggering rule.
+#[test]
+fn initial_switch_staggering_follows_coordinate_sum() {
+    let topo = Topology::mesh(&[4, 4]);
+    let mut net = WaveNetwork::new(
+        topo.clone(),
+        WaveConfig {
+            k: 2,
+            ..WaveConfig::default()
+        },
+    );
+    // Two neighbouring sources establish circuits; their cached entries
+    // record different initial switches.
+    let a = topo.node(Coords::new(&[0, 0])); // sum 0 -> switch 1
+    let b = topo.node(Coords::new(&[1, 0])); // sum 1 -> switch 2
+    net.send(
+        0,
+        Message::new(1, a, topo.node(Coords::new(&[3, 3])), 16, 0),
+    );
+    net.send(
+        0,
+        Message::new(2, b, topo.node(Coords::new(&[3, 2])), 16, 0),
+    );
+    run(&mut net, 0, 50_000);
+    let ea = net.cache(a).get(topo.node(Coords::new(&[3, 3]))).unwrap();
+    let eb = net.cache(b).get(topo.node(Coords::new(&[3, 2]))).unwrap();
+    assert_eq!(ea.initial_switch, 1);
+    assert_eq!(eb.initial_switch, 2);
+}
+
+/// When a remote force-release hits a circuit with queued messages, the
+/// queue drains to wormhole and every message still arrives.
+#[test]
+fn forced_release_reroutes_queued_messages() {
+    let topo = Topology::mesh(&[6]);
+    let mut net = WaveNetwork::new(
+        topo.clone(),
+        WaveConfig {
+            protocol: ProtocolKind::Clrp,
+            k: 1,
+            misroutes: 0,
+            ..WaveConfig::default()
+        },
+    );
+    // A long circuit with a deep queue of long messages.
+    for i in 0..6u64 {
+        net.send(0, Message::new(i, NodeId(0), NodeId(5), 256, 0));
+    }
+    // Give establishment a moment, then force from the middle while the
+    // queue is still draining.
+    let mut now = 0;
+    for _ in 0..60 {
+        net.tick(now);
+        now += 1;
+    }
+    net.send(now, Message::new(100, NodeId(2), NodeId(3), 16, now));
+    run(&mut net, now, now + 500_000);
+    let ds = net.drain_deliveries();
+    assert_eq!(ds.len(), 7, "all messages incl. queued ones delivered");
+    let s = net.stats();
+    assert!(
+        s.wormhole_fallbacks > 0,
+        "queued messages went wormhole: {s:?}"
+    );
+    assert!(net.audit().is_empty());
+}
+
+/// CLRP eviction of an idle circuit does not disturb an unrelated circuit
+/// sharing no lanes.
+#[test]
+fn eviction_is_surgical() {
+    let topo = Topology::mesh(&[4, 4]);
+    let mut net = WaveNetwork::new(
+        topo.clone(),
+        WaveConfig {
+            protocol: ProtocolKind::Clrp,
+            cache_capacity: 1,
+            ..WaveConfig::default()
+        },
+    );
+    let a = topo.node(Coords::new(&[0, 0]));
+    let b = topo.node(Coords::new(&[3, 3]));
+    // Unrelated circuit from another source.
+    net.send(
+        0,
+        Message::new(1, b, topo.node(Coords::new(&[0, 3])), 16, 0),
+    );
+    let t = run(&mut net, 0, 50_000);
+    let other_circuit = net
+        .cache(b)
+        .get(topo.node(Coords::new(&[0, 3])))
+        .unwrap()
+        .circuit;
+    // Source `a` cycles through two destinations, evicting its own entry.
+    net.send(
+        t,
+        Message::new(2, a, topo.node(Coords::new(&[2, 0])), 16, t),
+    );
+    let t = run(&mut net, t, t + 50_000);
+    net.send(
+        t,
+        Message::new(3, a, topo.node(Coords::new(&[0, 2])), 16, t),
+    );
+    run(&mut net, t, t + 50_000);
+    assert_eq!(net.stats().cache_evictions, 1);
+    // b's circuit is untouched.
+    let still = net.cache(b).get(topo.node(Coords::new(&[0, 3]))).unwrap();
+    assert_eq!(still.circuit, other_circuit);
+    assert!(still.ack_returned);
+    assert_eq!(net.drain_deliveries().len(), 3);
+}
+
+/// Messages queued while a circuit is establishing ride it once the ack
+/// arrives (no wormhole detour).
+#[test]
+fn messages_queued_behind_probe_use_the_circuit() {
+    let topo = Topology::mesh(&[8, 8]);
+    let mut net = WaveNetwork::new(topo.clone(), WaveConfig::default());
+    let src = topo.node(Coords::new(&[0, 0]));
+    let dest = topo.node(Coords::new(&[7, 0]));
+    // Burst faster than the setup round-trip.
+    for i in 0..5u64 {
+        net.send(i, Message::new(i, src, dest, 32, i));
+    }
+    run(&mut net, 5, 100_000);
+    let ds = net.drain_deliveries();
+    assert_eq!(ds.len(), 5);
+    assert!(
+        ds.iter().all(|d| d.mode == DeliveryMode::Circuit),
+        "queued messages must use the newly established circuit"
+    );
+    assert_eq!(net.stats().probes_sent, 1);
+}

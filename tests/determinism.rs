@@ -1,0 +1,97 @@
+//! Reproducibility: a simulation is a pure function of its configuration
+//! and seed. EXPERIMENTS.md's numbers are only meaningful because of
+//! this property, so it gets its own integration suite.
+
+use wavesim::core::{ProtocolKind, WaveConfig, WaveNetwork};
+use wavesim::topology::Topology;
+use wavesim::workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
+use wavesim_bench::{run_open_loop, RunSpec};
+
+fn full_run(seed: u64, protocol: ProtocolKind) -> Vec<(u64, u64)> {
+    let topo = Topology::mesh(&[5, 5]);
+    let mut net = WaveNetwork::new(
+        topo.clone(),
+        WaveConfig {
+            protocol,
+            cache_capacity: 3,
+            ..WaveConfig::default()
+        },
+    );
+    let mut src = TrafficSource::new(
+        topo,
+        TrafficConfig {
+            load: 0.3,
+            pattern: TrafficPattern::HotPairs {
+                partners: 2,
+                locality: 0.6,
+            },
+            len: LengthDist::Bimodal {
+                short: 8,
+                long: 96,
+                frac_long: 0.3,
+            },
+            seed,
+            stop_at: 4_000,
+        },
+    );
+    // Collect the delivery schedule directly (ids + times).
+    let mut out = Vec::new();
+    let mut now = 0;
+    loop {
+        for m in src.poll(now) {
+            net.send(now, m);
+        }
+        if now >= 4_000 && !net.busy() {
+            break;
+        }
+        net.tick(now);
+        for d in net.drain_deliveries() {
+            out.push((d.msg.id.0, d.delivered_at));
+        }
+        now += 1;
+        assert!(now < 1_000_000);
+    }
+    out
+}
+
+#[test]
+fn identical_seeds_identical_schedules() {
+    for protocol in [ProtocolKind::Clrp, ProtocolKind::WormholeOnly] {
+        let a = full_run(7, protocol);
+        let b = full_run(7, protocol);
+        assert_eq!(a, b, "{protocol:?} replay diverged");
+        assert!(!a.is_empty());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = full_run(7, ProtocolKind::Clrp);
+    let b = full_run(8, ProtocolKind::Clrp);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn runner_results_are_reproducible() {
+    let go = || {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut net = WaveNetwork::new(topo.clone(), WaveConfig::default());
+        let mut src = TrafficSource::new(
+            topo,
+            TrafficConfig {
+                load: 0.2,
+                seed: 99,
+                ..TrafficConfig::default()
+            },
+        );
+        let r = run_open_loop(&mut net, &mut src, RunSpec::standard(500, 2_000));
+        (
+            r.sent,
+            r.delivered,
+            r.avg_latency.to_bits(),
+            r.throughput.to_bits(),
+            r.wave.probe_hops,
+        )
+    };
+    assert_eq!(go(), go(), "runner must be bit-for-bit reproducible");
+}
