@@ -2,88 +2,98 @@
 //! throughput, wormhole fabric cycles/second, and probe establishment
 //! cost. These guard the simulator's own performance (a slow simulator
 //! caps the experiment scales everything else can afford).
+//!
+//! Plain `harness = false` timing mains (the offline build has no bench
+//! framework): each case reports min/median wall-clock over a fixed
+//! number of iterations.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
 use wavesim_core::{ProtocolKind, WaveConfig, WaveNetwork};
 use wavesim_network::{Message, WormholeConfig, WormholeFabric};
 use wavesim_sim::EventQueue;
 use wavesim_topology::{NodeId, Topology};
 
-fn event_queue_throughput(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    q.schedule(i.wrapping_mul(2_654_435_761) % 65_536, i);
-                }
-                let mut sum = 0u64;
-                while let Some(e) = q.pop() {
-                    sum = sum.wrapping_add(e.event);
-                }
-                sum
-            },
-            BatchSize::SmallInput,
-        );
-    });
+/// Times `iters` runs of `f` (with a fresh input from `setup` each run,
+/// setup cost excluded) and prints min/median.
+fn bench<T, R>(name: &str, iters: usize, mut setup: impl FnMut() -> T, mut f: impl FnMut(T) -> R) {
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(f(input));
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    println!(
+        "{name:<44} min {:>10.3} ms   median {:>10.3} ms   ({iters} iters)",
+        samples[0] as f64 / 1e6,
+        samples[samples.len() / 2] as f64 / 1e6,
+    );
 }
 
-fn fabric_cycles(c: &mut Criterion) {
-    c.bench_function("wormhole_fabric_8x8_1k_cycles_loaded", |b| {
-        b.iter_batched(
-            || {
-                let mut f = WormholeFabric::new(Topology::mesh(&[8, 8]), WormholeConfig::default());
-                for n in 0..64u32 {
-                    f.inject(Message::new(
-                        u64::from(n),
-                        NodeId(n),
-                        NodeId(63 - n.min(62)),
-                        64,
-                        0,
-                    ));
-                }
-                f
-            },
-            |mut f| {
-                for now in 0..1_000 {
-                    f.tick(now);
-                }
-                f.stats().flit_hops
-            },
-            BatchSize::SmallInput,
-        );
-    });
-}
+fn main() {
+    bench(
+        "event_queue_push_pop_10k",
+        20,
+        EventQueue::<u64>::new,
+        |mut q| {
+            for i in 0..10_000u64 {
+                q.schedule(i.wrapping_mul(2_654_435_761) % 65_536, i);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.event);
+            }
+            sum
+        },
+    );
 
-fn circuit_setup(c: &mut Criterion) {
-    c.bench_function("clrp_setup_and_transfer_8x8", |b| {
-        b.iter_batched(
-            || {
-                WaveNetwork::new(
-                    Topology::mesh(&[8, 8]),
-                    WaveConfig {
-                        protocol: ProtocolKind::Clrp,
-                        ..WaveConfig::default()
-                    },
-                )
-            },
-            |mut net| {
-                net.send(0, Message::new(1, NodeId(0), NodeId(63), 128, 0));
-                let mut now = 0;
-                while net.busy() && now < 10_000 {
-                    net.tick(now);
-                    now += 1;
-                }
-                now
-            },
-            BatchSize::SmallInput,
-        );
-    });
-}
+    bench(
+        "wormhole_fabric_8x8_1k_cycles_loaded",
+        20,
+        || {
+            let mut f = WormholeFabric::new(Topology::mesh(&[8, 8]), WormholeConfig::default());
+            for n in 0..64u32 {
+                f.inject(Message::new(
+                    u64::from(n),
+                    NodeId(n),
+                    NodeId(63 - n.min(62)),
+                    64,
+                    0,
+                ));
+            }
+            f
+        },
+        |mut f| {
+            for now in 0..1_000 {
+                f.tick(now);
+            }
+            f.stats().flit_hops
+        },
+    );
 
-criterion_group! {
-    name = engine;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = event_queue_throughput, fabric_cycles, circuit_setup
+    bench(
+        "clrp_setup_and_transfer_8x8",
+        20,
+        || {
+            WaveNetwork::new(
+                Topology::mesh(&[8, 8]),
+                WaveConfig {
+                    protocol: ProtocolKind::Clrp,
+                    ..WaveConfig::default()
+                },
+            )
+        },
+        |mut net| {
+            net.send(0, Message::new(1, NodeId(0), NodeId(63), 128, 0));
+            let mut now = 0;
+            while net.busy() && now < 10_000 {
+                net.tick(now);
+                now += 1;
+            }
+            now
+        },
+    );
 }
-criterion_main!(engine);

@@ -1,74 +1,45 @@
-//! Criterion benches, one group per paper experiment (E1–E10).
+//! Benches, one per paper experiment (E1–E13).
 //!
 //! Each bench (a) regenerates the experiment's table at reduced scale and
 //! prints it to stderr — so `cargo bench` reproduces every evaluation
 //! series — and (b) measures the wall-clock cost of one representative
-//! simulation, which is how we track simulator performance regressions.
+//! reduced-scale simulation, which is how we track simulator performance
+//! regressions. Plain `harness = false` timing (the offline build has no
+//! bench framework).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use wavesim_bench::{experiments, Scale};
 
-fn bench_experiment(c: &mut Criterion, id: &'static str) {
+fn bench_experiment(id: &str) {
     // Regenerate the series once per `cargo bench` invocation.
     for table in experiments::run_by_id(id, Scale::small()) {
         eprintln!("{}", table.render());
     }
-    // Criterion measures a single reduced-scale regeneration.
+    // Measure a single reduced-scale regeneration.
     let mut tiny = Scale::small();
     tiny.measure = 1_000;
     tiny.warmup = 200;
     tiny.sweep_points = 2;
-    c.bench_function(id, |b| {
-        b.iter(|| {
+    let iters = 10;
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
             let tables = experiments::run_by_id(id, tiny);
-            std::hint::black_box(tables.len())
-        });
-    });
+            std::hint::black_box(tables.len());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    println!(
+        "{id:<6} min {:>10.3} ms   median {:>10.3} ms   ({iters} iters)",
+        samples[0] as f64 / 1e6,
+        samples[samples.len() / 2] as f64 / 1e6,
+    );
 }
 
-fn e1(c: &mut Criterion) {
-    bench_experiment(c, "e1");
+fn main() {
+    for id in experiments::all_ids() {
+        bench_experiment(id);
+    }
 }
-fn e2(c: &mut Criterion) {
-    bench_experiment(c, "e2");
-}
-fn e3(c: &mut Criterion) {
-    bench_experiment(c, "e3");
-}
-fn e4(c: &mut Criterion) {
-    bench_experiment(c, "e4");
-}
-fn e5(c: &mut Criterion) {
-    bench_experiment(c, "e5");
-}
-fn e6(c: &mut Criterion) {
-    bench_experiment(c, "e6");
-}
-fn e7(c: &mut Criterion) {
-    bench_experiment(c, "e7");
-}
-fn e8(c: &mut Criterion) {
-    bench_experiment(c, "e8");
-}
-fn e9(c: &mut Criterion) {
-    bench_experiment(c, "e9");
-}
-fn e10(c: &mut Criterion) {
-    bench_experiment(c, "e10");
-}
-fn e11(c: &mut Criterion) {
-    bench_experiment(c, "e11");
-}
-fn e12(c: &mut Criterion) {
-    bench_experiment(c, "e12");
-}
-fn e13(c: &mut Criterion) {
-    bench_experiment(c, "e13");
-}
-
-criterion_group! {
-    name = paper_experiments;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13
-}
-criterion_main!(paper_experiments);

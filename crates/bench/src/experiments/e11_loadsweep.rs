@@ -12,13 +12,21 @@
 use wavesim_core::{ProtocolKind, WaveConfig};
 use wavesim_workloads::{LengthDist, TrafficPattern};
 
-use crate::runner::{run_open_loop, RunSpec};
+use crate::runner::{run_open_loop, ParallelSweep, RunSpec};
 use crate::table::{f2, f3};
 use crate::{Scale, Table};
 
-/// Runs E11.
+/// Runs E11 serially (equivalent to [`run_with_jobs`] with one job).
 #[must_use]
 pub fn run(scale: Scale) -> Table {
+    run_with_jobs(scale, 1)
+}
+
+/// Runs E11, fanning the load points out over `jobs` worker threads.
+/// Every point seeds its own network and traffic source, so the table is
+/// byte-identical for any job count.
+#[must_use]
+pub fn run_with_jobs(scale: Scale, jobs: usize) -> Table {
     let mut t = Table::new(
         "E11",
         "latency and accepted throughput vs offered load (the saturation curve)",
@@ -37,7 +45,7 @@ pub fn run(scale: Scale) -> Table {
         locality: 0.7,
     };
 
-    for &load in &loads {
+    let rows = ParallelSweep::new(jobs).run(&loads, |_, &load| {
         let go = |protocol: ProtocolKind| {
             let cfg = WaveConfig {
                 protocol,
@@ -55,13 +63,16 @@ pub fn run(scale: Scale) -> Table {
         };
         let wh = go(ProtocolKind::WormholeOnly);
         let wv = go(ProtocolKind::Clrp);
-        t.push(vec![
+        vec![
             f2(load),
             f2(wh.avg_latency),
             f3(wh.throughput),
             f2(wv.avg_latency),
             f3(wv.throughput),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }

@@ -67,12 +67,24 @@ pub fn traffic(
     )
 }
 
-/// Runs one experiment by id (`"e1"`..`"e10"`). Returns its tables.
+/// Runs one experiment by id (`"e1"`..`"e13"`). Returns its tables.
 ///
 /// # Panics
 /// Panics on an unknown id.
 #[must_use]
 pub fn run_by_id(id: &str, scale: Scale) -> Vec<Table> {
+    run_by_id_with_jobs(id, scale, 1)
+}
+
+/// Like [`run_by_id`], but fans sweep points out over `jobs` worker
+/// threads where the experiment supports it (currently the E11 load
+/// sweep). Results are merged in point order and are byte-identical for
+/// any job count.
+///
+/// # Panics
+/// Panics on an unknown id.
+#[must_use]
+pub fn run_by_id_with_jobs(id: &str, scale: Scale, jobs: usize) -> Vec<Table> {
     match id {
         "e1" => vec![e1_deadlock::run(scale)],
         "e2" => vec![e2_livelock::run(scale)],
@@ -84,7 +96,7 @@ pub fn run_by_id(id: &str, scale: Scale) -> Vec<Table> {
         "e8" => vec![e8_faults::run(scale)],
         "e9" => vec![e9_arch::run(scale)],
         "e10" => vec![e10_variants::run(scale)],
-        "e11" => vec![e11_loadsweep::run(scale)],
+        "e11" => vec![e11_loadsweep::run_with_jobs(scale, jobs)],
         "e12" => vec![e12_ablations::run(scale)],
         "e13" => vec![e13_dsm::run(scale)],
         other => panic!("unknown experiment id {other:?} (use e1..e13)"),

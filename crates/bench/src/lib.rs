@@ -34,8 +34,8 @@ pub mod runner;
 pub mod table;
 
 pub use runner::{
-    run_carp_trace, run_open_loop, run_request_reply, run_scripted, ReqRepResult, RunResult,
-    RunSpec,
+    drive, run_carp_trace, run_open_loop, run_request_reply, run_scripted, Drained, Driver,
+    ParallelSweep, ReqRepResult, RunResult, RunSpec,
 };
 pub use table::Table;
 

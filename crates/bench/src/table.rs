@@ -1,9 +1,9 @@
 //! Plain-text result tables (what the paper would have printed).
 
-use serde::Serialize;
+use wavesim_json::Value;
 
 /// One experiment's output: a titled table of string cells.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id, e.g. `"E3"`.
     pub id: String,
@@ -70,6 +70,21 @@ impl Table {
     pub fn print(&self) {
         println!("{}", self.render());
     }
+
+    /// The table as a JSON value (keys in declaration order, so the
+    /// serialized form is deterministic).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("id", self.id.as_str().into()),
+            ("title", self.title.as_str().into()),
+            ("headers", self.headers.clone().into()),
+            (
+                "rows",
+                Value::Arr(self.rows.iter().map(|r| r.clone().into()).collect()),
+            ),
+        ])
+    }
 }
 
 /// Formats a float with 2 decimals.
@@ -113,6 +128,16 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut t = Table::new("E0", "demo", &["a"]);
         t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_form_is_deterministic() {
+        let mut t = Table::new("E4", "demo", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()]);
+        let v = t.to_json();
+        assert_eq!(v["id"], "E4");
+        assert_eq!(v["rows"].as_array().unwrap().len(), 1);
+        assert_eq!(t.to_json().pretty(), v.pretty());
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! `wavesim` — command-line experiment runner.
 //!
 //! ```text
-//! wavesim all [--scale small|paper] [--json]   run every experiment
-//! wavesim e1 .. e13 [--scale ...] [--json]     run one experiment
+//! wavesim all [--scale small|paper] [--json] [--jobs N]   run every experiment
+//! wavesim e1 .. e13 [--scale ...] [--json] [--jobs N]     run one experiment
+//!                                              (--jobs fans sweep points over
+//!                                              N threads; output is identical
+//!                                              to --jobs 1)
 //! wavesim run [workload flags]                 one custom simulation
 //! wavesim check [--side N]                     static deadlock-freedom checks (CDG)
 //! wavesim info                                 print the default configuration
@@ -23,7 +26,7 @@ use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wavesim <all|e1..e13|run|check|info> [--scale small|paper] [--json] [--side N]\n\
+        "usage: wavesim <all|e1..e13|run|check|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
          run flags: --protocol clrp|carp|wormhole --topology mesh|torus --side N --load F\n\
                     --len N --locality F --cycles N --seed N --k N --alpha N --cache N --misroutes N"
     );
@@ -34,6 +37,7 @@ struct Args {
     cmd: String,
     scale: Scale,
     json: bool,
+    jobs: usize,
     side: u16,
     // `run` knobs
     protocol: ProtocolKind,
@@ -56,6 +60,7 @@ fn parse_args() -> Args {
         cmd,
         scale: Scale::paper(),
         json: false,
+        jobs: 1,
         side: 8,
         protocol: ProtocolKind::Clrp,
         torus: false,
@@ -85,6 +90,7 @@ fn parse_args() -> Args {
                 _ => usage(),
             },
             "--json" => args.json = true,
+            "--jobs" => args.jobs = next_parse!(argv),
             "--side" => args.side = next_parse!(argv),
             "--protocol" => {
                 args.protocol = match argv.next().as_deref() {
@@ -189,14 +195,11 @@ fn custom_run(args: &Args) -> bool {
     r.clean()
 }
 
-fn run_experiments(ids: &[&str], scale: Scale, json: bool) {
+fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize) {
     for id in ids {
-        for table in experiments::run_by_id(id, scale) {
+        for table in experiments::run_by_id_with_jobs(id, scale, jobs) {
             if json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&table).expect("tables serialize")
-                );
+                println!("{}", table.to_json().pretty());
             } else {
                 table.print();
             }
@@ -280,7 +283,7 @@ fn info() {
 fn main() -> ExitCode {
     let args = parse_args();
     match args.cmd.as_str() {
-        "all" => run_experiments(&experiments::all_ids(), args.scale, args.json),
+        "all" => run_experiments(&experiments::all_ids(), args.scale, args.json, args.jobs),
         "check" => {
             if !static_checks(args.side) {
                 return ExitCode::FAILURE;
@@ -293,7 +296,7 @@ fn main() -> ExitCode {
             }
         }
         id if experiments::all_ids().contains(&id) => {
-            run_experiments(&[id], args.scale, args.json);
+            run_experiments(&[id], args.scale, args.json, args.jobs);
         }
         _ => usage(),
     }

@@ -35,7 +35,7 @@ fn experiment_json_output_is_valid() {
         .expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON table");
+    let v = wavesim_json::Value::parse(&text).expect("valid JSON table");
     assert_eq!(v["id"], "E4");
     assert!(v["rows"].as_array().unwrap().len() >= 2);
 }

@@ -71,6 +71,9 @@ pub struct CacheEntry {
     /// when a longer message arrives; `None` means the buffer was sized
     /// from the known message set (CARP, §2) and never re-allocates.
     pub alloc_flits: Option<u32>,
+    /// Path length in hops, recorded when the circuit is established (used
+    /// to plan transfer timing without consulting the circuit registry).
+    pub path_hops: u32,
 }
 
 impl CacheEntry {
@@ -93,6 +96,7 @@ impl CacheEntry {
             established_at: None,
             uses: 0,
             alloc_flits: None,
+            path_hops: 0,
         }
     }
 

@@ -1,0 +1,605 @@
+//! The circuitplane: per-node Circuit Caches, the CLRP / CARP protocol
+//! engines, and windowed bulk transfers over established circuits.
+//!
+//! This plane owns the Fig. 5 register files and every protocol policy
+//! decision — cache lookup, eviction, phase transitions, wormhole
+//! fallback — but holds no lanes, probes, or circuit paths. It asks the
+//! controlplane to do physical work by emitting [`PlaneEvent`]s
+//! ([`PlaneEvent::LaunchProbe`], [`PlaneEvent::ReleaseCircuit`], …) and
+//! learns outcomes the same way ([`PlaneEvent::CircuitEstablished`],
+//! [`PlaneEvent::ProbeExhausted`], [`PlaneEvent::VictimRelease`]).
+//!
+//! In-flight circuit transfers are timed on an external
+//! [`EventQueue<TransferEvent>`] (owned by the composition root); every
+//! scheduled delay is at least the transfer plan's delivery delay, which
+//! is always positive.
+
+use wavesim_network::message::DeliveryMode;
+use wavesim_network::{Delivery, Message};
+use wavesim_sim::{Cycle, EventQueue, Model};
+use wavesim_topology::{NodeId, Topology};
+
+use crate::cache::{CacheEntry, CircuitCache, EntryState};
+use crate::circuit::plan_transfer;
+use crate::config::{ProtocolKind, WaveConfig};
+use crate::events::{EventBus, PlaneEvent};
+use crate::ids::{CircuitId, LaneId};
+use crate::replacement;
+use crate::stats::WaveStats;
+
+/// Windowed-transfer events over established circuits.
+#[derive(Debug, Clone)]
+pub enum TransferEvent {
+    /// Last flit of a circuit transfer reaches the destination.
+    Delivered(CircuitId, Message),
+    /// Last-fragment acknowledgment reaches the source (In-use clears).
+    Acked {
+        /// Circuit whose transfer completed.
+        circuit: CircuitId,
+        /// Source node (owner of the cache entry).
+        src: NodeId,
+        /// Destination the entry is keyed by.
+        dest: NodeId,
+    },
+}
+
+/// The circuit-management plane of the wave router.
+#[derive(Debug)]
+pub struct CircuitPlane {
+    topo: Topology,
+    cfg: WaveConfig,
+    caches: Vec<CircuitCache>,
+    next_circuit: u64,
+    fifo_seq: u64,
+    stats: WaveStats,
+    outbox: Vec<PlaneEvent>,
+}
+
+impl CircuitPlane {
+    /// Builds the plane for `topo` under `cfg`.
+    #[must_use]
+    pub fn new(topo: Topology, cfg: WaveConfig) -> Self {
+        let n = topo.num_nodes() as usize;
+        Self {
+            caches: (0..n)
+                .map(|_| CircuitCache::new(cfg.cache_capacity.max(1)))
+                .collect(),
+            next_circuit: 0,
+            fifo_seq: 0,
+            stats: WaveStats::default(),
+            outbox: Vec::new(),
+            topo,
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observation
+    // ------------------------------------------------------------------
+
+    /// The Circuit Cache of `node`.
+    #[must_use]
+    pub fn cache(&self, node: NodeId) -> &CircuitCache {
+        &self.caches[node.0 as usize]
+    }
+
+    /// All per-node Circuit Caches, indexed by node id.
+    #[must_use]
+    pub fn caches(&self) -> &[CircuitCache] {
+        &self.caches
+    }
+
+    /// This plane's statistics contribution.
+    #[must_use]
+    pub fn stats(&self) -> &WaveStats {
+        &self.stats
+    }
+
+    /// True while any entry is carrying or queueing traffic.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.caches
+            .iter()
+            .any(|c| c.iter().any(|e| e.in_use || !e.queue.is_empty()))
+    }
+
+    /// Moves staged outbound events into `bus`.
+    pub fn drain_outbox_into(&mut self, bus: &mut EventBus) {
+        bus.absorb(&mut self.outbox);
+    }
+
+    // ------------------------------------------------------------------
+    // Message submission
+    // ------------------------------------------------------------------
+
+    /// Submits a message; the configured protocol decides its transport.
+    pub fn send(&mut self, now: Cycle, msg: Message, q: &mut EventQueue<TransferEvent>) {
+        match self.cfg.protocol {
+            ProtocolKind::WormholeOnly => self.outbox.push(PlaneEvent::InjectWormhole(msg)),
+            ProtocolKind::Clrp => self.clrp_send(now, msg, q),
+            ProtocolKind::Carp => self.carp_send(now, msg, q),
+        }
+    }
+
+    fn send_wormhole_fallback(&mut self, msg: Message) {
+        self.stats.wormhole_fallbacks += 1;
+        self.outbox.push(PlaneEvent::InjectWormhole(msg));
+    }
+
+    fn clrp_send(&mut self, now: Cycle, msg: Message, q: &mut EventQueue<TransferEvent>) {
+        let src = msg.src.0 as usize;
+        if let Some(entry) = self.caches[src].get_mut(msg.dest) {
+            match entry.state {
+                EntryState::Ready => {
+                    self.stats.cache_hits += 1;
+                    replacement::on_use(entry, self.cfg.replacement, now);
+                    entry.queue.push_back(msg);
+                    self.pump_circuit(now, q, msg.src, msg.dest);
+                }
+                EntryState::Establishing => {
+                    entry.queue.push_back(msg);
+                }
+                EntryState::Releasing | EntryState::Failed => {
+                    self.send_wormhole_fallback(msg);
+                }
+            }
+            return;
+        }
+        // Miss: establish a circuit, evicting if the register file is full.
+        self.stats.cache_misses += 1;
+        if self.caches[src].is_full() {
+            match self.caches[src].pick_victim(self.cfg.replacement, self.cfg.seed) {
+                Some(victim) => {
+                    self.stats.cache_evictions += 1;
+                    self.release_entry_now(msg.src, victim);
+                }
+                None => {
+                    // Every cached circuit is busy: this message cannot
+                    // get a circuit; use wormhole switching.
+                    self.send_wormhole_fallback(msg);
+                    return;
+                }
+            }
+        }
+        let force = self.cfg.clrp.skip_phase1;
+        let dest = msg.dest;
+        self.start_establish(now, msg.src, dest, force)
+            .queue
+            .push_back(msg);
+    }
+
+    fn carp_send(&mut self, now: Cycle, msg: Message, q: &mut EventQueue<TransferEvent>) {
+        let src = msg.src.0 as usize;
+        if let Some(entry) = self.caches[src].get_mut(msg.dest) {
+            match entry.state {
+                EntryState::Ready => {
+                    self.stats.cache_hits += 1;
+                    replacement::on_use(entry, self.cfg.replacement, now);
+                    entry.queue.push_back(msg);
+                    self.pump_circuit(now, q, msg.src, msg.dest);
+                    return;
+                }
+                EntryState::Establishing => {
+                    entry.queue.push_back(msg);
+                    return;
+                }
+                EntryState::Releasing | EntryState::Failed => {}
+            }
+        }
+        // No usable circuit: CARP sends such messages by wormhole (§3.2).
+        self.outbox.push(PlaneEvent::InjectWormhole(msg));
+    }
+
+    /// CARP: explicitly requests a circuit to `dest` from `src` ("when a
+    /// physical circuit is requested, a switch S_i is selected and a probe
+    /// is sent to establish it").
+    pub fn carp_establish(&mut self, now: Cycle, src: NodeId, dest: NodeId) {
+        assert_eq!(
+            self.cfg.protocol,
+            ProtocolKind::Carp,
+            "carp_establish requires the CARP protocol"
+        );
+        assert_ne!(src, dest, "circuits to self are meaningless");
+        let s = src.0 as usize;
+        if self.caches[s].get(dest).is_some() {
+            return; // already cached (any state): idempotent
+        }
+        if self.caches[s].is_full() {
+            match self.caches[s].pick_victim(self.cfg.replacement, self.cfg.seed) {
+                Some(victim) => {
+                    self.stats.cache_evictions += 1;
+                    self.release_entry_now(src, victim);
+                }
+                None => return, // nothing evictable: establishment impossible
+            }
+        }
+        self.stats.cache_misses += 1;
+        let _ = self.start_establish(now, src, dest, false);
+    }
+
+    /// CARP: explicitly tears down the circuit from `src` to `dest` once
+    /// queued traffic drains ("when the circuit is no longer required, it
+    /// is explicitly torn down").
+    pub fn carp_teardown(&mut self, src: NodeId, dest: NodeId) {
+        assert_eq!(
+            self.cfg.protocol,
+            ProtocolKind::Carp,
+            "carp_teardown requires the CARP protocol"
+        );
+        let s = src.0 as usize;
+        let Some(entry) = self.caches[s].get_mut(dest) else {
+            return; // nothing to tear down: idempotent
+        };
+        match entry.state {
+            EntryState::Failed => {
+                self.caches[s].remove(dest);
+            }
+            EntryState::Releasing => {}
+            EntryState::Ready | EntryState::Establishing => {
+                if entry.evictable() {
+                    self.release_entry_now(src, dest);
+                } else {
+                    entry.release_pending = true;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Establishment
+    // ------------------------------------------------------------------
+
+    /// Paper §3.1: "in a 2D-mesh, node (x, y) can first try switch
+    /// 1 + (x+y) mod k" — generalised to any dimension count.
+    fn initial_switch(&self, src: NodeId) -> u8 {
+        if self.cfg.stagger_initial_switch {
+            1 + (self.topo.coords(src).coord_sum() % u64::from(self.cfg.k)) as u8
+        } else {
+            1
+        }
+    }
+
+    fn start_establish(
+        &mut self,
+        now: Cycle,
+        src: NodeId,
+        dest: NodeId,
+        force: bool,
+    ) -> &mut CacheEntry {
+        let cid = CircuitId(self.next_circuit);
+        self.next_circuit += 1;
+        let switch = self.initial_switch(src);
+        let mut entry = CacheEntry::new(dest, cid, switch, switch);
+        entry.force_phase = force;
+        // End-point buffer sizing (§2): CLRP allocates blind and may
+        // re-allocate; CARP knows the message set and sizes it exactly.
+        entry.alloc_flits = match self.cfg.protocol {
+            ProtocolKind::Clrp => Some(self.cfg.initial_buffer_flits),
+            _ => None,
+        };
+        self.fifo_seq += 1;
+        replacement::on_create(&mut entry, self.cfg.replacement, now, self.fifo_seq);
+        self.caches[src.0 as usize].insert(entry);
+        self.outbox.push(PlaneEvent::LaunchProbe {
+            circuit: cid,
+            src,
+            dest,
+            switch,
+            force,
+        });
+        self.caches[src.0 as usize]
+            .get_mut(dest)
+            .expect("entry just inserted")
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound plane events (controlplane outcomes)
+    // ------------------------------------------------------------------
+
+    /// [`PlaneEvent::ProbeExhausted`]: the protocol decides whether to try
+    /// the next switch, flip to the Force phase, or fall back to wormhole.
+    pub fn on_probe_exhausted(
+        &mut self,
+        circuit: CircuitId,
+        src: NodeId,
+        dest: NodeId,
+        switch: u8,
+        force: bool,
+    ) {
+        let k = self.cfg.k;
+        let Some(entry) = self.caches[src.0 as usize].find_by_circuit_mut(circuit) else {
+            return; // entry released while the probe was out
+        };
+        let initial = entry.initial_switch;
+        let next_switch = (switch % k) + 1;
+        let relaunch = |entry: &mut CacheEntry, outbox: &mut Vec<PlaneEvent>, s: u8, f: bool| {
+            entry.switch = s;
+            entry.force_phase = f;
+            outbox.push(PlaneEvent::LaunchProbe {
+                circuit,
+                src,
+                dest,
+                switch: s,
+                force: f,
+            });
+        };
+
+        match self.cfg.protocol {
+            ProtocolKind::Clrp => {
+                if !force {
+                    if next_switch != initial {
+                        // Phase one continues on the next switch.
+                        relaunch(entry, &mut self.outbox, next_switch, false);
+                    } else if self.cfg.clrp.enable_force {
+                        // Phase two: Force bit set, back to Initial Switch.
+                        relaunch(entry, &mut self.outbox, initial, true);
+                    } else {
+                        self.fail_establishment(src, dest, circuit);
+                    }
+                } else if !self.cfg.clrp.single_switch_force && next_switch != initial {
+                    relaunch(entry, &mut self.outbox, next_switch, true);
+                } else {
+                    // Phase three: wormhole switching.
+                    self.fail_establishment(src, dest, circuit);
+                }
+            }
+            ProtocolKind::Carp => {
+                if next_switch != initial {
+                    relaunch(entry, &mut self.outbox, next_switch, false);
+                } else {
+                    self.fail_establishment(src, dest, circuit);
+                }
+            }
+            ProtocolKind::WormholeOnly => unreachable!("no probes in wormhole-only mode"),
+        }
+    }
+
+    fn fail_establishment(&mut self, src: NodeId, dest: NodeId, circuit: CircuitId) {
+        self.stats.setups_failed += 1;
+        self.outbox.push(PlaneEvent::AbandonCircuit { circuit });
+        let s = src.0 as usize;
+        let entry = self.caches[s]
+            .get_mut(dest)
+            .expect("failed circuit has a cache entry");
+        let queued: Vec<Message> = entry.queue.drain(..).collect();
+        match self.cfg.protocol {
+            ProtocolKind::Carp if !entry.release_pending => {
+                // §3.2: "messages requesting that circuit will have to use
+                // wormhole switching" — keep a Failed marker.
+                entry.state = EntryState::Failed;
+            }
+            _ => {
+                // CLRP always forgets failed attempts; a CARP entry with a
+                // teardown already pending is dropped outright.
+                self.caches[s].remove(dest);
+            }
+        }
+        for m in queued {
+            self.send_wormhole_fallback(m);
+        }
+    }
+
+    /// [`PlaneEvent::CircuitEstablished`]: the ack reached the source; the
+    /// Fig. 5 registers update and queued traffic starts flowing.
+    #[expect(clippy::too_many_arguments, reason = "mirrors the event's fields")]
+    pub fn on_established(
+        &mut self,
+        now: Cycle,
+        q: &mut EventQueue<TransferEvent>,
+        circuit: CircuitId,
+        src: NodeId,
+        dest: NodeId,
+        hops: u32,
+        first_lane: LaneId,
+    ) {
+        self.stats.setups_ok += 1;
+        let entry = self.caches[src.0 as usize]
+            .get_mut(dest)
+            .expect("acked circuit has a cache entry");
+        debug_assert_eq!(entry.circuit, circuit);
+        entry.state = EntryState::Ready;
+        entry.ack_returned = true;
+        entry.established_at = Some(now);
+        entry.channel = Some(first_lane);
+        entry.path_hops = hops;
+        if entry.release_pending && entry.queue.is_empty() && !entry.in_use {
+            // A CARP teardown (or forced release) raced the ack.
+            self.release_entry_now(src, dest);
+            return;
+        }
+        self.pump_circuit(now, q, src, dest);
+    }
+
+    /// [`PlaneEvent::VictimRelease`]: a forced release of a circuit that
+    /// *starts at* `src` (local victim in CLRP phase two, or a release
+    /// request that travelled to the source): honour it as soon as the
+    /// in-flight message (if any) completes; queued messages fall back to
+    /// wormhole.
+    pub fn on_victim_release(&mut self, circuit: CircuitId, src: NodeId) {
+        let s = src.0 as usize;
+        let Some(entry) = self.caches[s].find_by_circuit_mut(circuit) else {
+            self.stats.release_requests_discarded += 1;
+            return;
+        };
+        let dest = entry.dest;
+        let queued: Vec<Message> = entry.queue.drain(..).collect();
+        if entry.in_use {
+            entry.release_pending = true;
+        }
+        for m in queued {
+            self.send_wormhole_fallback(m);
+        }
+        let entry = self.caches[s].get_mut(dest).expect("entry still present");
+        if !entry.in_use {
+            self.release_entry_now(src, dest);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transfers
+    // ------------------------------------------------------------------
+
+    /// Starts the next queued transfer on the (Ready, idle) circuit.
+    fn pump_circuit(
+        &mut self,
+        now: Cycle,
+        q: &mut EventQueue<TransferEvent>,
+        src: NodeId,
+        dest: NodeId,
+    ) {
+        let Some(entry) = self.caches[src.0 as usize].get_mut(dest) else {
+            return;
+        };
+        if entry.state != EntryState::Ready || entry.in_use {
+            return;
+        }
+        let Some(msg) = entry.queue.pop_front() else {
+            return;
+        };
+        entry.in_use = true;
+        entry.uses += 1;
+        // Blind-sized end-point buffers (CLRP) must grow before a longer
+        // message can stream — a software re-allocation cost (§2).
+        let mut penalty = 0u64;
+        if let Some(alloc) = entry.alloc_flits {
+            if msg.len_flits > alloc {
+                entry.alloc_flits = Some(msg.len_flits);
+                penalty = u64::from(self.cfg.realloc_penalty);
+                self.stats.buffer_reallocs += 1;
+            }
+        }
+        let circuit = entry.circuit;
+        let plan = plan_transfer(msg.len_flits, entry.path_hops, &self.cfg);
+        q.schedule(
+            now + penalty + plan.delivery_delay,
+            TransferEvent::Delivered(circuit, msg),
+        );
+        q.schedule(
+            now + penalty + plan.ack_delay,
+            TransferEvent::Acked { circuit, src, dest },
+        );
+    }
+
+    fn on_transfer_delivered(&mut self, now: Cycle, msg: Message) {
+        self.stats.msgs_circuit += 1;
+        self.outbox.push(PlaneEvent::CircuitDelivered(Delivery {
+            msg,
+            delivered_at: now,
+            mode: DeliveryMode::Circuit,
+        }));
+    }
+
+    fn on_transfer_acked(
+        &mut self,
+        now: Cycle,
+        q: &mut EventQueue<TransferEvent>,
+        circuit: CircuitId,
+        src: NodeId,
+        dest: NodeId,
+    ) {
+        let Some(entry) = self.caches[src.0 as usize].get_mut(dest) else {
+            return; // entry released while the ack was in flight
+        };
+        if entry.circuit != circuit {
+            return; // entry replaced by a newer circuit to the same dest
+        }
+        debug_assert!(entry.in_use, "ack for a transfer that never started");
+        entry.in_use = false;
+        if entry.release_pending && entry.queue.is_empty() {
+            self.release_entry_now(src, dest);
+        } else {
+            self.pump_circuit(now, q, src, dest);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Release
+    // ------------------------------------------------------------------
+
+    /// Immediately removes the cache entry for `dest` and asks the
+    /// controlplane to release the path.
+    ///
+    /// # Panics
+    /// Panics if the entry is in use (callers must wait for the ack).
+    fn release_entry_now(&mut self, src: NodeId, dest: NodeId) {
+        let s = src.0 as usize;
+        let entry = self.caches[s]
+            .remove(dest)
+            .expect("release of missing entry");
+        assert!(!entry.in_use, "cannot release an in-use circuit");
+        for m in entry.queue {
+            self.send_wormhole_fallback(m);
+        }
+        self.outbox.push(PlaneEvent::ReleaseCircuit {
+            circuit: entry.circuit,
+            src,
+        });
+    }
+}
+
+/// The circuitplane is event-driven: transfers complete in `handle`, and
+/// it is "busy" while any cache entry is streaming or queueing.
+impl Model for CircuitPlane {
+    type Event = TransferEvent;
+
+    fn tick(&mut self, _now: Cycle, _queue: &mut EventQueue<TransferEvent>) {}
+
+    fn handle(&mut self, now: Cycle, event: TransferEvent, q: &mut EventQueue<TransferEvent>) {
+        match event {
+            TransferEvent::Delivered(_circuit, msg) => self.on_transfer_delivered(now, msg),
+            TransferEvent::Acked { circuit, src, dest } => {
+                self.on_transfer_acked(now, q, circuit, src, dest);
+            }
+        }
+    }
+
+    fn busy(&self) -> bool {
+        CircuitPlane::busy(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A CLRP send with an empty cache starts an establishment: the entry
+    /// appears in Establishing state and a LaunchProbe event leaves the
+    /// plane.
+    #[test]
+    fn clrp_miss_emits_launch_probe() {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut plane = CircuitPlane::new(topo, WaveConfig::default());
+        let mut q = EventQueue::new();
+        plane.send(0, Message::new(1, NodeId(0), NodeId(15), 16, 0), &mut q);
+        assert_eq!(plane.stats().cache_misses, 1);
+        let entry = plane.cache(NodeId(0)).get(NodeId(15)).expect("entry");
+        assert_eq!(entry.state, EntryState::Establishing);
+        assert_eq!(entry.queue.len(), 1);
+        let mut bus = EventBus::new();
+        plane.drain_outbox_into(&mut bus);
+        assert!(matches!(
+            bus.pop(),
+            Some(PlaneEvent::LaunchProbe { src, dest, force: false, .. })
+                if src == NodeId(0) && dest == NodeId(15)
+        ));
+    }
+
+    /// Establishment completion pumps the queued message and schedules its
+    /// delivery and ack on the transfer queue.
+    #[test]
+    fn established_circuit_pumps_queue() {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut plane = CircuitPlane::new(topo, WaveConfig::default());
+        let mut q = EventQueue::new();
+        plane.send(0, Message::new(1, NodeId(0), NodeId(15), 16, 0), &mut q);
+        let circuit = plane.cache(NodeId(0)).get(NodeId(15)).unwrap().circuit;
+        let lane = LaneId::new(wavesim_topology::LinkId(0), 1);
+        plane.on_established(10, &mut q, circuit, NodeId(0), NodeId(15), 6, lane);
+        assert_eq!(plane.stats().setups_ok, 1);
+        let entry = plane.cache(NodeId(0)).get(NodeId(15)).unwrap();
+        assert_eq!(entry.state, EntryState::Ready);
+        assert!(entry.in_use, "queued message starts streaming immediately");
+        assert_eq!(entry.path_hops, 6);
+        assert!(!q.is_empty(), "delivery + ack scheduled");
+    }
+}

@@ -6,13 +6,12 @@
 //! protocols" (§2). [`WaveConfig`] exposes every one of those knobs; the
 //! E9/E10 experiments sweep them.
 
-use serde::{Deserialize, Serialize};
 use wavesim_network::WormholeConfig;
 
 /// Circuit-cache replacement algorithm — the interpretation of the
 /// `Replace` field of the Fig. 5 registers ("the meaning of this field
 /// depends on the replacement algorithm").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplacementPolicy {
     /// Evict the least-recently-used circuit (`Replace` = last-use cycle).
     Lru,
@@ -25,7 +24,7 @@ pub enum ReplacementPolicy {
 }
 
 /// Which §3 protocol drives circuit management.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolKind {
     /// Cache-Like Routing Protocol (§3.1): circuits managed automatically,
     /// network treated as a cache of circuits.
@@ -40,7 +39,7 @@ pub enum ProtocolKind {
 
 /// CLRP simplification switches (§3.1: "The CLRP protocol can be
 /// simplified in several ways…").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClrpVariant {
     /// Skip phase one entirely: the first probe is sent with the Force bit
     /// already set ("the Force bit can be set when the probe is first

@@ -1,0 +1,645 @@
+//! The controlplane: PCS units, MB-m probe stepping, and the ack /
+//! teardown / release-request walks over the dedicated control channels.
+//!
+//! This plane owns everything the control flits touch — the wave-lane
+//! reservation table, the per-router PCS mapping registers, the live
+//! probes, and the global circuit registry. It knows nothing about
+//! Circuit Caches or protocols: when a probe exhausts a switch, when an
+//! acknowledgment completes, or when a victim circuit must be released,
+//! it emits a [`PlaneEvent`] and lets the circuitplane decide.
+//!
+//! Time-delayed control-flit movement is scheduled on an external
+//! [`EventQueue<CtrlEvent>`] (owned by the composition root, or by a
+//! [`wavesim_sim::Engine`] when the plane runs standalone); every delay
+//! is at least one cycle, so same-cycle event cascades cannot occur.
+
+use std::collections::HashMap;
+
+use wavesim_sim::{Cycle, EventQueue, Model};
+use wavesim_topology::{NodeId, PortDir, Topology};
+
+use crate::circuit::{CircuitState, CircuitStatus};
+use crate::config::WaveConfig;
+use crate::events::{EventBus, PlaneEvent};
+use crate::ids::{CircuitId, LaneId, ProbeId};
+use crate::lanes::{LaneState, LaneTable};
+use crate::pcs::PcsUnit;
+use crate::probe::ProbeState;
+use crate::stats::WaveStats;
+
+/// Control-flit events walking the control channels.
+#[derive(Debug, Clone)]
+pub enum CtrlEvent {
+    /// Probe arrives (or resumes) at its current node.
+    ProbeAt(ProbeId),
+    /// Parked probe woken by a lane release.
+    RetryProbe(ProbeId),
+    /// Path-setup acknowledgment reaches the source router of path lane
+    /// `hop` on its way back (hop 0 is the circuit's source node, where
+    /// the ack completes establishment).
+    AckHopAt(CircuitId, u32),
+    /// Teardown flit reaches `node`.
+    TeardownAt(CircuitId, NodeId),
+    /// Release-request flit reaches the circuit's source.
+    ReleaseReqAt(CircuitId),
+}
+
+/// The control plane of the wave router.
+#[derive(Debug)]
+pub struct ControlPlane {
+    topo: Topology,
+    cfg: WaveConfig,
+    lanes: LaneTable,
+    pcs: Vec<PcsUnit>,
+    probes: HashMap<ProbeId, ProbeState>,
+    circuits: HashMap<CircuitId, CircuitState>,
+    next_probe: u64,
+    max_probe_steps: u64,
+    stats: WaveStats,
+    outbox: Vec<PlaneEvent>,
+}
+
+impl ControlPlane {
+    /// Builds the plane for `topo` under `cfg`.
+    #[must_use]
+    pub fn new(topo: Topology, cfg: WaveConfig) -> Self {
+        let n = topo.num_nodes() as usize;
+        Self {
+            lanes: LaneTable::new(&topo, cfg.k),
+            pcs: vec![PcsUnit::new(); n],
+            probes: HashMap::new(),
+            circuits: HashMap::new(),
+            next_probe: 0,
+            max_probe_steps: 0,
+            stats: WaveStats::default(),
+            outbox: Vec::new(),
+            topo,
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observation
+    // ------------------------------------------------------------------
+
+    /// The wave-lane table (read access for instrumentation).
+    #[must_use]
+    pub fn lanes(&self) -> &LaneTable {
+        &self.lanes
+    }
+
+    /// Live circuits (read access for instrumentation).
+    #[must_use]
+    pub fn circuits(&self) -> &HashMap<CircuitId, CircuitState> {
+        &self.circuits
+    }
+
+    /// Live probes (read access for instrumentation).
+    #[must_use]
+    pub fn probes(&self) -> &HashMap<ProbeId, ProbeState> {
+        &self.probes
+    }
+
+    /// The Ack Returned bit of `circuit` at `node`'s PCS unit, if the
+    /// circuit has a mapping there (Fig. 3 register observation).
+    #[must_use]
+    pub fn pcs_ack_returned(&self, node: NodeId, circuit: CircuitId) -> Option<bool> {
+        self.pcs[node.0 as usize]
+            .hop(circuit)
+            .map(|h| h.ack_returned)
+    }
+
+    /// Largest number of control steps any single probe has taken — the
+    /// quantity Theorems 3/4 bound (livelock freedom).
+    #[must_use]
+    pub fn max_probe_steps(&self) -> u64 {
+        self.max_probe_steps
+    }
+
+    /// This plane's statistics contribution.
+    #[must_use]
+    pub fn stats(&self) -> &WaveStats {
+        &self.stats
+    }
+
+    /// True while probes are walking the control network.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        !self.probes.is_empty()
+    }
+
+    /// Marks `lane` faulty (static fault injection, E8).
+    pub fn fault_lane(&mut self, lane: LaneId) {
+        self.lanes.set_faulty(lane);
+    }
+
+    /// Moves staged outbound events into `bus`.
+    pub fn drain_outbox_into(&mut self, bus: &mut EventBus) {
+        bus.absorb(&mut self.outbox);
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound plane events
+    // ------------------------------------------------------------------
+
+    /// [`PlaneEvent::LaunchProbe`]: registers the circuit (on its first
+    /// switch attempt) and sends a probe out of the source.
+    #[expect(clippy::too_many_arguments, reason = "mirrors the event's fields")]
+    pub fn on_launch_probe(
+        &mut self,
+        now: Cycle,
+        q: &mut EventQueue<CtrlEvent>,
+        circuit: CircuitId,
+        src: NodeId,
+        dest: NodeId,
+        switch: u8,
+        force: bool,
+    ) {
+        let pid = ProbeId(self.next_probe);
+        self.next_probe += 1;
+        let probe = ProbeState::new(pid, circuit, &self.topo, src, dest, switch, force);
+        self.probes.insert(pid, probe);
+        self.stats.probes_sent += 1;
+        let c = self
+            .circuits
+            .entry(circuit)
+            .or_insert_with(|| CircuitState::new(circuit, src, dest, switch));
+        c.switch = switch;
+        c.status = CircuitStatus::Establishing;
+        // PCS processing before the probe leaves the source.
+        q.schedule(
+            now + u64::from(self.cfg.pcs_delay).max(1),
+            CtrlEvent::ProbeAt(pid),
+        );
+    }
+
+    /// [`PlaneEvent::ReleaseCircuit`]: the cache entry is gone; tear the
+    /// path down (or let the live probe unwind itself).
+    pub fn on_release_circuit(
+        &mut self,
+        now: Cycle,
+        q: &mut EventQueue<CtrlEvent>,
+        circuit: CircuitId,
+        src: NodeId,
+    ) {
+        let Some(c) = self.circuits.get_mut(&circuit) else {
+            return; // establishment already failed and cleaned up
+        };
+        match c.status {
+            CircuitStatus::Establishing => {
+                // A probe is still out. Backtracking it synchronously
+                // would duplicate the search engine, so mark the circuit
+                // TearingDown and the probe unwinds on its next step.
+                c.status = CircuitStatus::TearingDown;
+            }
+            CircuitStatus::Ready => {
+                c.status = CircuitStatus::TearingDown;
+                q.schedule(now + 1, CtrlEvent::TeardownAt(circuit, src));
+            }
+            CircuitStatus::TearingDown => {}
+        }
+    }
+
+    /// [`PlaneEvent::AbandonCircuit`]: establishment failed on every
+    /// switch; no lanes are held, so the registry entry just disappears.
+    pub fn on_abandon_circuit(&mut self, circuit: CircuitId) {
+        self.circuits.remove(&circuit);
+    }
+
+    // ------------------------------------------------------------------
+    // Probe engine (MB-m, §2 + Fig. 4, with the §3.1 Force extension)
+    // ------------------------------------------------------------------
+
+    fn process_probe(&mut self, now: Cycle, q: &mut EventQueue<CtrlEvent>, pid: ProbeId) {
+        let Some(mut p) = self.probes.remove(&pid) else {
+            return; // probe already terminated (stale wake-up)
+        };
+        p.parked_on = None;
+
+        // If the owning circuit was cancelled while the probe was walking
+        // (defensive path — a teardown raced the search), unwind: release
+        // every reserved lane and die quietly.
+        let cancelled = match self.circuits.get(&p.circuit) {
+            None => true,
+            Some(c) => c.status == CircuitStatus::TearingDown,
+        };
+        if cancelled {
+            self.unwind_probe(now, q, p);
+            return;
+        }
+
+        // Destination reached?
+        if p.at == p.dest {
+            self.complete_probe(now, q, p);
+            return;
+        }
+
+        let node = p.at;
+        let reverse_in: Option<PortDir> = p.path.last().map(|lane| {
+            let (_, port) = self.topo.link_endpoints(lane.link);
+            port.opposite()
+        });
+
+        // Nodes already on the reserved path (including the source): the
+        // probe must not loop back through them — its path stays simple,
+        // which both keeps the PCS mappings well-defined (one hop per
+        // circuit per router) and makes the Theorem 3/4 step bound hold.
+        let mut on_path: Vec<NodeId> = Vec::with_capacity(p.path.len() + 1);
+        on_path.push(p.src);
+        for lane in &p.path {
+            on_path.push(self.topo.link_dest(lane.link));
+        }
+        let loops_back = |topo: &Topology, port: PortDir| -> bool {
+            topo.neighbor(node, port)
+                .is_some_and(|n| on_path.contains(&n))
+        };
+
+        // Candidate ports: profitable (minimal) first, in dimension order,
+        // then the rest as misroute candidates.
+        let profitable = self.topo.min_ports(node, p.dest);
+        let all_ports = self.topo.ports_of(node);
+
+        // 1) Free profitable channel not yet searched.
+        for &port in &profitable {
+            if p.searched(node, port.index()) || loops_back(&self.topo, port) {
+                continue;
+            }
+            let lane = LaneId::new(self.topo.link_id(node, port), p.switch);
+            match self.lanes.state(lane) {
+                LaneState::Free => {
+                    self.advance_probe(now, q, p, port, lane, false);
+                    return;
+                }
+                LaneState::Faulty => {
+                    self.stats.probe_fault_encounters += 1;
+                }
+                LaneState::Reserved(_) => {}
+            }
+        }
+
+        // 2) Misroute if budget remains (MB-m).
+        if p.flit.misroute < self.cfg.misroutes {
+            for &port in &all_ports {
+                if profitable.contains(&port)
+                    || Some(port) == reverse_in
+                    || p.searched(node, port.index())
+                    || loops_back(&self.topo, port)
+                {
+                    continue;
+                }
+                let lane = LaneId::new(self.topo.link_id(node, port), p.switch);
+                match self.lanes.state(lane) {
+                    LaneState::Free => {
+                        self.advance_probe(now, q, p, port, lane, true);
+                        return;
+                    }
+                    LaneState::Faulty => {
+                        self.stats.probe_fault_encounters += 1;
+                    }
+                    LaneState::Reserved(_) => {}
+                }
+            }
+        }
+
+        // 3) Force mode: pick a victim circuit holding a requested lane
+        //    whose acknowledgment has returned (§3.1 phase two).
+        if p.flit.force {
+            let mut requested: Vec<PortDir> = profitable.clone();
+            if p.flit.misroute < self.cfg.misroutes {
+                for &port in &all_ports {
+                    if !profitable.contains(&port) && Some(port) != reverse_in {
+                        requested.push(port);
+                    }
+                }
+            }
+            for &port in &requested {
+                if p.searched(node, port.index()) || loops_back(&self.topo, port) {
+                    continue;
+                }
+                let lane = LaneId::new(self.topo.link_id(node, port), p.switch);
+                let Some(victim) = self.lanes.holder(lane) else {
+                    continue; // free or faulty, handled above
+                };
+                let Some(vstate) = self.circuits.get(&victim) else {
+                    continue;
+                };
+                if vstate.status != CircuitStatus::Ready {
+                    continue; // being established or already tearing down
+                }
+                // Park the probe on the lane; it resumes when freed.
+                self.lanes.park(lane, p.id);
+                p.parked_on = Some(lane);
+                let vsrc = vstate.src;
+                if vsrc == node {
+                    // Victim starts here: ask the local Circuit Cache to
+                    // release it.
+                    self.stats.forced_local_releases += 1;
+                    self.outbox.push(PlaneEvent::VictimRelease {
+                        circuit: victim,
+                        src: vsrc,
+                    });
+                } else {
+                    // Victim crosses here: ask its source to release it.
+                    self.stats.forced_remote_releases += 1;
+                    let hops_back = self.hops_from_source(victim, node);
+                    let delay = hops_back * u64::from(self.cfg.ctrl_hop_delay);
+                    q.schedule(now + delay.max(1), CtrlEvent::ReleaseReqAt(victim));
+                }
+                self.probes.insert(p.id, p);
+                return;
+            }
+            // All requested lanes belong to circuits being established (or
+            // nothing is requestable): backtrack even with Force set (§4).
+        }
+
+        // 4) Backtrack.
+        self.backtrack_probe(now, q, p);
+    }
+
+    /// Path position of `node` on `circuit` (hops from the source),
+    /// counting reserved lanes. Used to time release-request flights.
+    fn hops_from_source(&self, circuit: CircuitId, node: NodeId) -> u64 {
+        let Some(c) = self.circuits.get(&circuit) else {
+            return 1;
+        };
+        for (i, lane) in c.path.iter().enumerate() {
+            if self.topo.link_dest(lane.link) == node {
+                return (i + 1) as u64;
+            }
+        }
+        1
+    }
+
+    fn advance_probe(
+        &mut self,
+        now: Cycle,
+        q: &mut EventQueue<CtrlEvent>,
+        mut p: ProbeState,
+        port: PortDir,
+        lane: LaneId,
+        misroute: bool,
+    ) {
+        p.mark_searched(p.at, port.index());
+        self.lanes.reserve(lane, p.circuit);
+        if misroute {
+            p.flit.misroute += 1;
+            self.stats.probe_misroutes += 1;
+        }
+        // PCS bookkeeping at the current node: out mapping.
+        let unit = &mut self.pcs[p.at.0 as usize];
+        if unit.hop(p.circuit).is_none() {
+            // Source node (no in-lane).
+            debug_assert_eq!(p.at, p.src);
+            unit.record(p.circuit, p.switch, None, Some(lane));
+        } else {
+            unit.set_out_lane(p.circuit, Some(lane));
+        }
+        let next = self.topo.link_dest(lane.link);
+        p.path.push(lane);
+        p.at = next;
+        p.hops += 1;
+        self.stats.probe_hops += 1;
+        p.flit.backtrack = false;
+        let (dest, circuit, switch) = (p.dest, p.circuit, p.switch);
+        p.flit.update_offsets(&self.topo, next, dest);
+        // Record the in-mapping at the next node on arrival.
+        let unit = &mut self.pcs[next.0 as usize];
+        if unit.hop(circuit).is_none() {
+            unit.record(circuit, switch, Some(lane), None);
+        } else {
+            // Revisited node after a backtrack elsewhere: refresh in-lane.
+            unit.clear(circuit);
+            unit.record(circuit, switch, Some(lane), None);
+        }
+        let pid = p.id;
+        self.probes.insert(pid, p);
+        // Forward moves pay the PCS routing decision plus the wire hop.
+        let delay = u64::from(self.cfg.ctrl_hop_delay) + u64::from(self.cfg.pcs_delay);
+        q.schedule(now + delay, CtrlEvent::ProbeAt(pid));
+    }
+
+    fn backtrack_probe(&mut self, now: Cycle, q: &mut EventQueue<CtrlEvent>, mut p: ProbeState) {
+        if p.at == p.src {
+            // Search space for this switch exhausted.
+            self.pcs[p.src.0 as usize].clear(p.circuit);
+            self.stats.probes_exhausted += 1;
+            self.max_probe_steps = self.max_probe_steps.max(p.hops);
+            self.outbox.push(PlaneEvent::ProbeExhausted {
+                circuit: p.circuit,
+                src: p.src,
+                dest: p.dest,
+                switch: p.switch,
+                force: p.flit.force,
+            });
+            return;
+        }
+        p.flit.backtrack = true;
+        let lane = p.path.pop().expect("non-source probe has a path");
+        let (prev, _) = self.topo.link_endpoints(lane.link);
+        // Clear this node's mapping; the previous node's out-lane resets.
+        self.pcs[p.at.0 as usize].clear(p.circuit);
+        self.pcs[prev.0 as usize].set_out_lane(p.circuit, None);
+        let woken = self.lanes.release(lane, p.circuit);
+        p.at = prev;
+        p.hops += 1;
+        p.backtracks += 1;
+        self.stats.probe_hops += 1;
+        self.stats.probe_backtracks += 1;
+        let (dest, pid) = (p.dest, p.id);
+        p.flit.update_offsets(&self.topo, prev, dest);
+        self.probes.insert(pid, p);
+        q.schedule(
+            now + u64::from(self.cfg.ctrl_hop_delay),
+            CtrlEvent::ProbeAt(pid),
+        );
+        self.wake(now, q, woken);
+    }
+
+    /// Releases everything a cancelled probe reserved (reverse path order)
+    /// and clears the PCS mappings it created.
+    fn unwind_probe(&mut self, now: Cycle, q: &mut EventQueue<CtrlEvent>, p: ProbeState) {
+        self.pcs[p.at.0 as usize].clear(p.circuit);
+        for lane in p.path.iter().rev() {
+            let (from, _) = self.topo.link_endpoints(lane.link);
+            self.pcs[from.0 as usize].clear(p.circuit);
+            let woken = self.lanes.release(*lane, p.circuit);
+            self.wake(now, q, woken);
+        }
+        self.circuits.remove(&p.circuit);
+        self.stats.teardowns += 1;
+        self.max_probe_steps = self.max_probe_steps.max(p.hops);
+        self.outbox
+            .push(PlaneEvent::CircuitReleased { circuit: p.circuit });
+    }
+
+    fn complete_probe(&mut self, now: Cycle, q: &mut EventQueue<CtrlEvent>, p: ProbeState) {
+        debug_assert_eq!(p.at, p.dest);
+        debug_assert!(!p.path.is_empty(), "src != dest implies a real path");
+        self.stats.probes_reached += 1;
+        self.max_probe_steps = self.max_probe_steps.max(p.hops);
+        let c = self
+            .circuits
+            .get_mut(&p.circuit)
+            .expect("live probe has a live circuit");
+        c.path = p.path.clone();
+        // The acknowledgment returns hop by hop over the reverse control
+        // channels (Fig. 3's Reverse Channel Mappings), setting each
+        // router's Ack Returned bit as it passes.
+        let last_hop = (p.path.len() - 1) as u32;
+        let delay = u64::from(self.cfg.ctrl_hop_delay);
+        q.schedule(now + delay.max(1), CtrlEvent::AckHopAt(p.circuit, last_hop));
+        // Probe terminates; its History Store entries die with it.
+    }
+
+    fn wake(&mut self, now: Cycle, q: &mut EventQueue<CtrlEvent>, probes: Vec<ProbeId>) {
+        for pid in probes {
+            if self.probes.contains_key(&pid) {
+                q.schedule(now + 1, CtrlEvent::RetryProbe(pid));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ack / teardown / release-request walks
+    // ------------------------------------------------------------------
+
+    /// The ack flit passes the router at the upstream end of path lane
+    /// `hop`, setting that router's Ack Returned bit; at hop 0 it has
+    /// reached the source and establishment completes.
+    fn on_ack_hop(
+        &mut self,
+        now: Cycle,
+        q: &mut EventQueue<CtrlEvent>,
+        circuit: CircuitId,
+        hop: u32,
+    ) {
+        let Some(c) = self.circuits.get(&circuit) else {
+            return; // torn down while the ack was in flight
+        };
+        if c.status != CircuitStatus::Establishing {
+            return;
+        }
+        let Some(lane) = c.path.get(hop as usize) else {
+            return;
+        };
+        let (node, _) = self.topo.link_endpoints(lane.link);
+        self.pcs[node.0 as usize].mark_ack(circuit);
+        if hop > 0 {
+            q.schedule(
+                now + u64::from(self.cfg.ctrl_hop_delay),
+                CtrlEvent::AckHopAt(circuit, hop - 1),
+            );
+            return;
+        }
+        let c = self.circuits.get_mut(&circuit).expect("checked above");
+        c.status = CircuitStatus::Ready;
+        self.outbox.push(PlaneEvent::CircuitEstablished {
+            circuit,
+            src: c.src,
+            dest: c.dest,
+            hops: c.hops(),
+            first_lane: *c.path.first().expect("established path is non-empty"),
+        });
+    }
+
+    fn on_release_request(&mut self, circuit: CircuitId) {
+        let Some(c) = self.circuits.get(&circuit) else {
+            // Circuit released while the request was in flight: "the
+            // control flit is discarded at some intermediate node" (§4).
+            self.stats.release_requests_discarded += 1;
+            return;
+        };
+        if c.status != CircuitStatus::Ready {
+            self.stats.release_requests_discarded += 1;
+            return;
+        }
+        self.outbox.push(PlaneEvent::VictimRelease {
+            circuit,
+            src: c.src,
+        });
+    }
+
+    fn on_teardown(
+        &mut self,
+        now: Cycle,
+        q: &mut EventQueue<CtrlEvent>,
+        circuit: CircuitId,
+        node: NodeId,
+    ) {
+        let Some(hop) = self.pcs[node.0 as usize].clear(circuit) else {
+            return; // already unwound (e.g. backtrack raced)
+        };
+        match hop.out_lane {
+            Some(lane) => {
+                let woken = self.lanes.release(lane, circuit);
+                let next = self.topo.link_dest(lane.link);
+                q.schedule(
+                    now + u64::from(self.cfg.ctrl_hop_delay),
+                    CtrlEvent::TeardownAt(circuit, next),
+                );
+                self.wake(now, q, woken);
+            }
+            None => {
+                // Destination reached: the circuit is fully released.
+                self.circuits.remove(&circuit);
+                self.stats.teardowns += 1;
+                self.outbox.push(PlaneEvent::CircuitReleased { circuit });
+            }
+        }
+    }
+}
+
+/// The controlplane is event-driven: all work happens in `handle`, and it
+/// is "busy" exactly while probes hold reservations that a quiescence
+/// check must wait out.
+impl Model for ControlPlane {
+    type Event = CtrlEvent;
+
+    fn tick(&mut self, _now: Cycle, _queue: &mut EventQueue<CtrlEvent>) {}
+
+    fn handle(&mut self, now: Cycle, event: CtrlEvent, q: &mut EventQueue<CtrlEvent>) {
+        match event {
+            CtrlEvent::ProbeAt(pid) | CtrlEvent::RetryProbe(pid) => self.process_probe(now, q, pid),
+            CtrlEvent::AckHopAt(cid, hop) => self.on_ack_hop(now, q, cid, hop),
+            CtrlEvent::TeardownAt(cid, node) => self.on_teardown(now, q, cid, node),
+            CtrlEvent::ReleaseReqAt(cid) => self.on_release_request(cid),
+        }
+    }
+
+    fn busy(&self) -> bool {
+        ControlPlane::busy(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_sim::Engine;
+
+    /// The plane runs standalone under the generic engine: launch a probe
+    /// and watch it reserve a path and complete the ack walk.
+    #[test]
+    fn establishes_a_circuit_standalone() {
+        let topo = Topology::mesh(&[4, 4]);
+        let plane = ControlPlane::new(topo, WaveConfig::default());
+        let mut engine = Engine::new(plane);
+        let cid = CircuitId(0);
+        // Launch through the public inbound-event entry point.
+        let (model, queue) = engine.model_and_queue_mut();
+        model.on_launch_probe(0, queue, cid, NodeId(0), NodeId(15), 1, false);
+        engine.run_until(10_000);
+        let mut bus = EventBus::new();
+        engine.model_mut().drain_outbox_into(&mut bus);
+        let mut established = false;
+        while let Some(ev) = bus.pop() {
+            if let PlaneEvent::CircuitEstablished { circuit, hops, .. } = ev {
+                assert_eq!(circuit, cid);
+                assert_eq!(hops, 6, "minimal path in a 4x4 mesh corner to corner");
+                established = true;
+            }
+        }
+        assert!(established);
+        assert!(!engine.model().busy());
+        assert_eq!(engine.model().stats().probes_reached, 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! The dataplane: switch `S0`, i.e. the wormhole fabric, as a plane.
+//!
+//! The wormhole pipeline itself lives in `wavesim-network`; this module
+//! wraps it in the plane discipline of [`crate::events`] — inputs arrive
+//! as [`PlaneEvent::InjectWormhole`] (routed by the composition root to
+//! [`DataPlane::inject`]) and completed deliveries leave through the
+//! plane's outbox as [`PlaneEvent::WormholeDelivered`].
+
+use wavesim_network::message::DeliveryMode;
+use wavesim_network::{Message, WormholeConfig, WormholeFabric};
+use wavesim_sim::{Cycle, EventQueue, Model};
+use wavesim_topology::Topology;
+
+use crate::events::PlaneEvent;
+use crate::stats::WaveStats;
+
+/// The wormhole plane of the wave router.
+pub struct DataPlane {
+    fabric: WormholeFabric,
+    stats: WaveStats,
+    outbox: Vec<PlaneEvent>,
+}
+
+impl DataPlane {
+    /// Builds the plane for `topo` under the `S0` configuration.
+    #[must_use]
+    pub fn new(topo: Topology, cfg: WormholeConfig) -> Self {
+        Self {
+            fabric: WormholeFabric::new(topo, cfg),
+            stats: WaveStats::default(),
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Injects a message into the wormhole fabric.
+    pub fn inject(&mut self, msg: Message) {
+        self.fabric.inject(msg);
+    }
+
+    /// Advances the fabric one cycle and stages completed deliveries on
+    /// the outbox.
+    pub fn step(&mut self, now: Cycle) {
+        self.fabric.tick(now);
+        for d in self.fabric.drain_deliveries() {
+            debug_assert_eq!(d.mode, DeliveryMode::Wormhole);
+            self.stats.msgs_wormhole += 1;
+            self.outbox.push(PlaneEvent::WormholeDelivered(d));
+        }
+    }
+
+    /// Moves staged outbound events into `bus`.
+    pub fn drain_outbox_into(&mut self, bus: &mut crate::events::EventBus) {
+        bus.absorb(&mut self.outbox);
+    }
+
+    /// The underlying fabric (read access for instrumentation).
+    #[must_use]
+    pub fn fabric(&self) -> &WormholeFabric {
+        &self.fabric
+    }
+
+    /// This plane's statistics contribution.
+    #[must_use]
+    pub fn stats(&self) -> &WaveStats {
+        &self.stats
+    }
+
+    /// True while flits are in flight.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.fabric.busy()
+    }
+}
+
+/// The dataplane is cycle-driven: it does work every tick while busy and
+/// schedules no events of its own.
+impl Model for DataPlane {
+    type Event = ();
+
+    fn tick(&mut self, now: Cycle, _queue: &mut EventQueue<()>) {
+        self.step(now);
+    }
+
+    fn handle(&mut self, _now: Cycle, _event: (), _queue: &mut EventQueue<()>) {}
+
+    fn busy(&self) -> bool {
+        DataPlane::busy(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_network::Message;
+    use wavesim_sim::Engine;
+    use wavesim_topology::NodeId;
+
+    #[test]
+    fn runs_standalone_under_the_engine() {
+        let plane = DataPlane::new(Topology::mesh(&[4, 4]), WormholeConfig::default());
+        let mut engine = Engine::new(plane);
+        engine
+            .model_mut()
+            .inject(Message::new(1, NodeId(0), NodeId(15), 16, 0));
+        let report = engine.run_until(10_000);
+        assert!(!engine.model().busy());
+        assert!(report.ticks > 0);
+        let mut bus = crate::events::EventBus::new();
+        engine.model_mut().drain_outbox_into(&mut bus);
+        assert!(matches!(bus.pop(), Some(PlaneEvent::WormholeDelivered(_))));
+        assert_eq!(engine.model().stats().msgs_wormhole, 1);
+    }
+}

@@ -1,12 +1,11 @@
 //! Identifiers for circuits, probes, and wave lanes.
 
-use serde::{Deserialize, Serialize};
 use wavesim_topology::LinkId;
 
 /// Identifier of one circuit-establishment attempt and, if it succeeds, of
 /// the established physical circuit. Unique for the lifetime of a
 /// simulation (never reused).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CircuitId(pub u64);
 
 impl std::fmt::Display for CircuitId {
@@ -18,7 +17,7 @@ impl std::fmt::Display for CircuitId {
 /// Identifier of a routing probe. One probe exists per establishment
 /// attempt per switch tried, so a circuit attempt may own several probe
 /// ids over its lifetime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProbeId(pub u64);
 
 impl std::fmt::Display for ProbeId {
@@ -32,7 +31,7 @@ impl std::fmt::Display for ProbeId {
 /// its dedicated control channel. A circuit through switch `S_i` occupies
 /// the `S_i` lane of every link on its path — the paper's rule that a
 /// circuit uses *the same switch at every intermediate node*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LaneId {
     /// The physical link.
     pub link: LinkId,

@@ -27,7 +27,11 @@
 
 pub mod cache;
 pub mod circuit;
+pub mod circuitplane;
 pub mod config;
+pub mod controlplane;
+pub mod dataplane;
+pub mod events;
 pub mod ids;
 pub mod lanes;
 pub mod network;
@@ -39,7 +43,11 @@ pub mod stats;
 
 pub use cache::{CacheEntry, CircuitCache, EntryState};
 pub use circuit::{CircuitState, CircuitStatus, TransferPlan};
+pub use circuitplane::{CircuitPlane, TransferEvent};
 pub use config::{ClrpVariant, ProtocolKind, ReplacementPolicy, WaveConfig};
+pub use controlplane::{ControlPlane, CtrlEvent};
+pub use dataplane::DataPlane;
+pub use events::{EventBus, PlaneEvent};
 pub use ids::{CircuitId, LaneId, ProbeId};
 pub use lanes::{LaneState, LaneTable};
 pub use network::WaveNetwork;

@@ -1,11 +1,22 @@
-//! The wave-switched network: `S0` wormhole fabric + wave lanes + control
-//! plane + per-node protocol engines (CLRP / CARP).
+//! The wave-switched network: a thin composition root over the three
+//! plane engines.
 //!
-//! This module is the executable form of §3 of the paper. Control flits
-//! (probes, acks, teardowns, release requests) travel on the dedicated
-//! one-flit control channels at `ctrl_hop_delay` cycles per hop; data
-//! messages travel either flit-by-flit through the wormhole fabric or as
-//! windowed bulk transfers over established circuits.
+//! This module used to contain the whole router; it is now the *wiring*
+//! only. The actual machinery lives in:
+//!
+//! * [`crate::dataplane`] — the `S0` wormhole fabric;
+//! * [`crate::controlplane`] — wave lanes, PCS units, MB-m probes, and
+//!   the ack / teardown / release-request walks;
+//! * [`crate::circuitplane`] — Circuit Caches, the CLRP / CARP protocol
+//!   engines, and windowed circuit transfers.
+//!
+//! The planes never touch each other's state: everything crosses the
+//! [`EventBus`] as a [`PlaneEvent`], routed here to a fixpoint within the
+//! cycle it was emitted (see [`crate::events`] for why that loop
+//! terminates). Time-delayed work sits on two per-plane
+//! [`EventQueue`]s owned by this root, so each plane stays a pure
+//! [`wavesim_sim::Model`] that can also run standalone under an
+//! [`wavesim_sim::Engine`].
 //!
 //! ### CLRP (§3.1), as implemented
 //!
@@ -54,60 +65,36 @@
 
 use std::collections::HashMap;
 
-use wavesim_network::message::DeliveryMode;
 use wavesim_network::{Delivery, Message, WormholeFabric};
-use wavesim_sim::{Cycle, EventQueue};
-use wavesim_topology::{NodeId, PortDir, Topology};
+use wavesim_sim::{Cycle, EventQueue, Model};
+use wavesim_topology::{NodeId, Topology};
 
-use crate::cache::{CacheEntry, CircuitCache, EntryState};
-use crate::circuit::{plan_transfer, CircuitState, CircuitStatus};
-use crate::config::{ProtocolKind, WaveConfig};
+use crate::cache::{CircuitCache, EntryState};
+use crate::circuit::{CircuitState, CircuitStatus};
+use crate::circuitplane::{CircuitPlane, TransferEvent};
+use crate::config::WaveConfig;
+use crate::controlplane::{ControlPlane, CtrlEvent};
+use crate::dataplane::DataPlane;
+use crate::events::{EventBus, PlaneEvent};
 use crate::ids::{CircuitId, LaneId, ProbeId};
-use crate::lanes::{LaneState, LaneTable};
-use crate::pcs::PcsUnit;
+use crate::lanes::LaneTable;
 use crate::probe::ProbeState;
-use crate::replacement;
 use crate::stats::WaveStats;
 
-/// Control-plane and transfer events.
-#[derive(Debug, Clone)]
-enum Ctrl {
-    /// Probe arrives (or resumes) at its current node.
-    ProbeAt(ProbeId),
-    /// Parked probe woken by a lane release.
-    RetryProbe(ProbeId),
-    /// Path-setup acknowledgment reaches the source router of path lane
-    /// `hop` on its way back (hop 0 is the circuit's source node, where
-    /// the ack completes establishment).
-    AckHopAt(CircuitId, u32),
-    /// Teardown flit reaches `node`.
-    TeardownAt(CircuitId, NodeId),
-    /// Release-request flit reaches the circuit's source.
-    ReleaseReqAt(CircuitId),
-    /// Last flit of a circuit transfer reaches the destination.
-    TransferDelivered(CircuitId, Message),
-    /// Last-fragment acknowledgment reaches the source (In-use clears).
-    TransferAcked(CircuitId),
-}
-
-/// The complete wave-switched network (Fig. 2 routers at every node).
+/// The complete wave-switched network (Fig. 2 routers at every node):
+/// three plane engines composed over an event bus.
 pub struct WaveNetwork {
     topo: Topology,
     cfg: WaveConfig,
-    fabric: WormholeFabric,
-    lanes: LaneTable,
-    pcs: Vec<PcsUnit>,
-    caches: Vec<CircuitCache>,
-    circuits: HashMap<CircuitId, CircuitState>,
-    probes: HashMap<ProbeId, ProbeState>,
-    ctrl: EventQueue<Ctrl>,
+    data: DataPlane,
+    ctrl: ControlPlane,
+    circ: CircuitPlane,
+    ctrl_queue: EventQueue<CtrlEvent>,
+    xfer_queue: EventQueue<TransferEvent>,
+    bus: EventBus,
     deliveries: Vec<Delivery>,
-    stats: WaveStats,
-    next_circuit: u64,
-    next_probe: u64,
-    fifo_seq: u64,
+    msgs_sent: u64,
     outstanding_msgs: u64,
-    max_probe_steps: u64,
 }
 
 impl WaveNetwork {
@@ -115,29 +102,24 @@ impl WaveNetwork {
     #[must_use]
     pub fn new(topo: Topology, cfg: WaveConfig) -> Self {
         cfg.validate();
-        let fabric = WormholeFabric::new(topo.clone(), cfg.wormhole);
-        let n = topo.num_nodes() as usize;
         Self {
-            lanes: LaneTable::new(&topo, cfg.k),
-            pcs: vec![PcsUnit::new(); n],
-            caches: (0..n)
-                .map(|_| CircuitCache::new(cfg.cache_capacity.max(1)))
-                .collect(),
-            circuits: HashMap::new(),
-            probes: HashMap::new(),
-            ctrl: EventQueue::new(),
+            data: DataPlane::new(topo.clone(), cfg.wormhole),
+            ctrl: ControlPlane::new(topo.clone(), cfg),
+            circ: CircuitPlane::new(topo.clone(), cfg),
+            ctrl_queue: EventQueue::new(),
+            xfer_queue: EventQueue::new(),
+            bus: EventBus::new(),
             deliveries: Vec::new(),
-            stats: WaveStats::default(),
-            next_circuit: 0,
-            next_probe: 0,
-            fifo_seq: 0,
+            msgs_sent: 0,
             outstanding_msgs: 0,
-            max_probe_steps: 0,
-            fabric,
             topo,
             cfg,
         }
     }
+
+    // ------------------------------------------------------------------
+    // Observation (delegating to the owning plane)
+    // ------------------------------------------------------------------
 
     /// The topology.
     #[must_use]
@@ -151,56 +133,62 @@ impl WaveNetwork {
         &self.cfg
     }
 
-    /// Protocol statistics.
+    /// Protocol statistics: the field-wise sum of the three planes'
+    /// contributions plus this root's submission counter.
     #[must_use]
     pub fn stats(&self) -> WaveStats {
-        self.stats
+        let mut s = WaveStats {
+            msgs_sent: self.msgs_sent,
+            ..WaveStats::default()
+        };
+        s.absorb(self.data.stats());
+        s.absorb(self.ctrl.stats());
+        s.absorb(self.circ.stats());
+        s
     }
 
     /// The underlying wormhole fabric (read access for instrumentation).
     #[must_use]
     pub fn fabric(&self) -> &WormholeFabric {
-        &self.fabric
+        self.data.fabric()
     }
 
     /// The wave-lane table (read access for instrumentation).
     #[must_use]
     pub fn lanes(&self) -> &LaneTable {
-        &self.lanes
+        self.ctrl.lanes()
     }
 
     /// Live circuits (read access for instrumentation).
     #[must_use]
     pub fn circuits(&self) -> &HashMap<CircuitId, CircuitState> {
-        &self.circuits
+        self.ctrl.circuits()
     }
 
     /// Live probes (read access for instrumentation).
     #[must_use]
     pub fn probes(&self) -> &HashMap<ProbeId, ProbeState> {
-        &self.probes
+        self.ctrl.probes()
     }
 
     /// The Circuit Cache of `node`.
     #[must_use]
     pub fn cache(&self, node: NodeId) -> &CircuitCache {
-        &self.caches[node.0 as usize]
+        self.circ.cache(node)
     }
 
     /// The Ack Returned bit of `circuit` at `node`'s PCS unit, if the
     /// circuit has a mapping there (Fig. 3 register observation).
     #[must_use]
     pub fn pcs_ack_returned(&self, node: NodeId, circuit: CircuitId) -> Option<bool> {
-        self.pcs[node.0 as usize]
-            .hop(circuit)
-            .map(|h| h.ack_returned)
+        self.ctrl.pcs_ack_returned(node, circuit)
     }
 
     /// Largest number of control steps any single probe has taken — the
     /// quantity Theorems 3/4 bound (livelock freedom).
     #[must_use]
     pub fn max_probe_steps(&self) -> u64 {
-        self.max_probe_steps
+        self.ctrl.max_probe_steps()
     }
 
     /// Messages accepted but not yet delivered.
@@ -212,13 +200,13 @@ impl WaveNetwork {
     /// Pending control-plane events (probes, acks, teardowns, transfers).
     #[must_use]
     pub fn control_backlog(&self) -> usize {
-        self.ctrl.len()
+        self.ctrl_queue.len() + self.xfer_queue.len()
     }
 
     /// Marks the `switch`-lane of `link` faulty (static fault injection,
     /// E8). Only the wave plane faults; see DESIGN.md.
     pub fn inject_lane_fault(&mut self, lane: LaneId) {
-        self.lanes.set_faulty(lane);
+        self.ctrl.fault_lane(lane);
     }
 
     /// Drains deliveries completed since the last call (both transports).
@@ -226,26 +214,118 @@ impl WaveNetwork {
         std::mem::take(&mut self.deliveries)
     }
 
+    /// Arms the event-bus tap: every inter-plane [`PlaneEvent`] is
+    /// recorded from now on for [`WaveNetwork::take_events`]. External
+    /// detectors (`wavesim-verify`) use this to observe the network
+    /// without reaching into plane internals.
+    pub fn enable_event_tap(&mut self) {
+        self.bus.enable_tap();
+    }
+
+    /// Drains the tapped events (empty when the tap is not armed).
+    pub fn take_events(&mut self) -> Vec<PlaneEvent> {
+        self.bus.take_tap()
+    }
+
     /// True while any message, probe, or control flit is outstanding.
     #[must_use]
     pub fn busy(&self) -> bool {
-        self.fabric.busy()
+        self.data.busy()
             || self.outstanding_msgs > 0
-            || !self.probes.is_empty()
-            || !self.ctrl.is_empty()
+            || self.ctrl.busy()
+            || !self.ctrl_queue.is_empty()
+            || !self.xfer_queue.is_empty()
     }
 
-    /// Advances the whole network by one cycle.
+    // ------------------------------------------------------------------
+    // The cycle loop
+    // ------------------------------------------------------------------
+
+    /// Advances the whole network by one cycle: the dataplane ticks, then
+    /// due control and transfer events are dispatched one at a time, with
+    /// the event bus routed to a fixpoint after every step so cross-plane
+    /// effects land in the same cycle (matching the pre-split router).
     pub fn tick(&mut self, now: Cycle) {
-        self.fabric.tick(now);
-        for d in self.fabric.drain_deliveries() {
-            debug_assert_eq!(d.mode, DeliveryMode::Wormhole);
-            self.outstanding_msgs -= 1;
-            self.stats.msgs_wormhole += 1;
-            self.deliveries.push(d);
+        self.data.step(now);
+        self.data.drain_outbox_into(&mut self.bus);
+        self.route(now);
+        loop {
+            if let Some(ev) = self.ctrl_queue.pop_due(now) {
+                self.ctrl.handle(now, ev.event, &mut self.ctrl_queue);
+                self.ctrl.drain_outbox_into(&mut self.bus);
+                self.route(now);
+            } else if let Some(ev) = self.xfer_queue.pop_due(now) {
+                self.circ.handle(now, ev.event, &mut self.xfer_queue);
+                self.circ.drain_outbox_into(&mut self.bus);
+                self.route(now);
+            } else {
+                break;
+            }
         }
-        while let Some(ev) = self.ctrl.pop_due(now) {
-            self.handle(now, ev.event);
+    }
+
+    /// Routes bus events to their consuming plane until the bus drains.
+    /// Terminates because every handler either finishes in bounded
+    /// immediate work or schedules delayed work at `now + 1` or later.
+    fn route(&mut self, now: Cycle) {
+        while let Some(ev) = self.bus.pop() {
+            match ev {
+                PlaneEvent::WormholeDelivered(d) | PlaneEvent::CircuitDelivered(d) => {
+                    self.outstanding_msgs -= 1;
+                    self.deliveries.push(d);
+                }
+                PlaneEvent::InjectWormhole(msg) => self.data.inject(msg),
+                PlaneEvent::LaunchProbe {
+                    circuit,
+                    src,
+                    dest,
+                    switch,
+                    force,
+                } => self.ctrl.on_launch_probe(
+                    now,
+                    &mut self.ctrl_queue,
+                    circuit,
+                    src,
+                    dest,
+                    switch,
+                    force,
+                ),
+                PlaneEvent::ProbeExhausted {
+                    circuit,
+                    src,
+                    dest,
+                    switch,
+                    force,
+                } => self
+                    .circ
+                    .on_probe_exhausted(circuit, src, dest, switch, force),
+                PlaneEvent::CircuitEstablished {
+                    circuit,
+                    src,
+                    dest,
+                    hops,
+                    first_lane,
+                } => self.circ.on_established(
+                    now,
+                    &mut self.xfer_queue,
+                    circuit,
+                    src,
+                    dest,
+                    hops,
+                    first_lane,
+                ),
+                PlaneEvent::VictimRelease { circuit, src } => {
+                    self.circ.on_victim_release(circuit, src);
+                }
+                PlaneEvent::ReleaseCircuit { circuit, src } => {
+                    self.ctrl
+                        .on_release_circuit(now, &mut self.ctrl_queue, circuit, src);
+                }
+                PlaneEvent::AbandonCircuit { circuit } => self.ctrl.on_abandon_circuit(circuit),
+                PlaneEvent::CircuitReleased { .. } => {} // observation only
+            }
+            self.ctrl.drain_outbox_into(&mut self.bus);
+            self.circ.drain_outbox_into(&mut self.bus);
         }
     }
 
@@ -255,787 +335,37 @@ impl WaveNetwork {
 
     /// Submits a message; the configured protocol decides its transport.
     pub fn send(&mut self, now: Cycle, msg: Message) {
-        self.stats.msgs_sent += 1;
+        self.msgs_sent += 1;
         self.outstanding_msgs += 1;
-        match self.cfg.protocol {
-            ProtocolKind::WormholeOnly => self.fabric.inject(msg),
-            ProtocolKind::Clrp => self.clrp_send(now, msg),
-            ProtocolKind::Carp => self.carp_send(now, msg),
-        }
-    }
-
-    fn send_wormhole_fallback(&mut self, msg: Message) {
-        self.stats.wormhole_fallbacks += 1;
-        self.fabric.inject(msg);
-    }
-
-    fn clrp_send(&mut self, now: Cycle, msg: Message) {
-        let src = msg.src.0 as usize;
-        if let Some(entry) = self.caches[src].get_mut(msg.dest) {
-            match entry.state {
-                EntryState::Ready => {
-                    self.stats.cache_hits += 1;
-                    replacement::on_use(entry, self.cfg.replacement, now);
-                    entry.queue.push_back(msg);
-                    self.pump_circuit(now, msg.src, msg.dest);
-                }
-                EntryState::Establishing => {
-                    entry.queue.push_back(msg);
-                }
-                EntryState::Releasing | EntryState::Failed => {
-                    self.send_wormhole_fallback(msg);
-                }
-            }
-            return;
-        }
-        // Miss: establish a circuit, evicting if the register file is full.
-        self.stats.cache_misses += 1;
-        if self.caches[src].is_full() {
-            match self.caches[src].pick_victim(self.cfg.replacement, self.cfg.seed) {
-                Some(victim) => {
-                    self.stats.cache_evictions += 1;
-                    self.release_entry_now(now, msg.src, victim);
-                }
-                None => {
-                    // Every cached circuit is busy: this message cannot
-                    // get a circuit; use wormhole switching.
-                    self.send_wormhole_fallback(msg);
-                    return;
-                }
-            }
-        }
-        let force = self.cfg.clrp.skip_phase1;
-        let dest = msg.dest;
-        self.start_establish(now, msg.src, dest, force)
-            .queue
-            .push_back(msg);
-    }
-
-    fn carp_send(&mut self, now: Cycle, msg: Message) {
-        let src = msg.src.0 as usize;
-        if let Some(entry) = self.caches[src].get_mut(msg.dest) {
-            match entry.state {
-                EntryState::Ready => {
-                    self.stats.cache_hits += 1;
-                    replacement::on_use(entry, self.cfg.replacement, now);
-                    entry.queue.push_back(msg);
-                    self.pump_circuit(now, msg.src, msg.dest);
-                    return;
-                }
-                EntryState::Establishing => {
-                    entry.queue.push_back(msg);
-                    return;
-                }
-                EntryState::Releasing | EntryState::Failed => {}
-            }
-        }
-        // No usable circuit: CARP sends such messages by wormhole (§3.2).
-        self.fabric.inject(msg);
+        self.circ.send(now, msg, &mut self.xfer_queue);
+        self.circ.drain_outbox_into(&mut self.bus);
+        self.route(now);
     }
 
     /// CARP: explicitly requests a circuit to `dest` from `src` ("when a
     /// physical circuit is requested, a switch S_i is selected and a probe
     /// is sent to establish it").
+    ///
+    /// # Panics
+    /// Panics unless the configured protocol is
+    /// [`crate::config::ProtocolKind::Carp`].
     pub fn carp_establish(&mut self, now: Cycle, src: NodeId, dest: NodeId) {
-        assert_eq!(
-            self.cfg.protocol,
-            ProtocolKind::Carp,
-            "carp_establish requires the CARP protocol"
-        );
-        assert_ne!(src, dest, "circuits to self are meaningless");
-        let s = src.0 as usize;
-        if self.caches[s].get(dest).is_some() {
-            return; // already cached (any state): idempotent
-        }
-        if self.caches[s].is_full() {
-            match self.caches[s].pick_victim(self.cfg.replacement, self.cfg.seed) {
-                Some(victim) => {
-                    self.stats.cache_evictions += 1;
-                    self.release_entry_now(now, src, victim);
-                }
-                None => return, // nothing evictable: establishment impossible
-            }
-        }
-        self.stats.cache_misses += 1;
-        let _ = self.start_establish(now, src, dest, false);
+        self.circ.carp_establish(now, src, dest);
+        self.circ.drain_outbox_into(&mut self.bus);
+        self.route(now);
     }
 
     /// CARP: explicitly tears down the circuit from `src` to `dest` once
     /// queued traffic drains ("when the circuit is no longer required, it
     /// is explicitly torn down").
-    pub fn carp_teardown(&mut self, now: Cycle, src: NodeId, dest: NodeId) {
-        assert_eq!(
-            self.cfg.protocol,
-            ProtocolKind::Carp,
-            "carp_teardown requires the CARP protocol"
-        );
-        let s = src.0 as usize;
-        let Some(entry) = self.caches[s].get_mut(dest) else {
-            return; // nothing to tear down: idempotent
-        };
-        match entry.state {
-            EntryState::Failed => {
-                self.caches[s].remove(dest);
-            }
-            EntryState::Releasing => {}
-            EntryState::Ready | EntryState::Establishing => {
-                if entry.evictable() {
-                    self.release_entry_now(now, src, dest);
-                } else {
-                    entry.release_pending = true;
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Establishment
-    // ------------------------------------------------------------------
-
-    /// Paper §3.1: "in a 2D-mesh, node (x, y) can first try switch
-    /// 1 + (x+y) mod k" — generalised to any dimension count.
-    fn initial_switch(&self, src: NodeId) -> u8 {
-        if self.cfg.stagger_initial_switch {
-            1 + (self.topo.coords(src).coord_sum() % u64::from(self.cfg.k)) as u8
-        } else {
-            1
-        }
-    }
-
-    fn start_establish(
-        &mut self,
-        now: Cycle,
-        src: NodeId,
-        dest: NodeId,
-        force: bool,
-    ) -> &mut CacheEntry {
-        let cid = CircuitId(self.next_circuit);
-        self.next_circuit += 1;
-        let switch = self.initial_switch(src);
-        let mut entry = CacheEntry::new(dest, cid, switch, switch);
-        entry.force_phase = force;
-        // End-point buffer sizing (§2): CLRP allocates blind and may
-        // re-allocate; CARP knows the message set and sizes it exactly.
-        entry.alloc_flits = match self.cfg.protocol {
-            ProtocolKind::Clrp => Some(self.cfg.initial_buffer_flits),
-            _ => None,
-        };
-        self.fifo_seq += 1;
-        replacement::on_create(&mut entry, self.cfg.replacement, now, self.fifo_seq);
-        self.caches[src.0 as usize].insert(entry);
-        self.circuits
-            .insert(cid, CircuitState::new(cid, src, dest, switch));
-        self.launch_probe(now, cid, src, dest, switch, force);
-        self.caches[src.0 as usize]
-            .get_mut(dest)
-            .expect("entry just inserted")
-    }
-
-    fn launch_probe(
-        &mut self,
-        now: Cycle,
-        circuit: CircuitId,
-        src: NodeId,
-        dest: NodeId,
-        switch: u8,
-        force: bool,
-    ) {
-        let pid = ProbeId(self.next_probe);
-        self.next_probe += 1;
-        let probe = ProbeState::new(pid, circuit, &self.topo, src, dest, switch, force);
-        self.probes.insert(pid, probe);
-        self.stats.probes_sent += 1;
-        if let Some(c) = self.circuits.get_mut(&circuit) {
-            c.switch = switch;
-            c.status = CircuitStatus::Establishing;
-        }
-        // PCS processing before the probe leaves the source.
-        self.ctrl.schedule(
-            now + u64::from(self.cfg.pcs_delay).max(1),
-            Ctrl::ProbeAt(pid),
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // Event dispatch
-    // ------------------------------------------------------------------
-
-    fn handle(&mut self, now: Cycle, ev: Ctrl) {
-        match ev {
-            Ctrl::ProbeAt(pid) | Ctrl::RetryProbe(pid) => self.process_probe(now, pid),
-            Ctrl::AckHopAt(cid, hop) => self.on_ack_hop(now, cid, hop),
-            Ctrl::TeardownAt(cid, node) => self.on_teardown(now, cid, node),
-            Ctrl::ReleaseReqAt(cid) => self.on_release_request(now, cid),
-            Ctrl::TransferDelivered(cid, msg) => self.on_transfer_delivered(now, cid, msg),
-            Ctrl::TransferAcked(cid) => self.on_transfer_acked(now, cid),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Probe engine (MB-m, §2 + Fig. 4, with the §3.1 Force extension)
-    // ------------------------------------------------------------------
-
-    fn process_probe(&mut self, now: Cycle, pid: ProbeId) {
-        let Some(mut p) = self.probes.remove(&pid) else {
-            return; // probe already terminated (stale wake-up)
-        };
-        p.parked_on = None;
-
-        // If the owning circuit was cancelled while the probe was walking
-        // (defensive path — a teardown raced the search), unwind: release
-        // every reserved lane and die quietly.
-        let cancelled = match self.circuits.get(&p.circuit) {
-            None => true,
-            Some(c) => c.status == CircuitStatus::TearingDown,
-        };
-        if cancelled {
-            self.unwind_probe(now, p);
-            return;
-        }
-
-        // Destination reached?
-        if p.at == p.dest {
-            self.complete_probe(now, p);
-            return;
-        }
-
-        let node = p.at;
-        let reverse_in: Option<PortDir> = p.path.last().map(|lane| {
-            let (_, port) = self.topo.link_endpoints(lane.link);
-            port.opposite()
-        });
-
-        // Nodes already on the reserved path (including the source): the
-        // probe must not loop back through them — its path stays simple,
-        // which both keeps the PCS mappings well-defined (one hop per
-        // circuit per router) and makes the Theorem 3/4 step bound hold.
-        let mut on_path: Vec<NodeId> = Vec::with_capacity(p.path.len() + 1);
-        on_path.push(p.src);
-        for lane in &p.path {
-            on_path.push(self.topo.link_dest(lane.link));
-        }
-        let loops_back = |topo: &Topology, port: PortDir| -> bool {
-            topo.neighbor(node, port)
-                .is_some_and(|n| on_path.contains(&n))
-        };
-
-        // Candidate ports: profitable (minimal) first, in dimension order,
-        // then the rest as misroute candidates.
-        let profitable = self.topo.min_ports(node, p.dest);
-        let all_ports = self.topo.ports_of(node);
-
-        // 1) Free profitable channel not yet searched.
-        for &port in &profitable {
-            if p.searched(node, port.index()) || loops_back(&self.topo, port) {
-                continue;
-            }
-            let lane = LaneId::new(self.topo.link_id(node, port), p.switch);
-            match self.lanes.state(lane) {
-                LaneState::Free => {
-                    self.advance_probe(now, p, port, lane, false);
-                    return;
-                }
-                LaneState::Faulty => {
-                    self.stats.probe_fault_encounters += 1;
-                }
-                LaneState::Reserved(_) => {}
-            }
-        }
-
-        // 2) Misroute if budget remains (MB-m).
-        if p.flit.misroute < self.cfg.misroutes {
-            for &port in &all_ports {
-                if profitable.contains(&port)
-                    || Some(port) == reverse_in
-                    || p.searched(node, port.index())
-                    || loops_back(&self.topo, port)
-                {
-                    continue;
-                }
-                let lane = LaneId::new(self.topo.link_id(node, port), p.switch);
-                match self.lanes.state(lane) {
-                    LaneState::Free => {
-                        self.advance_probe(now, p, port, lane, true);
-                        return;
-                    }
-                    LaneState::Faulty => {
-                        self.stats.probe_fault_encounters += 1;
-                    }
-                    LaneState::Reserved(_) => {}
-                }
-            }
-        }
-
-        // 3) Force mode: pick a victim circuit holding a requested lane
-        //    whose acknowledgment has returned (§3.1 phase two).
-        if p.flit.force {
-            let mut requested: Vec<PortDir> = profitable.clone();
-            if p.flit.misroute < self.cfg.misroutes {
-                for &port in &all_ports {
-                    if !profitable.contains(&port) && Some(port) != reverse_in {
-                        requested.push(port);
-                    }
-                }
-            }
-            for &port in &requested {
-                if p.searched(node, port.index()) || loops_back(&self.topo, port) {
-                    continue;
-                }
-                let lane = LaneId::new(self.topo.link_id(node, port), p.switch);
-                let Some(victim) = self.lanes.holder(lane) else {
-                    continue; // free or faulty, handled above
-                };
-                let Some(vstate) = self.circuits.get(&victim) else {
-                    continue;
-                };
-                if vstate.status != CircuitStatus::Ready {
-                    continue; // being established or already tearing down
-                }
-                // Park the probe on the lane; it resumes when freed.
-                self.lanes.park(lane, p.id);
-                p.parked_on = Some(lane);
-                let vsrc = vstate.src;
-                if vsrc == node {
-                    // Victim starts here: release it locally.
-                    self.stats.forced_local_releases += 1;
-                    self.request_local_release(now, vsrc, victim);
-                } else {
-                    // Victim crosses here: ask its source to release it.
-                    self.stats.forced_remote_releases += 1;
-                    let hops_back = self.hops_from_source(victim, node);
-                    let delay = hops_back * u64::from(self.cfg.ctrl_hop_delay);
-                    self.ctrl
-                        .schedule(now + delay.max(1), Ctrl::ReleaseReqAt(victim));
-                }
-                self.probes.insert(p.id, p);
-                return;
-            }
-            // All requested lanes belong to circuits being established (or
-            // nothing is requestable): backtrack even with Force set (§4).
-        }
-
-        // 4) Backtrack.
-        self.backtrack_probe(now, p);
-    }
-
-    /// Path position of `node` on `circuit` (hops from the source),
-    /// counting reserved lanes. Used to time release-request flights.
-    fn hops_from_source(&self, circuit: CircuitId, node: NodeId) -> u64 {
-        let Some(c) = self.circuits.get(&circuit) else {
-            return 1;
-        };
-        for (i, lane) in c.path.iter().enumerate() {
-            if self.topo.link_dest(lane.link) == node {
-                return (i + 1) as u64;
-            }
-        }
-        1
-    }
-
-    fn advance_probe(
-        &mut self,
-        now: Cycle,
-        mut p: ProbeState,
-        port: PortDir,
-        lane: LaneId,
-        misroute: bool,
-    ) {
-        p.mark_searched(p.at, port.index());
-        self.lanes.reserve(lane, p.circuit);
-        if misroute {
-            p.flit.misroute += 1;
-            self.stats.probe_misroutes += 1;
-        }
-        // PCS bookkeeping at the current node: out mapping.
-        let unit = &mut self.pcs[p.at.0 as usize];
-        if unit.hop(p.circuit).is_none() {
-            // Source node (no in-lane).
-            debug_assert_eq!(p.at, p.src);
-            unit.record(p.circuit, p.switch, None, Some(lane));
-        } else {
-            unit.set_out_lane(p.circuit, Some(lane));
-        }
-        let next = self.topo.link_dest(lane.link);
-        p.path.push(lane);
-        p.at = next;
-        p.hops += 1;
-        self.stats.probe_hops += 1;
-        p.flit.backtrack = false;
-        let (dest, circuit, switch) = (p.dest, p.circuit, p.switch);
-        p.flit.update_offsets(&self.topo, next, dest);
-        // Record the in-mapping at the next node on arrival.
-        let unit = &mut self.pcs[next.0 as usize];
-        if unit.hop(circuit).is_none() {
-            unit.record(circuit, switch, Some(lane), None);
-        } else {
-            // Revisited node after a backtrack elsewhere: refresh in-lane.
-            unit.clear(circuit);
-            unit.record(circuit, switch, Some(lane), None);
-        }
-        let pid = p.id;
-        self.probes.insert(pid, p);
-        // Forward moves pay the PCS routing decision plus the wire hop.
-        let delay = u64::from(self.cfg.ctrl_hop_delay) + u64::from(self.cfg.pcs_delay);
-        self.ctrl.schedule(now + delay, Ctrl::ProbeAt(pid));
-    }
-
-    fn backtrack_probe(&mut self, now: Cycle, mut p: ProbeState) {
-        if p.at == p.src {
-            // Search space for this switch exhausted.
-            self.pcs[p.src.0 as usize].clear(p.circuit);
-            self.stats.probes_exhausted += 1;
-            self.max_probe_steps = self.max_probe_steps.max(p.hops);
-            let (circuit, switch, force) = (p.circuit, p.switch, p.flit.force);
-            self.on_probe_failed(now, circuit, switch, force);
-            return;
-        }
-        p.flit.backtrack = true;
-        let lane = p.path.pop().expect("non-source probe has a path");
-        let (prev, _) = self.topo.link_endpoints(lane.link);
-        // Clear this node's mapping; the previous node's out-lane resets.
-        self.pcs[p.at.0 as usize].clear(p.circuit);
-        self.pcs[prev.0 as usize].set_out_lane(p.circuit, None);
-        let woken = self.lanes.release(lane, p.circuit);
-        p.at = prev;
-        p.hops += 1;
-        p.backtracks += 1;
-        self.stats.probe_hops += 1;
-        self.stats.probe_backtracks += 1;
-        let (dest, pid) = (p.dest, p.id);
-        p.flit.update_offsets(&self.topo, prev, dest);
-        self.probes.insert(pid, p);
-        self.ctrl
-            .schedule(now + u64::from(self.cfg.ctrl_hop_delay), Ctrl::ProbeAt(pid));
-        self.wake(now, woken);
-    }
-
-    /// Releases everything a cancelled probe reserved (reverse path order)
-    /// and clears the PCS mappings it created.
-    fn unwind_probe(&mut self, now: Cycle, p: ProbeState) {
-        self.pcs[p.at.0 as usize].clear(p.circuit);
-        for lane in p.path.iter().rev() {
-            let (from, _) = self.topo.link_endpoints(lane.link);
-            self.pcs[from.0 as usize].clear(p.circuit);
-            let woken = self.lanes.release(*lane, p.circuit);
-            self.wake(now, woken);
-        }
-        self.circuits.remove(&p.circuit);
-        self.stats.teardowns += 1;
-        self.max_probe_steps = self.max_probe_steps.max(p.hops);
-    }
-
-    fn complete_probe(&mut self, now: Cycle, p: ProbeState) {
-        debug_assert_eq!(p.at, p.dest);
-        debug_assert!(!p.path.is_empty(), "src != dest implies a real path");
-        self.stats.probes_reached += 1;
-        self.max_probe_steps = self.max_probe_steps.max(p.hops);
-        let c = self
-            .circuits
-            .get_mut(&p.circuit)
-            .expect("live probe has a live circuit");
-        c.path = p.path.clone();
-        // The acknowledgment returns hop by hop over the reverse control
-        // channels (Fig. 3's Reverse Channel Mappings), setting each
-        // router's Ack Returned bit as it passes.
-        let last_hop = (p.path.len() - 1) as u32;
-        let delay = u64::from(self.cfg.ctrl_hop_delay);
-        self.ctrl
-            .schedule(now + delay.max(1), Ctrl::AckHopAt(p.circuit, last_hop));
-        // Probe terminates; its History Store entries die with it.
-    }
-
-    fn wake(&mut self, now: Cycle, probes: Vec<ProbeId>) {
-        for pid in probes {
-            if self.probes.contains_key(&pid) {
-                self.ctrl.schedule(now + 1, Ctrl::RetryProbe(pid));
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Protocol reactions
-    // ------------------------------------------------------------------
-
-    fn on_probe_failed(&mut self, now: Cycle, circuit: CircuitId, switch: u8, force: bool) {
-        let Some(c) = self.circuits.get(&circuit) else {
-            return;
-        };
-        let (src, dest) = (c.src, c.dest);
-        let k = self.cfg.k;
-        let entry = self.caches[src.0 as usize]
-            .find_by_circuit_mut(circuit)
-            .expect("establishing circuit has a cache entry");
-        let initial = entry.initial_switch;
-        let next_switch = (switch % k) + 1;
-
-        match self.cfg.protocol {
-            ProtocolKind::Clrp => {
-                if !force {
-                    if next_switch != initial {
-                        // Phase one continues on the next switch.
-                        entry.switch = next_switch;
-                        self.launch_probe(now, circuit, src, dest, next_switch, false);
-                    } else if self.cfg.clrp.enable_force {
-                        // Phase two: Force bit set, back to Initial Switch.
-                        entry.force_phase = true;
-                        entry.switch = initial;
-                        self.launch_probe(now, circuit, src, dest, initial, true);
-                    } else {
-                        self.fail_establishment(now, src, dest, circuit);
-                    }
-                } else if !self.cfg.clrp.single_switch_force && next_switch != initial {
-                    entry.switch = next_switch;
-                    self.launch_probe(now, circuit, src, dest, next_switch, true);
-                } else {
-                    // Phase three: wormhole switching.
-                    self.fail_establishment(now, src, dest, circuit);
-                }
-            }
-            ProtocolKind::Carp => {
-                if next_switch != initial {
-                    entry.switch = next_switch;
-                    self.launch_probe(now, circuit, src, dest, next_switch, false);
-                } else {
-                    self.fail_establishment(now, src, dest, circuit);
-                }
-            }
-            ProtocolKind::WormholeOnly => unreachable!("no probes in wormhole-only mode"),
-        }
-    }
-
-    fn fail_establishment(&mut self, now: Cycle, src: NodeId, dest: NodeId, circuit: CircuitId) {
-        let _ = now;
-        self.stats.setups_failed += 1;
-        self.circuits.remove(&circuit);
-        let s = src.0 as usize;
-        let entry = self.caches[s]
-            .get_mut(dest)
-            .expect("failed circuit has a cache entry");
-        let queued: Vec<Message> = entry.queue.drain(..).collect();
-        match self.cfg.protocol {
-            ProtocolKind::Carp if !entry.release_pending => {
-                // §3.2: "messages requesting that circuit will have to use
-                // wormhole switching" — keep a Failed marker.
-                entry.state = EntryState::Failed;
-            }
-            _ => {
-                // CLRP always forgets failed attempts; a CARP entry with a
-                // teardown already pending is dropped outright.
-                self.caches[s].remove(dest);
-            }
-        }
-        for m in queued {
-            self.send_wormhole_fallback(m);
-        }
-    }
-
-    /// The ack flit passes the router at the upstream end of path lane
-    /// `hop`, setting that router's Ack Returned bit; at hop 0 it has
-    /// reached the source and establishment completes.
-    fn on_ack_hop(&mut self, now: Cycle, circuit: CircuitId, hop: u32) {
-        let Some(c) = self.circuits.get(&circuit) else {
-            return; // torn down while the ack was in flight
-        };
-        if c.status != CircuitStatus::Establishing {
-            return;
-        }
-        let Some(lane) = c.path.get(hop as usize) else {
-            return;
-        };
-        let (node, _) = self.topo.link_endpoints(lane.link);
-        self.pcs[node.0 as usize].mark_ack(circuit);
-        if hop > 0 {
-            self.ctrl.schedule(
-                now + u64::from(self.cfg.ctrl_hop_delay),
-                Ctrl::AckHopAt(circuit, hop - 1),
-            );
-            return;
-        }
-        self.on_ack_complete(now, circuit);
-    }
-
-    fn on_ack_complete(&mut self, now: Cycle, circuit: CircuitId) {
-        let c = self.circuits.get_mut(&circuit).expect("checked by caller");
-        c.status = CircuitStatus::Ready;
-        let (src, dest) = (c.src, c.dest);
-        let first_lane = c.path.first().copied();
-        self.stats.setups_ok += 1;
-        let entry = self.caches[src.0 as usize]
-            .get_mut(dest)
-            .expect("acked circuit has a cache entry");
-        entry.state = EntryState::Ready;
-        entry.ack_returned = true;
-        entry.established_at = Some(now);
-        entry.channel = first_lane;
-        if entry.release_pending && entry.queue.is_empty() && !entry.in_use {
-            // A CARP teardown (or forced release) raced the ack.
-            self.release_entry_now(now, src, dest);
-            return;
-        }
-        self.pump_circuit(now, src, dest);
-    }
-
-    /// Starts the next queued transfer on the (Ready, idle) circuit.
-    fn pump_circuit(&mut self, now: Cycle, src: NodeId, dest: NodeId) {
-        let Some(entry) = self.caches[src.0 as usize].get_mut(dest) else {
-            return;
-        };
-        if entry.state != EntryState::Ready || entry.in_use {
-            return;
-        }
-        let Some(msg) = entry.queue.pop_front() else {
-            return;
-        };
-        entry.in_use = true;
-        entry.uses += 1;
-        // Blind-sized end-point buffers (CLRP) must grow before a longer
-        // message can stream — a software re-allocation cost (§2).
-        let mut penalty = 0u64;
-        if let Some(alloc) = entry.alloc_flits {
-            if msg.len_flits > alloc {
-                entry.alloc_flits = Some(msg.len_flits);
-                penalty = u64::from(self.cfg.realloc_penalty);
-                self.stats.buffer_reallocs += 1;
-            }
-        }
-        let circuit = entry.circuit;
-        let hops = self.circuits[&circuit].hops();
-        let plan = plan_transfer(msg.len_flits, hops, &self.cfg);
-        self.ctrl.schedule(
-            now + penalty + plan.delivery_delay,
-            Ctrl::TransferDelivered(circuit, msg),
-        );
-        self.ctrl
-            .schedule(now + penalty + plan.ack_delay, Ctrl::TransferAcked(circuit));
-    }
-
-    fn on_transfer_delivered(&mut self, now: Cycle, _circuit: CircuitId, msg: Message) {
-        self.outstanding_msgs -= 1;
-        self.stats.msgs_circuit += 1;
-        self.deliveries.push(Delivery {
-            msg,
-            delivered_at: now,
-            mode: DeliveryMode::Circuit,
-        });
-    }
-
-    fn on_transfer_acked(&mut self, now: Cycle, circuit: CircuitId) {
-        let Some(c) = self.circuits.get(&circuit) else {
-            return;
-        };
-        let (src, dest) = (c.src, c.dest);
-        let entry = self.caches[src.0 as usize]
-            .get_mut(dest)
-            .expect("in-use circuit has a cache entry");
-        debug_assert!(entry.in_use, "ack for a transfer that never started");
-        entry.in_use = false;
-        if entry.release_pending && entry.queue.is_empty() {
-            self.release_entry_now(now, src, dest);
-        } else {
-            self.pump_circuit(now, src, dest);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Release / teardown
-    // ------------------------------------------------------------------
-
-    /// A forced release of a circuit that *starts at* `src` (local victim
-    /// in CLRP phase two): honour it as soon as the in-flight message (if
-    /// any) completes; queued messages fall back to wormhole.
-    fn request_local_release(&mut self, now: Cycle, src: NodeId, circuit: CircuitId) {
-        let s = src.0 as usize;
-        let Some(entry) = self.caches[s].find_by_circuit_mut(circuit) else {
-            self.stats.release_requests_discarded += 1;
-            return;
-        };
-        let dest = entry.dest;
-        let queued: Vec<Message> = entry.queue.drain(..).collect();
-        if entry.in_use {
-            entry.release_pending = true;
-        }
-        for m in queued {
-            self.send_wormhole_fallback(m);
-        }
-        let entry = self.caches[s].get_mut(dest).expect("entry still present");
-        if !entry.in_use {
-            self.release_entry_now(now, src, dest);
-        }
-    }
-
-    fn on_release_request(&mut self, now: Cycle, circuit: CircuitId) {
-        let Some(c) = self.circuits.get(&circuit) else {
-            // Circuit released while the request was in flight: "the
-            // control flit is discarded at some intermediate node" (§4).
-            self.stats.release_requests_discarded += 1;
-            return;
-        };
-        if c.status != CircuitStatus::Ready {
-            self.stats.release_requests_discarded += 1;
-            return;
-        }
-        let src = c.src;
-        self.request_local_release(now, src, circuit);
-    }
-
-    /// Immediately removes the cache entry for `dest` and starts the
-    /// teardown flit down the path.
     ///
     /// # Panics
-    /// Panics if the entry is in use (callers must wait for the ack).
-    fn release_entry_now(&mut self, now: Cycle, src: NodeId, dest: NodeId) {
-        let s = src.0 as usize;
-        let entry = self.caches[s]
-            .remove(dest)
-            .expect("release of missing entry");
-        assert!(!entry.in_use, "cannot release an in-use circuit");
-        for m in entry.queue {
-            self.send_wormhole_fallback(m);
-        }
-        let circuit = entry.circuit;
-        let Some(c) = self.circuits.get_mut(&circuit) else {
-            return; // establishment already failed and cleaned up
-        };
-        match c.status {
-            CircuitStatus::Establishing => {
-                // A probe is still out. Mark the circuit as tearing down;
-                // the probe's failure/success handlers deal with it —
-                // simplest correct policy: let the probe finish its search
-                // and tear down on ack (handled by release_pending, which
-                // we cannot keep since the entry is gone). Instead, kill
-                // the probe in place: backtracking it synchronously would
-                // duplicate the engine, so we mark the circuit TearingDown
-                // and the probe unwinds on its next step.
-                c.status = CircuitStatus::TearingDown;
-            }
-            CircuitStatus::Ready => {
-                c.status = CircuitStatus::TearingDown;
-                self.ctrl.schedule(now + 1, Ctrl::TeardownAt(circuit, src));
-            }
-            CircuitStatus::TearingDown => {}
-        }
-    }
-
-    fn on_teardown(&mut self, now: Cycle, circuit: CircuitId, node: NodeId) {
-        let Some(hop) = self.pcs[node.0 as usize].clear(circuit) else {
-            return; // already unwound (e.g. backtrack raced)
-        };
-        match hop.out_lane {
-            Some(lane) => {
-                let woken = self.lanes.release(lane, circuit);
-                let next = self.topo.link_dest(lane.link);
-                self.ctrl.schedule(
-                    now + u64::from(self.cfg.ctrl_hop_delay),
-                    Ctrl::TeardownAt(circuit, next),
-                );
-                self.wake(now, woken);
-            }
-            None => {
-                // Destination reached: the circuit is fully released.
-                self.circuits.remove(&circuit);
-                self.stats.teardowns += 1;
-            }
-        }
+    /// Panics unless the configured protocol is
+    /// [`crate::config::ProtocolKind::Carp`].
+    pub fn carp_teardown(&mut self, now: Cycle, src: NodeId, dest: NodeId) {
+        self.circ.carp_teardown(src, dest);
+        self.circ.drain_outbox_into(&mut self.bus);
+        self.route(now);
     }
 
     // ------------------------------------------------------------------
@@ -1047,30 +377,31 @@ impl WaveNetwork {
     #[must_use]
     pub fn audit(&self) -> Vec<String> {
         let mut problems = Vec::new();
+        let lanes = self.ctrl.lanes();
         // Every Ready circuit's path must be reserved by it.
-        for (cid, c) in &self.circuits {
+        for (cid, c) in self.ctrl.circuits() {
             if c.status == CircuitStatus::Ready {
                 for lane in &c.path {
-                    if self.lanes.holder(*lane) != Some(*cid) {
+                    if lanes.holder(*lane) != Some(*cid) {
                         problems.push(format!("{cid}: path lane {lane} not held"));
                     }
                 }
             }
         }
         // Every live probe's reserved prefix must be held by its circuit.
-        for (pid, p) in &self.probes {
+        for (pid, p) in self.ctrl.probes() {
             for lane in &p.path {
-                if self.lanes.holder(*lane) != Some(p.circuit) {
+                if lanes.holder(*lane) != Some(p.circuit) {
                     problems.push(format!("{pid}: reserved lane {lane} not held"));
                 }
             }
         }
         // Cache entries and circuit registry must agree.
-        for (n, cache) in self.caches.iter().enumerate() {
+        for (n, cache) in self.circ.caches().iter().enumerate() {
             for e in cache.iter() {
                 match e.state {
                     EntryState::Establishing | EntryState::Ready
-                        if !self.circuits.contains_key(&e.circuit) =>
+                        if !self.ctrl.circuits().contains_key(&e.circuit) =>
                     {
                         problems.push(format!(
                             "node {n}: cache entry for {} has no circuit {}",
@@ -1088,553 +419,34 @@ impl WaveNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wavesim_network::WormholeConfig;
-    use wavesim_topology::{Coords, RoutingKind};
+    use crate::config::ProtocolKind;
 
-    fn cfg(protocol: ProtocolKind) -> WaveConfig {
-        WaveConfig {
-            protocol,
-            ..WaveConfig::default()
-        }
-    }
-
-    fn mesh(dims: &[u16], c: WaveConfig) -> WaveNetwork {
-        WaveNetwork::new(Topology::mesh(dims), c)
-    }
-
-    fn run(net: &mut WaveNetwork, from: Cycle, max: Cycle) -> Cycle {
-        let mut now = from;
-        while net.busy() && now < max {
-            net.tick(now);
-            now += 1;
-        }
-        now
-    }
-
-    fn node(net: &WaveNetwork, c: &[u16]) -> NodeId {
-        net.topology().node(Coords::new(c))
-    }
-
+    /// Composition smoke test: a wormhole-only message round-trips through
+    /// the dataplane and the bus decrements the outstanding counter. The
+    /// full protocol suites live in `crates/core/tests/network.rs`.
     #[test]
-    fn clrp_establishes_circuit_and_delivers() {
-        let mut net = mesh(&[8, 8], cfg(ProtocolKind::Clrp));
-        let src = node(&net, &[0, 0]);
-        let dest = node(&net, &[5, 3]);
-        net.send(0, Message::new(1, src, dest, 128, 0));
-        run(&mut net, 0, 50_000);
-        assert!(!net.busy());
-        let ds = net.drain_deliveries();
-        assert_eq!(ds.len(), 1);
-        assert_eq!(ds[0].mode, DeliveryMode::Circuit);
-        let s = net.stats();
-        assert_eq!(s.setups_ok, 1);
-        assert_eq!(s.cache_misses, 1);
-        assert_eq!(s.msgs_circuit, 1);
-        // Circuit persists after the transfer (it is cached).
-        assert_eq!(net.circuits().len(), 1);
-        assert!(net.cache(src).get(dest).unwrap().ack_returned);
-        assert!(net.audit().is_empty(), "{:?}", net.audit());
-    }
-
-    #[test]
-    fn clrp_second_send_hits_the_cache() {
-        let mut net = mesh(&[8, 8], cfg(ProtocolKind::Clrp));
-        let src = node(&net, &[1, 1]);
-        let dest = node(&net, &[6, 6]);
-        net.send(0, Message::new(1, src, dest, 32, 0));
-        let t = run(&mut net, 0, 50_000);
-        net.send(t, Message::new(2, src, dest, 32, t));
-        run(&mut net, t, t + 50_000);
-        let s = net.stats();
-        assert_eq!(s.cache_misses, 1);
-        assert_eq!(s.cache_hits, 1);
-        assert_eq!(s.probes_sent, 1, "second send must not probe");
-        let ds = net.drain_deliveries();
-        assert_eq!(ds.len(), 2);
-        // The cache hit skips establishment: strictly lower latency.
-        assert!(ds[1].latency() < ds[0].latency());
-    }
-
-    #[test]
-    fn circuit_reuse_preserves_fifo_order() {
-        let mut net = mesh(&[8, 8], cfg(ProtocolKind::Clrp));
-        let src = node(&net, &[0, 0]);
-        let dest = node(&net, &[7, 7]);
-        for i in 0..10 {
-            net.send(0, Message::new(i, src, dest, 64, 0));
-        }
-        run(&mut net, 0, 100_000);
-        let ds = net.drain_deliveries();
-        assert_eq!(ds.len(), 10);
-        // In-order delivery is guaranteed on a circuit (§2).
-        let ids: Vec<u64> = ds.iter().map(|d| d.msg.id.0).collect();
-        assert_eq!(ids, (0..10).collect::<Vec<_>>());
-        assert!(ds.iter().all(|d| d.mode == DeliveryMode::Circuit));
-        assert_eq!(net.cache(src).get(dest).unwrap().uses, 10);
-    }
-
-    #[test]
-    fn wormhole_only_baseline_uses_s0() {
-        let mut net = mesh(&[4, 4], cfg(ProtocolKind::WormholeOnly));
-        let src = node(&net, &[0, 0]);
-        let dest = node(&net, &[3, 3]);
-        net.send(0, Message::new(1, src, dest, 16, 0));
-        run(&mut net, 0, 10_000);
-        let ds = net.drain_deliveries();
-        assert_eq!(ds.len(), 1);
-        assert_eq!(ds[0].mode, DeliveryMode::Wormhole);
-        assert_eq!(net.stats().probes_sent, 0);
-    }
-
-    #[test]
-    fn carp_establish_send_teardown_lifecycle() {
-        let mut net = mesh(&[6, 6], cfg(ProtocolKind::Carp));
-        let src = node(&net, &[0, 0]);
-        let dest = node(&net, &[4, 4]);
-        let free0 = net.lanes().census().0;
-        net.carp_establish(0, src, dest);
-        let t = run(&mut net, 0, 50_000);
-        assert_eq!(net.stats().setups_ok, 1);
-        assert!(net.cache(src).get(dest).unwrap().ack_returned);
-        // Lanes along the path are reserved.
-        assert!(net.lanes().census().1 > 0);
-
-        net.send(t, Message::new(1, src, dest, 200, t));
-        let t = run(&mut net, t, t + 50_000);
-        let ds = net.drain_deliveries();
-        assert_eq!(ds.len(), 1);
-        assert_eq!(ds[0].mode, DeliveryMode::Circuit);
-
-        net.carp_teardown(t, src, dest);
-        run(&mut net, t, t + 50_000);
-        assert!(net.cache(src).get(dest).is_none());
-        assert_eq!(net.circuits().len(), 0);
-        assert_eq!(net.lanes().census().0, free0, "all lanes free again");
-        assert_eq!(net.stats().teardowns, 1);
-        assert!(net.audit().is_empty());
-    }
-
-    #[test]
-    fn carp_send_without_circuit_uses_wormhole() {
-        let mut net = mesh(&[4, 4], cfg(ProtocolKind::Carp));
-        let src = node(&net, &[0, 0]);
-        let dest = node(&net, &[3, 0]);
-        net.send(0, Message::new(1, src, dest, 8, 0));
-        run(&mut net, 0, 10_000);
-        let ds = net.drain_deliveries();
-        assert_eq!(ds[0].mode, DeliveryMode::Wormhole);
-        assert_eq!(net.stats().probes_sent, 0);
-    }
-
-    #[test]
-    fn carp_failed_establishment_marks_entry_and_falls_back() {
-        let mut net = mesh(&[4], cfg(ProtocolKind::Carp));
-        // Fault every lane of every link: no circuit can ever form.
-        let topo = net.topology().clone();
-        for link in topo.links() {
-            for s in 1..=net.config().k {
-                net.inject_lane_fault(LaneId::new(link, s));
-            }
-        }
-        let src = NodeId(0);
-        let dest = NodeId(3);
-        net.carp_establish(0, src, dest);
-        net.send(1, Message::new(1, src, dest, 8, 1));
-        run(&mut net, 0, 20_000);
-        assert_eq!(net.stats().setups_failed, 1);
-        assert_eq!(
-            net.cache(src).get(dest).map(|e| e.state),
-            Some(EntryState::Failed)
-        );
-        let ds = net.drain_deliveries();
-        assert_eq!(ds.len(), 1);
-        assert_eq!(ds[0].mode, DeliveryMode::Wormhole);
-        // Teardown of a Failed entry just forgets it.
-        net.carp_teardown(1_000_000, src, dest);
-        assert!(net.cache(src).get(dest).is_none());
-    }
-
-    #[test]
-    fn clrp_falls_back_to_wormhole_when_wave_plane_dead() {
-        let mut net = mesh(&[4, 4], cfg(ProtocolKind::Clrp));
-        let topo = net.topology().clone();
-        for link in topo.links() {
-            for s in 1..=net.config().k {
-                net.inject_lane_fault(LaneId::new(link, s));
-            }
-        }
-        let src = node(&net, &[0, 0]);
-        let dest = node(&net, &[3, 3]);
-        net.send(0, Message::new(1, src, dest, 64, 0));
-        run(&mut net, 0, 50_000);
-        let ds = net.drain_deliveries();
-        assert_eq!(ds.len(), 1);
-        assert_eq!(ds[0].mode, DeliveryMode::Wormhole, "phase 3 fallback");
-        let s = net.stats();
-        assert_eq!(s.setups_failed, 1);
-        assert!(s.wormhole_fallbacks >= 1);
-        assert!(s.probe_fault_encounters > 0);
-        // CLRP forgets failed attempts.
-        assert!(net.cache(src).get(dest).is_none());
-        assert!(net.audit().is_empty());
-    }
-
-    #[test]
-    fn clrp_force_mode_tears_down_remote_victim() {
-        // 1D mesh, k=1: circuit A (0 -> 3) monopolises the +X lanes; a
-        // later circuit B (1 -> 2) must force A's release through a remote
-        // release request (A crosses node 1 but starts at node 0).
-        let c = WaveConfig {
-            k: 1,
-            misroutes: 0,
-            ..cfg(ProtocolKind::Clrp)
-        };
-        let mut net = mesh(&[4], c);
-        let n0 = NodeId(0);
-        let n1 = NodeId(1);
-        let n2 = NodeId(2);
-        let n3 = NodeId(3);
-        net.send(0, Message::new(1, n0, n3, 16, 0));
-        let t = run(&mut net, 0, 20_000);
-        assert_eq!(net.circuits().len(), 1, "A is up and cached");
-
-        net.send(t, Message::new(2, n1, n2, 16, t));
-        run(&mut net, t, t + 50_000);
-        let ds = net.drain_deliveries();
-        assert_eq!(ds.len(), 2);
-        let s = net.stats();
-        assert!(s.forced_remote_releases >= 1, "{s:?}");
-        assert!(s.teardowns >= 1);
-        assert_eq!(s.setups_ok, 2);
-        // A's entry is gone from node 0's cache; B's circuit lives.
-        assert!(net.cache(n0).get(n3).is_none());
-        assert!(net.cache(n1).get(n2).is_some());
-        assert!(net.audit().is_empty(), "{:?}", net.audit());
-    }
-
-    #[test]
-    fn clrp_force_mode_releases_local_victim() {
-        // Same geometry, but the blocking circuit *starts at* the stuck
-        // node: B (0 -> 2) finds A (0 -> 3) holding its first lane, and A
-        // starts at node 0 = B's source, so the release is local.
-        let c = WaveConfig {
-            k: 1,
-            misroutes: 0,
-            cache_capacity: 4,
-            ..cfg(ProtocolKind::Clrp)
-        };
-        let mut net = mesh(&[4], c);
-        let n0 = NodeId(0);
-        let n2 = NodeId(2);
-        let n3 = NodeId(3);
-        net.send(0, Message::new(1, n0, n3, 16, 0));
-        let t = run(&mut net, 0, 20_000);
-        net.send(t, Message::new(2, n0, n2, 16, t));
-        run(&mut net, t, t + 50_000);
-        assert_eq!(net.drain_deliveries().len(), 2);
-        let s = net.stats();
-        assert!(s.forced_local_releases >= 1, "{s:?}");
-        assert!(net.cache(n0).get(n3).is_none(), "victim evicted");
-        assert!(net.cache(n0).get(n2).is_some());
-        assert!(net.audit().is_empty());
-    }
-
-    #[test]
-    fn probe_misroutes_around_reserved_lane() {
-        // 3x3 mesh, k=1: A = (0,0)->(1,0) takes the +X lane out of the
-        // corner; B = (0,0)->(2,0) must leave through +Y (a misroute) and
-        // still reach its destination in phase one.
-        let c = WaveConfig {
-            k: 1,
-            misroutes: 2,
-            cache_capacity: 8,
-            ..cfg(ProtocolKind::Clrp)
-        };
-        let mut net = mesh(&[3, 3], c);
-        let a = node(&net, &[0, 0]);
-        let d1 = node(&net, &[1, 0]);
-        let d2 = node(&net, &[2, 0]);
-        net.send(0, Message::new(1, a, d1, 8, 0));
-        let t = run(&mut net, 0, 20_000);
-        net.send(t, Message::new(2, a, d2, 8, t));
-        run(&mut net, t, t + 50_000);
-        assert_eq!(net.drain_deliveries().len(), 2);
-        let s = net.stats();
-        assert!(s.probe_misroutes >= 1, "{s:?}");
-        assert_eq!(s.forced_local_releases + s.forced_remote_releases, 0);
-        assert_eq!(net.circuits().len(), 2, "both circuits coexist");
-        assert!(net.audit().is_empty());
-    }
-
-    #[test]
-    fn cache_replacement_evicts_lru_victim() {
-        let c = WaveConfig {
-            cache_capacity: 1,
-            ..cfg(ProtocolKind::Clrp)
-        };
-        let mut net = mesh(&[4, 4], c);
-        let src = node(&net, &[0, 0]);
-        let d1 = node(&net, &[3, 0]);
-        let d2 = node(&net, &[0, 3]);
-        net.send(0, Message::new(1, src, d1, 16, 0));
-        let t = run(&mut net, 0, 20_000);
-        net.send(t, Message::new(2, src, d2, 16, t));
-        run(&mut net, t, t + 50_000);
-        assert_eq!(net.drain_deliveries().len(), 2);
-        let s = net.stats();
-        assert_eq!(s.cache_evictions, 1);
-        assert!(net.cache(src).get(d1).is_none(), "d1 evicted");
-        assert!(net.cache(src).get(d2).is_some());
-        assert_eq!(net.circuits().len(), 1);
-        assert!(net.audit().is_empty());
-    }
-
-    #[test]
-    fn skip_phase1_variant_starts_with_force() {
-        let c = WaveConfig {
-            k: 1,
-            misroutes: 0,
-            clrp: crate::config::ClrpVariant {
-                skip_phase1: true,
-                ..Default::default()
-            },
-            ..cfg(ProtocolKind::Clrp)
-        };
-        let mut net = mesh(&[4], c);
-        net.send(0, Message::new(1, NodeId(0), NodeId(3), 8, 0));
-        let t = run(&mut net, 0, 20_000);
-        // Second circuit immediately forces the victim without a phase-1
-        // round: exactly one probe for the second establishment.
-        let probes_before = net.stats().probes_sent;
-        net.send(t, Message::new(2, NodeId(1), NodeId(2), 8, t));
-        run(&mut net, t, t + 50_000);
-        assert_eq!(net.stats().probes_sent, probes_before + 1);
-        assert!(net.stats().forced_remote_releases >= 1);
-        assert_eq!(net.drain_deliveries().len(), 2);
-    }
-
-    #[test]
-    fn deterministic_replay() {
-        let build = || {
-            let mut net = mesh(&[4, 4], cfg(ProtocolKind::Clrp));
-            let mut id = 0;
-            let topo = net.topology().clone();
-            for a in topo.nodes() {
-                for b in topo.nodes() {
-                    if a != b && (a.0 * 7 + b.0) % 5 == 0 {
-                        net.send(0, Message::new(id, a, b, 24, 0));
-                        id += 1;
-                    }
-                }
-            }
-            run(&mut net, 0, 300_000);
-            let mut ds: Vec<(u64, u64)> = net
-                .drain_deliveries()
-                .iter()
-                .map(|d| (d.msg.id.0, d.delivered_at))
-                .collect();
-            ds.sort_unstable();
-            ds
-        };
-        assert_eq!(build(), build());
-    }
-
-    #[test]
-    fn saturating_clrp_traffic_drains_and_audits_clean() {
-        // Every node talks to several destinations; circuit contention
-        // forces replacements and phase transitions all over the fabric.
-        let c = WaveConfig {
-            cache_capacity: 2,
-            ..cfg(ProtocolKind::Clrp)
-        };
-        let mut net = mesh(&[4, 4], c);
-        let topo = net.topology().clone();
-        let mut id = 0;
-        for a in topo.nodes() {
-            for off in [1u32, 5, 9, 13] {
-                let b = NodeId((a.0 + off) % 16);
-                if a != b {
-                    net.send(0, Message::new(id, a, b, 32, 0));
-                    id += 1;
-                }
-            }
-        }
-        let end = run(&mut net, 0, 2_000_000);
-        assert!(!net.busy(), "all traffic must drain (no deadlock) by {end}");
-        let ds = net.drain_deliveries();
-        assert_eq!(ds.len() as u64, id);
-        assert!(net.audit().is_empty(), "{:?}", net.audit());
-        // The livelock bound of Theorems 3/4 holds.
-        let bound = crate::probe::ProbeState::step_bound(&topo);
-        assert!(net.max_probe_steps() <= bound);
-    }
-
-    #[test]
-    fn wormhole_config_is_respected() {
-        let c = WaveConfig {
-            wormhole: WormholeConfig {
-                w: 4,
-                buffer_depth: 8,
-                routing: RoutingKind::Adaptive,
-                routing_delay: 2,
-            },
-            ..cfg(ProtocolKind::WormholeOnly)
-        };
-        let net = mesh(&[4, 4], c);
-        assert_eq!(net.fabric().config().w, 4);
-        assert_eq!(net.fabric().routing().name(), "duato-adaptive");
-    }
-}
-
-#[cfg(test)]
-mod buffer_tests {
-    use super::*;
-    use wavesim_topology::Coords;
-
-    fn run(net: &mut WaveNetwork, from: Cycle, max: Cycle) -> Cycle {
-        let mut now = from;
-        while net.busy() && now < max {
-            net.tick(now);
-            now += 1;
-        }
-        now
-    }
-
-    #[test]
-    fn clrp_pays_realloc_for_longer_messages() {
+    fn composition_root_routes_deliveries() {
         let cfg = WaveConfig {
-            protocol: ProtocolKind::Clrp,
-            initial_buffer_flits: 32,
-            realloc_penalty: 40,
+            protocol: ProtocolKind::WormholeOnly,
             ..WaveConfig::default()
         };
         let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), cfg);
-        let topo = net.topology().clone();
-        let src = topo.node(Coords::new(&[0, 0]));
-        let dest = topo.node(Coords::new(&[3, 3]));
-        // Fits the initial buffer: no penalty.
-        net.send(0, Message::new(1, src, dest, 32, 0));
-        let t = run(&mut net, 0, 50_000);
-        assert_eq!(net.stats().buffer_reallocs, 0);
-        // Longer: one re-allocation, buffer grows to 128.
-        net.send(t, Message::new(2, src, dest, 128, t));
-        let t = run(&mut net, t, t + 50_000);
-        assert_eq!(net.stats().buffer_reallocs, 1);
-        assert_eq!(net.cache(src).get(dest).unwrap().alloc_flits, Some(128));
-        // Same length again: grown buffer suffices.
-        net.send(t, Message::new(3, src, dest, 128, t));
-        run(&mut net, t, t + 50_000);
-        assert_eq!(net.stats().buffer_reallocs, 1);
-        assert_eq!(net.drain_deliveries().len(), 3);
-    }
-
-    #[test]
-    fn realloc_penalty_delays_the_transfer() {
-        let mk = |penalty: u32| {
-            let cfg = WaveConfig {
-                protocol: ProtocolKind::Clrp,
-                initial_buffer_flits: 8,
-                realloc_penalty: penalty,
-                ..WaveConfig::default()
-            };
-            let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), cfg);
-            let topo = net.topology().clone();
-            let src = topo.node(Coords::new(&[0, 0]));
-            let dest = topo.node(Coords::new(&[3, 3]));
-            net.send(0, Message::new(1, src, dest, 200, 0));
-            run(&mut net, 0, 50_000);
-            net.drain_deliveries()[0].latency()
-        };
-        let cheap = mk(0);
-        let costly = mk(100);
-        assert_eq!(costly, cheap + 100, "penalty shifts delivery 1:1");
-    }
-
-    #[test]
-    fn carp_never_reallocates() {
-        let cfg = WaveConfig {
-            protocol: ProtocolKind::Carp,
-            initial_buffer_flits: 8,
-            realloc_penalty: 100,
-            ..WaveConfig::default()
-        };
-        let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), cfg);
-        let topo = net.topology().clone();
-        let src = topo.node(Coords::new(&[0, 0]));
-        let dest = topo.node(Coords::new(&[3, 3]));
-        net.carp_establish(0, src, dest);
-        let t = run(&mut net, 0, 50_000);
-        // CARP sized the buffers from the message set: huge message, no
-        // penalty ever.
-        net.send(t, Message::new(1, src, dest, 4096, t));
-        run(&mut net, t, t + 100_000);
-        assert_eq!(net.stats().buffer_reallocs, 0);
-        assert_eq!(net.cache(src).get(dest).unwrap().alloc_flits, None);
-        assert_eq!(net.drain_deliveries().len(), 1);
-    }
-}
-
-#[cfg(test)]
-mod ack_tests {
-    use super::*;
-    use wavesim_topology::Coords;
-
-    /// With a slow control plane, the ack's per-hop progression is
-    /// observable: routers near the destination see Ack Returned set
-    /// before the source's Circuit Cache entry becomes Ready.
-    #[test]
-    fn ack_propagates_hop_by_hop() {
-        let cfg = WaveConfig {
-            ctrl_hop_delay: 4,
-            pcs_delay: 1,
-            ..WaveConfig::default()
-        };
-        let mut net = WaveNetwork::new(Topology::mesh(&[6]), cfg);
-        let topo = net.topology().clone();
-        let src = topo.node(Coords::new(&[0]));
-        let dest = topo.node(Coords::new(&[5]));
-        net.send(0, Message::new(1, src, dest, 8, 0));
-        // Tick until the probe reaches the destination (5 forward hops at
-        // 5 cycles each + source processing) but before the ack crosses
-        // the whole path back (5 hops at 4 cycles each).
+        net.enable_event_tap();
+        net.send(0, Message::new(1, NodeId(0), NodeId(15), 16, 0));
+        assert_eq!(net.outstanding(), 1);
         let mut now = 0;
-        let cid = loop {
-            net.tick(now);
-            now += 1;
-            if let Some((id, c)) = net.circuits().iter().next() {
-                if c.hops() == 5 && net.probes().is_empty() {
-                    break *id;
-                }
-            }
-            assert!(now < 1_000, "probe should have completed by now");
-        };
-        // Let the ack cross two hops only.
-        for _ in 0..9 {
+        while net.busy() && now < 10_000 {
             net.tick(now);
             now += 1;
         }
-        let near_dest = topo.node(Coords::new(&[4]));
-        assert_eq!(
-            net.pcs_ack_returned(near_dest, cid),
-            Some(true),
-            "router next to the destination has seen the ack"
-        );
-        assert_eq!(
-            net.pcs_ack_returned(src, cid),
-            Some(false),
-            "the source has not"
-        );
-        assert_eq!(
-            net.cache(src).get(dest).unwrap().state,
-            EntryState::Establishing,
-            "entry not Ready until the ack arrives home"
-        );
-        // Finish: the message is delivered over the circuit.
-        while net.busy() && now < 50_000 {
-            net.tick(now);
-            now += 1;
-        }
-        assert_eq!(net.pcs_ack_returned(src, cid), Some(true));
+        assert_eq!(net.outstanding(), 0);
         assert_eq!(net.drain_deliveries().len(), 1);
+        let events = net.take_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, PlaneEvent::InjectWormhole(_))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, PlaneEvent::WormholeDelivered(_))));
     }
 }

@@ -11,7 +11,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use wavesim_topology::{NodeId, Topology};
 
 use crate::ids::{CircuitId, LaneId, ProbeId};
@@ -19,7 +18,7 @@ use crate::ids::{CircuitId, LaneId, ProbeId};
 /// The wire format of a routing probe — Fig. 4 of the paper.
 ///
 /// | Header | Backtrack | Misroute | Force | X1-offset … Xn-offset |
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProbeFlit {
     /// Identifies the flit as a probe (always set for probes).
     pub header: bool,
@@ -61,7 +60,7 @@ impl ProbeFlit {
 }
 
 /// Why a probe terminated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProbeOutcome {
     /// The full path was reserved and the destination reached.
     Reached,

@@ -1,9 +1,7 @@
 //! Protocol-level statistics for wave-switched networks.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by [`crate::network::WaveNetwork`] over a run.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct WaveStats {
     /// Messages submitted through the protocol layer.
     pub msgs_sent: u64,
@@ -56,6 +54,55 @@ pub struct WaveStats {
 }
 
 impl WaveStats {
+    /// Adds every counter of `other` into `self`. Used by the composition
+    /// root to sum the per-plane contributions into one network-wide view.
+    pub fn absorb(&mut self, other: &WaveStats) {
+        let WaveStats {
+            msgs_sent,
+            msgs_circuit,
+            msgs_wormhole,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            probes_sent,
+            probe_hops,
+            probe_backtracks,
+            probe_misroutes,
+            probes_reached,
+            probes_exhausted,
+            probe_fault_encounters,
+            setups_ok,
+            setups_failed,
+            forced_local_releases,
+            forced_remote_releases,
+            release_requests_discarded,
+            teardowns,
+            wormhole_fallbacks,
+            buffer_reallocs,
+        } = other;
+        self.msgs_sent += msgs_sent;
+        self.msgs_circuit += msgs_circuit;
+        self.msgs_wormhole += msgs_wormhole;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
+        self.cache_evictions += cache_evictions;
+        self.probes_sent += probes_sent;
+        self.probe_hops += probe_hops;
+        self.probe_backtracks += probe_backtracks;
+        self.probe_misroutes += probe_misroutes;
+        self.probes_reached += probes_reached;
+        self.probes_exhausted += probes_exhausted;
+        self.probe_fault_encounters += probe_fault_encounters;
+        self.setups_ok += setups_ok;
+        self.setups_failed += setups_failed;
+        self.forced_local_releases += forced_local_releases;
+        self.forced_remote_releases += forced_remote_releases;
+        self.release_requests_discarded += release_requests_discarded;
+        self.teardowns += teardowns;
+        self.wormhole_fallbacks += wormhole_fallbacks;
+        self.buffer_reallocs += buffer_reallocs;
+    }
+
     /// Circuit-cache hit rate over sends that consulted the cache.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {

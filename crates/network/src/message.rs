@@ -1,11 +1,10 @@
 //! Messages, flits, and delivery records.
 
-use serde::{Deserialize, Serialize};
 use wavesim_sim::Cycle;
 use wavesim_topology::NodeId;
 
 /// Globally unique message identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MessageId(pub u64);
 
 impl std::fmt::Display for MessageId {
@@ -19,7 +18,7 @@ impl std::fmt::Display for MessageId {
 /// Lengths are in flits and include the head flit; a `len_flits == 1`
 /// message is a single head+tail flit, as in the paper's short-message
 /// discussion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Message {
     /// Unique id (assigned by the traffic layer).
     pub id: MessageId,
@@ -55,7 +54,7 @@ impl Message {
 }
 
 /// One flit of a wormhole message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
     /// Owning message.
     pub msg: MessageId,
@@ -85,7 +84,7 @@ impl Flit {
 }
 
 /// How a delivered message travelled — recorded for per-mode statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeliveryMode {
     /// Flit-by-flit through the wormhole fabric (switch `S0`).
     Wormhole,
@@ -94,7 +93,7 @@ pub enum DeliveryMode {
 }
 
 /// Record of a completed message delivery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivery {
     /// The message.
     pub msg: Message,

@@ -90,6 +90,12 @@ impl<M: Model> Engine<M> {
         &mut self.queue
     }
 
+    /// Exclusive access to model and calendar together, for model entry
+    /// points that schedule their own follow-up events.
+    pub fn model_and_queue_mut(&mut self) -> (&mut M, &mut EventQueue<M::Event>) {
+        (&mut self.model, &mut self.queue)
+    }
+
     /// Executes one simulation step at the current time: delivers due
     /// events, ticks the model, then advances the clock. Returns `false`
     /// when the system is quiescent (clock did not advance and never will).

@@ -14,12 +14,10 @@
 //! * [`Warmup`] — gate that discards samples before the warm-up horizon;
 //! * [`ThroughputMeter`] — flits delivered per node per cycle over a window.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Cycle;
 
 /// A saturating event counter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -47,7 +45,7 @@ impl Counter {
 }
 
 /// Welford online mean/variance accumulator with min/max tracking.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Accumulator {
     n: u64,
     mean: f64,
@@ -148,7 +146,7 @@ impl Accumulator {
 ///
 /// Bucket `i` covers `[2^i, 2^(i+1))`, with bucket 0 covering `{0, 1}`.
 /// Coarse but allocation-free and adequate for latency-shape reporting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Vec<u64>,
     acc: Accumulator,
@@ -252,7 +250,7 @@ impl Histogram {
 
 /// Warm-up gate: ignores samples until a configured cycle horizon so
 /// steady-state statistics are not polluted by the cold start.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Warmup {
     horizon: Cycle,
 }
@@ -279,7 +277,7 @@ impl Warmup {
 
 /// Accepted-throughput meter: flits delivered per node per cycle, measured
 /// from the end of warm-up.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputMeter {
     warmup: Warmup,
     nodes: u64,
@@ -337,7 +335,7 @@ impl ThroughputMeter {
 /// `interval` cycles, for latency-over-time or occupancy-over-time plots.
 /// Offerings between sample points are ignored, keeping memory bounded by
 /// run length / interval.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     interval: u64,
     next: Cycle,

@@ -1,103 +1,137 @@
-//! Property-based tests of the simulation kernel's contracts.
+//! Randomized-but-deterministic tests of the simulation kernel's
+//! contracts. Each case sweeps many configurations drawn from a seeded
+//! [`SimRng`], so the coverage is property-style while the run is exactly
+//! reproducible (the offline build has no property-testing framework).
 
-use proptest::prelude::*;
 use wavesim_sim::stats::{Accumulator, Histogram};
 use wavesim_sim::time::cycles_for;
-use wavesim_sim::EventQueue;
+use wavesim_sim::{EventQueue, SimRng};
 
-proptest! {
-    /// Popping returns events sorted by time, FIFO within a timestamp,
-    /// regardless of the schedule order.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+/// Popping returns events sorted by time, FIFO within a timestamp,
+/// regardless of the schedule order.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    let mut rng = SimRng::new(0xbeef);
+    for case in 0..50 {
+        let n = 1 + rng.index(200);
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
+        for i in 0..n {
+            let t = rng.below(1_000);
             q.schedule(t, (t, i));
         }
         let mut popped = Vec::new();
         while let Some(e) = q.pop() {
             popped.push(e.event);
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), n, "case {case}");
         for w in popped.windows(2) {
             let (t1, i1) = w[0];
             let (t2, i2) = w[1];
-            prop_assert!(t1 < t2 || (t1 == t2 && i1 < i2),
-                "order violated: ({t1},{i1}) before ({t2},{i2})");
+            assert!(
+                t1 < t2 || (t1 == t2 && i1 < i2),
+                "case {case}: order violated: ({t1},{i1}) before ({t2},{i2})"
+            );
         }
     }
+}
 
-    /// Interleaved scheduling and popping never reorders already-due work.
-    #[test]
-    fn event_queue_interleaved(ops in proptest::collection::vec((0u64..100, any::<bool>()), 1..100)) {
+/// Interleaved scheduling and popping never reorders already-due work.
+#[test]
+fn event_queue_interleaved() {
+    let mut rng = SimRng::new(0xcafe);
+    for _ in 0..50 {
+        let ops = 1 + rng.index(100);
         let mut q = EventQueue::new();
         let mut clock = 0u64;
         let mut last: Option<u64> = None;
-        for (dt, pop) in ops {
-            if pop {
+        for _ in 0..ops {
+            if rng.chance(0.5) {
                 if let Some(e) = q.pop() {
                     if let Some(prev) = last {
-                        prop_assert!(e.at >= prev);
+                        assert!(e.at >= prev);
                     }
                     last = Some(e.at);
                     clock = clock.max(e.at);
                 }
             } else {
-                q.schedule(clock + dt, ());
+                q.schedule(clock + rng.below(100), ());
             }
         }
     }
+}
 
-    /// `cycles_for` is the exact ceiling of flits·den/num.
-    #[test]
-    fn cycles_for_is_exact_ceiling(flits in 0u64..1_000_000, num in 1u64..64, den in 1u64..64) {
+/// `cycles_for` is the exact ceiling of flits·den/num.
+#[test]
+fn cycles_for_is_exact_ceiling() {
+    let mut rng = SimRng::new(0xf00d);
+    for _ in 0..2_000 {
+        let flits = rng.below(1_000_000);
+        let num = 1 + rng.below(63);
+        let den = 1 + rng.below(63);
         let c = cycles_for(flits, num, den);
         // c cycles at num/den flits per cycle move at least `flits` flits...
-        prop_assert!(c * num >= flits * den);
+        assert!(c * num >= flits * den);
         // ...and c-1 cycles do not (when c > 0).
         if c > 0 {
-            prop_assert!((c - 1) * num < flits * den);
+            assert!((c - 1) * num < flits * den);
         }
     }
+}
 
-    /// Merging accumulators in any split equals accumulating everything.
-    #[test]
-    fn accumulator_merge_invariant(xs in proptest::collection::vec(-1e6f64..1e6, 1..200), split in 0usize..200) {
-        let split = split % xs.len();
+/// Merging accumulators in any split equals accumulating everything.
+#[test]
+fn accumulator_merge_invariant() {
+    let mut rng = SimRng::new(0x5eed);
+    for _ in 0..50 {
+        let n = 1 + rng.index(200);
+        let xs: Vec<f64> = (0..n).map(|_| (rng.unit() - 0.5) * 2e6).collect();
+        let split = rng.index(n);
         let mut all = Accumulator::new();
         let mut a = Accumulator::new();
         let mut b = Accumulator::new();
         for (i, &x) in xs.iter().enumerate() {
             all.record(x);
-            if i < split { a.record(x) } else { b.record(x) };
+            if i < split {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), all.count());
-        prop_assert!((a.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
-        prop_assert!((a.variance() - all.variance()).abs() < 1e-3 * (1.0 + all.variance()));
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-6 * (1.0 + all.mean().abs()));
+        assert!((a.variance() - all.variance()).abs() < 1e-3 * (1.0 + all.variance()));
     }
+}
 
-    /// Histogram quantile bounds bracket the true quantiles and merging
-    /// preserves counts.
-    #[test]
-    fn histogram_quantiles_bracket(xs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+/// Histogram quantile bounds bracket the true quantiles and merging
+/// preserves counts.
+#[test]
+fn histogram_quantiles_bracket() {
+    let mut rng = SimRng::new(0xd1ce);
+    for _ in 0..50 {
+        let n = 1 + rng.index(300);
+        let xs: Vec<u64> = (0..n).map(|_| rng.below(1_000_000)).collect();
         let mut h = Histogram::new();
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         for &x in &xs {
             h.record(x);
         }
-        prop_assert_eq!(h.count(), xs.len() as u64);
+        assert_eq!(h.count(), xs.len() as u64);
         for &q in &[0.5, 0.9, 0.99, 1.0] {
             let bound = h.quantile_bound(q);
             let idx = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len()) - 1;
-            prop_assert!(bound >= sorted[idx],
-                "q={q}: bound {bound} below true quantile {}", sorted[idx]);
+            assert!(
+                bound >= sorted[idx],
+                "q={q}: bound {bound} below true quantile {}",
+                sorted[idx]
+            );
         }
         // Merge with itself doubles the count, same max bucket.
         let mut h2 = h.clone();
         h2.merge(&h);
-        prop_assert_eq!(h2.count(), 2 * h.count());
-        prop_assert_eq!(h2.quantile_bound(1.0), h.quantile_bound(1.0));
+        assert_eq!(h2.count(), 2 * h.count());
+        assert_eq!(h2.quantile_bound(1.0), h.quantile_bound(1.0));
     }
 }

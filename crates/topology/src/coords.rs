@@ -4,15 +4,13 @@
 //! Coordinates are a small fixed-capacity value type ([`Coords`]) so that
 //! hot routing paths never allocate.
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum number of dimensions supported. The paper targets
 /// low-dimensional topologies (2D/3D meshes and tori); eight dimensions
 /// comfortably covers hypercubes up to 256 nodes as well.
 pub const MAX_DIMS: usize = 8;
 
 /// Travel direction along a dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Dir {
     /// Increasing coordinate.
     Plus,
@@ -55,7 +53,7 @@ impl Dir {
 
 /// A point in a mixed-radix coordinate space; cheap to copy, never heap
 /// allocated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Coords {
     d: [u16; MAX_DIMS],
     n: u8,

@@ -19,14 +19,12 @@
 //! candidate sets depend only on `(current, dest)` — exactly the setting of
 //! Duato's theory, and what [`crate::cdg`] checks mechanically.
 
-use serde::{Deserialize, Serialize};
-
 use crate::coords::Dir;
 use crate::topo::{NodeId, PortDir, Topology};
 
 /// One admissible next hop: an output port plus a virtual-channel index on
 /// that port's link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Candidate {
     /// Output port to take.
     pub port: PortDir,
@@ -70,7 +68,7 @@ pub trait WormholeRouting: Send + Sync {
 /// Corrects the lowest nonzero offset dimension first; within the chosen
 /// port, all `vcs` virtual channels are interchangeable (replication does
 /// not add dependencies, so acyclicity is preserved).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DorMesh {
     /// Virtual channels per link (≥ 1); pure replication.
     pub vcs: u8,
@@ -130,7 +128,7 @@ impl WormholeRouting for DorMesh {
 /// along a ring uses class 0 while its remaining path still crosses the
 /// wraparound link of that ring and class 1 afterwards, which removes the
 /// cyclic dependency around each ring (Dally–Seitz).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DorTorus {
     /// Virtual channels per class (≥ 1); total VCs per link is `2·replication`.
     pub replication: u8,
@@ -177,7 +175,7 @@ impl WormholeRouting for DorTorus {
 }
 
 /// The escape routing function underneath [`DuatoAdaptive`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EscapeFn {
     /// Mesh/hypercube escape: single-VC dimension-order routing.
     Mesh,
@@ -192,7 +190,7 @@ pub enum EscapeFn {
 /// channels (low indices) follow the deterministic base function. Because a
 /// packet may select an escape channel at every node, Duato's sufficient
 /// condition for deadlock freedom holds (refs \[8, 9\]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DuatoAdaptive {
     escape: EscapeFn,
     adaptive_vcs: u8,
@@ -272,7 +270,7 @@ impl WormholeRouting for DuatoAdaptive {
 /// `wavesim-topology::cdg` must find its cycle and the runtime deadlock
 /// detector in `wavesim-verify` must trip on it under saturation. Never use
 /// it in a real configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NaiveTorusDor {
     /// Virtual channels per link (pure replication — still deadlocks).
     pub vcs: u8,
@@ -312,7 +310,7 @@ impl WormholeRouting for NaiveTorusDor {
 }
 
 /// Serializable routing-function selector for experiment configs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingKind {
     /// Deterministic dimension-order routing (mesh/hypercube or torus,
     /// chosen by the topology).

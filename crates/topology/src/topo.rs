@@ -5,12 +5,10 @@
 //! questions the routing layers ask: neighbours, minimal offsets, distances,
 //! and torus dateline crossings.
 
-use serde::{Deserialize, Serialize};
-
 use crate::coords::{Coords, Dir, MAX_DIMS};
 
 /// Dense node identifier (row-major mixed-radix index of the coordinates).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl std::fmt::Display for NodeId {
@@ -20,7 +18,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// An output port of a router: a dimension plus a travel direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortDir {
     /// Dimension index.
     pub dim: u8,
@@ -80,11 +78,11 @@ impl std::fmt::Display for PortDir {
 /// Ids are allocated for *all* (node, port) slots; mesh boundary slots have
 /// no link — check [`Topology::has_link`] before use. Dense ids let the
 /// fabric index per-link state with flat vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
 
 /// The shape family of a topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopologyKind {
     /// k-ary n-dimensional mesh (no wraparound links).
     Mesh,
@@ -93,7 +91,7 @@ pub enum TopologyKind {
 }
 
 /// A concrete k-ary n-cube topology.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     kind: TopologyKind,
     radices: Vec<u16>,

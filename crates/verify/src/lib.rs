@@ -18,7 +18,10 @@
 //!   accepted message (the paper's "every message will reach its
 //!   destination in finite time");
 //! * **invariants** ([`invariants`]) — structural cross-checks between
-//!   lanes, circuits, probes, and circuit caches (`WaveNetwork::audit`).
+//!   lanes, circuits, probes, and circuit caches (`WaveNetwork::audit`);
+//! * **events** ([`events`]) — detectors that subscribe to the network's
+//!   inter-plane event bus and replay the stream into an independent
+//!   lifecycle ledger, cross-checked against the registry.
 //!
 //! The negative controls matter as much as the positive runs: the test
 //! suite feeds the detectors a *known-broken* routing function
@@ -27,11 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod deadlock;
+pub mod events;
 pub mod invariants;
 pub mod livelock;
 pub mod progress;
 
 pub use deadlock::{check_fabric, check_wave, DeadlockReport};
+pub use events::CircuitLedger;
 pub use invariants::audit_wave;
 pub use livelock::{check_probe_livelock, LivelockReport};
 pub use progress::ProgressMonitor;

@@ -15,7 +15,6 @@
 //!   as the `HotPairs` traffic pattern so CLRP and CARP runs are
 //!   comparable.
 
-use serde::{Deserialize, Serialize};
 use wavesim_network::Message;
 use wavesim_sim::{Cycle, SimRng};
 use wavesim_topology::{Dir, NodeId, PortDir, Topology};
@@ -23,7 +22,7 @@ use wavesim_topology::{Dir, NodeId, PortDir, Topology};
 use crate::patterns::partners_of;
 
 /// One CARP instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CarpOp {
     /// `ESTABLISH src → dest`: request a circuit ahead of use
     /// ("similar to prefetching for caches", §3).

@@ -4,12 +4,11 @@
 //! patterns (transpose, bit-reversal, bit-complement) may leave a node
 //! silent when it maps to itself — the convention of the literature.
 
-use serde::{Deserialize, Serialize};
 use wavesim_sim::SimRng;
 use wavesim_topology::{NodeId, Topology};
 
 /// A destination-selection rule.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TrafficPattern {
     /// Uniformly random destination (≠ source).
     Uniform,

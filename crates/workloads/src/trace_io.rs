@@ -5,72 +5,166 @@
 
 use std::io::{Read, Write};
 
-use serde::{Deserialize, Serialize};
+use wavesim_json::Value;
 use wavesim_network::Message;
 use wavesim_sim::Cycle;
+use wavesim_topology::NodeId;
 
 use crate::carp::{CarpOp, CarpTrace};
 
-/// Versioned on-disk form of a CARP trace.
-#[derive(Debug, Serialize, Deserialize)]
-struct TraceFile {
-    /// Format version (bump on breaking change).
-    version: u32,
-    /// The instruction stream.
-    ops: Vec<(Cycle, CarpOp)>,
+const VERSION: u64 = 1;
+
+fn message_to_json(m: &Message) -> Value {
+    Value::obj(vec![
+        ("id", m.id.0.into()),
+        ("src", u64::from(m.src.0).into()),
+        ("dest", u64::from(m.dest.0).into()),
+        ("len", m.len_flits.into()),
+        ("created", m.created_at.into()),
+    ])
 }
 
-const VERSION: u32 = 1;
+fn message_from_json(v: &Value) -> Result<Message, String> {
+    let field = |k: &str| v[k].as_u64().ok_or_else(|| format!("message missing {k}"));
+    let src = field("src")? as u32;
+    let dest = field("dest")? as u32;
+    let len = field("len")? as u32;
+    if len == 0 {
+        return Err("message length must be >= 1".into());
+    }
+    if src == dest {
+        return Err("self-send in trace".into());
+    }
+    Ok(Message::new(
+        field("id")?,
+        NodeId(src),
+        NodeId(dest),
+        len,
+        field("created")?,
+    ))
+}
+
+fn op_to_json(op: &CarpOp) -> Value {
+    match op {
+        CarpOp::Establish { src, dest } => Value::obj(vec![
+            ("op", "establish".into()),
+            ("src", u64::from(src.0).into()),
+            ("dest", u64::from(dest.0).into()),
+        ]),
+        CarpOp::Send(m) => Value::obj(vec![("op", "send".into()), ("msg", message_to_json(m))]),
+        CarpOp::Teardown { src, dest } => Value::obj(vec![
+            ("op", "teardown".into()),
+            ("src", u64::from(src.0).into()),
+            ("dest", u64::from(dest.0).into()),
+        ]),
+    }
+}
+
+fn op_from_json(v: &Value) -> Result<CarpOp, String> {
+    let endpoints = || -> Result<(NodeId, NodeId), String> {
+        let src = v["src"].as_u64().ok_or("op missing src")? as u32;
+        let dest = v["dest"].as_u64().ok_or("op missing dest")? as u32;
+        Ok((NodeId(src), NodeId(dest)))
+    };
+    match v["op"].as_str() {
+        Some("establish") => {
+            let (src, dest) = endpoints()?;
+            Ok(CarpOp::Establish { src, dest })
+        }
+        Some("teardown") => {
+            let (src, dest) = endpoints()?;
+            Ok(CarpOp::Teardown { src, dest })
+        }
+        Some("send") => Ok(CarpOp::Send(message_from_json(&v["msg"])?)),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+fn timed_to_json<T>(items: &[(Cycle, T)], encode: impl Fn(&T) -> Value) -> Value {
+    Value::Arr(
+        items
+            .iter()
+            .map(|(t, x)| Value::Arr(vec![(*t).into(), encode(x)]))
+            .collect(),
+    )
+}
+
+fn timed_from_json<T>(
+    v: &Value,
+    what: &str,
+    decode: impl Fn(&Value) -> Result<T, String>,
+) -> Result<Vec<(Cycle, T)>, String> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| format!("{what} must be an array"))?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = item
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("each {what} entry must be a [cycle, value] pair"))?;
+        let t = pair[0]
+            .as_u64()
+            .ok_or_else(|| format!("bad {what} cycle"))?;
+        out.push((t, decode(&pair[1])?));
+    }
+    Ok(out)
+}
 
 /// Serializes `trace` as pretty JSON.
 ///
 /// # Errors
-/// Propagates I/O and serialization errors.
-pub fn save_trace<W: Write>(trace: &CarpTrace, writer: W) -> Result<(), serde_json::Error> {
-    let file = TraceFile {
-        version: VERSION,
-        ops: trace.ops.clone(),
-    };
-    serde_json::to_writer_pretty(writer, &file)
+/// Propagates I/O errors.
+pub fn save_trace<W: Write>(trace: &CarpTrace, mut writer: W) -> std::io::Result<()> {
+    let file = Value::obj(vec![
+        ("version", VERSION.into()),
+        ("ops", timed_to_json(&trace.ops, op_to_json)),
+    ]);
+    writer.write_all(file.pretty().as_bytes())
 }
 
 /// Deserializes a trace saved by [`save_trace`].
 ///
 /// # Errors
 /// Fails on malformed JSON, an unknown version, or a time-unsorted stream.
-pub fn load_trace<R: Read>(reader: R) -> Result<CarpTrace, String> {
-    let file: TraceFile =
-        serde_json::from_reader(reader).map_err(|e| format!("malformed trace: {e}"))?;
-    if file.version != VERSION {
+pub fn load_trace<R: Read>(mut reader: R) -> Result<CarpTrace, String> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| format!("read failed: {e}"))?;
+    let v = Value::parse(&text).map_err(|e| format!("malformed trace: {e}"))?;
+    let version = v["version"].as_u64().ok_or("malformed trace: no version")?;
+    if version != VERSION {
         return Err(format!(
-            "unsupported trace version {} (expected {VERSION})",
-            file.version
+            "unsupported trace version {version} (expected {VERSION})"
         ));
     }
-    if !file.ops.windows(2).all(|w| w[0].0 <= w[1].0) {
+    let ops = timed_from_json(&v["ops"], "trace op", op_from_json)?;
+    if !ops.windows(2).all(|w| w[0].0 <= w[1].0) {
         return Err("trace ops are not time-sorted".into());
     }
-    Ok(CarpTrace { ops: file.ops })
+    Ok(CarpTrace { ops })
 }
 
 /// Serializes a timed message script (as used by scripted experiments).
 ///
 /// # Errors
-/// Propagates I/O and serialization errors.
-pub fn save_script<W: Write>(
-    script: &[(Cycle, Message)],
-    writer: W,
-) -> Result<(), serde_json::Error> {
-    serde_json::to_writer_pretty(writer, script)
+/// Propagates I/O errors.
+pub fn save_script<W: Write>(script: &[(Cycle, Message)], mut writer: W) -> std::io::Result<()> {
+    writer.write_all(timed_to_json(script, message_to_json).pretty().as_bytes())
 }
 
 /// Deserializes a message script saved by [`save_script`].
 ///
 /// # Errors
 /// Fails on malformed JSON or a time-unsorted script.
-pub fn load_script<R: Read>(reader: R) -> Result<Vec<(Cycle, Message)>, String> {
-    let script: Vec<(Cycle, Message)> =
-        serde_json::from_reader(reader).map_err(|e| format!("malformed script: {e}"))?;
+pub fn load_script<R: Read>(mut reader: R) -> Result<Vec<(Cycle, Message)>, String> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| format!("read failed: {e}"))?;
+    let v = Value::parse(&text).map_err(|e| format!("malformed script: {e}"))?;
+    let script = timed_from_json(&v, "script", message_from_json)?;
     if !script.windows(2).all(|w| w[0].0 <= w[1].0) {
         return Err("script is not time-sorted".into());
     }
@@ -80,7 +174,7 @@ pub fn load_script<R: Read>(reader: R) -> Result<Vec<(Cycle, Message)>, String> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wavesim_topology::{NodeId, Topology};
+    use wavesim_topology::Topology;
 
     #[test]
     fn trace_roundtrip() {
@@ -127,5 +221,15 @@ mod tests {
     fn garbage_rejected() {
         assert!(load_trace(&b"not json"[..]).is_err());
         assert!(load_script(&b"{}"[..]).is_err());
+    }
+
+    #[test]
+    fn hostile_values_rejected_not_panicking() {
+        // Zero-length and self-send messages must be load errors, not
+        // assertion failures inside Message::new.
+        let zero_len = r#"[[0, {"id":1,"src":0,"dest":1,"len":0,"created":0}]]"#;
+        assert!(load_script(zero_len.as_bytes()).is_err());
+        let self_send = r#"[[0, {"id":1,"src":3,"dest":3,"len":4,"created":0}]]"#;
+        assert!(load_script(self_send.as_bytes()).is_err());
     }
 }

@@ -6,7 +6,6 @@
 //! reproduction regenerates. Sources stop at a configurable horizon so
 //! runs can drain and the delivered/offered accounting closes.
 
-use serde::{Deserialize, Serialize};
 use wavesim_network::Message;
 use wavesim_sim::{Cycle, SimRng};
 use wavesim_topology::{NodeId, Topology};
@@ -14,7 +13,7 @@ use wavesim_topology::{NodeId, Topology};
 use crate::patterns::TrafficPattern;
 
 /// Message-length distribution, in flits.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LengthDist {
     /// Every message has the same length.
     Fixed(u32),

@@ -5,7 +5,8 @@
 use wavesim::core::{ProtocolKind, WaveConfig, WaveNetwork};
 use wavesim::topology::Topology;
 use wavesim::workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
-use wavesim_bench::{run_open_loop, RunSpec};
+use wavesim_bench::experiments::e11_loadsweep;
+use wavesim_bench::{run_open_loop, ParallelSweep, RunSpec, Scale};
 
 fn full_run(seed: u64, protocol: ProtocolKind) -> Vec<(u64, u64)> {
     let topo = Topology::mesh(&[5, 5]);
@@ -94,4 +95,64 @@ fn runner_results_are_reproducible() {
         )
     };
     assert_eq!(go(), go(), "runner must be bit-for-bit reproducible");
+}
+
+/// Golden trace for the parallel executor: an E11-style load sweep run
+/// point-by-point in this test, through `ParallelSweep` with one job, and
+/// through `ParallelSweep` with four jobs must produce bit-identical
+/// `RunResult`s. Each point derives its whole world (network, source,
+/// seed) from the point value, so thread scheduling cannot leak in.
+#[test]
+fn parallel_sweep_results_match_serial_golden_trace() {
+    let loads = [0.05_f64, 0.2, 0.6];
+    let point = |_: usize, &load: &f64| {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut net = WaveNetwork::new(topo.clone(), WaveConfig::default());
+        let mut src = TrafficSource::new(
+            topo,
+            TrafficConfig {
+                load,
+                pattern: TrafficPattern::HotPairs {
+                    partners: 3,
+                    locality: 0.7,
+                },
+                len: LengthDist::Fixed(64),
+                seed: 131,
+                ..TrafficConfig::default()
+            },
+        );
+        let r = run_open_loop(&mut net, &mut src, RunSpec::standard(500, 2_000));
+        // Debug output covers every field, including float bit patterns
+        // rendered exactly, so string equality is bitwise equality.
+        format!("{r:?}")
+    };
+    let golden: Vec<String> = loads.iter().enumerate().map(|(i, l)| point(i, l)).collect();
+    assert_eq!(
+        golden,
+        ParallelSweep::new(1).run(&loads, point),
+        "jobs=1 diverged from the serial golden trace"
+    );
+    assert_eq!(
+        golden,
+        ParallelSweep::new(4).run(&loads, point),
+        "jobs=4 diverged from the serial golden trace"
+    );
+}
+
+/// The full E11 table — the artifact EXPERIMENTS.md prints — is
+/// byte-identical across job counts.
+#[test]
+fn e11_table_is_identical_across_job_counts() {
+    let scale = Scale {
+        side: 4,
+        measure: 2_000,
+        warmup: 500,
+        sweep_points: 3,
+    };
+    let serial = e11_loadsweep::run(scale);
+    let one = e11_loadsweep::run_with_jobs(scale, 1);
+    let four = e11_loadsweep::run_with_jobs(scale, 4);
+    assert!(!serial.rows.is_empty());
+    assert_eq!(serial.rows, one.rows);
+    assert_eq!(serial.rows, four.rows, "--jobs 4 must not change the table");
 }

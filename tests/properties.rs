@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized-but-deterministic tests over the core invariants:
 //!
 //! * conservation — every accepted message is delivered exactly once,
 //!   under arbitrary loads, lengths, protocols, and cache pressures;
@@ -7,8 +7,11 @@
 //! * topology algebra (coordinate/link round-trips, distance symmetry)
 //!   over random shapes;
 //! * routing candidates are always minimal and in range.
+//!
+//! Configurations are drawn from a seeded [`SimRng`] (the offline build
+//! has no property-testing framework), so each case sweeps many random
+//! configurations while staying exactly reproducible.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 use wavesim::core::{ProtocolKind, ReplacementPolicy, WaveConfig, WaveNetwork};
 use wavesim::network::Message;
@@ -17,59 +20,60 @@ use wavesim::topology::{NodeId, RoutingKind, Topology};
 use wavesim::verify::check_probe_livelock;
 use wavesim::workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
 
-fn arb_protocol() -> impl Strategy<Value = ProtocolKind> {
-    prop_oneof![
-        Just(ProtocolKind::Clrp),
-        Just(ProtocolKind::WormholeOnly),
-        Just(ProtocolKind::Carp),
-    ]
-}
+const PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::Clrp,
+    ProtocolKind::WormholeOnly,
+    ProtocolKind::Carp,
+];
 
-fn arb_policy() -> impl Strategy<Value = ReplacementPolicy> {
-    prop_oneof![
-        Just(ReplacementPolicy::Lru),
-        Just(ReplacementPolicy::Lfu),
-        Just(ReplacementPolicy::Fifo),
-        Just(ReplacementPolicy::Random),
-    ]
-}
+const POLICIES: [ReplacementPolicy; 4] = [
+    ReplacementPolicy::Lru,
+    ReplacementPolicy::Lfu,
+    ReplacementPolicy::Fifo,
+    ReplacementPolicy::Random,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    /// Conservation + deadlock/livelock freedom over random configs.
-    #[test]
-    fn random_runs_deliver_everything(
-        seed in 0u64..1_000,
-        load in 0.02f64..0.6,
-        len in 1u32..160,
-        cache in 1usize..6,
-        k in 1u8..4,
-        m in 0u8..4,
-        protocol in arb_protocol(),
-        policy in arb_policy(),
-        torus in any::<bool>(),
-    ) {
-        let topo = if torus { Topology::torus(&[4, 4]) } else { Topology::mesh(&[4, 4]) };
-        let mut net = WaveNetwork::new(topo.clone(), WaveConfig {
-            protocol,
-            cache_capacity: cache,
-            k,
-            misroutes: m,
-            replacement: policy,
-            seed,
-            ..WaveConfig::default()
-        });
-        let mut src = TrafficSource::new(topo, TrafficConfig {
-            load,
-            pattern: TrafficPattern::Uniform,
-            len: LengthDist::Fixed(len),
-            seed,
-            stop_at: 1_500,
-        });
+/// Conservation + deadlock/livelock freedom over random configs.
+#[test]
+fn random_runs_deliver_everything() {
+    let mut draw = SimRng::new(0xc05e7e);
+    for case in 0..24 {
+        let seed = draw.below(1_000);
+        let load = 0.02 + draw.unit() * 0.58;
+        let len = 1 + draw.below(159) as u32;
+        let cache = 1 + draw.index(5);
+        let k = 1 + draw.below(3) as u8;
+        let m = draw.below(4) as u8;
+        let protocol = *draw.choose(&PROTOCOLS).unwrap();
+        let policy = *draw.choose(&POLICIES).unwrap();
+        let torus = draw.chance(0.5);
+        let topo = if torus {
+            Topology::torus(&[4, 4])
+        } else {
+            Topology::mesh(&[4, 4])
+        };
+        let mut net = WaveNetwork::new(
+            topo.clone(),
+            WaveConfig {
+                protocol,
+                cache_capacity: cache,
+                k,
+                misroutes: m,
+                replacement: policy,
+                seed,
+                ..WaveConfig::default()
+            },
+        );
+        let mut src = TrafficSource::new(
+            topo,
+            TrafficConfig {
+                load,
+                pattern: TrafficPattern::Uniform,
+                len: LengthDist::Fixed(len),
+                seed,
+                stop_at: 1_500,
+            },
+        );
         let mut delivered: Vec<u64> = Vec::new();
         let mut now = 0u64;
         loop {
@@ -84,70 +88,86 @@ proptest! {
                 delivered.push(d.msg.id.0);
             }
             now += 1;
-            prop_assert!(now < 3_000_000, "run refused to drain (deadlock?)");
+            assert!(now < 3_000_000, "case {case}: run refused to drain");
         }
         // Exactly-once delivery.
         let unique: HashSet<u64> = delivered.iter().copied().collect();
-        prop_assert_eq!(unique.len(), delivered.len(), "duplicate delivery");
-        prop_assert_eq!(delivered.len() as u64, src.generated(), "lost messages");
+        assert_eq!(unique.len(), delivered.len(), "case {case}: duplicate");
+        assert_eq!(
+            delivered.len() as u64,
+            src.generated(),
+            "case {case}: lost messages"
+        );
         // Theorems 3/4 as a property.
         let live = check_probe_livelock(&net);
-        prop_assert!(live.livelock_free, "{:?}", live);
+        assert!(live.livelock_free, "case {case}: {live:?}");
         // Structural consistency.
         let audit = net.audit();
-        prop_assert!(audit.is_empty(), "{:?}", audit);
+        assert!(audit.is_empty(), "case {case}: {audit:?}");
     }
+}
 
-    /// Coordinate/id round-trips and distance metric laws on random shapes.
-    #[test]
-    fn topology_algebra(
-        d0 in 2u16..6,
-        d1 in 2u16..6,
-        d2 in 2u16..4,
-        torus in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
-        let dims = [d0, d1, d2];
+/// Coordinate/id round-trips and distance metric laws on random shapes.
+#[test]
+fn topology_algebra() {
+    let mut draw = SimRng::new(0x7090);
+    for _ in 0..24 {
+        let dims = [
+            2 + draw.below(4) as u16,
+            2 + draw.below(4) as u16,
+            2 + draw.below(2) as u16,
+        ];
+        let torus = draw.chance(0.5);
         let topo = if torus && dims.iter().all(|&d| d >= 3) {
             Topology::torus(&dims)
         } else {
             Topology::mesh(&dims)
         };
-        let mut rng = SimRng::new(seed);
+        let mut rng = SimRng::new(draw.next_u64());
         for _ in 0..32 {
             let a = NodeId(rng.below(u64::from(topo.num_nodes())) as u32);
             let b = NodeId(rng.below(u64::from(topo.num_nodes())) as u32);
             // Round trip.
-            prop_assert_eq!(topo.node(topo.coords(a)), a);
+            assert_eq!(topo.node(topo.coords(a)), a);
             // Distance symmetry, identity, triangle inequality via a midpoint.
-            prop_assert_eq!(topo.distance(a, b), topo.distance(b, a));
-            prop_assert_eq!(topo.distance(a, a), 0);
+            assert_eq!(topo.distance(a, b), topo.distance(b, a));
+            assert_eq!(topo.distance(a, a), 0);
             let c = NodeId(rng.below(u64::from(topo.num_nodes())) as u32);
-            prop_assert!(topo.distance(a, b) <= topo.distance(a, c) + topo.distance(c, b));
+            assert!(topo.distance(a, b) <= topo.distance(a, c) + topo.distance(c, b));
             // min_ports steps reduce distance by exactly one.
             if a != b {
                 for p in topo.min_ports(a, b) {
                     let n = topo.neighbor(a, p).expect("minimal ports exist");
-                    prop_assert_eq!(topo.distance(n, b) + 1, topo.distance(a, b));
+                    assert_eq!(topo.distance(n, b) + 1, topo.distance(a, b));
                 }
             }
         }
         // Link involution over every link.
         for l in topo.links() {
-            prop_assert_eq!(topo.reverse_link(topo.reverse_link(l)), l);
+            assert_eq!(topo.reverse_link(topo.reverse_link(l)), l);
         }
     }
+}
 
-    /// Routing functions only ever emit minimal, in-range candidates, and
-    /// at least one per reachable pair.
-    #[test]
-    fn routing_candidates_are_sound(
-        torus in any::<bool>(),
-        adaptive in any::<bool>(),
-        w in 1u8..5,
-    ) {
-        let topo = if torus { Topology::torus(&[4, 4]) } else { Topology::mesh(&[4, 4]) };
-        let kind = if adaptive { RoutingKind::Adaptive } else { RoutingKind::Deterministic };
+/// Routing functions only ever emit minimal, in-range candidates, and
+/// at least one per reachable pair.
+#[test]
+fn routing_candidates_are_sound() {
+    let mut draw = SimRng::new(0x50d);
+    for _ in 0..16 {
+        let torus = draw.chance(0.5);
+        let adaptive = draw.chance(0.5);
+        let w = 1 + draw.below(4) as u8;
+        let topo = if torus {
+            Topology::torus(&[4, 4])
+        } else {
+            Topology::mesh(&[4, 4])
+        };
+        let kind = if adaptive {
+            RoutingKind::Adaptive
+        } else {
+            RoutingKind::Deterministic
+        };
         // Clamp w to the function's legal minimum.
         let w = match (kind, torus) {
             (RoutingKind::Deterministic, false) => w,
@@ -159,32 +179,40 @@ proptest! {
         let mut out = Vec::new();
         for a in topo.nodes() {
             for b in topo.nodes() {
-                if a == b { continue; }
+                if a == b {
+                    continue;
+                }
                 out.clear();
                 routing.route(&topo, a, b, &mut out);
-                prop_assert!(!out.is_empty());
+                assert!(!out.is_empty());
                 for c in &out {
-                    prop_assert!(c.vc < routing.vcs_per_link());
+                    assert!(c.vc < routing.vcs_per_link());
                     let n = topo.neighbor(a, c.port).expect("no boundary candidates");
-                    prop_assert_eq!(topo.distance(n, b) + 1, topo.distance(a, b));
+                    assert_eq!(topo.distance(n, b) + 1, topo.distance(a, b));
                 }
             }
         }
     }
+}
 
-    /// Scripted single-pair traffic: circuit deliveries preserve FIFO
-    /// order regardless of message sizes.
-    #[test]
-    fn circuit_fifo_property(
-        lens in proptest::collection::vec(1u32..200, 2..12),
-        seed in any::<u64>(),
-    ) {
+/// Scripted single-pair traffic: circuit deliveries preserve FIFO
+/// order regardless of message sizes.
+#[test]
+fn circuit_fifo_property() {
+    let mut draw = SimRng::new(0xf1f0);
+    for case in 0..24 {
+        let seed = draw.next_u64();
+        let n = 2 + draw.index(10);
+        let lens: Vec<u32> = (0..n).map(|_| 1 + draw.below(199) as u32).collect();
         let topo = Topology::mesh(&[4, 4]);
-        let mut net = WaveNetwork::new(topo.clone(), WaveConfig {
-            protocol: ProtocolKind::Clrp,
-            seed,
-            ..WaveConfig::default()
-        });
+        let mut net = WaveNetwork::new(
+            topo.clone(),
+            WaveConfig {
+                protocol: ProtocolKind::Clrp,
+                seed,
+                ..WaveConfig::default()
+            },
+        );
         let src = NodeId(0);
         let dest = NodeId(15);
         for (i, len) in lens.iter().enumerate() {
@@ -198,10 +226,10 @@ proptest! {
                 order.push(d.msg.id.0);
             }
             now += 1;
-            prop_assert!(now < 1_000_000);
+            assert!(now < 1_000_000, "case {case}");
         }
         let mut sorted = order.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(order, sorted);
+        assert_eq!(order, sorted, "case {case}");
     }
 }
