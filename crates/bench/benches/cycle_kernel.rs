@@ -1,0 +1,169 @@
+//! Cycle-kernel throughput benchmark: simulated cycles per wall-clock
+//! second at three load points (low / mid / saturation) on 8×8 and 16×16
+//! tori, CLRP protocol — the tracked perf baseline for the simulator's
+//! inner loop.
+//!
+//! Plain `harness = false` timing main (the offline build has no bench
+//! framework). Writes `BENCH_cycle_kernel.json` (override with
+//! `BENCH_OUT`) and prints a table. Knobs for CI smoke runs:
+//! `BENCH_MEASURE` (measurement cycles, default 3000), `BENCH_ITERS`
+//! (repeats per point, best taken, default 3), `BENCH_SIDES`
+//! (comma-separated torus sides, default "8,16").
+//!
+//! The metric divides the *simulated* end cycle of the run (warmup +
+//! measurement + drain) by the wall time of the whole run, so a kernel
+//! that fast-forwards idle cycles gets credit for them — exactly the
+//! effect the active-set kernel targets at low load.
+
+use std::time::Instant;
+
+use wavesim_bench::{run_open_loop, RunSpec};
+use wavesim_core::{ProtocolKind, WaveConfig, WaveNetwork};
+use wavesim_json::Value;
+use wavesim_topology::Topology;
+use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
+
+const LOADS: [(&str, f64); 3] = [("low", 0.05), ("mid", 0.30), ("sat", 0.80)];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct PointResult {
+    side: u16,
+    label: &'static str,
+    load: f64,
+    sim_cycles: u64,
+    wall_s: f64,
+    cycles_per_sec: f64,
+    delivered: u64,
+    kernel: Value,
+}
+
+fn run_point(side: u16, label: &'static str, load: f64, measure: u64, iters: u64) -> PointResult {
+    let mut best: Option<PointResult> = None;
+    for _ in 0..iters {
+        let topo = Topology::torus(&[side, side]);
+        let mut net = WaveNetwork::new(
+            topo.clone(),
+            WaveConfig {
+                protocol: ProtocolKind::Clrp,
+                ..WaveConfig::default()
+            },
+        );
+        let mut src = TrafficSource::new(
+            topo,
+            TrafficConfig {
+                load,
+                pattern: TrafficPattern::HotPairs {
+                    partners: 3,
+                    locality: 0.7,
+                },
+                len: LengthDist::Fixed(64),
+                seed: 131,
+                ..TrafficConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        let r = run_open_loop(&mut net, &mut src, RunSpec::standard(measure / 8, measure));
+        let wall_s = t0.elapsed().as_secs_f64();
+        assert!(!r.stalled, "{side}x{side} @ {load} stalled");
+        let point = PointResult {
+            side,
+            label,
+            load,
+            sim_cycles: r.end,
+            wall_s,
+            cycles_per_sec: r.end as f64 / wall_s,
+            delivered: r.delivered,
+            kernel: kernel_json(&net),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| point.cycles_per_sec > b.cycles_per_sec)
+        {
+            best = Some(point);
+        }
+    }
+    best.expect("iters >= 1")
+}
+
+/// Cycle-kernel counters, when the build exposes them (post-seed kernels).
+fn kernel_json(net: &WaveNetwork) -> Value {
+    let k = net.kernel_stats();
+    Value::obj(vec![
+        ("ticks", Value::from(k.ticks)),
+        ("routers_scanned", Value::from(k.routers_scanned)),
+        ("vcs_touched", Value::from(k.vcs_touched)),
+        ("events_routed", Value::from(k.events_routed)),
+    ])
+}
+
+fn main() {
+    let measure = env_u64("BENCH_MEASURE", 3_000);
+    let iters = env_u64("BENCH_ITERS", 3).max(1);
+    let sides: Vec<u16> = std::env::var("BENCH_SIDES")
+        .unwrap_or_else(|_| "8,16".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+
+    let mut results = Vec::new();
+    println!(
+        "{:<8} {:<5} {:>6} {:>12} {:>10} {:>14} {:>10}",
+        "topo", "point", "load", "sim cycles", "wall ms", "cycles/sec", "delivered"
+    );
+    for &side in &sides {
+        for &(label, load) in &LOADS {
+            let p = run_point(side, label, load, measure, iters);
+            println!(
+                "{:<8} {:<5} {:>6.2} {:>12} {:>10.2} {:>14.0} {:>10}",
+                format!("{side}x{side} torus"),
+                p.label,
+                p.load,
+                p.sim_cycles,
+                p.wall_s * 1e3,
+                p.cycles_per_sec,
+                p.delivered,
+            );
+            results.push(p);
+        }
+    }
+
+    let json = Value::obj(vec![
+        ("bench", Value::from("cycle_kernel")),
+        ("protocol", Value::from("clrp")),
+        ("measure_cycles", Value::from(measure)),
+        ("iters", Value::from(iters)),
+        (
+            "results",
+            Value::Arr(
+                results
+                    .into_iter()
+                    .map(|p| {
+                        Value::obj(vec![
+                            ("topology", Value::from(format!("{0}x{0}-torus", p.side))),
+                            ("point", Value::from(p.label)),
+                            ("load", Value::from(p.load)),
+                            ("sim_cycles", Value::from(p.sim_cycles)),
+                            ("wall_s", Value::from(p.wall_s)),
+                            ("cycles_per_sec", Value::from(p.cycles_per_sec)),
+                            ("delivered", Value::from(p.delivered)),
+                            ("kernel", p.kernel),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    // Default to the workspace root (cargo runs benches from the package
+    // dir) so the tracked baseline sits beside ROADMAP.md.
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cycle_kernel.json").into()
+    });
+    std::fs::write(&out, json.pretty()).expect("write bench json");
+    println!("wrote {out}");
+}

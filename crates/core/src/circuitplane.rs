@@ -19,6 +19,7 @@ use wavesim_network::{Delivery, Message};
 use wavesim_sim::{Cycle, EventQueue, Model};
 use wavesim_topology::{NodeId, Topology};
 
+use crate::arena::IdAlloc;
 use crate::cache::{CacheEntry, CircuitCache, EntryState};
 use crate::circuit::plan_transfer;
 use crate::config::{ProtocolKind, WaveConfig};
@@ -49,7 +50,7 @@ pub struct CircuitPlane {
     topo: Topology,
     cfg: WaveConfig,
     caches: Vec<CircuitCache>,
-    next_circuit: u64,
+    circuit_ids: IdAlloc<CircuitId>,
     fifo_seq: u64,
     stats: WaveStats,
     outbox: Vec<PlaneEvent>,
@@ -64,7 +65,7 @@ impl CircuitPlane {
             caches: (0..n)
                 .map(|_| CircuitCache::new(cfg.cache_capacity.max(1)))
                 .collect(),
-            next_circuit: 0,
+            circuit_ids: IdAlloc::new(),
             fifo_seq: 0,
             stats: WaveStats::default(),
             outbox: Vec::new(),
@@ -266,8 +267,7 @@ impl CircuitPlane {
         dest: NodeId,
         force: bool,
     ) -> &mut CacheEntry {
-        let cid = CircuitId(self.next_circuit);
-        self.next_circuit += 1;
+        let cid = self.circuit_ids.alloc();
         let switch = self.initial_switch(src);
         let mut entry = CacheEntry::new(dest, cid, switch, switch);
         entry.force_phase = force;
@@ -535,6 +535,14 @@ impl CircuitPlane {
             src,
         });
     }
+
+    /// The controlplane fully released (or abandoned) `circuit`: nothing
+    /// in the network references it any more, so its id slot returns to
+    /// the allocator. Idempotent — a raced unwind and teardown may both
+    /// report the same circuit, and only the first recycles the slot.
+    pub fn on_circuit_freed(&mut self, circuit: CircuitId) {
+        self.circuit_ids.recycle(circuit);
+    }
 }
 
 /// The circuitplane is event-driven: transfers complete in `handle`, and
@@ -555,6 +563,12 @@ impl Model for CircuitPlane {
 
     fn busy(&self) -> bool {
         CircuitPlane::busy(self)
+    }
+
+    /// Purely event-driven: `tick` is empty, so only scheduled transfer
+    /// completions (the calendar) ever need this plane to run.
+    fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 }
 

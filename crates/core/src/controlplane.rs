@@ -13,11 +13,10 @@
 //! [`wavesim_sim::Engine`] when the plane runs standalone); every delay
 //! is at least one cycle, so same-cycle event cascades cannot occur.
 
-use std::collections::HashMap;
-
 use wavesim_sim::{Cycle, EventQueue, Model};
 use wavesim_topology::{NodeId, PortDir, Topology};
 
+use crate::arena::{GenSlab, SlotMap};
 use crate::circuit::{CircuitState, CircuitStatus};
 use crate::config::WaveConfig;
 use crate::events::{EventBus, PlaneEvent};
@@ -51,9 +50,8 @@ pub struct ControlPlane {
     cfg: WaveConfig,
     lanes: LaneTable,
     pcs: Vec<PcsUnit>,
-    probes: HashMap<ProbeId, ProbeState>,
-    circuits: HashMap<CircuitId, CircuitState>,
-    next_probe: u64,
+    probes: GenSlab<ProbeId, ProbeState>,
+    circuits: SlotMap<CircuitId, CircuitState>,
     max_probe_steps: u64,
     stats: WaveStats,
     outbox: Vec<PlaneEvent>,
@@ -67,9 +65,8 @@ impl ControlPlane {
         Self {
             lanes: LaneTable::new(&topo, cfg.k),
             pcs: vec![PcsUnit::new(); n],
-            probes: HashMap::new(),
-            circuits: HashMap::new(),
-            next_probe: 0,
+            probes: GenSlab::new(),
+            circuits: SlotMap::new(),
             max_probe_steps: 0,
             stats: WaveStats::default(),
             outbox: Vec::new(),
@@ -90,13 +87,13 @@ impl ControlPlane {
 
     /// Live circuits (read access for instrumentation).
     #[must_use]
-    pub fn circuits(&self) -> &HashMap<CircuitId, CircuitState> {
+    pub fn circuits(&self) -> &SlotMap<CircuitId, CircuitState> {
         &self.circuits
     }
 
     /// Live probes (read access for instrumentation).
     #[must_use]
-    pub fn probes(&self) -> &HashMap<ProbeId, ProbeState> {
+    pub fn probes(&self) -> &GenSlab<ProbeId, ProbeState> {
         &self.probes
     }
 
@@ -155,15 +152,14 @@ impl ControlPlane {
         switch: u8,
         force: bool,
     ) {
-        let pid = ProbeId(self.next_probe);
-        self.next_probe += 1;
-        let probe = ProbeState::new(pid, circuit, &self.topo, src, dest, switch, force);
-        self.probes.insert(pid, probe);
+        let topo = &self.topo;
+        let pid = self
+            .probes
+            .insert_with(|pid| ProbeState::new(pid, circuit, topo, src, dest, switch, force));
         self.stats.probes_sent += 1;
         let c = self
             .circuits
-            .entry(circuit)
-            .or_insert_with(|| CircuitState::new(circuit, src, dest, switch));
+            .get_or_insert_with(circuit, || CircuitState::new(circuit, src, dest, switch));
         c.switch = switch;
         c.status = CircuitStatus::Establishing;
         // PCS processing before the probe leaves the source.
@@ -182,7 +178,7 @@ impl ControlPlane {
         circuit: CircuitId,
         src: NodeId,
     ) {
-        let Some(c) = self.circuits.get_mut(&circuit) else {
+        let Some(c) = self.circuits.get_mut(circuit) else {
             return; // establishment already failed and cleaned up
         };
         match c.status {
@@ -211,7 +207,7 @@ impl ControlPlane {
     // ------------------------------------------------------------------
 
     fn process_probe(&mut self, now: Cycle, q: &mut EventQueue<CtrlEvent>, pid: ProbeId) {
-        let Some(mut p) = self.probes.remove(&pid) else {
+        let Some(mut p) = self.probes.take(&pid) else {
             return; // probe already terminated (stale wake-up)
         };
         p.parked_on = None;
@@ -219,7 +215,7 @@ impl ControlPlane {
         // If the owning circuit was cancelled while the probe was walking
         // (defensive path — a teardown raced the search), unwind: release
         // every reserved lane and die quietly.
-        let cancelled = match self.circuits.get(&p.circuit) {
+        let cancelled = match self.circuits.get(p.circuit) {
             None => true,
             Some(c) => c.status == CircuitStatus::TearingDown,
         };
@@ -320,7 +316,7 @@ impl ControlPlane {
                 let Some(victim) = self.lanes.holder(lane) else {
                     continue; // free or faulty, handled above
                 };
-                let Some(vstate) = self.circuits.get(&victim) else {
+                let Some(vstate) = self.circuits.get(victim) else {
                     continue;
                 };
                 if vstate.status != CircuitStatus::Ready {
@@ -345,7 +341,7 @@ impl ControlPlane {
                     let delay = hops_back * u64::from(self.cfg.ctrl_hop_delay);
                     q.schedule(now + delay.max(1), CtrlEvent::ReleaseReqAt(victim));
                 }
-                self.probes.insert(p.id, p);
+                self.probes.restore(p.id, p);
                 return;
             }
             // All requested lanes belong to circuits being established (or
@@ -359,7 +355,7 @@ impl ControlPlane {
     /// Path position of `node` on `circuit` (hops from the source),
     /// counting reserved lanes. Used to time release-request flights.
     fn hops_from_source(&self, circuit: CircuitId, node: NodeId) -> u64 {
-        let Some(c) = self.circuits.get(&circuit) else {
+        let Some(c) = self.circuits.get(circuit) else {
             return 1;
         };
         for (i, lane) in c.path.iter().enumerate() {
@@ -412,7 +408,7 @@ impl ControlPlane {
             unit.record(circuit, switch, Some(lane), None);
         }
         let pid = p.id;
-        self.probes.insert(pid, p);
+        self.probes.restore(pid, p);
         // Forward moves pay the PCS routing decision plus the wire hop.
         let delay = u64::from(self.cfg.ctrl_hop_delay) + u64::from(self.cfg.pcs_delay);
         q.schedule(now + delay, CtrlEvent::ProbeAt(pid));
@@ -420,7 +416,8 @@ impl ControlPlane {
 
     fn backtrack_probe(&mut self, now: Cycle, q: &mut EventQueue<CtrlEvent>, mut p: ProbeState) {
         if p.at == p.src {
-            // Search space for this switch exhausted.
+            // Search space for this switch exhausted; the probe id retires.
+            self.probes.free(p.id);
             self.pcs[p.src.0 as usize].clear(p.circuit);
             self.stats.probes_exhausted += 1;
             self.max_probe_steps = self.max_probe_steps.max(p.hops);
@@ -447,7 +444,7 @@ impl ControlPlane {
         self.stats.probe_backtracks += 1;
         let (dest, pid) = (p.dest, p.id);
         p.flit.update_offsets(&self.topo, prev, dest);
-        self.probes.insert(pid, p);
+        self.probes.restore(pid, p);
         q.schedule(
             now + u64::from(self.cfg.ctrl_hop_delay),
             CtrlEvent::ProbeAt(pid),
@@ -458,6 +455,7 @@ impl ControlPlane {
     /// Releases everything a cancelled probe reserved (reverse path order)
     /// and clears the PCS mappings it created.
     fn unwind_probe(&mut self, now: Cycle, q: &mut EventQueue<CtrlEvent>, p: ProbeState) {
+        self.probes.free(p.id);
         self.pcs[p.at.0 as usize].clear(p.circuit);
         for lane in p.path.iter().rev() {
             let (from, _) = self.topo.link_endpoints(lane.link);
@@ -475,11 +473,12 @@ impl ControlPlane {
     fn complete_probe(&mut self, now: Cycle, q: &mut EventQueue<CtrlEvent>, p: ProbeState) {
         debug_assert_eq!(p.at, p.dest);
         debug_assert!(!p.path.is_empty(), "src != dest implies a real path");
+        self.probes.free(p.id);
         self.stats.probes_reached += 1;
         self.max_probe_steps = self.max_probe_steps.max(p.hops);
         let c = self
             .circuits
-            .get_mut(&p.circuit)
+            .get_mut(p.circuit)
             .expect("live probe has a live circuit");
         c.path = p.path.clone();
         // The acknowledgment returns hop by hop over the reverse control
@@ -513,7 +512,7 @@ impl ControlPlane {
         circuit: CircuitId,
         hop: u32,
     ) {
-        let Some(c) = self.circuits.get(&circuit) else {
+        let Some(c) = self.circuits.get(circuit) else {
             return; // torn down while the ack was in flight
         };
         if c.status != CircuitStatus::Establishing {
@@ -531,7 +530,7 @@ impl ControlPlane {
             );
             return;
         }
-        let c = self.circuits.get_mut(&circuit).expect("checked above");
+        let c = self.circuits.get_mut(circuit).expect("checked above");
         c.status = CircuitStatus::Ready;
         self.outbox.push(PlaneEvent::CircuitEstablished {
             circuit,
@@ -543,7 +542,7 @@ impl ControlPlane {
     }
 
     fn on_release_request(&mut self, circuit: CircuitId) {
-        let Some(c) = self.circuits.get(&circuit) else {
+        let Some(c) = self.circuits.get(circuit) else {
             // Circuit released while the request was in flight: "the
             // control flit is discarded at some intermediate node" (§4).
             self.stats.release_requests_discarded += 1;
@@ -608,6 +607,13 @@ impl Model for ControlPlane {
 
     fn busy(&self) -> bool {
         ControlPlane::busy(self)
+    }
+
+    /// Purely event-driven: `tick` is empty, so the calendar alone decides
+    /// when this plane next runs. A probe parked with no event in flight
+    /// is genuinely stuck — standalone engines may stop rather than spin.
+    fn next_activity(&self, _now: Cycle) -> Option<Cycle> {
+        None
     }
 }
 

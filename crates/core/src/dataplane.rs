@@ -19,6 +19,10 @@ pub struct DataPlane {
     fabric: WormholeFabric,
     stats: WaveStats,
     outbox: Vec<PlaneEvent>,
+    /// Reusable delivery buffer ping-ponged through the fabric's
+    /// [`WormholeFabric::drain_deliveries_into`] so the per-cycle
+    /// collection path stays allocation-free.
+    scratch: Vec<wavesim_network::Delivery>,
 }
 
 impl DataPlane {
@@ -29,6 +33,7 @@ impl DataPlane {
             fabric: WormholeFabric::new(topo, cfg),
             stats: WaveStats::default(),
             outbox: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -41,11 +46,14 @@ impl DataPlane {
     /// the outbox.
     pub fn step(&mut self, now: Cycle) {
         self.fabric.tick(now);
-        for d in self.fabric.drain_deliveries() {
+        let mut buf = std::mem::take(&mut self.scratch);
+        self.fabric.drain_deliveries_into(&mut buf);
+        for &d in &buf {
             debug_assert_eq!(d.mode, DeliveryMode::Wormhole);
             self.stats.msgs_wormhole += 1;
             self.outbox.push(PlaneEvent::WormholeDelivered(d));
         }
+        self.scratch = buf;
     }
 
     /// Moves staged outbound events into `bus`.

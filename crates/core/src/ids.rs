@@ -2,11 +2,24 @@
 
 use wavesim_topology::LinkId;
 
+use crate::arena::ArenaId;
+
 /// Identifier of one circuit-establishment attempt and, if it succeeds, of
 /// the established physical circuit. Unique for the lifetime of a
-/// simulation (never reused).
+/// simulation: the raw value packs an arena slot and a generation
+/// ([`ArenaId`]), so recycled slots mint distinct ids and a stale id can
+/// never alias a later circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CircuitId(pub u64);
+
+impl ArenaId for CircuitId {
+    fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+    fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 impl std::fmt::Display for CircuitId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -19,6 +32,15 @@ impl std::fmt::Display for CircuitId {
 /// ids over its lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProbeId(pub u64);
+
+impl ArenaId for ProbeId {
+    fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+    fn raw(self) -> u64 {
+        self.0
+    }
+}
 
 impl std::fmt::Display for ProbeId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

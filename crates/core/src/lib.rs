@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cache;
 pub mod circuit;
 pub mod circuitplane;
@@ -41,6 +42,7 @@ pub mod render;
 pub mod replacement;
 pub mod stats;
 
+pub use arena::{ArenaId, GenSlab, IdAlloc, SlotMap};
 pub use cache::{CacheEntry, CircuitCache, EntryState};
 pub use circuit::{CircuitState, CircuitStatus, TransferPlan};
 pub use circuitplane::{CircuitPlane, TransferEvent};

@@ -63,12 +63,11 @@
 //!   order (the paper does not specify a remote policy; the Replace field
 //!   only exists at the source).
 
-use std::collections::HashMap;
-
 use wavesim_network::{Delivery, Message, WormholeFabric};
-use wavesim_sim::{Cycle, EventQueue, Model};
+use wavesim_sim::{Cycle, CycleKernelStats, EventQueue, Model};
 use wavesim_topology::{NodeId, Topology};
 
+use crate::arena::{GenSlab, SlotMap};
 use crate::cache::{CircuitCache, EntryState};
 use crate::circuit::{CircuitState, CircuitStatus};
 use crate::circuitplane::{CircuitPlane, TransferEvent};
@@ -95,6 +94,7 @@ pub struct WaveNetwork {
     deliveries: Vec<Delivery>,
     msgs_sent: u64,
     outstanding_msgs: u64,
+    kernel: CycleKernelStats,
 }
 
 impl WaveNetwork {
@@ -112,6 +112,7 @@ impl WaveNetwork {
             deliveries: Vec::new(),
             msgs_sent: 0,
             outstanding_msgs: 0,
+            kernel: CycleKernelStats::default(),
             topo,
             cfg,
         }
@@ -153,6 +154,15 @@ impl WaveNetwork {
         self.data.fabric()
     }
 
+    /// Cycle-kernel work counters: the fabric's scanning effort plus the
+    /// inter-plane events this root routed.
+    #[must_use]
+    pub fn kernel_stats(&self) -> CycleKernelStats {
+        let mut k = self.data.fabric().kernel_stats();
+        k.events_routed += self.kernel.events_routed;
+        k
+    }
+
     /// The wave-lane table (read access for instrumentation).
     #[must_use]
     pub fn lanes(&self) -> &LaneTable {
@@ -161,13 +171,13 @@ impl WaveNetwork {
 
     /// Live circuits (read access for instrumentation).
     #[must_use]
-    pub fn circuits(&self) -> &HashMap<CircuitId, CircuitState> {
+    pub fn circuits(&self) -> &SlotMap<CircuitId, CircuitState> {
         self.ctrl.circuits()
     }
 
     /// Live probes (read access for instrumentation).
     #[must_use]
-    pub fn probes(&self) -> &HashMap<ProbeId, ProbeState> {
+    pub fn probes(&self) -> &GenSlab<ProbeId, ProbeState> {
         self.ctrl.probes()
     }
 
@@ -214,6 +224,15 @@ impl WaveNetwork {
         std::mem::take(&mut self.deliveries)
     }
 
+    /// Drains deliveries into a caller-provided buffer (cleared first) and
+    /// keeps the swapped-out capacity for future deliveries — the
+    /// allocation-free variant of [`WaveNetwork::drain_deliveries`] for
+    /// per-cycle polling loops.
+    pub fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
+        out.clear();
+        std::mem::swap(&mut self.deliveries, out);
+    }
+
     /// Arms the event-bus tap: every inter-plane [`PlaneEvent`] is
     /// recorded from now on for [`WaveNetwork::take_events`]. External
     /// detectors (`wavesim-verify`) use this to observe the network
@@ -237,6 +256,24 @@ impl WaveNetwork {
             || !self.xfer_queue.is_empty()
     }
 
+    /// The earliest cycle > `now` at which [`WaveNetwork::tick`] has any
+    /// work: the very next cycle while wormhole flits are in flight,
+    /// otherwise the next scheduled control/transfer event. `None` means
+    /// no tick will ever do anything again (quiescent *or* stuck — a
+    /// parked probe with no event in flight never wakes, and callers'
+    /// stall monitors must still get a chance to observe that).
+    #[must_use]
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.data.busy() {
+            return Some(now + 1);
+        }
+        let next = match (self.ctrl_queue.next_time(), self.xfer_queue.next_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        next.map(|t| t.max(now + 1))
+    }
+
     // ------------------------------------------------------------------
     // The cycle loop
     // ------------------------------------------------------------------
@@ -245,9 +282,16 @@ impl WaveNetwork {
     /// due control and transfer events are dispatched one at a time, with
     /// the event bus routed to a fixpoint after every step so cross-plane
     /// effects land in the same cycle (matching the pre-split router).
+    ///
+    /// An idle dataplane is skipped outright: the fabric's VA round-robin
+    /// pointer is derived from `now` (not from tick count) and its SA
+    /// pointers only move on grants, so skipping dead fabric cycles is
+    /// state-identical to ticking through them.
     pub fn tick(&mut self, now: Cycle) {
-        self.data.step(now);
-        self.data.drain_outbox_into(&mut self.bus);
+        if self.data.busy() {
+            self.data.step(now);
+            self.data.drain_outbox_into(&mut self.bus);
+        }
         self.route(now);
         loop {
             if let Some(ev) = self.ctrl_queue.pop_due(now) {
@@ -269,6 +313,7 @@ impl WaveNetwork {
     /// immediate work or schedules delayed work at `now + 1` or later.
     fn route(&mut self, now: Cycle) {
         while let Some(ev) = self.bus.pop() {
+            self.kernel.events_routed += 1;
             match ev {
                 PlaneEvent::WormholeDelivered(d) | PlaneEvent::CircuitDelivered(d) => {
                     self.outstanding_msgs -= 1;
@@ -321,8 +366,15 @@ impl WaveNetwork {
                     self.ctrl
                         .on_release_circuit(now, &mut self.ctrl_queue, circuit, src);
                 }
-                PlaneEvent::AbandonCircuit { circuit } => self.ctrl.on_abandon_circuit(circuit),
-                PlaneEvent::CircuitReleased { .. } => {} // observation only
+                PlaneEvent::AbandonCircuit { circuit } => {
+                    self.ctrl.on_abandon_circuit(circuit);
+                    // Nothing references the id any more: recycle its slot.
+                    self.circ.on_circuit_freed(circuit);
+                }
+                PlaneEvent::CircuitReleased { circuit } => {
+                    // Teardown (or probe unwind) finished; the id retires.
+                    self.circ.on_circuit_freed(circuit);
+                }
             }
             self.ctrl.drain_outbox_into(&mut self.bus);
             self.circ.drain_outbox_into(&mut self.bus);
@@ -379,17 +431,17 @@ impl WaveNetwork {
         let mut problems = Vec::new();
         let lanes = self.ctrl.lanes();
         // Every Ready circuit's path must be reserved by it.
-        for (cid, c) in self.ctrl.circuits() {
+        for (cid, c) in self.ctrl.circuits().iter() {
             if c.status == CircuitStatus::Ready {
                 for lane in &c.path {
-                    if lanes.holder(*lane) != Some(*cid) {
+                    if lanes.holder(*lane) != Some(cid) {
                         problems.push(format!("{cid}: path lane {lane} not held"));
                     }
                 }
             }
         }
         // Every live probe's reserved prefix must be held by its circuit.
-        for (pid, p) in self.ctrl.probes() {
+        for (pid, p) in self.ctrl.probes().iter() {
             for lane in &p.path {
                 if lanes.holder(*lane) != Some(p.circuit) {
                     problems.push(format!("{pid}: reserved lane {lane} not held"));

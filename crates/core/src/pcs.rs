@@ -18,8 +18,6 @@
 //!
 //! This module holds the mapping registers ([`PcsUnit`]), one per node.
 
-use std::collections::HashMap;
-
 use crate::ids::{CircuitId, LaneId};
 
 /// The direct/reverse channel mapping of one circuit at one router.
@@ -36,9 +34,14 @@ pub struct CircuitHop {
 }
 
 /// The PCS routing control unit registers of one router.
+///
+/// A router hosts at most a handful of circuits at once (bounded by
+/// `k × ports`), so the mappings live in a linear-scanned vector: the
+/// whole register file fits in one or two cache lines, which beats a
+/// `HashMap`'s hash-and-probe at these sizes on every control-flit step.
 #[derive(Debug, Clone, Default)]
 pub struct PcsUnit {
-    hops: HashMap<CircuitId, CircuitHop>,
+    hops: Vec<(CircuitId, CircuitHop)>,
 }
 
 impl PcsUnit {
@@ -58,15 +61,16 @@ impl PcsUnit {
         in_lane: Option<LaneId>,
         out_lane: Option<LaneId>,
     ) {
-        self.hops.insert(
-            circuit,
-            CircuitHop {
-                switch,
-                in_lane,
-                out_lane,
-                ack_returned: false,
-            },
-        );
+        let hop = CircuitHop {
+            switch,
+            in_lane,
+            out_lane,
+            ack_returned: false,
+        };
+        match self.hops.iter_mut().find(|(c, _)| *c == circuit) {
+            Some((_, h)) => *h = hop,
+            None => self.hops.push((circuit, hop)),
+        }
     }
 
     /// Replaces the outgoing lane after a backtrack re-route (the probe
@@ -76,8 +80,10 @@ impl PcsUnit {
     /// Panics if the circuit has no mapping here.
     pub fn set_out_lane(&mut self, circuit: CircuitId, out_lane: Option<LaneId>) {
         self.hops
-            .get_mut(&circuit)
+            .iter_mut()
+            .find(|(c, _)| *c == circuit)
             .expect("set_out_lane on unmapped circuit")
+            .1
             .out_lane = out_lane;
     }
 
@@ -87,8 +93,10 @@ impl PcsUnit {
     /// Panics if the circuit has no mapping here.
     pub fn mark_ack(&mut self, circuit: CircuitId) {
         self.hops
-            .get_mut(&circuit)
+            .iter_mut()
+            .find(|(c, _)| *c == circuit)
             .expect("ack for unmapped circuit")
+            .1
             .ack_returned = true;
     }
 
@@ -96,12 +104,16 @@ impl PcsUnit {
     /// router.
     #[must_use]
     pub fn hop(&self, circuit: CircuitId) -> Option<&CircuitHop> {
-        self.hops.get(&circuit)
+        self.hops
+            .iter()
+            .find(|(c, _)| *c == circuit)
+            .map(|(_, h)| h)
     }
 
     /// Removes the mapping (teardown passed, or probe backtracked away).
     pub fn clear(&mut self, circuit: CircuitId) -> Option<CircuitHop> {
-        self.hops.remove(&circuit)
+        let i = self.hops.iter().position(|(c, _)| *c == circuit)?;
+        Some(self.hops.swap_remove(i).1)
     }
 
     /// Number of circuits with state at this router.
@@ -116,9 +128,10 @@ impl PcsUnit {
         self.hops.is_empty()
     }
 
-    /// Iterates over `(circuit, hop)` pairs.
+    /// Iterates over `(circuit, hop)` pairs (unordered — `clear` compacts
+    /// the register file by swapping the last mapping into the hole).
     pub fn iter(&self) -> impl Iterator<Item = (&CircuitId, &CircuitHop)> {
-        self.hops.iter()
+        self.hops.iter().map(|(c, h)| (c, h))
     }
 }
 

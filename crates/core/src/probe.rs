@@ -9,8 +9,6 @@
 //! storing search history in the routers, §2; the simulator centralises
 //! that distributed state per probe, which is observationally equivalent).
 
-use std::collections::HashMap;
-
 use wavesim_topology::{NodeId, Topology};
 
 use crate::ids::{CircuitId, LaneId, ProbeId};
@@ -90,9 +88,11 @@ pub struct ProbeState {
     /// direct/reverse channel mappings hold the same information
     /// distributed across the routers.
     pub path: Vec<LaneId>,
-    /// History Store: per visited node, bitmask of output ports already
-    /// searched by this probe.
-    pub history: HashMap<NodeId, u32>,
+    /// History Store: per node, bitmask of output ports already searched
+    /// by this probe. Dense (indexed by node id): the probe engine reads
+    /// and writes it on every step, and a torus has few enough nodes that
+    /// one `Vec<u32>` beats hashing even though most entries stay zero.
+    pub history: Vec<u32>,
     /// Lane this probe is parked on, waiting for a forced teardown
     /// (CLRP phase two).
     pub parked_on: Option<LaneId>,
@@ -124,7 +124,7 @@ impl ProbeState {
             flit: ProbeFlit::new(topo, src, dest, force),
             at: src,
             path: Vec::new(),
-            history: HashMap::new(),
+            history: vec![0; topo.num_nodes() as usize],
             parked_on: None,
             hops: 0,
             backtracks: 0,
@@ -133,15 +133,13 @@ impl ProbeState {
 
     /// Marks output port `port_index` of `node` as searched.
     pub fn mark_searched(&mut self, node: NodeId, port_index: usize) {
-        *self.history.entry(node).or_insert(0) |= 1 << port_index;
+        self.history[node.0 as usize] |= 1 << port_index;
     }
 
     /// True when output port `port_index` of `node` was already searched.
     #[must_use]
     pub fn searched(&self, node: NodeId, port_index: usize) -> bool {
-        self.history
-            .get(&node)
-            .is_some_and(|m| m & (1 << port_index) != 0)
+        self.history[node.0 as usize] & (1 << port_index) != 0
     }
 
     /// An upper bound on the steps this probe may take, used by the

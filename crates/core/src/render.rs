@@ -22,12 +22,12 @@ use crate::network::WaveNetwork;
 #[must_use]
 pub fn render_circuits(net: &WaveNetwork) -> String {
     let topo = net.topology();
-    let mut ids: Vec<_> = net.circuits().keys().copied().collect();
+    let mut ids: Vec<_> = net.circuits().keys().collect();
     ids.sort();
     let mut out = String::new();
     let _ = writeln!(out, "{} live circuit(s):", ids.len());
     for id in ids {
-        let c = &net.circuits()[&id];
+        let c = net.circuits().get(id).expect("listed id is live");
         let mut path = String::new();
         path.push_str(&topo.coords(c.src).to_string());
         for lane in &c.path {

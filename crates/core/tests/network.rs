@@ -502,7 +502,7 @@ fn ack_propagates_hop_by_hop() {
         now += 1;
         if let Some((id, c)) = net.circuits().iter().next() {
             if c.hops() == 5 && net.probes().is_empty() {
-                break *id;
+                break id;
             }
         }
         assert!(now < 1_000, "probe should have completed by now");

@@ -19,14 +19,24 @@
 //! tail leaves a router, the output-VC ownership when the tail is forwarded
 //! through it — the defining behaviour of wormhole switching that makes
 //! blocked messages hold channels (paper §1) and deadlock a real danger.
+//!
+//! # Active-set scheduling
+//!
+//! The tick loop is O(work), not O(network): only routers in the *active
+//! set* are scanned. A router enters the set when a message is injected at
+//! it or a flit arrives in one of its buffers, and leaves only after being
+//! scanned through a full tick and found [`Router::idle`]. The invariant is
+//! that every non-idle router is in the set; idle routers carry no
+//! cycle-dependent state (the VA round-robin pointer is derived from the
+//! cycle number, and SA pointers only move on grants), so skipping them is
+//! byte-identical to scanning them. The set is iterated in ascending router
+//! id, preserving the seed kernel's deterministic phase order.
 
-use std::collections::HashMap;
-
-use wavesim_sim::Cycle;
+use wavesim_sim::{Cycle, CycleKernelStats};
 use wavesim_topology::{Candidate, NodeId, PortDir, RoutingKind, Topology, WormholeRouting};
 
-use crate::message::{Delivery, DeliveryMode, Flit, Message, MessageId};
-use crate::router::{Emitting, Router};
+use crate::message::{Delivery, DeliveryMode, Flit, Message};
+use crate::router::{Emitting, Queued, Router};
 
 /// Configuration of the wormhole fabric (the paper's `S0` switch plane).
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +81,63 @@ pub struct FabricStats {
 /// `(router id, dense output-VC index)`.
 pub type WaitVc = (u32, u16);
 
+/// One in-flight message record: metadata plus the output VCs it holds.
+struct MsgSlot {
+    msg: Option<Message>,
+    /// Output VCs currently held by this message, in path order.
+    held: Vec<WaitVc>,
+}
+
+/// Arena of in-flight message records. Every flit carries its record's
+/// slot index, so the hot path (tail delivery, held-VC bookkeeping) is a
+/// direct vector index instead of a hash lookup. Freed slots are recycled
+/// LIFO and each slot's `held` vector keeps its capacity across reuse, so
+/// the steady-state fabric allocates nothing per message.
+#[derive(Default)]
+struct MsgSlab {
+    slots: Vec<MsgSlot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl MsgSlab {
+    fn insert(&mut self, msg: Message) -> u32 {
+        self.live += 1;
+        if let Some(s) = self.free.pop() {
+            let slot = &mut self.slots[s as usize];
+            debug_assert!(slot.msg.is_none() && slot.held.is_empty());
+            slot.msg = Some(msg);
+            s
+        } else {
+            self.slots.push(MsgSlot {
+                msg: Some(msg),
+                held: Vec::new(),
+            });
+            u32::try_from(self.slots.len() - 1).expect("fewer than 2^32 in-flight messages")
+        }
+    }
+
+    fn remove(&mut self, s: u32) -> Message {
+        let slot = &mut self.slots[s as usize];
+        let msg = slot
+            .msg
+            .take()
+            .expect("delivered message must have metadata");
+        slot.held.clear();
+        self.free.push(s);
+        self.live -= 1;
+        msg
+    }
+
+    fn held(&self, s: u32) -> &[WaitVc] {
+        &self.slots[s as usize].held
+    }
+
+    fn held_mut(&mut self, s: u32) -> &mut Vec<WaitVc> {
+        &mut self.slots[s as usize].held
+    }
+}
+
 /// The flit-level wormhole network.
 pub struct WormholeFabric {
     topo: Topology,
@@ -80,10 +147,14 @@ pub struct WormholeFabric {
     nports: usize,
     local: usize,
     routers: Vec<Router>,
-    /// In-flight message metadata, keyed by id.
-    meta: HashMap<MessageId, Message>,
-    /// Output VCs currently held by each in-flight message, in path order.
-    held: HashMap<MessageId, Vec<WaitVc>>,
+    /// In-flight message records; flits carry their slot.
+    slab: MsgSlab,
+    /// Active-set bitset: bit `r` set ⇒ router `r` may have work. Set on
+    /// injection and flit arrival; cleared only after the router was
+    /// scanned through a full tick and found [`Router::idle`].
+    active_bits: Vec<u64>,
+    /// Scratch worklist of active router ids, reused across ticks.
+    worklist: Vec<u32>,
     deliveries: Vec<Delivery>,
     arrivals: Vec<(u32, u16, Flit)>,
     credit_returns: Vec<(u32, u16)>,
@@ -91,6 +162,7 @@ pub struct WormholeFabric {
     emitting_msgs: u64,
     last_progress: Cycle,
     stats: FabricStats,
+    kernel: CycleKernelStats,
     cand: Vec<Candidate>,
 }
 
@@ -127,16 +199,18 @@ impl WormholeFabric {
         );
         let w = cfg.w as usize;
         let nports = 2 * topo.ndims() + 1;
-        let routers = (0..topo.num_nodes())
+        let routers: Vec<Router> = (0..topo.num_nodes())
             .map(|_| Router::new(nports, w, cfg.buffer_depth))
             .collect();
+        let active_bits = vec![0u64; routers.len().div_ceil(64)];
         Self {
             w,
             nports,
             local: nports - 1,
             routers,
-            meta: HashMap::new(),
-            held: HashMap::new(),
+            slab: MsgSlab::default(),
+            active_bits,
+            worklist: Vec::new(),
             deliveries: Vec::new(),
             arrivals: Vec::new(),
             credit_returns: Vec::new(),
@@ -144,6 +218,7 @@ impl WormholeFabric {
             emitting_msgs: 0,
             last_progress: 0,
             stats: FabricStats::default(),
+            kernel: CycleKernelStats::default(),
             cand: Vec::new(),
             routing,
             topo,
@@ -178,12 +253,19 @@ impl WormholeFabric {
         self.routing = routing;
     }
 
+    #[inline]
+    fn activate(&mut self, r: usize) {
+        self.active_bits[r / 64] |= 1u64 << (r % 64);
+    }
+
     /// Accepts a message for injection at its source node.
     pub fn inject(&mut self, msg: Message) {
         assert!(msg.src.0 < self.topo.num_nodes(), "source out of range");
         assert!(msg.dest.0 < self.topo.num_nodes(), "dest out of range");
-        self.meta.insert(msg.id, msg);
-        self.routers[msg.src.0 as usize].inj_queue.push_back(msg);
+        let slot = self.slab.insert(msg);
+        let src = msg.src.0 as usize;
+        self.routers[src].inj_queue.push_back(Queued { msg, slot });
+        self.activate(src);
         self.emitting_msgs += 1;
         self.stats.injected_msgs += 1;
     }
@@ -191,7 +273,7 @@ impl WormholeFabric {
     /// Messages injected but not yet delivered.
     #[must_use]
     pub fn in_flight_msgs(&self) -> usize {
-        self.meta.len()
+        self.slab.live
     }
 
     /// Flits currently buffered somewhere in the network.
@@ -212,9 +294,24 @@ impl WormholeFabric {
         self.stats
     }
 
+    /// Cycle-kernel work counters (scanning effort per tick).
+    #[must_use]
+    pub fn kernel_stats(&self) -> CycleKernelStats {
+        self.kernel
+    }
+
     /// Drains and returns all deliveries completed since the last call.
     pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
         std::mem::take(&mut self.deliveries)
+    }
+
+    /// Swaps completed deliveries into `out` (cleared first), retaining the
+    /// old buffer's capacity for the next collection cycle. Ping-ponging a
+    /// caller-owned buffer through this keeps the steady state allocation
+    /// free.
+    pub fn drain_deliveries_into(&mut self, out: &mut Vec<Delivery>) {
+        out.clear();
+        std::mem::swap(&mut self.deliveries, out);
     }
 
     /// True while any message is queued, emitting, or in flight.
@@ -227,39 +324,64 @@ impl WormholeFabric {
         port * self.w + vc
     }
 
-    /// Advances the fabric by one cycle.
+    /// Advances the fabric by one cycle: scans only the active set, in
+    /// ascending router order (the same order the seed kernel's full scan
+    /// visited them, so arbitration and delivery order are unchanged).
     pub fn tick(&mut self, now: Cycle) {
-        for r in 0..self.routers.len() {
-            self.va_stage(r, now);
+        self.kernel.ticks += 1;
+        let mut wl = std::mem::take(&mut self.worklist);
+        wl.clear();
+        for (wi, &word) in self.active_bits.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                wl.push((wi as u32) * 64 + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
         }
-        for r in 0..self.routers.len() {
-            self.sa_stage(r, now);
+        self.kernel.routers_scanned += wl.len() as u64;
+        for &r in &wl {
+            self.va_stage(r as usize, now);
         }
-        for r in 0..self.routers.len() {
-            self.injection_stage(r);
+        for &r in &wl {
+            self.sa_stage(r as usize, now);
+        }
+        for &r in &wl {
+            self.injection_stage(r as usize);
         }
         self.commit();
+        // Retire provably quiescent routers. Routers that just received an
+        // arrival in commit() fail `idle` and stay in the set.
+        for &r in &wl {
+            if self.routers[r as usize].idle() {
+                self.active_bits[(r / 64) as usize] &= !(1u64 << (r % 64));
+            }
+        }
+        self.worklist = wl;
     }
 
     /// Phase 1: routing computation + output-VC allocation.
     fn va_stage(&mut self, r: usize, now: Cycle) {
         let node = NodeId(r as u32);
         let n_ivc = self.nports * self.w;
-        let start = self.routers[r].va_rr as usize % n_ivc;
+        self.kernel.vcs_touched += n_ivc as u64;
+        // The VA round-robin pointer is cycle-derived: the seed kernel
+        // advanced it by exactly one per tick on every router, active or
+        // not, so `now % n_ivc` reproduces it without per-router state —
+        // and without requiring idle routers to tick at all.
+        let start = (now % n_ivc as u64) as usize;
         for off in 0..n_ivc {
             let i = (start + off) % n_ivc;
             // Inspect the front flit without holding a borrow.
-            let (front_head, front_msg, front_dest) = {
+            let (front_dest, front_slot) = {
                 let vc = &self.routers[r].inputs[i];
                 if vc.route.is_some() {
                     continue;
                 }
                 match vc.buf.front() {
-                    Some(f) if f.is_head => (true, f.msg, f.dest),
+                    Some(f) if f.is_head => (f.dest, f.slot),
                     _ => continue,
                 }
             };
-            debug_assert!(front_head);
             // Routing-delay accounting.
             let since = {
                 let vc = &mut self.routers[r].inputs[i];
@@ -292,16 +414,12 @@ impl WormholeFabric {
                         out_vc: c.vc,
                     });
                     self.routers[r].inputs[i].head_since = None;
-                    self.held
-                        .entry(front_msg)
-                        .or_default()
-                        .push((r as u32, oidx as u16));
+                    self.slab.held_mut(front_slot).push((r as u32, oidx as u16));
                     self.stats.va_allocs += 1;
                     break;
                 }
             }
         }
-        self.routers[r].va_rr = ((start + 1) % n_ivc) as u16;
     }
 
     /// Phase 2: switch allocation and flit forwarding / delivery.
@@ -315,6 +433,7 @@ impl WormholeFabric {
             let start = self.routers[r].sa_rr[out_port] as usize % n_ivc;
             let mut pick: Option<usize> = None;
             for off in 0..n_ivc {
+                self.kernel.vcs_touched += 1;
                 let i = (start + off) % n_ivc;
                 let vc = &self.routers[r].inputs[i];
                 let Some(route) = vc.route else { continue };
@@ -366,11 +485,8 @@ impl WormholeFabric {
                 self.stats.delivered_flits += 1;
                 if flit.is_tail {
                     self.routers[r].inputs[i].route = None;
-                    let msg = self
-                        .meta
-                        .remove(&flit.msg)
-                        .expect("delivered message must have metadata");
-                    self.held.remove(&flit.msg);
+                    let msg = self.slab.remove(flit.slot);
+                    debug_assert_eq!(msg.id, flit.msg, "slot/id mismatch at delivery");
                     self.stats.delivered_msgs += 1;
                     self.deliveries.push(Delivery {
                         msg,
@@ -394,13 +510,12 @@ impl WormholeFabric {
                     self.routers[r].inputs[i].route = None;
                     // The tail has left this router: the message no longer
                     // holds this output VC.
-                    if let Some(hs) = self.held.get_mut(&flit.msg) {
-                        let pos = hs
-                            .iter()
-                            .position(|&(hr, ho)| hr == r as u32 && ho == oidx as u16)
-                            .expect("held list tracks allocations in path order");
-                        hs.remove(pos);
-                    }
+                    let hs = self.slab.held_mut(flit.slot);
+                    let pos = hs
+                        .iter()
+                        .position(|&(hr, ho)| hr == r as u32 && ho == oidx as u16)
+                        .expect("held list tracks allocations in path order");
+                    hs.remove(pos);
                 }
             }
         }
@@ -415,7 +530,7 @@ impl WormholeFabric {
                 continue;
             };
             if self.routers[r].inputs[idx].buf.len() < self.cfg.buffer_depth as usize {
-                let flit = Flit::of(&em.msg, em.sent);
+                let flit = Flit::of(&em.msg, em.sent, em.slot);
                 self.routers[r].inputs[idx].buf.push_back(flit);
                 self.in_flight_flits += 1;
                 let sent = em.sent + 1;
@@ -423,7 +538,11 @@ impl WormholeFabric {
                     self.routers[r].emitting[v] = None;
                     self.emitting_msgs -= 1;
                 } else {
-                    self.routers[r].emitting[v] = Some(Emitting { msg: em.msg, sent });
+                    self.routers[r].emitting[v] = Some(Emitting {
+                        msg: em.msg,
+                        sent,
+                        slot: em.slot,
+                    });
                 }
             }
         }
@@ -434,15 +553,23 @@ impl WormholeFabric {
             }
             let idx = self.ivc(self.local, v);
             if self.routers[r].emitting[v].is_none() && self.routers[r].inputs[idx].idle() {
-                let msg = self.routers[r].inj_queue.pop_front().expect("non-empty");
-                self.routers[r].emitting[v] = Some(Emitting { msg, sent: 0 });
+                let q = self.routers[r].inj_queue.pop_front().expect("non-empty");
+                self.routers[r].emitting[v] = Some(Emitting {
+                    msg: q.msg,
+                    sent: 0,
+                    slot: q.slot,
+                });
             }
         }
     }
 
     /// Phase 4: arrivals and credits become visible for the next cycle.
+    /// Arrivals activate their receiving router; credit returns need no
+    /// activation, because only a router that still holds flits (and is
+    /// therefore already active) can later consume the restored credit.
     fn commit(&mut self) {
         for (r, ivc, flit) in self.arrivals.drain(..) {
+            self.active_bits[(r / 64) as usize] |= 1u64 << (r % 64);
             let vc = &mut self.routers[r as usize].inputs[ivc as usize];
             vc.buf.push_back(flit);
             assert!(
@@ -480,10 +607,11 @@ impl WormholeFabric {
                 if !front.is_head || front.dest == node {
                     continue;
                 }
-                let Some(hs) = self.held.get(&front.msg) else {
-                    continue; // still at the source: holds nothing
+                // An empty held list means the head is still at its source
+                // and holds nothing yet.
+                let Some(&holder) = self.slab.held(front.slot).last() else {
+                    continue;
                 };
-                let Some(&holder) = hs.last() else { continue };
                 cand.clear();
                 self.routing.route(&self.topo, node, front.dest, &mut cand);
                 for c in &cand {
@@ -514,6 +642,8 @@ impl WormholeFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::MessageId;
+    use std::collections::HashMap;
     use wavesim_topology::Coords;
 
     fn mesh44(w: u8) -> WormholeFabric {
@@ -799,5 +929,63 @@ mod tests {
         assert_eq!(s.delivered_flits, 10);
         // 4 hops * 10 flits forwarded across links.
         assert_eq!(s.flit_hops, 40);
+    }
+
+    #[test]
+    fn active_set_tracks_exactly_the_nonidle_routers() {
+        // One short message crosses the mesh; after every tick, each
+        // non-idle router must have its active bit set (the scheduling
+        // invariant), and after drain the whole set must be empty again.
+        let mut f = mesh44(1);
+        let topo = f.topology().clone();
+        let src = topo.node(Coords::new(&[0, 0]));
+        let dest = topo.node(Coords::new(&[3, 3]));
+        f.inject(Message::new(1, src, dest, 6, 0));
+        let mut now = 0;
+        while f.busy() && now < 10_000 {
+            f.tick(now);
+            now += 1;
+            for (r, router) in f.routers.iter().enumerate() {
+                if !router.idle() {
+                    assert!(
+                        f.active_bits[r / 64] & (1 << (r % 64)) != 0,
+                        "non-idle router {r} missing from active set at cycle {now}"
+                    );
+                }
+            }
+        }
+        assert!(!f.busy());
+        assert!(
+            f.active_bits.iter().all(|&w| w == 0),
+            "drained fabric must have an empty active set"
+        );
+        // Drained fabric: ticking is O(1) — no routers scanned.
+        let before = f.kernel_stats().routers_scanned;
+        f.tick(now);
+        assert_eq!(f.kernel_stats().routers_scanned, before);
+    }
+
+    #[test]
+    fn message_slab_recycles_slots_without_growth() {
+        // Sequential messages through the same fabric must reuse one slot.
+        let mut f = mesh44(1);
+        let topo = f.topology().clone();
+        let src = topo.node(Coords::new(&[0, 0]));
+        let dest = topo.node(Coords::new(&[2, 0]));
+        let mut now = 0;
+        for id in 0..8 {
+            f.inject(Message::new(id, src, dest, 3, now));
+            while f.busy() && now < 100_000 {
+                f.tick(now);
+                now += 1;
+            }
+        }
+        assert_eq!(f.drain_deliveries().len(), 8);
+        assert_eq!(f.in_flight_msgs(), 0);
+        assert_eq!(
+            f.slab.slots.len(),
+            1,
+            "sequential messages must recycle a single arena slot"
+        );
     }
 }

@@ -63,6 +63,10 @@ pub struct Flit {
     pub dest: NodeId,
     /// Position within the message (0 = head).
     pub seq: u32,
+    /// Fabric-assigned arena slot of the in-flight message record. Carried
+    /// in every flit so tail processing reaches the metadata without a
+    /// map lookup; meaningless outside the fabric that assigned it.
+    pub slot: u32,
     /// True for the first flit — carries routing information.
     pub is_head: bool,
     /// True for the last flit — releases resources behind it.
@@ -70,13 +74,14 @@ pub struct Flit {
 }
 
 impl Flit {
-    /// Builds flit `seq` of `msg`.
+    /// Builds flit `seq` of `msg`, tagged with the fabric arena `slot`.
     #[must_use]
-    pub fn of(msg: &Message, seq: u32) -> Self {
+    pub fn of(msg: &Message, seq: u32, slot: u32) -> Self {
         Self {
             msg: msg.id,
             dest: msg.dest,
             seq,
+            slot,
             is_head: seq == 0,
             is_tail: seq + 1 == msg.len_flits,
         }
@@ -118,18 +123,18 @@ mod tests {
     #[test]
     fn flit_framing() {
         let m = Message::new(1, NodeId(0), NodeId(5), 4, 100);
-        let f0 = Flit::of(&m, 0);
+        let f0 = Flit::of(&m, 0, 7);
         assert!(f0.is_head && !f0.is_tail);
-        let f3 = Flit::of(&m, 3);
+        let f3 = Flit::of(&m, 3, 7);
         assert!(!f3.is_head && f3.is_tail);
-        let f1 = Flit::of(&m, 1);
+        let f1 = Flit::of(&m, 1, 7);
         assert!(!f1.is_head && !f1.is_tail);
     }
 
     #[test]
     fn single_flit_message_is_head_and_tail() {
         let m = Message::new(2, NodeId(0), NodeId(1), 1, 0);
-        let f = Flit::of(&m, 0);
+        let f = Flit::of(&m, 0, 0);
         assert!(f.is_head && f.is_tail);
     }
 

@@ -85,6 +85,18 @@ pub struct Emitting {
     pub msg: Message,
     /// Flits already pushed into the injection buffer.
     pub sent: u32,
+    /// Fabric arena slot of the message record, stamped into every flit.
+    pub slot: u32,
+}
+
+/// A message waiting at its source for a free injection VC, paired with
+/// the fabric arena slot its metadata lives in.
+#[derive(Debug, Clone, Copy)]
+pub struct Queued {
+    /// The message to emit.
+    pub msg: Message,
+    /// Fabric arena slot of the message record.
+    pub slot: u32,
 }
 
 /// Full per-node router state.
@@ -95,12 +107,14 @@ pub struct Router {
     /// Output VCs, same layout; the last port is ejection.
     pub outputs: Vec<OutputVc>,
     /// Messages waiting for a free injection VC.
-    pub inj_queue: VecDeque<Message>,
+    pub inj_queue: VecDeque<Queued>,
     /// Per-injection-VC flit emission in progress.
     pub emitting: Vec<Option<Emitting>>,
-    /// Round-robin pointer for VC allocation over input VCs.
-    pub va_rr: u16,
     /// Round-robin pointers for switch allocation, one per output port.
+    /// (The VA round-robin pointer needs no storage: the seed kernel
+    /// advanced it by exactly one every cycle regardless of activity, so
+    /// it is derived as `now % n_ivc` — which also lets idle routers skip
+    /// ticks entirely without desynchronizing arbitration.)
     pub sa_rr: Vec<u16>,
 }
 
@@ -116,7 +130,6 @@ impl Router {
                 .collect(),
             inj_queue: VecDeque::new(),
             emitting: vec![None; w],
-            va_rr: 0,
             sa_rr: vec![0; nports],
         }
     }
@@ -157,8 +170,10 @@ mod tests {
     #[test]
     fn queued_message_makes_router_busy() {
         let mut r = Router::new(5, 2, 4);
-        r.inj_queue
-            .push_back(Message::new(1, NodeId(0), NodeId(1), 3, 0));
+        r.inj_queue.push_back(Queued {
+            msg: Message::new(1, NodeId(0), NodeId(1), 3, 0),
+            slot: 0,
+        });
         assert!(!r.idle());
     }
 

@@ -28,6 +28,21 @@ pub trait Model {
     /// probes walking, arbitration pending). When false, the engine may
     /// fast-forward over idle cycles to the next scheduled event.
     fn busy(&self) -> bool;
+
+    /// The earliest cycle ≥ `now` at which the model itself (independent
+    /// of the event calendar) next needs a `tick`, or `None` when the
+    /// calendar alone drives it. The default preserves the classic
+    /// busy-bit contract: tick every cycle while busy, never otherwise.
+    /// Purely event-driven models override this to return `None`
+    /// unconditionally; models that can predict their next interesting
+    /// cycle may return a later time to let the engine skip dead ticks.
+    fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.busy() {
+            Some(now)
+        } else {
+            None
+        }
+    }
 }
 
 /// Why a run stopped.
@@ -109,17 +124,23 @@ impl<M: Model> Engine<M> {
             *events_delivered += 1;
         }
         self.model.tick(self.now, &mut self.queue);
-        if self.model.busy() {
-            self.now += 1;
-            true
-        } else if let Some(next) = self.queue.next_time() {
-            // Idle: fast-forward to the next event (but never backwards;
-            // the model may have scheduled an event for the current cycle,
-            // in which case we advance by one and deliver it next step).
-            self.now = next.max(self.now + 1);
-            true
-        } else {
-            false
+        // Next wake-up: the earlier of the model's own next interesting
+        // cycle and the next calendar entry. A busy model's default hint
+        // is `now + 1`, reproducing the classic cycle-by-cycle advance.
+        let hint = self.model.next_activity(self.now + 1);
+        let target = match (hint, self.queue.next_time()) {
+            (Some(h), Some(q)) => Some(h.min(q)),
+            (h, q) => h.or(q),
+        };
+        match target {
+            // Never backwards: the model may have scheduled an event for
+            // the current cycle, in which case we advance by one and
+            // deliver it next step.
+            Some(t) => {
+                self.now = t.max(self.now + 1);
+                true
+            }
+            None => false,
         }
     }
 
@@ -223,6 +244,56 @@ mod tests {
         assert_eq!(e.model().handled, vec![(1000, 5)]);
         // The engine must NOT have ticked cycles 1..999 one by one.
         assert!(rep.ticks < 20, "ticks={}", rep.ticks);
+    }
+
+    /// Model that predicts its next interesting cycle: work only lands on
+    /// multiples of `period`, and `next_activity` says so.
+    struct Strided {
+        remaining: u64,
+        period: u64,
+        ticked_at: Vec<Cycle>,
+    }
+
+    impl Model for Strided {
+        type Event = u64;
+        fn tick(&mut self, now: Cycle, _q: &mut EventQueue<u64>) {
+            self.ticked_at.push(now);
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        fn handle(&mut self, _now: Cycle, _ev: u64, _q: &mut EventQueue<u64>) {}
+        fn busy(&self) -> bool {
+            self.remaining > 0
+        }
+        fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+            (self.remaining > 0).then(|| now.next_multiple_of(self.period))
+        }
+    }
+
+    #[test]
+    fn next_activity_hint_skips_dead_cycles() {
+        let mut e = Engine::new(Strided {
+            remaining: 4,
+            period: 100,
+            ticked_at: Vec::new(),
+        });
+        let rep = e.run_until(10_000);
+        assert_eq!(rep.stop, StopReason::Quiescent);
+        assert_eq!(e.model().ticked_at, vec![0, 100, 200, 300]);
+        assert_eq!(rep.ticks, 4, "dead cycles between strides not ticked");
+    }
+
+    #[test]
+    fn calendar_events_preempt_a_later_activity_hint() {
+        let mut e = Engine::new(Strided {
+            remaining: 4,
+            period: 100,
+            ticked_at: Vec::new(),
+        });
+        e.queue_mut().schedule(150, 9);
+        let rep = e.run_until(10_000);
+        assert_eq!(rep.stop, StopReason::Quiescent);
+        // The event at 150 wakes the engine between strides.
+        assert_eq!(e.model().ticked_at, vec![0, 100, 150, 200]);
     }
 
     #[test]

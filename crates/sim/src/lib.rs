@@ -32,4 +32,5 @@ pub mod time;
 pub use engine::{Engine, EngineReport, Model, StopReason};
 pub use event::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;
+pub use stats::CycleKernelStats;
 pub use time::Cycle;

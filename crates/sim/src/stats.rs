@@ -16,6 +16,43 @@
 
 use crate::time::Cycle;
 
+/// Cycle-kernel work counters: how much scanning a cycle-driven model
+/// actually performed, independent of wall clock. An O(work) kernel shows
+/// `routers_scanned / ticks` tracking the in-flight population instead of
+/// the network size; these counters make that visible (and regressions
+/// measurable) without a profiler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleKernelStats {
+    /// `tick` invocations executed (idle fast-forwarded cycles excluded).
+    pub ticks: u64,
+    /// Router phase-loop visits summed over all ticks.
+    pub routers_scanned: u64,
+    /// Input-VC inspections summed over all ticks (VA + SA scans).
+    pub vcs_touched: u64,
+    /// Inter-plane events routed to a consuming plane.
+    pub events_routed: u64,
+}
+
+impl CycleKernelStats {
+    /// Field-wise sum, for composing per-plane contributions.
+    pub fn merge(&mut self, other: CycleKernelStats) {
+        self.ticks += other.ticks;
+        self.routers_scanned += other.routers_scanned;
+        self.vcs_touched += other.vcs_touched;
+        self.events_routed += other.events_routed;
+    }
+
+    /// Mean routers scanned per executed tick.
+    #[must_use]
+    pub fn routers_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.routers_scanned as f64 / self.ticks as f64
+        }
+    }
+}
+
 /// A saturating event counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);

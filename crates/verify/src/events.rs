@@ -84,7 +84,7 @@ impl CircuitLedger {
     #[must_use]
     pub fn check(&self, net: &WaveNetwork) -> Vec<String> {
         let mut problems = Vec::new();
-        let registry: HashSet<CircuitId> = net.circuits().keys().copied().collect();
+        let registry: HashSet<CircuitId> = net.circuits().keys().collect();
         for cid in self.live.difference(&registry) {
             problems.push(format!(
                 "{cid:?}: event stream says live, registry disagrees"

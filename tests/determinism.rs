@@ -4,9 +4,9 @@
 
 use wavesim::core::{ProtocolKind, WaveConfig, WaveNetwork};
 use wavesim::topology::Topology;
-use wavesim::workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
+use wavesim::workloads::{CarpTrace, LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
 use wavesim_bench::experiments::e11_loadsweep;
-use wavesim_bench::{run_open_loop, ParallelSweep, RunSpec, Scale};
+use wavesim_bench::{run_carp_trace, run_open_loop, ParallelSweep, RunSpec, Scale};
 
 fn full_run(seed: u64, protocol: ProtocolKind) -> Vec<(u64, u64)> {
     let topo = Topology::mesh(&[5, 5]);
@@ -155,4 +155,119 @@ fn e11_table_is_identical_across_job_counts() {
     assert!(!serial.rows.is_empty());
     assert_eq!(serial.rows, one.rows);
     assert_eq!(serial.rows, four.rows, "--jobs 4 must not change the table");
+}
+
+// ---------------------------------------------------------------------
+// Golden traces pinned against the seed (pre-active-set) cycle kernel.
+//
+// The hashes below were captured from the original O(routers × ports ×
+// VCs) kernel before the active-set/arena rewrite. Any kernel change
+// that alters a single delivery time, arbitration decision, or counter
+// flips these hashes — they prove the optimized kernel is observationally
+// byte-identical to the seed kernel, not merely "still deterministic".
+// To re-capture after an *intentional* semantic change, run:
+//     GOLDEN_PRINT=1 cargo test --test determinism golden -- --nocapture
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_bytes(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn hash_schedule(schedule: &[(u64, u64)]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &(id, at) in schedule {
+        fnv1a_bytes(&mut h, &id.to_le_bytes());
+        fnv1a_bytes(&mut h, &at.to_le_bytes());
+    }
+    h
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv1a_bytes(&mut h, s.as_bytes());
+    h
+}
+
+fn golden_check(name: &str, got: u64, want: u64) {
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("GOLDEN {name} = 0x{got:016x}");
+        return;
+    }
+    assert_eq!(
+        got, want,
+        "{name}: kernel output diverged from the seed kernel (got 0x{got:016x}, want 0x{want:016x})"
+    );
+}
+
+/// CLRP and wormhole-only delivery schedules (ids + cycles) on a 5×5 mesh
+/// under bimodal hot-pair traffic — covers VA/SA arbitration, injection,
+/// probes, circuit transfers, and wormhole fallback end to end.
+#[test]
+fn golden_trace_open_loop_schedules_match_seed_kernel() {
+    let clrp = full_run(7, ProtocolKind::Clrp);
+    let worm = full_run(7, ProtocolKind::WormholeOnly);
+    assert!(!clrp.is_empty() && !worm.is_empty());
+    golden_check("clrp_schedule", hash_schedule(&clrp), 0x954f_4883_7849_bf93);
+    golden_check(
+        "wormhole_schedule",
+        hash_schedule(&worm),
+        0xf26d_d0b6_cc24_7821,
+    );
+}
+
+/// The small E11 table (the EXPERIMENTS.md artifact) rendered to its
+/// exact row strings, including float bit patterns.
+#[test]
+fn golden_trace_e11_table_matches_seed_kernel() {
+    let scale = Scale {
+        side: 4,
+        measure: 2_000,
+        warmup: 500,
+        sweep_points: 3,
+    };
+    let table = e11_loadsweep::run(scale);
+    golden_check(
+        "e11_rows",
+        hash_str(&format!("{:?}", table.rows)),
+        0x560c_6391_ee34_3045,
+    );
+}
+
+/// A mixed CLRP + CARP workload: the same stencil instruction trace is
+/// replayed on a CARP network (explicit establish/teardown executed) and
+/// a CLRP network (circuits managed implicitly); both full `RunResult`s —
+/// every counter and float bit pattern — are pinned.
+#[test]
+fn golden_trace_clrp_carp_mixed_workload_matches_seed_kernel() {
+    let go = |protocol: ProtocolKind| {
+        let topo = Topology::mesh(&[4, 4]);
+        let mut net = WaveNetwork::new(
+            topo.clone(),
+            WaveConfig {
+                protocol,
+                cache_capacity: 4,
+                ..WaveConfig::default()
+            },
+        );
+        let mut trace = CarpTrace::stencil(&topo, 3, 4, 32, 600, 200);
+        let r = run_carp_trace(&mut net, &mut trace, RunSpec::standard(100, 1_500));
+        assert!(r.delivered > 0, "{protocol:?} stencil must deliver");
+        format!("{r:?}")
+    };
+    golden_check(
+        "carp_stencil_result",
+        hash_str(&go(ProtocolKind::Carp)),
+        0x22f1_b1c8_63b9_97d1,
+    );
+    golden_check(
+        "clrp_stencil_result",
+        hash_str(&go(ProtocolKind::Clrp)),
+        0xbdc6_8777_3a97_ad83,
+    );
 }
