@@ -30,8 +30,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod metrics;
 pub mod runner;
 pub mod table;
+pub mod tracecap;
 
 pub use runner::{
     drive, run_carp_trace, run_open_loop, run_request_reply, run_scripted, Drained, Driver,

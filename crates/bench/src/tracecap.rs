@@ -1,0 +1,204 @@
+//! Thread-local flight-recorder capture for the measurement loops.
+//!
+//! The golden-hash determinism suite pins the `Debug` output of
+//! [`crate::RunResult`], so tracing output cannot ride on the result
+//! struct. Instead the capture is a thread-local side channel: a caller
+//! [`arm_flight_recorder`]s the thread, every subsequent [`crate::drive`]
+//! call installs a fresh [`FlightRecorder`] into the network for the
+//! duration of the run, and the captured [`RunTrace`]s are retrieved with
+//! [`take_captured`]. Worker threads spawned by
+//! [`crate::ParallelSweep`] start with unarmed thread-locals, so traced
+//! sweeps must run with `jobs = 1` (the CLI enforces this).
+//!
+//! When a run trips the deadlock monitor, the capture additionally holds a
+//! post-mortem bundle: the recorder tail plus the wormhole fabric's
+//! wait-for graph (and the circular wait inside it, if one exists) at the
+//! stall cycle.
+
+use std::cell::{Cell, RefCell};
+
+use wavesim_core::WaveNetwork;
+use wavesim_json::Value;
+use wavesim_sim::Cycle;
+use wavesim_trace::postmortem::{self, StallContext};
+use wavesim_trace::{FlightRecorder, TraceRecord};
+use wavesim_verify::deadlock::find_wait_cycle;
+
+use crate::Drained;
+
+thread_local! {
+    /// Recorder capacity for runs on this thread; `None` means untraced.
+    static PLAN: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Traces captured on this thread, in run order.
+    static CAPTURED: RefCell<Vec<RunTrace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One run's flight-recorder contents plus outcome metadata.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// Surviving records, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// Records overwritten by ring wraparound.
+    pub dropped: u64,
+    /// Records emitted over the whole run.
+    pub total: u64,
+    /// Cycle at which the run ended.
+    pub end: Cycle,
+    /// True when the deadlock monitor tripped.
+    pub stalled: bool,
+    /// Post-mortem bundle; present only when the run stalled.
+    pub post_mortem: Option<Value>,
+}
+
+/// Arms the current thread: every subsequent [`crate::drive`] call records
+/// into a fresh [`FlightRecorder`] with `capacity` slots and appends a
+/// [`RunTrace`] retrievable via [`take_captured`].
+///
+/// # Panics
+/// Panics if `capacity` is zero (a flight recorder needs at least one
+/// slot).
+pub fn arm_flight_recorder(capacity: usize) {
+    assert!(capacity > 0, "a flight recorder needs at least one slot");
+    PLAN.set(Some(capacity));
+}
+
+/// Disarms the current thread; already-captured traces stay retrievable.
+pub fn disarm_flight_recorder() {
+    PLAN.set(None);
+}
+
+/// True when [`arm_flight_recorder`] is in effect on this thread.
+#[must_use]
+pub fn flight_recorder_armed() -> bool {
+    PLAN.get().is_some()
+}
+
+/// Takes (and clears) the traces captured on this thread so far.
+#[must_use]
+pub fn take_captured() -> Vec<RunTrace> {
+    CAPTURED.take()
+}
+
+/// Installs a flight recorder into `net` if this thread is armed.
+/// Returns whether a recorder was installed.
+pub(crate) fn install(net: &mut WaveNetwork) -> bool {
+    let Some(capacity) = PLAN.get() else {
+        return false;
+    };
+    net.install_trace_sink(Box::new(FlightRecorder::new(capacity)));
+    true
+}
+
+/// Removes the recorder installed by [`install`], snapshots it, and
+/// appends the [`RunTrace`] — with a post-mortem bundle when the run
+/// stalled — to this thread's capture list.
+pub(crate) fn finish(net: &mut WaveNetwork, outcome: Drained) {
+    let Some(sink) = net.take_trace_sink() else {
+        return;
+    };
+    let records = sink.snapshot();
+    let dropped = sink.dropped();
+    let total = sink.total();
+    let post_mortem = outcome.stalled.then(|| {
+        let fabric = net.fabric();
+        let edges = fabric.wait_edges();
+        let cycle = find_wait_cycle(&edges);
+        let ctx = StallContext {
+            edges: &edges,
+            cycle: cycle.as_deref(),
+            now: outcome.end,
+            stall_age: fabric.progress_age(outcome.end),
+            in_flight: fabric.in_flight_flits(),
+        };
+        postmortem::bundle(&records, dropped, total, &ctx)
+    });
+    CAPTURED.with_borrow_mut(|c| {
+        c.push(RunTrace {
+            records,
+            dropped,
+            total,
+            end: outcome.end,
+            stalled: outcome.stalled,
+            post_mortem,
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_open_loop, RunSpec};
+    use wavesim_core::{WaveConfig, WaveNetwork};
+    use wavesim_topology::Topology;
+    use wavesim_workloads::{LengthDist, TrafficConfig, TrafficSource};
+
+    fn traced_run() -> (crate::RunResult, Vec<RunTrace>) {
+        let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), WaveConfig::default());
+        let mut src = TrafficSource::new(
+            net.topology().clone(),
+            TrafficConfig {
+                load: 0.1,
+                len: LengthDist::Fixed(32),
+                ..TrafficConfig::default()
+            },
+        );
+        arm_flight_recorder(1 << 16);
+        let r = run_open_loop(&mut net, &mut src, RunSpec::standard(200, 1_000));
+        disarm_flight_recorder();
+        (r, take_captured())
+    }
+
+    #[test]
+    fn armed_drive_captures_one_trace_per_run() {
+        let (r, traces) = traced_run();
+        assert!(r.clean(), "{r:?}");
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert!(!t.stalled);
+        assert!(t.post_mortem.is_none());
+        assert_eq!(t.end, r.end);
+        assert!(t.total > 0);
+        assert_eq!(t.records.len() as u64 + t.dropped, t.total);
+        // Seq numbers are gap-free over the surviving tail.
+        for w in t.records.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_schedule() {
+        let baseline = {
+            let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), WaveConfig::default());
+            let mut src = TrafficSource::new(
+                net.topology().clone(),
+                TrafficConfig {
+                    load: 0.1,
+                    len: LengthDist::Fixed(32),
+                    ..TrafficConfig::default()
+                },
+            );
+            format!(
+                "{:?}",
+                run_open_loop(&mut net, &mut src, RunSpec::standard(200, 1_000))
+            )
+        };
+        let (r, _) = traced_run();
+        assert_eq!(baseline, format!("{r:?}"));
+    }
+
+    #[test]
+    fn unarmed_thread_captures_nothing() {
+        assert!(!flight_recorder_armed());
+        let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), WaveConfig::default());
+        let mut src = TrafficSource::new(
+            net.topology().clone(),
+            TrafficConfig {
+                load: 0.05,
+                len: LengthDist::Fixed(16),
+                ..TrafficConfig::default()
+            },
+        );
+        let _ = run_open_loop(&mut net, &mut src, RunSpec::standard(100, 500));
+        assert!(take_captured().is_empty());
+    }
+}

@@ -8,17 +8,25 @@
 //!                                              to --jobs 1)
 //! wavesim run [workload flags]                 one custom simulation
 //! wavesim check [--side N]                     static deadlock-freedom checks (CDG)
+//! wavesim validate-trace FILE                  schema-check a Perfetto trace file
 //! wavesim info                                 print the default configuration
 //!
 //! `run` flags: --protocol clrp|carp|wormhole  --topology mesh|torus
 //!              --side N  --load F  --len N  --locality F  --cycles N
 //!              --seed N  --k N  --alpha N  --cache N  --misroutes N
+//!
+//! Observability flags (`run` and experiments): `--trace-out FILE` writes a
+//! Chrome/Perfetto `trace_event` JSON of the run (plus `FILE.postmortem.json`
+//! when the run stalls), `--metrics-out FILE` (run only) writes a
+//! Prometheus-style metrics page, `--flight-recorder N` sizes the in-memory
+//! ring buffer (default 65536 records). Tracing forces `--jobs 1`: the
+//! flight recorder is thread-local, and sweep workers are untraced.
 //! ```
 
 use std::env;
 use std::process::ExitCode;
 
-use wavesim_bench::{experiments, run_open_loop, RunSpec, Scale};
+use wavesim_bench::{experiments, run_open_loop, tracecap, RunSpec, Scale};
 use wavesim_core::{ProtocolKind, WaveConfig, WaveNetwork};
 use wavesim_topology::{RoutingKind, Topology};
 use wavesim_verify::check_deadlock_freedom;
@@ -26,9 +34,10 @@ use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wavesim <all|e1..e13|run|check|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
+        "usage: wavesim <all|e1..e13|run|check|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
          run flags: --protocol clrp|carp|wormhole --topology mesh|torus --side N --load F\n\
-                    --len N --locality F --cycles N --seed N --k N --alpha N --cache N --misroutes N"
+                    --len N --locality F --cycles N --seed N --k N --alpha N --cache N --misroutes N\n\
+         trace flags: --trace-out FILE --metrics-out FILE --flight-recorder N"
     );
     std::process::exit(2);
 }
@@ -51,6 +60,12 @@ struct Args {
     alpha: u32,
     cache: usize,
     misroutes: u8,
+    // observability
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    flight_recorder: usize,
+    // positional operand (validate-trace FILE)
+    path: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -73,6 +88,10 @@ fn parse_args() -> Args {
         alpha: 4,
         cache: 16,
         misroutes: 2,
+        trace_out: None,
+        metrics_out: None,
+        flight_recorder: 1 << 16,
+        path: None,
     };
     macro_rules! next_parse {
         ($argv:ident) => {
@@ -116,10 +135,84 @@ fn parse_args() -> Args {
             "--alpha" => args.alpha = next_parse!(argv),
             "--cache" => args.cache = next_parse!(argv),
             "--misroutes" => args.misroutes = next_parse!(argv),
+            "--trace-out" => args.trace_out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => args.metrics_out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--flight-recorder" => {
+                args.flight_recorder = next_parse!(argv);
+                if args.flight_recorder == 0 {
+                    usage();
+                }
+            }
+            _ if !a.starts_with('-') && args.path.is_none() => args.path = Some(a),
             _ => usage(),
         }
     }
     args
+}
+
+/// Writes `contents` to `path`, reporting failure on stderr.
+fn write_file(path: &str, contents: &str) -> bool {
+    match std::fs::write(path, contents) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("error: cannot write {path}: {e}");
+            false
+        }
+    }
+}
+
+/// Exports one captured run as Perfetto JSON (plus a post-mortem bundle
+/// when the run stalled). Returns `false` on I/O failure.
+fn export_trace(path: &str, t: &tracecap::RunTrace) -> bool {
+    let doc = wavesim_trace::perfetto::export(&t.records);
+    if !write_file(path, &doc.compact()) {
+        return false;
+    }
+    println!(
+        "wrote trace: {path} ({} records kept, {} dropped of {})",
+        t.records.len(),
+        t.dropped,
+        t.total
+    );
+    if let Some(pm) = &t.post_mortem {
+        let pm_path = format!("{path}.postmortem.json");
+        if !write_file(&pm_path, &pm.pretty()) {
+            return false;
+        }
+        println!("run stalled — wrote post-mortem: {pm_path}");
+    }
+    true
+}
+
+/// Schema-checks a Perfetto trace file written by `--trace-out`.
+fn validate_trace(path: &str) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let doc = match wavesim_json::Value::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {path}: invalid JSON: {e}");
+            return false;
+        }
+    };
+    match wavesim_trace::perfetto::validate(&doc) {
+        Ok(s) => {
+            println!(
+                "{path}: valid Perfetto trace — {} events ({} spans, {} instants)",
+                s.events, s.spans, s.instants
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            false
+        }
+    }
 }
 
 fn custom_run(args: &Args) -> bool {
@@ -156,7 +249,28 @@ fn custom_run(args: &Args) -> bool {
         },
     );
     let warmup = args.cycles / 5;
+    let tracing = args.trace_out.is_some() || args.metrics_out.is_some();
+    if tracing {
+        tracecap::arm_flight_recorder(args.flight_recorder);
+    }
     let r = run_open_loop(&mut net, &mut src, RunSpec::standard(warmup, args.cycles));
+    if tracing {
+        tracecap::disarm_flight_recorder();
+        let traces = tracecap::take_captured();
+        let t = traces.last().expect("traced run captured");
+        if let Some(path) = &args.trace_out {
+            if !export_trace(path, t) {
+                return false;
+            }
+        }
+        if let Some(path) = &args.metrics_out {
+            let page = wavesim_bench::metrics::metrics_snapshot(&net, &r, &t.records);
+            if !write_file(path, &page) {
+                return false;
+            }
+            println!("wrote metrics: {path}");
+        }
+    }
     println!(
         "single run: {:?} on {}x{} {}",
         args.protocol,
@@ -195,7 +309,20 @@ fn custom_run(args: &Args) -> bool {
     r.clean()
 }
 
-fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize) {
+fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &Args) -> bool {
+    let tracing = args.trace_out.is_some();
+    let jobs = if tracing && jobs > 1 {
+        eprintln!("note: --trace-out forces --jobs 1 (the flight recorder is thread-local)");
+        1
+    } else {
+        jobs
+    };
+    if args.metrics_out.is_some() {
+        eprintln!("note: --metrics-out applies to `run` only; ignored for experiments");
+    }
+    if tracing {
+        tracecap::arm_flight_recorder(args.flight_recorder);
+    }
     for id in ids {
         for table in experiments::run_by_id_with_jobs(id, scale, jobs) {
             if json {
@@ -205,6 +332,24 @@ fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize) {
             }
         }
     }
+    if tracing {
+        tracecap::disarm_flight_recorder();
+        let traces = tracecap::take_captured();
+        // Experiments drive many runs; export the last one (for sweeps
+        // this is the highest point — the most loaded, most interesting
+        // trace).
+        match traces.last() {
+            Some(t) => {
+                if let Some(path) = &args.trace_out {
+                    if !export_trace(path, t) {
+                        return false;
+                    }
+                }
+            }
+            None => eprintln!("note: no run captured; no trace written"),
+        }
+    }
+    true
 }
 
 fn static_checks(side: u16) -> bool {
@@ -283,7 +428,17 @@ fn info() {
 fn main() -> ExitCode {
     let args = parse_args();
     match args.cmd.as_str() {
-        "all" => run_experiments(&experiments::all_ids(), args.scale, args.json, args.jobs),
+        "all" => {
+            if !run_experiments(
+                &experiments::all_ids(),
+                args.scale,
+                args.json,
+                args.jobs,
+                &args,
+            ) {
+                return ExitCode::FAILURE;
+            }
+        }
         "check" => {
             if !static_checks(args.side) {
                 return ExitCode::FAILURE;
@@ -295,8 +450,16 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "validate-trace" => {
+            let path = args.path.clone().unwrap_or_else(|| usage());
+            if !validate_trace(&path) {
+                return ExitCode::FAILURE;
+            }
+        }
         id if experiments::all_ids().contains(&id) => {
-            run_experiments(&[id], args.scale, args.json, args.jobs);
+            if !run_experiments(&[id], args.scale, args.json, args.jobs, &args) {
+                return ExitCode::FAILURE;
+            }
         }
         _ => usage(),
     }

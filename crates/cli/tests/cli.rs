@@ -66,6 +66,86 @@ fn custom_run_reports_clean() {
 }
 
 #[test]
+fn run_writes_trace_and_metrics_and_validates() {
+    let dir = std::env::temp_dir().join(format!("wavesim-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("run.trace.json");
+    let metrics = dir.join("run.metrics.txt");
+    let out = wavesim()
+        .args([
+            "run",
+            "--side",
+            "4",
+            "--load",
+            "0.1",
+            "--cycles",
+            "2000",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The trace is valid Perfetto JSON with the expected envelope.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let doc = wavesim_json::Value::parse(&text).expect("trace parses");
+    assert_eq!(doc["displayTimeUnit"], "ms");
+    assert!(!doc["traceEvents"].as_array().unwrap().is_empty());
+
+    // The binary's own validator accepts it.
+    let out = wavesim()
+        .args(["validate-trace", trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("valid Perfetto trace"), "{text}");
+
+    // The metrics page is Prometheus-shaped.
+    let page = std::fs::read_to_string(&metrics).unwrap();
+    assert!(page.contains("# TYPE wavesim_msgs_sent counter"));
+    assert!(page.contains("wavesim_traced_latency_cycles_bucket"));
+
+    // A clean run writes no post-mortem bundle.
+    assert!(!trace.with_extension("json.postmortem.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn validate_trace_rejects_malformed_input() {
+    let dir = std::env::temp_dir().join(format!("wavesim-cli-badtrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"traceEvents\": [{\"ph\": \"b\"}]}").unwrap();
+    let out = wavesim()
+        .args(["validate-trace", bad.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error:"), "{err}");
+
+    let missing = dir.join("does-not-exist.json");
+    let out = wavesim()
+        .args(["validate-trace", missing.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = wavesim().arg("bogus").output().expect("binary runs");
     assert!(!out.status.success());

@@ -18,6 +18,7 @@ use wavesim_network::message::DeliveryMode;
 use wavesim_network::{Delivery, Message};
 use wavesim_sim::{Cycle, EventQueue, Model};
 use wavesim_topology::{NodeId, Topology};
+use wavesim_trace::{TraceBuf, TraceEvent};
 
 use crate::arena::IdAlloc;
 use crate::cache::{CacheEntry, CircuitCache, EntryState};
@@ -54,6 +55,8 @@ pub struct CircuitPlane {
     fifo_seq: u64,
     stats: WaveStats,
     outbox: Vec<PlaneEvent>,
+    /// Intra-plane trace staging; the composition root arms and absorbs it.
+    pub(crate) trace: TraceBuf,
 }
 
 impl CircuitPlane {
@@ -69,8 +72,26 @@ impl CircuitPlane {
             fifo_seq: 0,
             stats: WaveStats::default(),
             outbox: Vec::new(),
+            trace: TraceBuf::new(),
             topo,
             cfg,
+        }
+    }
+
+    /// Traces a cache eviction (victim lookup only happens while armed).
+    fn trace_evict(&mut self, now: Cycle, src: NodeId, victim: NodeId) {
+        if self.trace.armed() {
+            let circuit = self.caches[src.0 as usize]
+                .get(victim)
+                .map_or(0, |e| e.circuit.0);
+            self.trace.emit(
+                now,
+                TraceEvent::CacheEvict {
+                    node: src.0,
+                    victim_dest: victim.0,
+                    circuit,
+                },
+            );
         }
     }
 
@@ -133,8 +154,17 @@ impl CircuitPlane {
             match entry.state {
                 EntryState::Ready => {
                     self.stats.cache_hits += 1;
+                    let circuit = entry.circuit.0;
                     replacement::on_use(entry, self.cfg.replacement, now);
                     entry.queue.push_back(msg);
+                    self.trace.emit(
+                        now,
+                        TraceEvent::CacheHit {
+                            node: msg.src.0,
+                            dest: msg.dest.0,
+                            circuit,
+                        },
+                    );
                     self.pump_circuit(now, q, msg.src, msg.dest);
                 }
                 EntryState::Establishing => {
@@ -148,10 +178,18 @@ impl CircuitPlane {
         }
         // Miss: establish a circuit, evicting if the register file is full.
         self.stats.cache_misses += 1;
+        self.trace.emit(
+            now,
+            TraceEvent::CacheMiss {
+                node: msg.src.0,
+                dest: msg.dest.0,
+            },
+        );
         if self.caches[src].is_full() {
             match self.caches[src].pick_victim(self.cfg.replacement, self.cfg.seed) {
                 Some(victim) => {
                     self.stats.cache_evictions += 1;
+                    self.trace_evict(now, msg.src, victim);
                     self.release_entry_now(msg.src, victim);
                 }
                 None => {
@@ -175,8 +213,17 @@ impl CircuitPlane {
             match entry.state {
                 EntryState::Ready => {
                     self.stats.cache_hits += 1;
+                    let circuit = entry.circuit.0;
                     replacement::on_use(entry, self.cfg.replacement, now);
                     entry.queue.push_back(msg);
+                    self.trace.emit(
+                        now,
+                        TraceEvent::CacheHit {
+                            node: msg.src.0,
+                            dest: msg.dest.0,
+                            circuit,
+                        },
+                    );
                     self.pump_circuit(now, q, msg.src, msg.dest);
                     return;
                 }
@@ -209,12 +256,20 @@ impl CircuitPlane {
             match self.caches[s].pick_victim(self.cfg.replacement, self.cfg.seed) {
                 Some(victim) => {
                     self.stats.cache_evictions += 1;
+                    self.trace_evict(now, src, victim);
                     self.release_entry_now(src, victim);
                 }
                 None => return, // nothing evictable: establishment impossible
             }
         }
         self.stats.cache_misses += 1;
+        self.trace.emit(
+            now,
+            TraceEvent::CacheMiss {
+                node: src.0,
+                dest: dest.0,
+            },
+        );
         let _ = self.start_establish(now, src, dest, false);
     }
 
@@ -470,6 +525,16 @@ impl CircuitPlane {
         }
         let circuit = entry.circuit;
         let plan = plan_transfer(msg.len_flits, entry.path_hops, &self.cfg);
+        self.trace.emit(
+            now,
+            TraceEvent::TransferStart {
+                circuit: circuit.0,
+                msg: msg.id.0,
+                src: src.0,
+                dest: dest.0,
+                len_flits: msg.len_flits,
+            },
+        );
         q.schedule(
             now + penalty + plan.delivery_delay,
             TransferEvent::Delivered(circuit, msg),

@@ -15,6 +15,7 @@
 
 use wavesim_sim::{Cycle, EventQueue, Model};
 use wavesim_topology::{NodeId, PortDir, Topology};
+use wavesim_trace::{TraceBuf, TraceEvent};
 
 use crate::arena::{GenSlab, SlotMap};
 use crate::circuit::{CircuitState, CircuitStatus};
@@ -55,6 +56,8 @@ pub struct ControlPlane {
     max_probe_steps: u64,
     stats: WaveStats,
     outbox: Vec<PlaneEvent>,
+    /// Intra-plane trace staging; the composition root arms and absorbs it.
+    pub(crate) trace: TraceBuf,
 }
 
 impl ControlPlane {
@@ -70,6 +73,7 @@ impl ControlPlane {
             max_probe_steps: 0,
             stats: WaveStats::default(),
             outbox: Vec::new(),
+            trace: TraceBuf::new(),
             topo,
             cfg,
         }
@@ -325,6 +329,15 @@ impl ControlPlane {
                 // Park the probe on the lane; it resumes when freed.
                 self.lanes.park(lane, p.id);
                 p.parked_on = Some(lane);
+                self.trace.emit(
+                    now,
+                    TraceEvent::ProbePark {
+                        circuit: p.circuit.0,
+                        probe: p.id.0,
+                        node: node.0,
+                        victim: victim.0,
+                    },
+                );
                 let vsrc = vstate.src;
                 if vsrc == node {
                     // Victim starts here: ask the local Circuit Cache to
@@ -395,6 +408,15 @@ impl ControlPlane {
         p.at = next;
         p.hops += 1;
         self.stats.probe_hops += 1;
+        self.trace.emit(
+            now,
+            TraceEvent::ProbeHop {
+                circuit: p.circuit.0,
+                probe: p.id.0,
+                node: next.0,
+                misroute,
+            },
+        );
         p.flit.backtrack = false;
         let (dest, circuit, switch) = (p.dest, p.circuit, p.switch);
         p.flit.update_offsets(&self.topo, next, dest);
@@ -442,6 +464,14 @@ impl ControlPlane {
         p.backtracks += 1;
         self.stats.probe_hops += 1;
         self.stats.probe_backtracks += 1;
+        self.trace.emit(
+            now,
+            TraceEvent::ProbeBacktrack {
+                circuit: p.circuit.0,
+                probe: p.id.0,
+                node: prev.0,
+            },
+        );
         let (dest, pid) = (p.dest, p.id);
         p.flit.update_offsets(&self.topo, prev, dest);
         self.probes.restore(pid, p);
@@ -476,6 +506,15 @@ impl ControlPlane {
         self.probes.free(p.id);
         self.stats.probes_reached += 1;
         self.max_probe_steps = self.max_probe_steps.max(p.hops);
+        self.trace.emit(
+            now,
+            TraceEvent::ProbeReached {
+                circuit: p.circuit.0,
+                probe: p.id.0,
+                dest: p.dest.0,
+                steps: p.hops,
+            },
+        );
         let c = self
             .circuits
             .get_mut(p.circuit)

@@ -66,6 +66,7 @@
 use wavesim_network::{Delivery, Message, WormholeFabric};
 use wavesim_sim::{Cycle, CycleKernelStats, EventQueue, Model};
 use wavesim_topology::{NodeId, Topology};
+use wavesim_trace::{PlaneId as TracePlane, TraceEvent, TraceHub, TraceSink};
 
 use crate::arena::{GenSlab, SlotMap};
 use crate::cache::{CircuitCache, EntryState};
@@ -95,6 +96,81 @@ pub struct WaveNetwork {
     msgs_sent: u64,
     outstanding_msgs: u64,
     kernel: CycleKernelStats,
+    trace: TraceHub,
+}
+
+/// The trace projection of an inter-plane event, if it has one.
+/// `ReleaseCircuit` is internal bookkeeping (the observable outcome is the
+/// later `CircuitReleased`) and is not traced.
+fn trace_event_of(ev: &PlaneEvent) -> Option<TraceEvent> {
+    Some(match ev {
+        PlaneEvent::WormholeDelivered(d) => TraceEvent::WormholeDeliver {
+            msg: d.msg.id.0,
+            src: d.msg.src.0,
+            dest: d.msg.dest.0,
+            latency: d.latency(),
+        },
+        PlaneEvent::CircuitDelivered(d) => TraceEvent::CircuitDeliver {
+            msg: d.msg.id.0,
+            src: d.msg.src.0,
+            dest: d.msg.dest.0,
+            latency: d.latency(),
+        },
+        PlaneEvent::InjectWormhole(m) => TraceEvent::WormholeInject {
+            msg: m.id.0,
+            src: m.src.0,
+            dest: m.dest.0,
+            len_flits: m.len_flits,
+        },
+        PlaneEvent::LaunchProbe {
+            circuit,
+            src,
+            dest,
+            switch,
+            force,
+        } => TraceEvent::ProbeLaunch {
+            circuit: circuit.0,
+            src: src.0,
+            dest: dest.0,
+            switch: *switch,
+            force: *force,
+        },
+        PlaneEvent::ProbeExhausted {
+            circuit,
+            src,
+            switch,
+            force,
+            ..
+        } => TraceEvent::ProbeExhausted {
+            circuit: circuit.0,
+            src: src.0,
+            switch: *switch,
+            force: *force,
+        },
+        PlaneEvent::CircuitEstablished {
+            circuit,
+            src,
+            dest,
+            hops,
+            ..
+        } => TraceEvent::CircuitEstablished {
+            circuit: circuit.0,
+            src: src.0,
+            dest: dest.0,
+            hops: *hops,
+        },
+        PlaneEvent::VictimRelease { circuit, src } => TraceEvent::ForcedRelease {
+            circuit: circuit.0,
+            src: src.0,
+        },
+        PlaneEvent::AbandonCircuit { circuit } => {
+            TraceEvent::CircuitAbandoned { circuit: circuit.0 }
+        }
+        PlaneEvent::CircuitReleased { circuit } => {
+            TraceEvent::CircuitReleased { circuit: circuit.0 }
+        }
+        PlaneEvent::ReleaseCircuit { .. } => return None,
+    })
 }
 
 impl WaveNetwork {
@@ -113,9 +189,42 @@ impl WaveNetwork {
             msgs_sent: 0,
             outstanding_msgs: 0,
             kernel: CycleKernelStats::default(),
+            trace: TraceHub::new(),
             topo,
             cfg,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing
+    // ------------------------------------------------------------------
+
+    /// Installs a trace sink and arms every emit point: inter-plane events
+    /// and the planes' intra-plane staging buffers all flow into `sink`
+    /// from now on, stamped with a single global sequence order.
+    pub fn install_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace.install(sink);
+        self.ctrl.trace.arm();
+        self.circ.trace.arm();
+    }
+
+    /// Disarms every emit point and returns the installed sink, if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.ctrl.trace.disarm();
+        self.circ.trace.disarm();
+        self.trace.take()
+    }
+
+    /// True while a trace sink is installed.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.trace.armed()
+    }
+
+    /// Read access to the installed trace sink (peek at a live recorder).
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<&dyn TraceSink> {
+        self.trace.sink()
     }
 
     // ------------------------------------------------------------------
@@ -288,22 +397,53 @@ impl WaveNetwork {
     /// pointers only move on grants, so skipping dead fabric cycles is
     /// state-identical to ticking through them.
     pub fn tick(&mut self, now: Cycle) {
+        let traced = self.trace.armed();
         if self.data.busy() {
+            if traced {
+                self.trace.emit(
+                    now,
+                    TraceEvent::PlaneTick {
+                        plane: TracePlane::Data,
+                    },
+                );
+            }
             self.data.step(now);
             self.data.drain_outbox_into(&mut self.bus);
         }
         self.route(now);
+        let mut ctrl_ran = false;
+        let mut xfer_ran = false;
         loop {
             if let Some(ev) = self.ctrl_queue.pop_due(now) {
+                ctrl_ran = true;
                 self.ctrl.handle(now, ev.event, &mut self.ctrl_queue);
                 self.ctrl.drain_outbox_into(&mut self.bus);
                 self.route(now);
             } else if let Some(ev) = self.xfer_queue.pop_due(now) {
+                xfer_ran = true;
                 self.circ.handle(now, ev.event, &mut self.xfer_queue);
                 self.circ.drain_outbox_into(&mut self.bus);
                 self.route(now);
             } else {
                 break;
+            }
+        }
+        if traced {
+            if ctrl_ran {
+                self.trace.emit(
+                    now,
+                    TraceEvent::PlaneTick {
+                        plane: TracePlane::Control,
+                    },
+                );
+            }
+            if xfer_ran {
+                self.trace.emit(
+                    now,
+                    TraceEvent::PlaneTick {
+                        plane: TracePlane::Circuit,
+                    },
+                );
             }
         }
     }
@@ -312,8 +452,20 @@ impl WaveNetwork {
     /// Terminates because every handler either finishes in bounded
     /// immediate work or schedules delayed work at `now + 1` or later.
     fn route(&mut self, now: Cycle) {
+        let traced = self.trace.armed();
+        if traced {
+            // Intra-plane emits staged since the last route (outbox drains
+            // happen right before route calls, so staging order ≈ bus order).
+            self.trace.absorb(&mut self.ctrl.trace);
+            self.trace.absorb(&mut self.circ.trace);
+        }
         while let Some(ev) = self.bus.pop() {
             self.kernel.events_routed += 1;
+            if traced {
+                if let Some(t) = trace_event_of(&ev) {
+                    self.trace.emit(now, t);
+                }
+            }
             match ev {
                 PlaneEvent::WormholeDelivered(d) | PlaneEvent::CircuitDelivered(d) => {
                     self.outstanding_msgs -= 1;
@@ -378,6 +530,10 @@ impl WaveNetwork {
             }
             self.ctrl.drain_outbox_into(&mut self.bus);
             self.circ.drain_outbox_into(&mut self.bus);
+            if traced {
+                self.trace.absorb(&mut self.ctrl.trace);
+                self.trace.absorb(&mut self.circ.trace);
+            }
         }
     }
 
@@ -500,5 +656,62 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, PlaneEvent::WormholeDelivered(_))));
+    }
+
+    /// Tracing wiring test: an installed sink observes the whole CLRP
+    /// lifecycle — cache miss, probe launch and hops, establishment,
+    /// transfer start, delivery — in one global sequence order.
+    #[test]
+    fn trace_sink_observes_clrp_lifecycle() {
+        let mut net = WaveNetwork::new(Topology::mesh(&[2, 2]), WaveConfig::default());
+        assert!(!net.tracing());
+        net.install_trace_sink(Box::new(wavesim_trace::VecSink::new()));
+        assert!(net.tracing());
+        net.send(0, Message::new(1, NodeId(0), NodeId(3), 16, 0));
+        let mut now = 0;
+        while net.busy() && now < 10_000 {
+            net.tick(now);
+            now += 1;
+        }
+        assert_eq!(net.drain_deliveries().len(), 1);
+        let sink = net.take_trace_sink().expect("sink installed");
+        assert!(!net.tracing());
+        let recs = sink.snapshot();
+        let kinds: Vec<&str> = recs.iter().map(|r| r.ev.kind()).collect();
+        for expected in [
+            "cache_miss",
+            "probe_launch",
+            "probe_hop",
+            "probe_reached",
+            "circuit_established",
+            "transfer_start",
+            "circuit_deliver",
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
+        }
+        assert!(
+            recs.windows(2).all(|w| w[0].seq + 1 == w[1].seq),
+            "global sequence numbers are gap-free"
+        );
+        assert!(
+            recs.windows(2).all(|w| w[0].at <= w[1].at),
+            "records are time-ordered"
+        );
+    }
+
+    /// With no sink installed the staging buffers stay disarmed and
+    /// nothing accumulates (the near-zero-cost default).
+    #[test]
+    fn untraced_network_stages_nothing() {
+        let mut net = WaveNetwork::new(Topology::mesh(&[2, 2]), WaveConfig::default());
+        net.send(0, Message::new(1, NodeId(0), NodeId(3), 16, 0));
+        let mut now = 0;
+        while net.busy() && now < 10_000 {
+            net.tick(now);
+            now += 1;
+        }
+        assert_eq!(net.ctrl.trace.staged_len(), 0);
+        assert_eq!(net.circ.trace.staged_len(), 0);
+        assert!(net.take_trace_sink().is_none());
     }
 }

@@ -195,6 +195,12 @@ impl PartialEq<&str> for Value {
     }
 }
 
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
 impl From<u64> for Value {
     fn from(x: u64) -> Self {
         Value::Num(x as f64)

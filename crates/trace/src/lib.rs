@@ -1,0 +1,523 @@
+//! # wavesim-trace — the flight-recorder observability subsystem
+//!
+//! A fast simulator is only as debuggable as its event record: when a CLRP
+//! probe backtracks forever or the wormhole plane freezes, the interesting
+//! part is the *order of events leading into the stall*, which counters
+//! cannot reconstruct. This crate provides always-on, low-overhead
+//! structured tracing for the whole workspace:
+//!
+//! * [`TraceEvent`] / [`TraceRecord`] — a typed, `Copy` vocabulary of
+//!   everything the wave router does: probe lifecycles (launch → hop →
+//!   backtrack → park → establish/abort), circuit-cache hits and
+//!   evictions, wormhole packet injection→delivery spans, circuit
+//!   transfers, and per-plane tick boundaries;
+//! * [`TraceSink`] — the consumer interface, with [`NullSink`] (drops
+//!   everything; the compiled-in default costs one branch per emit
+//!   point), [`recorder::FlightRecorder`] (fixed-capacity ring buffer,
+//!   allocation-free in steady state) and [`recorder::VecSink`]
+//!   (unbounded, for tests and goldens);
+//! * [`TraceBuf`] / [`TraceHub`] — the plumbing the instrumented planes
+//!   use: each plane stages records in its own [`TraceBuf`] (one branch
+//!   when disarmed) and the composition root's [`TraceHub`] stamps a
+//!   global sequence number and forwards to the installed sink;
+//! * [`perfetto`] — Chrome/Perfetto `trace_event` JSON export (one track
+//!   per router and plane) plus a serde-less validator;
+//! * [`metrics`] — Prometheus-style text exposition built on the
+//!   `wavesim-sim` instruments;
+//! * [`postmortem`] — the stall watchdog's dump format: last-N recorder
+//!   entries plus the wait-for graph, bundled as one JSON document.
+//!
+//! The crate deliberately depends only on `wavesim-sim` (for [`Cycle`]
+//! and the histogram) and `wavesim-json`: identifiers cross the API as
+//! raw integers so `wavesim-core` can depend on this crate without a
+//! cycle.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod perfetto;
+pub mod postmortem;
+pub mod recorder;
+
+pub use recorder::{FlightRecorder, VecSink};
+
+use wavesim_sim::Cycle;
+
+/// A plane of the wave router, as seen by the tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlaneId {
+    /// The `S0` wormhole fabric.
+    Data,
+    /// Probes, acks, teardowns (the PCS control network).
+    Control,
+    /// Circuit caches, protocol engines, windowed transfers.
+    Circuit,
+}
+
+impl PlaneId {
+    /// Stable display name (also the Perfetto process name).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlaneId::Data => "wormhole plane",
+            PlaneId::Control => "control plane",
+            PlaneId::Circuit => "circuit plane",
+        }
+    }
+
+    /// Stable Perfetto process id of the plane's track group.
+    #[must_use]
+    pub fn pid(self) -> u64 {
+        match self {
+            PlaneId::Data => 1,
+            PlaneId::Control => 2,
+            PlaneId::Circuit => 3,
+        }
+    }
+}
+
+/// One observed fact about the simulation.
+///
+/// Identifiers are raw integers (`CircuitId.0`, `ProbeId.0`, `MessageId.0`,
+/// `NodeId.0`) so this crate sits *below* `wavesim-core` in the dependency
+/// graph; the emit points convert typed ids at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A plane did work this cycle (tick boundary marker).
+    PlaneTick {
+        /// The plane that ran.
+        plane: PlaneId,
+    },
+    /// A probe left its source to search one wave switch.
+    ProbeLaunch {
+        /// Circuit the probe works for.
+        circuit: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dest: u32,
+        /// Wave switch searched (1-based).
+        switch: u8,
+        /// Whether the Force bit is set (CLRP phase two).
+        force: bool,
+    },
+    /// A probe reserved a lane and moved forward one hop.
+    ProbeHop {
+        /// Circuit the probe works for.
+        circuit: u64,
+        /// The probe.
+        probe: u64,
+        /// Node the probe arrived at.
+        node: u32,
+        /// Whether this hop spent misroute budget.
+        misroute: bool,
+    },
+    /// A probe released its last lane and stepped back one hop.
+    ProbeBacktrack {
+        /// Circuit the probe works for.
+        circuit: u64,
+        /// The probe.
+        probe: u64,
+        /// Node the probe backtracked to.
+        node: u32,
+    },
+    /// A force-mode probe parked on a lane and requested a victim release.
+    ProbePark {
+        /// Circuit the probe works for.
+        circuit: u64,
+        /// The probe.
+        probe: u64,
+        /// Node the probe is blocked at.
+        node: u32,
+        /// Circuit selected as the victim.
+        victim: u64,
+    },
+    /// A probe reached the destination (path reserved; ack walk starts).
+    ProbeReached {
+        /// Circuit the probe works for.
+        circuit: u64,
+        /// The probe.
+        probe: u64,
+        /// Destination node.
+        dest: u32,
+        /// Control steps the probe took (hops + backtracks).
+        steps: u64,
+    },
+    /// A probe backtracked all the way to its source: switch exhausted.
+    ProbeExhausted {
+        /// Circuit whose attempt failed.
+        circuit: u64,
+        /// Source node.
+        src: u32,
+        /// Switch whose search space is exhausted.
+        switch: u8,
+        /// Whether the exhausted probe had the Force bit set.
+        force: bool,
+    },
+    /// The path-setup acknowledgment reached the source: circuit ready.
+    CircuitEstablished {
+        /// The established circuit.
+        circuit: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dest: u32,
+        /// Path length in hops.
+        hops: u32,
+    },
+    /// Teardown (or probe unwind) finished; every lane is free again.
+    CircuitReleased {
+        /// The fully released circuit.
+        circuit: u64,
+    },
+    /// Establishment failed on every switch; the circuit id retires.
+    CircuitAbandoned {
+        /// The abandoned circuit.
+        circuit: u64,
+    },
+    /// A forced release was requested for an established circuit.
+    ForcedRelease {
+        /// Circuit to release.
+        circuit: u64,
+        /// The circuit's source node.
+        src: u32,
+    },
+    /// A send found a Ready circuit in the source's cache.
+    CacheHit {
+        /// Node whose cache was consulted.
+        node: u32,
+        /// Destination looked up.
+        dest: u32,
+        /// The circuit that will carry the message.
+        circuit: u64,
+    },
+    /// A send found no usable cache entry.
+    CacheMiss {
+        /// Node whose cache was consulted.
+        node: u32,
+        /// Destination looked up.
+        dest: u32,
+    },
+    /// A full cache evicted an entry to make room.
+    CacheEvict {
+        /// Node whose cache evicted.
+        node: u32,
+        /// Destination of the evicted entry.
+        victim_dest: u32,
+        /// Circuit of the evicted entry.
+        circuit: u64,
+    },
+    /// A message started streaming over an established circuit.
+    TransferStart {
+        /// The carrying circuit.
+        circuit: u64,
+        /// The message.
+        msg: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dest: u32,
+        /// Message length in flits.
+        len_flits: u32,
+    },
+    /// A message entered the wormhole fabric.
+    WormholeInject {
+        /// The message.
+        msg: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dest: u32,
+        /// Message length in flits.
+        len_flits: u32,
+    },
+    /// A wormhole message reached its destination.
+    WormholeDeliver {
+        /// The message.
+        msg: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dest: u32,
+        /// End-to-end latency in cycles.
+        latency: u64,
+    },
+    /// A circuit transfer reached its destination.
+    CircuitDeliver {
+        /// The message.
+        msg: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dest: u32,
+        /// End-to-end latency in cycles.
+        latency: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case name of the event kind (post-mortem JSON `type`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::PlaneTick { .. } => "plane_tick",
+            TraceEvent::ProbeLaunch { .. } => "probe_launch",
+            TraceEvent::ProbeHop { .. } => "probe_hop",
+            TraceEvent::ProbeBacktrack { .. } => "probe_backtrack",
+            TraceEvent::ProbePark { .. } => "probe_park",
+            TraceEvent::ProbeReached { .. } => "probe_reached",
+            TraceEvent::ProbeExhausted { .. } => "probe_exhausted",
+            TraceEvent::CircuitEstablished { .. } => "circuit_established",
+            TraceEvent::CircuitReleased { .. } => "circuit_released",
+            TraceEvent::CircuitAbandoned { .. } => "circuit_abandoned",
+            TraceEvent::ForcedRelease { .. } => "forced_release",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::CacheEvict { .. } => "cache_evict",
+            TraceEvent::TransferStart { .. } => "transfer_start",
+            TraceEvent::WormholeInject { .. } => "wormhole_inject",
+            TraceEvent::WormholeDeliver { .. } => "wormhole_deliver",
+            TraceEvent::CircuitDeliver { .. } => "circuit_deliver",
+        }
+    }
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation cycle the event happened at.
+    pub at: Cycle,
+    /// Global sequence number: a total order over one network's records,
+    /// stamped by the [`TraceHub`] as records reach the sink.
+    pub seq: u64,
+    /// The event.
+    pub ev: TraceEvent,
+}
+
+/// Consumer of trace records.
+///
+/// `record` sits on the simulation hot path: implementations must not
+/// allocate in steady state (the ring buffer pre-allocates; the null sink
+/// does nothing).
+pub trait TraceSink {
+    /// Accepts one record.
+    fn record(&mut self, rec: TraceRecord);
+
+    /// The records the sink retained, oldest first. Exporters and the
+    /// post-mortem dump read this; sinks that retain nothing return empty.
+    fn snapshot(&self) -> Vec<TraceRecord> {
+        Vec::new()
+    }
+
+    /// Records offered but no longer retained (ring-buffer overwrites).
+    fn dropped(&self) -> u64 {
+        0
+    }
+
+    /// Total records offered to the sink.
+    fn total(&self) -> u64 {
+        0
+    }
+}
+
+/// A sink that drops everything: the "tracing compiled in but off" case
+/// the overhead budget is measured against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: TraceRecord) {}
+}
+
+/// Per-plane staging buffer for intra-plane emit points.
+///
+/// Planes cannot reach the network-level [`TraceHub`] directly (they are
+/// independent engines), so they stage `(cycle, event)` pairs here and the
+/// composition root absorbs them into the hub after every dispatch. A
+/// disarmed buffer ignores emits — the instrumented planes pay exactly one
+/// predictable branch per potential record, which is what keeps the
+/// `NullSink` bench delta inside the < 3 % budget.
+#[derive(Debug, Default)]
+pub struct TraceBuf {
+    armed: bool,
+    staged: Vec<(Cycle, TraceEvent)>,
+}
+
+impl TraceBuf {
+    /// A disarmed, empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when emits are being recorded.
+    #[inline]
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Starts recording emits.
+    pub fn arm(&mut self) {
+        self.armed = true;
+    }
+
+    /// Stops recording and discards anything staged.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+        self.staged.clear();
+    }
+
+    /// Stages one event (no-op while disarmed). The staging vector keeps
+    /// its capacity across absorptions, so steady state allocates nothing.
+    #[inline]
+    pub fn emit(&mut self, at: Cycle, ev: TraceEvent) {
+        if self.armed {
+            self.staged.push((at, ev));
+        }
+    }
+
+    /// Number of staged events (test observation).
+    #[must_use]
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+}
+
+/// The per-network trace hub: owns the installed sink, stamps global
+/// sequence numbers, and absorbs the planes' staging buffers.
+#[derive(Default)]
+pub struct TraceHub {
+    sink: Option<Box<dyn TraceSink>>,
+    seq: u64,
+}
+
+impl TraceHub {
+    /// A hub with no sink installed (all emits disabled).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when a sink is installed.
+    #[inline]
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Installs `sink` and restarts the sequence counter.
+    pub fn install(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+        self.seq = 0;
+    }
+
+    /// Removes and returns the installed sink, if any.
+    pub fn take(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Read access to the installed sink (peek at a live recorder).
+    #[must_use]
+    pub fn sink(&self) -> Option<&dyn TraceSink> {
+        self.sink.as_deref()
+    }
+
+    /// Forwards one event to the sink (no-op when none is installed).
+    #[inline]
+    pub fn emit(&mut self, at: Cycle, ev: TraceEvent) {
+        if let Some(sink) = &mut self.sink {
+            let seq = self.seq;
+            self.seq += 1;
+            sink.record(TraceRecord { at, seq, ev });
+        }
+    }
+
+    /// Drains a plane's staging buffer into the sink, stamping sequence
+    /// numbers in staging order.
+    pub fn absorb(&mut self, buf: &mut TraceBuf) {
+        if let Some(sink) = &mut self.sink {
+            for (at, ev) in buf.staged.drain(..) {
+                let seq = self.seq;
+                self.seq += 1;
+                sink.record(TraceRecord { at, seq, ev });
+            }
+        } else {
+            buf.staged.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_buf_ignores_emits() {
+        let mut buf = TraceBuf::new();
+        buf.emit(3, TraceEvent::CacheMiss { node: 0, dest: 1 });
+        assert_eq!(buf.staged_len(), 0);
+        buf.arm();
+        buf.emit(4, TraceEvent::CacheMiss { node: 0, dest: 1 });
+        assert_eq!(buf.staged_len(), 1);
+        buf.disarm();
+        assert_eq!(buf.staged_len(), 0);
+    }
+
+    #[test]
+    fn hub_stamps_sequence_in_order() {
+        let mut hub = TraceHub::new();
+        assert!(!hub.armed());
+        hub.install(Box::new(VecSink::new()));
+        hub.emit(
+            10,
+            TraceEvent::PlaneTick {
+                plane: PlaneId::Data,
+            },
+        );
+        let mut buf = TraceBuf::new();
+        buf.arm();
+        buf.emit(10, TraceEvent::CacheMiss { node: 2, dest: 7 });
+        buf.emit(
+            11,
+            TraceEvent::CacheHit {
+                node: 2,
+                dest: 7,
+                circuit: 1,
+            },
+        );
+        hub.absorb(&mut buf);
+        assert_eq!(buf.staged_len(), 0);
+        let sink = hub.take().expect("installed");
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[1].seq, 1);
+        assert_eq!(recs[2].seq, 2);
+        assert_eq!(recs[2].at, 11);
+        assert!(hub.take().is_none());
+    }
+
+    #[test]
+    fn absorb_without_sink_discards() {
+        let mut hub = TraceHub::new();
+        let mut buf = TraceBuf::new();
+        buf.arm();
+        buf.emit(0, TraceEvent::CircuitReleased { circuit: 5 });
+        hub.absorb(&mut buf);
+        assert_eq!(buf.staged_len(), 0);
+    }
+
+    #[test]
+    fn null_sink_retains_nothing() {
+        let mut s = NullSink;
+        s.record(TraceRecord {
+            at: 0,
+            seq: 0,
+            ev: TraceEvent::CircuitReleased { circuit: 1 },
+        });
+        assert!(s.snapshot().is_empty());
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.total(), 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! Stall post-mortem bundles.
+//!
+//! When the deadlock detector trips mid-run, counters tell you *that* the
+//! network froze; the interesting artifact is the event order leading into
+//! the freeze plus the wait-for graph at the moment of death. [`bundle`]
+//! packages both as one JSON document:
+//!
+//! ```json
+//! {
+//!   "kind": "wavesim-postmortem",
+//!   "version": 1,
+//!   "at": 18230,
+//!   "stall_age": 20000,
+//!   "in_flight_flits": 412,
+//!   "wait_for": { "edges": [[[3,1],[7,0]], ...], "cycle": [[3,1],...] },
+//!   "recorder": { "total": 99182, "dropped": 33646, "records": [...] }
+//! }
+//! ```
+//!
+//! Wait-for vertices are `[link, lane]` pairs (the fabric's `WaitVc`
+//! encoding, passed here as raw integers to keep this crate below
+//! `wavesim-core`). Each record carries its cycle, global sequence number,
+//! the [`TraceEvent::kind`] tag, and the event's fields.
+
+use wavesim_json::Value;
+
+use crate::{TraceEvent, TraceRecord};
+
+/// A wait-for-graph vertex as raw integers: `(link id, virtual lane)`.
+pub type RawWaitVc = (u32, u16);
+
+fn vc_json(vc: RawWaitVc) -> Value {
+    Value::Arr(vec![vc.0.into(), u64::from(vc.1).into()])
+}
+
+/// Serializes one trace record as `{at, seq, type, ...fields}`.
+#[must_use]
+pub fn record_to_json(rec: &TraceRecord) -> Value {
+    let mut pairs: Vec<(&str, Value)> = vec![
+        ("at", rec.at.into()),
+        ("seq", rec.seq.into()),
+        ("type", rec.ev.kind().into()),
+    ];
+    match rec.ev {
+        TraceEvent::PlaneTick { plane } => {
+            pairs.push(("plane", plane.name().into()));
+        }
+        TraceEvent::ProbeLaunch {
+            circuit,
+            src,
+            dest,
+            switch,
+            force,
+        } => {
+            pairs.push(("circuit", circuit.into()));
+            pairs.push(("src", src.into()));
+            pairs.push(("dest", dest.into()));
+            pairs.push(("switch", u64::from(switch).into()));
+            pairs.push(("force", force.into()));
+        }
+        TraceEvent::ProbeHop {
+            circuit,
+            probe,
+            node,
+            misroute,
+        } => {
+            pairs.push(("circuit", circuit.into()));
+            pairs.push(("probe", probe.into()));
+            pairs.push(("node", node.into()));
+            pairs.push(("misroute", misroute.into()));
+        }
+        TraceEvent::ProbeBacktrack {
+            circuit,
+            probe,
+            node,
+        } => {
+            pairs.push(("circuit", circuit.into()));
+            pairs.push(("probe", probe.into()));
+            pairs.push(("node", node.into()));
+        }
+        TraceEvent::ProbePark {
+            circuit,
+            probe,
+            node,
+            victim,
+        } => {
+            pairs.push(("circuit", circuit.into()));
+            pairs.push(("probe", probe.into()));
+            pairs.push(("node", node.into()));
+            pairs.push(("victim", victim.into()));
+        }
+        TraceEvent::ProbeReached {
+            circuit,
+            probe,
+            dest,
+            steps,
+        } => {
+            pairs.push(("circuit", circuit.into()));
+            pairs.push(("probe", probe.into()));
+            pairs.push(("dest", dest.into()));
+            pairs.push(("steps", steps.into()));
+        }
+        TraceEvent::ProbeExhausted {
+            circuit,
+            src,
+            switch,
+            force,
+        } => {
+            pairs.push(("circuit", circuit.into()));
+            pairs.push(("src", src.into()));
+            pairs.push(("switch", u64::from(switch).into()));
+            pairs.push(("force", force.into()));
+        }
+        TraceEvent::CircuitEstablished {
+            circuit,
+            src,
+            dest,
+            hops,
+        } => {
+            pairs.push(("circuit", circuit.into()));
+            pairs.push(("src", src.into()));
+            pairs.push(("dest", dest.into()));
+            pairs.push(("hops", hops.into()));
+        }
+        TraceEvent::CircuitReleased { circuit } | TraceEvent::CircuitAbandoned { circuit } => {
+            pairs.push(("circuit", circuit.into()));
+        }
+        TraceEvent::ForcedRelease { circuit, src } => {
+            pairs.push(("circuit", circuit.into()));
+            pairs.push(("src", src.into()));
+        }
+        TraceEvent::CacheHit {
+            node,
+            dest,
+            circuit,
+        } => {
+            pairs.push(("node", node.into()));
+            pairs.push(("dest", dest.into()));
+            pairs.push(("circuit", circuit.into()));
+        }
+        TraceEvent::CacheMiss { node, dest } => {
+            pairs.push(("node", node.into()));
+            pairs.push(("dest", dest.into()));
+        }
+        TraceEvent::CacheEvict {
+            node,
+            victim_dest,
+            circuit,
+        } => {
+            pairs.push(("node", node.into()));
+            pairs.push(("victim_dest", victim_dest.into()));
+            pairs.push(("circuit", circuit.into()));
+        }
+        TraceEvent::TransferStart {
+            circuit,
+            msg,
+            src,
+            dest,
+            len_flits,
+        } => {
+            pairs.push(("circuit", circuit.into()));
+            pairs.push(("msg", msg.into()));
+            pairs.push(("src", src.into()));
+            pairs.push(("dest", dest.into()));
+            pairs.push(("len_flits", len_flits.into()));
+        }
+        TraceEvent::WormholeInject {
+            msg,
+            src,
+            dest,
+            len_flits,
+        } => {
+            pairs.push(("msg", msg.into()));
+            pairs.push(("src", src.into()));
+            pairs.push(("dest", dest.into()));
+            pairs.push(("len_flits", len_flits.into()));
+        }
+        TraceEvent::WormholeDeliver {
+            msg,
+            src,
+            dest,
+            latency,
+        }
+        | TraceEvent::CircuitDeliver {
+            msg,
+            src,
+            dest,
+            latency,
+        } => {
+            pairs.push(("msg", msg.into()));
+            pairs.push(("src", src.into()));
+            pairs.push(("dest", dest.into()));
+            pairs.push(("latency", latency.into()));
+        }
+    }
+    Value::obj(pairs)
+}
+
+/// The fabric's state at the moment the stall watchdog fired.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StallContext<'a> {
+    /// Wait-for-graph edges: `(waiter, holder)` pairs.
+    pub edges: &'a [(RawWaitVc, RawWaitVc)],
+    /// The wait cycle the detector found, if any.
+    pub cycle: Option<&'a [RawWaitVc]>,
+    /// Cycle the dump was taken at.
+    pub now: u64,
+    /// Cycles since the fabric last made forward progress.
+    pub stall_age: u64,
+    /// Flits stuck in the fabric at dump time.
+    pub in_flight: u64,
+}
+
+/// Builds the post-mortem JSON document.
+///
+/// `records` is the recorder snapshot (oldest first), `dropped`/`total`
+/// the recorder's loss accounting, and `ctx` the fabric state at the
+/// moment the watchdog fired.
+#[must_use]
+pub fn bundle(records: &[TraceRecord], dropped: u64, total: u64, ctx: &StallContext) -> Value {
+    let edges_json: Vec<Value> = ctx
+        .edges
+        .iter()
+        .map(|&(a, b)| Value::Arr(vec![vc_json(a), vc_json(b)]))
+        .collect();
+    let cycle_json = match ctx.cycle {
+        Some(vcs) => Value::Arr(vcs.iter().copied().map(vc_json).collect()),
+        None => Value::Null,
+    };
+    Value::obj(vec![
+        ("kind", "wavesim-postmortem".into()),
+        ("version", 1u64.into()),
+        ("at", ctx.now.into()),
+        ("stall_age", ctx.stall_age.into()),
+        ("in_flight_flits", ctx.in_flight.into()),
+        (
+            "wait_for",
+            Value::obj(vec![
+                ("edges", Value::Arr(edges_json)),
+                ("cycle", cycle_json),
+            ]),
+        ),
+        (
+            "recorder",
+            Value::obj(vec![
+                ("total", total.into()),
+                ("dropped", dropped.into()),
+                (
+                    "records",
+                    Value::Arr(records.iter().map(record_to_json).collect()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_shape_roundtrips() {
+        let records = vec![TraceRecord {
+            at: 100,
+            seq: 7,
+            ev: TraceEvent::ProbeBacktrack {
+                circuit: 3,
+                probe: 9,
+                node: 4,
+            },
+        }];
+        let edges = vec![((0u32, 0u16), (1u32, 1u16)), ((1, 1), (0, 0))];
+        let cycle = vec![(0u32, 0u16), (1, 1)];
+        let ctx = StallContext {
+            edges: &edges,
+            cycle: Some(&cycle),
+            now: 20100,
+            stall_age: 20000,
+            in_flight: 37,
+        };
+        let doc = bundle(&records, 5, 6, &ctx);
+        let reparsed = Value::parse(&doc.pretty()).expect("parses");
+        assert_eq!(reparsed["kind"], "wavesim-postmortem");
+        assert_eq!(reparsed["version"].as_u64(), Some(1));
+        assert_eq!(reparsed["at"].as_u64(), Some(20100));
+        assert_eq!(reparsed["wait_for"]["edges"].as_array().unwrap().len(), 2);
+        assert_eq!(reparsed["wait_for"]["cycle"][1][1].as_u64(), Some(1));
+        let rec = &reparsed["recorder"]["records"][0];
+        assert_eq!(rec["type"], "probe_backtrack");
+        assert_eq!(rec["at"].as_u64(), Some(100));
+        assert_eq!(rec["seq"].as_u64(), Some(7));
+        assert_eq!(rec["node"].as_u64(), Some(4));
+        assert_eq!(reparsed["recorder"]["dropped"].as_u64(), Some(5));
+    }
+
+    #[test]
+    fn no_cycle_is_null() {
+        let ctx = StallContext {
+            now: 1,
+            stall_age: 2,
+            in_flight: 3,
+            ..StallContext::default()
+        };
+        let doc = bundle(&[], 0, 0, &ctx);
+        assert_eq!(doc["wait_for"]["cycle"], Value::Null);
+        assert!(doc["recorder"]["records"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn every_event_kind_serializes() {
+        use crate::PlaneId;
+        let evs = [
+            TraceEvent::PlaneTick {
+                plane: PlaneId::Data,
+            },
+            TraceEvent::ProbeLaunch {
+                circuit: 1,
+                src: 0,
+                dest: 1,
+                switch: 1,
+                force: true,
+            },
+            TraceEvent::ProbeHop {
+                circuit: 1,
+                probe: 1,
+                node: 1,
+                misroute: false,
+            },
+            TraceEvent::ProbeBacktrack {
+                circuit: 1,
+                probe: 1,
+                node: 0,
+            },
+            TraceEvent::ProbePark {
+                circuit: 1,
+                probe: 1,
+                node: 0,
+                victim: 2,
+            },
+            TraceEvent::ProbeReached {
+                circuit: 1,
+                probe: 1,
+                dest: 1,
+                steps: 4,
+            },
+            TraceEvent::ProbeExhausted {
+                circuit: 1,
+                src: 0,
+                switch: 2,
+                force: false,
+            },
+            TraceEvent::CircuitEstablished {
+                circuit: 1,
+                src: 0,
+                dest: 1,
+                hops: 2,
+            },
+            TraceEvent::CircuitReleased { circuit: 1 },
+            TraceEvent::CircuitAbandoned { circuit: 1 },
+            TraceEvent::ForcedRelease { circuit: 1, src: 0 },
+            TraceEvent::CacheHit {
+                node: 0,
+                dest: 1,
+                circuit: 1,
+            },
+            TraceEvent::CacheMiss { node: 0, dest: 1 },
+            TraceEvent::CacheEvict {
+                node: 0,
+                victim_dest: 1,
+                circuit: 1,
+            },
+            TraceEvent::TransferStart {
+                circuit: 1,
+                msg: 1,
+                src: 0,
+                dest: 1,
+                len_flits: 8,
+            },
+            TraceEvent::WormholeInject {
+                msg: 1,
+                src: 0,
+                dest: 1,
+                len_flits: 8,
+            },
+            TraceEvent::WormholeDeliver {
+                msg: 1,
+                src: 0,
+                dest: 1,
+                latency: 9,
+            },
+            TraceEvent::CircuitDeliver {
+                msg: 1,
+                src: 0,
+                dest: 1,
+                latency: 9,
+            },
+        ];
+        for (i, ev) in evs.iter().enumerate() {
+            let rec = TraceRecord {
+                at: i as u64,
+                seq: i as u64,
+                ev: *ev,
+            };
+            let json = record_to_json(&rec);
+            assert_eq!(json["type"].as_str(), Some(ev.kind()), "event {i}");
+            let reparsed = Value::parse(&json.compact()).expect("valid json");
+            assert_eq!(reparsed["at"].as_u64(), Some(i as u64));
+        }
+    }
+}

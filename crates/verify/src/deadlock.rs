@@ -13,8 +13,6 @@
 //! A healthy CLRP/CARP run must never produce either signal; the
 //! `NaiveTorusDor` negative control must produce both.
 
-use std::collections::{HashMap, HashSet};
-
 use wavesim_core::WaveNetwork;
 use wavesim_network::fabric::WaitVc;
 use wavesim_network::WormholeFabric;
@@ -34,43 +32,83 @@ pub struct DeadlockReport {
 }
 
 /// Finds a cycle in the output-VC wait-for graph, if any.
+///
+/// The graph arrives as an edge list over sparse `(link, switch)` keys.
+/// Vertices are interned into a dense index space (sort + dedup +
+/// binary search), the adjacency is packed into CSR form, and the search
+/// is a three-color iterative DFS over plain vectors — no hashing
+/// anywhere, so the check stays cheap even when the stall monitor calls
+/// it on a large saturated fabric.
 #[must_use]
 pub fn find_wait_cycle(edges: &[(WaitVc, WaitVc)]) -> Option<Vec<WaitVc>> {
-    let mut adj: HashMap<WaitVc, Vec<WaitVc>> = HashMap::new();
-    for (a, b) in edges {
-        adj.entry(*a).or_default().push(*b);
+    if edges.is_empty() {
+        return None;
     }
-    let mut done: HashSet<WaitVc> = HashSet::new();
-    // Iterative DFS with explicit path for cycle reconstruction.
-    for &start in adj.keys() {
-        if done.contains(&start) {
+
+    // Intern the vertices.
+    let mut verts: Vec<WaitVc> = Vec::with_capacity(edges.len() * 2);
+    for &(a, b) in edges {
+        verts.push(a);
+        verts.push(b);
+    }
+    verts.sort_unstable();
+    verts.dedup();
+    let id_of = |v: WaitVc| -> u32 { verts.binary_search(&v).expect("interned vertex") as u32 };
+    let n = verts.len();
+
+    // Pack the adjacency into CSR form (counting sort by source).
+    let mut deg = vec![0u32; n];
+    for &(a, _) in edges {
+        deg[id_of(a) as usize] += 1;
+    }
+    let mut start = vec![0u32; n + 1];
+    for i in 0..n {
+        start[i + 1] = start[i] + deg[i];
+    }
+    let mut fill = start.clone();
+    let mut adj = vec![0u32; edges.len()];
+    for &(a, b) in edges {
+        let s = id_of(a) as usize;
+        adj[fill[s] as usize] = id_of(b);
+        fill[s] += 1;
+    }
+
+    // Three-color iterative DFS: WHITE unvisited, GRAY on the current
+    // path, BLACK exhausted. A GRAY successor closes a cycle.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; n];
+    let mut stack: Vec<(u32, u32)> = Vec::new(); // (vertex, next out-edge offset)
+    let mut path: Vec<u32> = Vec::new();
+    for root in 0..n as u32 {
+        if color[root as usize] != WHITE {
             continue;
         }
-        let mut path: Vec<WaitVc> = Vec::new();
-        let mut on_path: HashSet<WaitVc> = HashSet::new();
-        let mut stack: Vec<(WaitVc, usize)> = vec![(start, 0)];
-        path.push(start);
-        on_path.insert(start);
-        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
-            let outs = adj.get(&v).map_or(&[][..], |o| o.as_slice());
-            if *idx < outs.len() {
-                let w = outs[*idx];
-                *idx += 1;
-                if on_path.contains(&w) {
-                    // Cycle: slice the path from w onward.
-                    let pos = path.iter().position(|&x| x == w).expect("on path");
-                    return Some(path[pos..].to_vec());
-                }
-                if !done.contains(&w) {
-                    stack.push((w, 0));
-                    path.push(w);
-                    on_path.insert(w);
+        color[root as usize] = GRAY;
+        stack.push((root, start[root as usize]));
+        path.push(root);
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < start[v as usize + 1] {
+                let w = adj[*next as usize];
+                *next += 1;
+                match color[w as usize] {
+                    GRAY => {
+                        // Cycle: slice the path from w onward.
+                        let pos = path.iter().position(|&x| x == w).expect("on path");
+                        return Some(path[pos..].iter().map(|&i| verts[i as usize]).collect());
+                    }
+                    WHITE => {
+                        color[w as usize] = GRAY;
+                        stack.push((w, start[w as usize]));
+                        path.push(w);
+                    }
+                    _ => {}
                 }
             } else {
                 stack.pop();
                 let popped = path.pop().expect("path mirrors stack");
-                on_path.remove(&popped);
-                done.insert(popped);
+                color[popped as usize] = BLACK;
             }
         }
     }
@@ -151,6 +189,39 @@ mod tests {
         let e = [((5, 1), (5, 1))];
         let c = find_wait_cycle(&e).expect("self-loop");
         assert_eq!(c, vec![(5, 1)]);
+    }
+
+    #[test]
+    fn large_ring_with_chords_is_found() {
+        // A 512-vertex ring plus forward chords: every cycle uses the
+        // wrap edge, and whichever one comes back must be a real walk.
+        let n: u32 = 512;
+        let mut e: Vec<(WaitVc, WaitVc)> = Vec::new();
+        for i in 0..n {
+            e.push(((i, 0), ((i + 1) % n, 0)));
+            if i + 7 < n {
+                e.push(((i, 0), (i + 7, 0)));
+            }
+        }
+        let c = find_wait_cycle(&e).expect("ring cycle");
+        for i in 0..c.len() {
+            let a = c[i];
+            let b = c[(i + 1) % c.len()];
+            assert!(e.contains(&(a, b)), "({a:?} -> {b:?}) missing");
+        }
+    }
+
+    #[test]
+    fn layered_dag_has_no_cycle() {
+        let mut e: Vec<(WaitVc, WaitVc)> = Vec::new();
+        for layer in 0..16u32 {
+            for i in 0..8u16 {
+                for j in 0..8u16 {
+                    e.push(((layer, i), (layer + 1, j)));
+                }
+            }
+        }
+        assert!(find_wait_cycle(&e).is_none());
     }
 
     #[test]

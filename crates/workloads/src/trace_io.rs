@@ -10,7 +10,10 @@ use wavesim_network::Message;
 use wavesim_sim::Cycle;
 use wavesim_topology::NodeId;
 
+use wavesim_topology::LinkId;
+
 use crate::carp::{CarpOp, CarpTrace};
+use crate::faults::FaultPlan;
 
 const VERSION: u64 = 1;
 
@@ -171,6 +174,62 @@ pub fn load_script<R: Read>(mut reader: R) -> Result<Vec<(Cycle, Message)>, Stri
     Ok(script)
 }
 
+/// Serializes a fault plan as pretty JSON
+/// (`{"version": 1, "lanes": [[link, switch], ...]}`).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_fault_plan<W: Write>(plan: &FaultPlan, mut writer: W) -> std::io::Result<()> {
+    let lanes: Vec<Value> = plan
+        .lanes
+        .iter()
+        .map(|(l, s)| Value::Arr(vec![u64::from(l.0).into(), u64::from(*s).into()]))
+        .collect();
+    let file = Value::obj(vec![
+        ("version", VERSION.into()),
+        ("lanes", Value::Arr(lanes)),
+    ]);
+    writer.write_all(file.pretty().as_bytes())
+}
+
+/// Deserializes a fault plan saved by [`save_fault_plan`].
+///
+/// # Errors
+/// Fails on malformed JSON, an unknown version, or an invalid lane
+/// (switch indices are 1-based and must fit in a `u8`).
+pub fn load_fault_plan<R: Read>(mut reader: R) -> Result<FaultPlan, String> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| format!("read failed: {e}"))?;
+    let v = Value::parse(&text).map_err(|e| format!("malformed fault plan: {e}"))?;
+    let version = v["version"]
+        .as_u64()
+        .ok_or("malformed fault plan: no version")?;
+    if version != VERSION {
+        return Err(format!(
+            "unsupported fault plan version {version} (expected {VERSION})"
+        ));
+    }
+    let entries = v["lanes"]
+        .as_array()
+        .ok_or("fault plan lanes must be an array")?;
+    let mut lanes = Vec::with_capacity(entries.len());
+    for item in entries {
+        let pair = item
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or("each lane must be a [link, switch] pair")?;
+        let link = pair[0].as_u64().ok_or("bad lane link")? as u32;
+        let switch = pair[1]
+            .as_u64()
+            .filter(|&s| (1..=u64::from(u8::MAX)).contains(&s))
+            .ok_or("lane switch must be in 1..=255")? as u8;
+        lanes.push((LinkId(link), switch));
+    }
+    Ok(FaultPlan { lanes })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +280,66 @@ mod tests {
     fn garbage_rejected() {
         assert!(load_trace(&b"not json"[..]).is_err());
         assert!(load_script(&b"{}"[..]).is_err());
+    }
+
+    #[test]
+    fn fault_plan_roundtrip() {
+        let topo = Topology::mesh(&[8, 8]);
+        let plan = FaultPlan::random_lanes(&topo, 2, 0.2, 5);
+        assert!(!plan.is_empty());
+        let mut buf = Vec::new();
+        save_fault_plan(&plan, &mut buf).unwrap();
+        let loaded = load_fault_plan(buf.as_slice()).unwrap();
+        assert_eq!(loaded, plan);
+    }
+
+    #[test]
+    fn saved_artifacts_are_byte_stable() {
+        // save -> load -> save must be byte-identical for every artifact
+        // kind, so saved files are canonical and diffable.
+        let topo = Topology::mesh(&[4, 4]);
+
+        let trace = CarpTrace::stencil(&topo, 2, 3, 32, 1000, 100);
+        let mut first = Vec::new();
+        save_trace(&trace, &mut first).unwrap();
+        let mut second = Vec::new();
+        save_trace(&load_trace(first.as_slice()).unwrap(), &mut second).unwrap();
+        assert_eq!(first, second);
+
+        let script = vec![
+            (0u64, Message::new(1, NodeId(0), NodeId(5), 16, 0)),
+            (10, Message::new(2, NodeId(3), NodeId(7), 64, 10)),
+        ];
+        let mut first = Vec::new();
+        save_script(&script, &mut first).unwrap();
+        let mut second = Vec::new();
+        save_script(&load_script(first.as_slice()).unwrap(), &mut second).unwrap();
+        assert_eq!(first, second);
+
+        let plan = FaultPlan::random_lanes(&topo, 3, 0.3, 9);
+        let mut first = Vec::new();
+        save_fault_plan(&plan, &mut first).unwrap();
+        let mut second = Vec::new();
+        save_fault_plan(&load_fault_plan(first.as_slice()).unwrap(), &mut second).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn malformed_fault_plans_rejected_not_panicking() {
+        assert!(load_fault_plan(&b"not json"[..]).is_err());
+        assert!(load_fault_plan(&b"{}"[..]).is_err());
+        let bad_version = r#"{"version": 9, "lanes": []}"#;
+        assert!(load_fault_plan(bad_version.as_bytes())
+            .unwrap_err()
+            .contains("version"));
+        // Switch 0 would trip LaneId::new's 1-based assertion downstream;
+        // it must be a load error here instead.
+        let zero_switch = r#"{"version": 1, "lanes": [[3, 0]]}"#;
+        assert!(load_fault_plan(zero_switch.as_bytes()).is_err());
+        let wide_switch = r#"{"version": 1, "lanes": [[3, 300]]}"#;
+        assert!(load_fault_plan(wide_switch.as_bytes()).is_err());
+        let not_a_pair = r#"{"version": 1, "lanes": [[3]]}"#;
+        assert!(load_fault_plan(not_a_pair.as_bytes()).is_err());
     }
 
     #[test]

@@ -14,13 +14,18 @@
 //!   control unit, MB-m probe protocol, circuit cache, and the CLRP and
 //!   CARP routing protocols;
 //! * [`workloads`] — synthetic traffic, locality generators, CARP traces;
-//! * [`verify`] — deadlock/livelock detectors and invariant audits.
+//! * [`verify`] — deadlock/livelock detectors and invariant audits;
+//! * [`trace`] — flight-recorder observability: structured trace records,
+//!   Perfetto export, metrics exposition, stall post-mortems;
+//! * [`json`] — the dependency-free JSON reader/writer the artifacts use.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use wavesim_core as core;
+pub use wavesim_json as json;
 pub use wavesim_network as network;
 pub use wavesim_sim as sim;
 pub use wavesim_topology as topology;
+pub use wavesim_trace as trace;
 pub use wavesim_verify as verify;
 pub use wavesim_workloads as workloads;
