@@ -42,7 +42,8 @@ fn trial_run(scale: Scale, m: u8, occupancy: f64, trials: u32) -> Outcome {
     // unavailable lanes (probes can neither reserve nor force them).
     let plan = FaultPlan::random_lanes(net.topology(), 1, occupancy, 2024);
     for &(link, s) in &plan.lanes {
-        net.inject_lane_fault(LaneId::new(link, s));
+        net.inject_lane_fault(LaneId::new(link, s))
+            .expect("fault plan matches topology");
     }
     let n = u64::from(net.topology().num_nodes());
     let mut rng = SimRng::new(777);

@@ -42,7 +42,8 @@ pub fn run(scale: Scale) -> Table {
         let mut net = crate::experiments::net_with(scale.side, cfg);
         let plan = FaultPlan::random_lanes(net.topology(), cfg.k, rate, 88);
         for &(link, s) in &plan.lanes {
-            net.inject_lane_fault(LaneId::new(link, s));
+            net.inject_lane_fault(LaneId::new(link, s))
+                .expect("fault plan matches topology");
         }
         let mut src = crate::experiments::traffic(
             net.topology(),

@@ -1,10 +1,11 @@
-//! The experiment suite (E1–E13). See the crate docs and EXPERIMENTS.md
+//! The experiment suite (E1–E14). See the crate docs and EXPERIMENTS.md
 //! for the claim-to-experiment mapping.
 
 pub mod e10_variants;
 pub mod e11_loadsweep;
 pub mod e12_ablations;
 pub mod e13_dsm;
+pub mod e14_dynamic_faults;
 pub mod e1_deadlock;
 pub mod e2_livelock;
 pub mod e3_msglen;
@@ -67,7 +68,7 @@ pub fn traffic(
     )
 }
 
-/// Runs one experiment by id (`"e1"`..`"e13"`). Returns its tables.
+/// Runs one experiment by id (`"e1"`..`"e14"`). Returns its tables.
 ///
 /// # Panics
 /// Panics on an unknown id.
@@ -77,9 +78,9 @@ pub fn run_by_id(id: &str, scale: Scale) -> Vec<Table> {
 }
 
 /// Like [`run_by_id`], but fans sweep points out over `jobs` worker
-/// threads where the experiment supports it (currently the E11 load
-/// sweep). Results are merged in point order and are byte-identical for
-/// any job count.
+/// threads where the experiment supports it (the E11 load sweep and the
+/// E14 MTBF sweep). Results are merged in point order and are
+/// byte-identical for any job count.
 ///
 /// # Panics
 /// Panics on an unknown id.
@@ -99,7 +100,8 @@ pub fn run_by_id_with_jobs(id: &str, scale: Scale, jobs: usize) -> Vec<Table> {
         "e11" => vec![e11_loadsweep::run_with_jobs(scale, jobs)],
         "e12" => vec![e12_ablations::run(scale)],
         "e13" => vec![e13_dsm::run(scale)],
-        other => panic!("unknown experiment id {other:?} (use e1..e13)"),
+        "e14" => vec![e14_dynamic_faults::run_with_jobs(scale, jobs)],
+        other => panic!("unknown experiment id {other:?} (use e1..e14)"),
     }
 }
 
@@ -107,6 +109,6 @@ pub fn run_by_id_with_jobs(id: &str, scale: Scale, jobs: usize) -> Vec<Table> {
 #[must_use]
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
     ]
 }

@@ -36,8 +36,8 @@ pub mod table;
 pub mod tracecap;
 
 pub use runner::{
-    drive, run_carp_trace, run_open_loop, run_request_reply, run_scripted, Drained, Driver,
-    ParallelSweep, ReqRepResult, RunResult, RunSpec,
+    apply_fault_schedule, drive, run_carp_trace, run_open_loop, run_request_reply, run_scripted,
+    Drained, Driver, ParallelSweep, ReqRepResult, RunResult, RunSpec,
 };
 pub use table::Table;
 

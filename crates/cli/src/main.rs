@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! wavesim all [--scale small|paper] [--json] [--jobs N]   run every experiment
-//! wavesim e1 .. e13 [--scale ...] [--json] [--jobs N]     run one experiment
+//! wavesim e1 .. e14 [--scale ...] [--json] [--jobs N]     run one experiment
 //!                                              (--jobs fans sweep points over
 //!                                              N threads; output is identical
 //!                                              to --jobs 1)
@@ -14,6 +14,12 @@
 //! `run` flags: --protocol clrp|carp|wormhole  --topology mesh|torus
 //!              --side N  --load F  --len N  --locality F  --cycles N
 //!              --seed N  --k N  --alpha N  --cache N  --misroutes N
+//!
+//! Fault flags (`run` only): `--fault-plan FILE` applies a static fault
+//! plan (JSON, see `wavesim_workloads::trace_io`) before traffic starts;
+//! `--fault-schedule FILE` schedules timed dynamic fail/repair events.
+//! Both are validated against the chosen topology and `--k`; a plan built
+//! for a different network is a clean error, not a panic.
 //!
 //! Observability flags (`run` and experiments): `--trace-out FILE` writes a
 //! Chrome/Perfetto `trace_event` JSON of the run (plus `FILE.postmortem.json`
@@ -27,16 +33,17 @@ use std::env;
 use std::process::ExitCode;
 
 use wavesim_bench::{experiments, run_open_loop, tracecap, RunSpec, Scale};
-use wavesim_core::{ProtocolKind, WaveConfig, WaveNetwork};
+use wavesim_core::{LaneId, ProtocolKind, WaveConfig, WaveNetwork};
 use wavesim_topology::{RoutingKind, Topology};
 use wavesim_verify::check_deadlock_freedom;
 use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wavesim <all|e1..e13|run|check|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
+        "usage: wavesim <all|e1..e14|run|check|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
          run flags: --protocol clrp|carp|wormhole --topology mesh|torus --side N --load F\n\
                     --len N --locality F --cycles N --seed N --k N --alpha N --cache N --misroutes N\n\
+         fault flags (run): --fault-plan FILE --fault-schedule FILE\n\
          trace flags: --trace-out FILE --metrics-out FILE --flight-recorder N"
     );
     std::process::exit(2);
@@ -60,6 +67,9 @@ struct Args {
     alpha: u32,
     cache: usize,
     misroutes: u8,
+    // fault injection
+    fault_plan: Option<String>,
+    fault_schedule: Option<String>,
     // observability
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -88,6 +98,8 @@ fn parse_args() -> Args {
         alpha: 4,
         cache: 16,
         misroutes: 2,
+        fault_plan: None,
+        fault_schedule: None,
         trace_out: None,
         metrics_out: None,
         flight_recorder: 1 << 16,
@@ -135,6 +147,10 @@ fn parse_args() -> Args {
             "--alpha" => args.alpha = next_parse!(argv),
             "--cache" => args.cache = next_parse!(argv),
             "--misroutes" => args.misroutes = next_parse!(argv),
+            "--fault-plan" => args.fault_plan = Some(argv.next().unwrap_or_else(|| usage())),
+            "--fault-schedule" => {
+                args.fault_schedule = Some(argv.next().unwrap_or_else(|| usage()));
+            }
             "--trace-out" => args.trace_out = Some(argv.next().unwrap_or_else(|| usage())),
             "--metrics-out" => args.metrics_out = Some(argv.next().unwrap_or_else(|| usage())),
             "--flight-recorder" => {
@@ -215,6 +231,63 @@ fn validate_trace(path: &str) -> bool {
     }
 }
 
+/// Loads and applies `--fault-plan` / `--fault-schedule` files onto the
+/// run's network, surfacing mismatches against the chosen topology/`k`
+/// (a plan built for another network) as clean errors.
+fn apply_fault_inputs(net: &mut WaveNetwork, args: &Args) -> bool {
+    if let Some(path) = &args.fault_plan {
+        let plan = match std::fs::File::open(path).map_err(|e| format!("cannot open: {e}")) {
+            Ok(f) => match wavesim_workloads::trace_io::load_fault_plan(f) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: fault plan {path}: {e}");
+                    return false;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: fault plan {path}: {e}");
+                return false;
+            }
+        };
+        for &(link, s) in &plan.lanes {
+            if let Err(e) = net.inject_lane_fault(LaneId::new(link, s)) {
+                eprintln!("error: fault plan {path} does not fit this network: {e}");
+                return false;
+            }
+        }
+        println!(
+            "applied static fault plan: {path} ({} lanes on {} links)",
+            plan.len(),
+            plan.faulted_links()
+        );
+    }
+    if let Some(path) = &args.fault_schedule {
+        let sched = match std::fs::File::open(path).map_err(|e| format!("cannot open: {e}")) {
+            Ok(f) => match wavesim_workloads::trace_io::load_fault_schedule(f) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: fault schedule {path}: {e}");
+                    return false;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: fault schedule {path}: {e}");
+                return false;
+            }
+        };
+        if let Err(e) = sched.validate(net.topology(), net.config().k) {
+            eprintln!("error: fault schedule {path} does not fit this network: {e}");
+            return false;
+        }
+        if let Err(e) = wavesim_bench::apply_fault_schedule(net, &sched) {
+            eprintln!("error: fault schedule {path} does not fit this network: {e}");
+            return false;
+        }
+        println!("scheduled dynamic faults: {path} ({} events)", sched.len());
+    }
+    true
+}
+
 fn custom_run(args: &Args) -> bool {
     let topo = if args.torus {
         Topology::torus(&[args.side, args.side])
@@ -231,6 +304,9 @@ fn custom_run(args: &Args) -> bool {
         ..WaveConfig::default()
     };
     let mut net = WaveNetwork::new(topo.clone(), cfg);
+    if !apply_fault_inputs(&mut net, args) {
+        return false;
+    }
     let mut src = TrafficSource::new(
         topo,
         TrafficConfig {
@@ -302,6 +378,12 @@ fn custom_run(args: &Args) -> bool {
         s.forced_local_releases,
         s.forced_remote_releases
     );
+    if args.fault_plan.is_some() || args.fault_schedule.is_some() {
+        println!(
+            "  faults: {} lane failures, {} repairs; {} circuits broken, {} retries",
+            s.lane_faults, s.lane_repairs, s.circuits_broken, s.establish_retries
+        );
+    }
     println!(
         "  verdict          : {}",
         if r.clean() { "CLEAN" } else { "CHECK FAILED" }

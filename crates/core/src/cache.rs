@@ -24,6 +24,11 @@ pub enum EntryState {
     Establishing,
     /// The acknowledgment returned; the circuit is ready to carry messages.
     Ready,
+    /// A dynamic fault destroyed the circuit; the entry is waiting out the
+    /// re-establishment backoff (CLRP only). Sends keep queueing, nothing
+    /// is evictable, and the old circuit id stays in `circuit` so a stale
+    /// transfer ack can still clear `in_use`.
+    RetryWait,
     /// A teardown is propagating (or waiting for In-use to clear).
     Releasing,
     /// Establishment failed on every switch. CARP keeps the entry so
@@ -74,6 +79,9 @@ pub struct CacheEntry {
     /// Path length in hops, recorded when the circuit is established (used
     /// to plan transfer timing without consulting the circuit registry).
     pub path_hops: u32,
+    /// Re-establishment attempts consumed after dynamic faults broke this
+    /// entry's circuit (bounded by `WaveConfig::fault_retries`).
+    pub fault_retries_used: u8,
 }
 
 impl CacheEntry {
@@ -97,6 +105,7 @@ impl CacheEntry {
             uses: 0,
             alloc_flits: None,
             path_hops: 0,
+            fault_retries_used: 0,
         }
     }
 

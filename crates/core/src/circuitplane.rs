@@ -43,6 +43,17 @@ pub enum TransferEvent {
         /// Destination the entry is keyed by.
         dest: NodeId,
     },
+    /// Post-fault re-establishment backoff expired: relaunch the probe
+    /// search for the cache entry that `circuit` (the *broken* id) last
+    /// occupied. Stale if the entry was released or replaced meanwhile.
+    RetryEstablish {
+        /// The broken circuit the entry is still keyed under.
+        circuit: CircuitId,
+        /// Source node (owner of the cache entry).
+        src: NodeId,
+        /// Destination the entry is keyed by.
+        dest: NodeId,
+    },
 }
 
 /// The circuit-management plane of the wave router.
@@ -167,7 +178,7 @@ impl CircuitPlane {
                     );
                     self.pump_circuit(now, q, msg.src, msg.dest);
                 }
-                EntryState::Establishing => {
+                EntryState::Establishing | EntryState::RetryWait => {
                     entry.queue.push_back(msg);
                 }
                 EntryState::Releasing | EntryState::Failed => {
@@ -231,7 +242,9 @@ impl CircuitPlane {
                     entry.queue.push_back(msg);
                     return;
                 }
-                EntryState::Releasing | EntryState::Failed => {}
+                // RetryWait is CLRP-only; a broken CARP circuit degrades
+                // to Failed, but stay total over the state space.
+                EntryState::Releasing | EntryState::Failed | EntryState::RetryWait => {}
             }
         }
         // No usable circuit: CARP sends such messages by wormhole (§3.2).
@@ -291,7 +304,7 @@ impl CircuitPlane {
                 self.caches[s].remove(dest);
             }
             EntryState::Releasing => {}
-            EntryState::Ready | EntryState::Establishing => {
+            EntryState::Ready | EntryState::Establishing | EntryState::RetryWait => {
                 if entry.evictable() {
                     self.release_entry_now(src, dest);
                 } else {
@@ -365,6 +378,10 @@ impl CircuitPlane {
         let Some(entry) = self.caches[src.0 as usize].find_by_circuit_mut(circuit) else {
             return; // entry released while the probe was out
         };
+        if entry.state == EntryState::RetryWait {
+            return; // a dynamic fault already broke this attempt; the
+                    // scheduled RetryEstablish owns the entry now
+        }
         let initial = entry.initial_switch;
         let next_switch = (switch % k) + 1;
         let relaunch = |entry: &mut CacheEntry, outbox: &mut Vec<PlaneEvent>, s: u8, f: bool| {
@@ -488,6 +505,118 @@ impl CircuitPlane {
         if !entry.in_use {
             self.release_entry_now(src, dest);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic faults: break notification and bounded re-establishment
+    // ------------------------------------------------------------------
+
+    /// [`PlaneEvent::CircuitBroken`]: a dynamic fault destroyed `circuit`
+    /// (its teardown has already started on the controlplane). CLRP
+    /// invalidates the entry and — within the `fault_retries` budget —
+    /// schedules a re-establishment after an exponential backoff; beyond
+    /// the budget (or under CARP, which never retries automatically) the
+    /// entry degrades to wormhole delivery, so no message is ever lost.
+    pub fn on_circuit_broken(
+        &mut self,
+        now: Cycle,
+        q: &mut EventQueue<TransferEvent>,
+        circuit: CircuitId,
+        src: NodeId,
+        dest: NodeId,
+    ) {
+        let s = src.0 as usize;
+        let Some(entry) = self.caches[s].find_by_circuit_mut(circuit) else {
+            return; // entry already evicted or replaced: nothing to fix
+        };
+        debug_assert_eq!(entry.dest, dest);
+        let retry = self.cfg.protocol == ProtocolKind::Clrp
+            && !entry.release_pending
+            && entry.fault_retries_used < self.cfg.fault_retries;
+        if retry {
+            entry.fault_retries_used += 1;
+            let attempt = entry.fault_retries_used;
+            entry.state = EntryState::RetryWait;
+            entry.ack_returned = false;
+            entry.channel = None;
+            entry.established_at = None;
+            entry.path_hops = 0;
+            // Keep entry.circuit (the broken id): an in-flight transfer
+            // on the old circuit still drains, and its ack must match to
+            // clear In-use. The retry allocates a fresh id when it fires.
+            let delay = u64::from(self.cfg.fault_backoff) << (attempt - 1);
+            q.schedule(
+                now + delay.max(1),
+                TransferEvent::RetryEstablish { circuit, src, dest },
+            );
+        } else {
+            // Degrade to wormhole: queued messages re-inject immediately;
+            // an in-flight transfer drains and removes the entry on ack.
+            let queued: Vec<Message> = entry.queue.drain(..).collect();
+            if entry.in_use {
+                entry.state = EntryState::Failed;
+                entry.release_pending = true;
+            } else {
+                self.caches[s].remove(dest);
+            }
+            for m in queued {
+                self.send_wormhole_fallback(m);
+            }
+        }
+    }
+
+    /// [`TransferEvent::RetryEstablish`]: the post-fault backoff expired.
+    /// If the entry still exists, still waits under the broken `circuit`
+    /// id, and is idle, allocate a fresh circuit id and relaunch the probe
+    /// search; a still-draining transfer postpones the relaunch one
+    /// backoff unit so its ack (keyed by the old id) can clear In-use.
+    fn on_retry_establish(
+        &mut self,
+        now: Cycle,
+        q: &mut EventQueue<TransferEvent>,
+        circuit: CircuitId,
+        src: NodeId,
+        dest: NodeId,
+    ) {
+        let s = src.0 as usize;
+        let Some(entry) = self.caches[s].get_mut(dest) else {
+            return; // entry released while waiting
+        };
+        if entry.circuit != circuit || entry.state != EntryState::RetryWait {
+            return; // stale: the entry was replaced meanwhile
+        }
+        if entry.in_use {
+            let delay = u64::from(self.cfg.fault_backoff).max(1);
+            q.schedule(
+                now + delay,
+                TransferEvent::RetryEstablish { circuit, src, dest },
+            );
+            return;
+        }
+        let cid = self.circuit_ids.alloc();
+        let force = self.cfg.clrp.skip_phase1;
+        entry.circuit = cid;
+        entry.state = EntryState::Establishing;
+        entry.switch = entry.initial_switch;
+        entry.force_phase = force;
+        let (switch, attempt) = (entry.initial_switch, entry.fault_retries_used);
+        self.stats.establish_retries += 1;
+        self.trace.emit(
+            now,
+            TraceEvent::EstablishRetry {
+                circuit: cid.0,
+                src: src.0,
+                dest: dest.0,
+                attempt,
+            },
+        );
+        self.outbox.push(PlaneEvent::LaunchProbe {
+            circuit: cid,
+            src,
+            dest,
+            switch,
+            force,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -622,6 +751,9 @@ impl Model for CircuitPlane {
             TransferEvent::Delivered(_circuit, msg) => self.on_transfer_delivered(now, msg),
             TransferEvent::Acked { circuit, src, dest } => {
                 self.on_transfer_acked(now, q, circuit, src, dest);
+            }
+            TransferEvent::RetryEstablish { circuit, src, dest } => {
+                self.on_retry_establish(now, q, circuit, src, dest);
             }
         }
     }

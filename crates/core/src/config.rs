@@ -117,6 +117,16 @@ pub struct WaveConfig {
     /// switches", §3.1). Disabled, every node starts at switch 1 — the
     /// E12 ablation.
     pub stagger_initial_switch: bool,
+    /// How many times CLRP re-attempts establishment after a dynamic fault
+    /// breaks a circuit, before the entry degrades to wormhole delivery.
+    /// Each attempt is a full (all switches, then Force) search, so the
+    /// total establishment work per circuit stays finite — the Theorem 3/4
+    /// argument is unchanged. `0` disables retries entirely.
+    pub fault_retries: u8,
+    /// Base backoff (cycles) before a post-fault re-establishment; attempt
+    /// `n` (1-based) waits `fault_backoff << (n - 1)` cycles, so repeated
+    /// breakage of the same circuit backs off exponentially.
+    pub fault_backoff: u32,
     /// Seed for the (rare) randomized decisions: Random replacement.
     pub seed: u64,
 }
@@ -139,6 +149,8 @@ impl Default for WaveConfig {
             protocol: ProtocolKind::Clrp,
             clrp: ClrpVariant::default(),
             stagger_initial_switch: true,
+            fault_retries: 3,
+            fault_backoff: 8,
             seed: 0x5_7A5E_5EED,
         }
     }

@@ -129,9 +129,124 @@ impl ControlPlane {
         !self.probes.is_empty()
     }
 
-    /// Marks `lane` faulty (static fault injection, E8).
-    pub fn fault_lane(&mut self, lane: LaneId) {
-        self.lanes.set_faulty(lane);
+    /// Marks `lane` faulty (static fault injection, E8). Fails — naming
+    /// the holding circuit — when the lane is reserved; static plans are
+    /// applied before traffic, so a reservation means the caller's
+    /// sequencing is wrong and the dynamic path ([`Self::on_lane_fault`])
+    /// must be used instead.
+    pub fn fault_lane(&mut self, lane: LaneId) -> Result<(), String> {
+        match self.lanes.set_faulty(lane) {
+            Ok(()) => {
+                self.stats.lane_faults += 1;
+                Ok(())
+            }
+            Err(holder) => Err(format!(
+                "cannot statically fault lane {lane}: reserved by circuit {holder} \
+                 (use a dynamic fault event for teardown-then-fault)"
+            )),
+        }
+    }
+
+    /// Dynamic fault event: marks `lane` faulty *now*, tearing down the
+    /// victim circuit if the lane was reserved (teardown-then-fault).
+    ///
+    /// * Parked waiters are drained and retried; they re-scan, see the
+    ///   lane `Faulty`, and route around it (counting a fault encounter).
+    /// * A `Ready` victim starts the normal teardown walk from its source;
+    ///   in-flight transfers already launched on it are wave fronts in
+    ///   the pipeline and drain normally (the fault only blocks *new*
+    ///   reservations of the lane).
+    /// * An `Establishing` victim is marked `TearingDown`: its live probe
+    ///   unwinds on its next step (a parked probe is unparked and woken so
+    ///   that step happens); if the probe already completed and only the
+    ///   ack walk remains, the ack dies against the status check and a
+    ///   teardown walk reclaims the path.
+    ///
+    /// In both victim cases a [`PlaneEvent::CircuitBroken`] tells the
+    /// circuitplane to invalidate the cache entry and (CLRP) retry.
+    pub fn on_lane_fault(&mut self, now: Cycle, q: &mut EventQueue<CtrlEvent>, lane: LaneId) {
+        if *self.lanes.state(lane) == LaneState::Faulty {
+            return; // already faulty: idempotent
+        }
+        let (victim, waiters) = self.lanes.force_faulty(lane);
+        self.stats.lane_faults += 1;
+        self.trace.emit(
+            now,
+            TraceEvent::LaneFault {
+                link: lane.link.0,
+                switch: lane.switch,
+            },
+        );
+        self.wake(now, q, waiters);
+        let Some(victim) = victim else {
+            return; // lane was free: no circuit to tear down
+        };
+        let c = self
+            .circuits
+            .get_mut(victim)
+            .expect("reserved lane names a live circuit");
+        let (src, dest) = (c.src, c.dest);
+        match c.status {
+            CircuitStatus::TearingDown => {
+                // A teardown (or probe unwind) is already reclaiming the
+                // path; it skips the faulted lane via release_if_held.
+            }
+            CircuitStatus::Ready => {
+                c.status = CircuitStatus::TearingDown;
+                q.schedule(now + 1, CtrlEvent::TeardownAt(victim, src));
+                self.stats.circuits_broken += 1;
+                self.outbox.push(PlaneEvent::CircuitBroken {
+                    circuit: victim,
+                    src,
+                    dest,
+                });
+            }
+            CircuitStatus::Establishing => {
+                c.status = CircuitStatus::TearingDown;
+                let probe = self
+                    .probes
+                    .iter()
+                    .find(|(_, p)| p.circuit == victim)
+                    .map(|(pid, p)| (pid, p.parked_on));
+                match probe {
+                    Some((pid, parked_on)) => {
+                        // The probe unwinds when it next runs; a parked
+                        // probe has no event in flight, so unpark + wake.
+                        if let Some(l) = parked_on {
+                            self.lanes.unpark(l, pid);
+                            q.schedule(now + 1, CtrlEvent::RetryProbe(pid));
+                        }
+                    }
+                    None => {
+                        // Probe completed; only the ack walk is out. It
+                        // dies against the status check — reclaim the
+                        // fully-reserved path with a teardown walk.
+                        q.schedule(now + 1, CtrlEvent::TeardownAt(victim, src));
+                    }
+                }
+                self.stats.circuits_broken += 1;
+                self.outbox.push(PlaneEvent::CircuitBroken {
+                    circuit: victim,
+                    src,
+                    dest,
+                });
+            }
+        }
+    }
+
+    /// Dynamic repair event: returns a faulty lane to service. Repairing
+    /// a lane that is not faulty is a tolerant no-op.
+    pub fn on_lane_repair(&mut self, now: Cycle, lane: LaneId) {
+        if self.lanes.repair(lane) {
+            self.stats.lane_repairs += 1;
+            self.trace.emit(
+                now,
+                TraceEvent::LaneRepair {
+                    link: lane.link.0,
+                    switch: lane.switch,
+                },
+            );
+        }
     }
 
     /// Moves staged outbound events into `bus`.
@@ -490,7 +605,9 @@ impl ControlPlane {
         for lane in p.path.iter().rev() {
             let (from, _) = self.topo.link_endpoints(lane.link);
             self.pcs[from.0 as usize].clear(p.circuit);
-            let woken = self.lanes.release(*lane, p.circuit);
+            // A dynamic fault may have force-faulted a path lane already;
+            // release_if_held skips it (and its waiters were drained then).
+            let woken = self.lanes.release_if_held(*lane, p.circuit);
             self.wake(now, q, woken);
         }
         self.circuits.remove(&p.circuit);
@@ -609,7 +726,9 @@ impl ControlPlane {
         };
         match hop.out_lane {
             Some(lane) => {
-                let woken = self.lanes.release(lane, circuit);
+                // release_if_held: a dynamic fault may have force-faulted
+                // this hop's lane after the walk started.
+                let woken = self.lanes.release_if_held(lane, circuit);
                 let next = self.topo.link_dest(lane.link);
                 q.schedule(
                     now + u64::from(self.cfg.ctrl_hop_delay),

@@ -102,6 +102,17 @@ pub enum PlaneEvent {
         /// The fully released circuit.
         circuit: CircuitId,
     },
+    /// Controlplane → circuitplane: a dynamic fault hit a lane reserved by
+    /// `circuit`; its teardown has started. The owning cache entry must be
+    /// invalidated, and CLRP may schedule a bounded re-establishment.
+    CircuitBroken {
+        /// The circuit the fault destroyed.
+        circuit: CircuitId,
+        /// The circuit's source node (owner of the cache entry).
+        src: NodeId,
+        /// The circuit's destination node.
+        dest: NodeId,
+    },
 }
 
 /// FIFO bus carrying [`PlaneEvent`]s between planes within one cycle.

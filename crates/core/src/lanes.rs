@@ -8,8 +8,12 @@
 //! per lane suffices.
 //!
 //! Lanes can also be marked **faulty** — the fault-injection hook for the
-//! E8 experiment (the paper notes MB-m "is very resilient to static faults
-//! in the network").
+//! E8 (static) and E14 (dynamic) experiments (the paper notes MB-m "is
+//! very resilient to static faults in the network"). Static injection
+//! ([`LaneTable::set_faulty`]) refuses to fault a reserved lane and
+//! reports the holder; dynamic injection ([`LaneTable::force_faulty`])
+//! evicts the holder so the control plane can tear the victim circuit
+//! down, and [`LaneTable::repair`] returns a faulty lane to service.
 
 use wavesim_topology::{LinkId, Topology};
 
@@ -147,26 +151,75 @@ impl LaneTable {
         self.lanes[i].waiters.retain(|&p| p != probe);
     }
 
-    /// Marks `lane` faulty. Only legal before it is reserved (static
-    /// faults, per the paper's fault model).
-    ///
-    /// # Panics
-    /// Panics if the lane is currently reserved.
-    pub fn set_faulty(&mut self, lane: LaneId) {
+    /// Marks `lane` faulty (static fault model: legal only before the lane
+    /// is reserved). Faulting an already-faulty lane is an idempotent
+    /// no-op. Returns the holding circuit as the error when the lane is
+    /// reserved — the dynamic model must use [`LaneTable::force_faulty`]
+    /// (teardown-then-fault) instead.
+    pub fn set_faulty(&mut self, lane: LaneId) -> Result<(), CircuitId> {
         let i = self.idx(lane);
-        assert!(
-            !matches!(self.lanes[i].state, LaneState::Reserved(_)),
-            "cannot fault a reserved lane (static fault model)"
-        );
+        match self.lanes[i].state {
+            LaneState::Reserved(holder) => Err(holder),
+            LaneState::Free | LaneState::Faulty => {
+                self.lanes[i].state = LaneState::Faulty;
+                Ok(())
+            }
+        }
+    }
+
+    /// Marks `lane` faulty regardless of occupancy (dynamic fault model).
+    /// Returns the evicted holder (if the lane was reserved) and the
+    /// probes that were parked waiting for it, so the caller can tear the
+    /// victim circuit down and retry the waiters (which will re-scan, see
+    /// the lane `Faulty`, and route around it).
+    pub fn force_faulty(&mut self, lane: LaneId) -> (Option<CircuitId>, Vec<ProbeId>) {
+        let i = self.idx(lane);
+        let holder = match self.lanes[i].state {
+            LaneState::Reserved(c) => Some(c),
+            _ => None,
+        };
         self.lanes[i].state = LaneState::Faulty;
+        (holder, std::mem::take(&mut self.lanes[i].waiters))
+    }
+
+    /// Returns a faulty `lane` to service (dynamic fault model). Returns
+    /// `true` when the lane was actually faulty; repairing a free or
+    /// reserved lane is a tolerant no-op (a repair event may race a fault
+    /// that never happened, e.g. an invalidated schedule entry).
+    pub fn repair(&mut self, lane: LaneId) -> bool {
+        let i = self.idx(lane);
+        if self.lanes[i].state == LaneState::Faulty {
+            self.lanes[i].state = LaneState::Free;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases `lane` if — and only if — it is still reserved by
+    /// `circuit`, returning the probes parked on it. A no-op returning no
+    /// waiters otherwise. Teardown and unwind walks use this instead of
+    /// [`LaneTable::release`]: a dynamic fault may have force-faulted one
+    /// of the path's lanes (evicting the reservation and draining the
+    /// waiters) before the walk reaches it.
+    pub fn release_if_held(&mut self, lane: LaneId, circuit: CircuitId) -> Vec<ProbeId> {
+        let i = self.idx(lane);
+        if self.lanes[i].state == LaneState::Reserved(circuit) {
+            self.lanes[i].state = LaneState::Free;
+            std::mem::take(&mut self.lanes[i].waiters)
+        } else {
+            Vec::new()
+        }
     }
 
     /// Marks every lane of `link` (all switches) faulty — a whole-link
-    /// fault.
-    pub fn set_link_faulty(&mut self, link: LinkId) {
+    /// fault. Fails on the first reserved lane (static fault model),
+    /// returning its holder; lanes before it stay faulted.
+    pub fn set_link_faulty(&mut self, link: LinkId) -> Result<(), CircuitId> {
         for s in 1..=self.k {
-            self.set_faulty(LaneId::new(link, s));
+            self.set_faulty(LaneId::new(link, s))?;
         }
+        Ok(())
     }
 
     /// Number of lanes in each state: `(free, reserved, faulty)`.
@@ -245,20 +298,86 @@ mod tests {
         let (t, mut lt) = table();
         let link = t.links().next().unwrap();
         let lane = LaneId::new(link, 2);
-        lt.set_faulty(lane);
+        lt.set_faulty(lane).unwrap();
         assert!(!lt.is_free(lane));
         assert_eq!(*lt.state(lane), LaneState::Faulty);
         let (_, _, faulty) = lt.census();
         assert_eq!(faulty, 1);
+        // Idempotent.
+        lt.set_faulty(lane).unwrap();
+        assert_eq!(lt.census().2, 1);
     }
 
     #[test]
     fn whole_link_fault_covers_all_switches() {
         let (t, mut lt) = table();
         let link = t.links().next().unwrap();
-        lt.set_link_faulty(link);
+        lt.set_link_faulty(link).unwrap();
         assert!(!lt.is_free(LaneId::new(link, 1)));
         assert!(!lt.is_free(LaneId::new(link, 2)));
+    }
+
+    #[test]
+    fn static_fault_on_reserved_lane_names_holder() {
+        let (t, mut lt) = table();
+        let lane = LaneId::new(t.links().next().unwrap(), 1);
+        lt.reserve(lane, CircuitId(7));
+        assert_eq!(lt.set_faulty(lane), Err(CircuitId(7)));
+        // The reservation survives the rejected fault.
+        assert_eq!(lt.holder(lane), Some(CircuitId(7)));
+        assert_eq!(lt.set_link_faulty(lane.link), Err(CircuitId(7)));
+    }
+
+    #[test]
+    fn force_fault_evicts_holder_and_drains_waiters() {
+        let (t, mut lt) = table();
+        let lane = LaneId::new(t.links().next().unwrap(), 1);
+        lt.reserve(lane, CircuitId(3));
+        lt.park(lane, ProbeId(10));
+        let (holder, waiters) = lt.force_faulty(lane);
+        assert_eq!(holder, Some(CircuitId(3)));
+        assert_eq!(waiters, vec![ProbeId(10)]);
+        assert_eq!(*lt.state(lane), LaneState::Faulty);
+        // A later teardown walk skips the already-faulted lane.
+        assert!(lt.release_if_held(lane, CircuitId(3)).is_empty());
+        assert_eq!(*lt.state(lane), LaneState::Faulty);
+    }
+
+    #[test]
+    fn force_fault_on_free_lane_has_no_victim() {
+        let (t, mut lt) = table();
+        let lane = LaneId::new(t.links().next().unwrap(), 2);
+        let (holder, waiters) = lt.force_faulty(lane);
+        assert_eq!(holder, None);
+        assert!(waiters.is_empty());
+        assert_eq!(*lt.state(lane), LaneState::Faulty);
+    }
+
+    #[test]
+    fn repair_restores_only_faulty_lanes() {
+        let (t, mut lt) = table();
+        let lane = LaneId::new(t.links().next().unwrap(), 1);
+        lt.set_faulty(lane).unwrap();
+        assert!(lt.repair(lane));
+        assert!(lt.is_free(lane));
+        // Free and reserved lanes are untouched by repair.
+        assert!(!lt.repair(lane));
+        lt.reserve(lane, CircuitId(1));
+        assert!(!lt.repair(lane));
+        assert_eq!(lt.holder(lane), Some(CircuitId(1)));
+    }
+
+    #[test]
+    fn release_if_held_only_releases_the_holder() {
+        let (t, mut lt) = table();
+        let lane = LaneId::new(t.links().next().unwrap(), 1);
+        lt.reserve(lane, CircuitId(1));
+        lt.park(lane, ProbeId(9));
+        assert!(lt.release_if_held(lane, CircuitId(2)).is_empty());
+        assert_eq!(lt.holder(lane), Some(CircuitId(1)));
+        let woken = lt.release_if_held(lane, CircuitId(1));
+        assert_eq!(woken, vec![ProbeId(9)]);
+        assert!(lt.is_free(lane));
     }
 
     #[test]

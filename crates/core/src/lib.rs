@@ -52,6 +52,6 @@ pub use dataplane::DataPlane;
 pub use events::{EventBus, PlaneEvent};
 pub use ids::{CircuitId, LaneId, ProbeId};
 pub use lanes::{LaneState, LaneTable};
-pub use network::WaveNetwork;
+pub use network::{FaultEvent, WaveNetwork};
 pub use probe::{ProbeFlit, ProbeState};
 pub use stats::WaveStats;

@@ -81,6 +81,27 @@ use crate::lanes::LaneTable;
 use crate::probe::ProbeState;
 use crate::stats::WaveStats;
 
+/// A timed fault action applied to one wave lane (the composition root's
+/// view of a fault schedule; `wavesim-workloads` builds schedules and
+/// expands whole-link events into per-lane ones before scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Mark the lane faulty, tearing down its circuit if reserved.
+    Fail(LaneId),
+    /// Return a faulty lane to service.
+    Repair(LaneId),
+}
+
+impl FaultEvent {
+    /// The lane the action targets.
+    #[must_use]
+    pub fn lane(self) -> LaneId {
+        match self {
+            FaultEvent::Fail(l) | FaultEvent::Repair(l) => l,
+        }
+    }
+}
+
 /// The complete wave-switched network (Fig. 2 routers at every node):
 /// three plane engines composed over an event bus.
 pub struct WaveNetwork {
@@ -91,6 +112,7 @@ pub struct WaveNetwork {
     circ: CircuitPlane,
     ctrl_queue: EventQueue<CtrlEvent>,
     xfer_queue: EventQueue<TransferEvent>,
+    fault_queue: EventQueue<FaultEvent>,
     bus: EventBus,
     deliveries: Vec<Delivery>,
     msgs_sent: u64,
@@ -169,6 +191,11 @@ fn trace_event_of(ev: &PlaneEvent) -> Option<TraceEvent> {
         PlaneEvent::CircuitReleased { circuit } => {
             TraceEvent::CircuitReleased { circuit: circuit.0 }
         }
+        PlaneEvent::CircuitBroken { circuit, src, dest } => TraceEvent::CircuitBroken {
+            circuit: circuit.0,
+            src: src.0,
+            dest: dest.0,
+        },
         PlaneEvent::ReleaseCircuit { .. } => return None,
     })
 }
@@ -184,6 +211,7 @@ impl WaveNetwork {
             circ: CircuitPlane::new(topo.clone(), cfg),
             ctrl_queue: EventQueue::new(),
             xfer_queue: EventQueue::new(),
+            fault_queue: EventQueue::new(),
             bus: EventBus::new(),
             deliveries: Vec::new(),
             msgs_sent: 0,
@@ -322,10 +350,45 @@ impl WaveNetwork {
         self.ctrl_queue.len() + self.xfer_queue.len()
     }
 
+    /// Checks that `lane` exists under this network's topology and `k`.
+    fn validate_lane(&self, lane: LaneId) -> Result<(), String> {
+        if !self.topo.has_link(lane.link) {
+            return Err(format!(
+                "lane {lane}: link {} is not in the topology",
+                lane.link.0
+            ));
+        }
+        if lane.switch < 1 || lane.switch > self.cfg.k {
+            return Err(format!(
+                "lane {lane}: switch {} out of range 1..={}",
+                lane.switch, self.cfg.k
+            ));
+        }
+        Ok(())
+    }
+
     /// Marks the `switch`-lane of `link` faulty (static fault injection,
-    /// E8). Only the wave plane faults; see DESIGN.md.
-    pub fn inject_lane_fault(&mut self, lane: LaneId) {
-        self.ctrl.fault_lane(lane);
+    /// E8). Only the wave plane faults; see DESIGN.md. Fails when the lane
+    /// does not exist under this topology/`k` (a fault plan built for a
+    /// different network) or is currently reserved (static plans must be
+    /// applied before traffic; use [`WaveNetwork::schedule_fault`] for
+    /// mid-run teardown-then-fault semantics).
+    pub fn inject_lane_fault(&mut self, lane: LaneId) -> Result<(), String> {
+        self.validate_lane(lane)?;
+        self.ctrl.fault_lane(lane)
+    }
+
+    /// Schedules a dynamic fault action for cycle `at`: applied at the
+    /// start of [`WaveNetwork::tick`]`(at)`, before any control or
+    /// transfer event of that cycle. Validates the lane against the
+    /// topology and `k` up front. Pending fault events do not keep the
+    /// network [`WaveNetwork::busy`] — a drained network with only future
+    /// repairs outstanding is done — but [`WaveNetwork::next_activity`]
+    /// honours them so the idle fast-forward cannot skip a fault.
+    pub fn schedule_fault(&mut self, at: Cycle, ev: FaultEvent) -> Result<(), String> {
+        self.validate_lane(ev.lane())?;
+        self.fault_queue.schedule(at, ev);
+        Ok(())
     }
 
     /// Drains deliveries completed since the last call (both transports).
@@ -376,10 +439,14 @@ impl WaveNetwork {
         if self.data.busy() {
             return Some(now + 1);
         }
-        let next = match (self.ctrl_queue.next_time(), self.xfer_queue.next_time()) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
+        let next = [
+            self.ctrl_queue.next_time(),
+            self.xfer_queue.next_time(),
+            self.fault_queue.next_time(),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
         next.map(|t| t.max(now + 1))
     }
 
@@ -398,6 +465,18 @@ impl WaveNetwork {
     /// state-identical to ticking through them.
     pub fn tick(&mut self, now: Cycle) {
         let traced = self.trace.armed();
+        // Fault events apply first: a lane failing at cycle T is faulty
+        // before any probe, ack, or transfer of cycle T runs, regardless
+        // of how the caller drives the loop — the deterministic order the
+        // jobs-invariance golden relies on.
+        while let Some(ev) = self.fault_queue.pop_due(now) {
+            match ev.event {
+                FaultEvent::Fail(lane) => self.ctrl.on_lane_fault(now, &mut self.ctrl_queue, lane),
+                FaultEvent::Repair(lane) => self.ctrl.on_lane_repair(now, lane),
+            }
+            self.ctrl.drain_outbox_into(&mut self.bus);
+            self.route(now);
+        }
         if self.data.busy() {
             if traced {
                 self.trace.emit(
@@ -526,6 +605,10 @@ impl WaveNetwork {
                 PlaneEvent::CircuitReleased { circuit } => {
                     // Teardown (or probe unwind) finished; the id retires.
                     self.circ.on_circuit_freed(circuit);
+                }
+                PlaneEvent::CircuitBroken { circuit, src, dest } => {
+                    self.circ
+                        .on_circuit_broken(now, &mut self.xfer_queue, circuit, src, dest);
                 }
             }
             self.ctrl.drain_outbox_into(&mut self.bus);

@@ -162,7 +162,8 @@ mod tests {
     fn lane_map_marks_faults() {
         let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), WaveConfig::default());
         let link = net.topology().links().next().unwrap();
-        net.inject_lane_fault(LaneId::new(link, 1));
+        net.inject_lane_fault(LaneId::new(link, 1))
+            .expect("fault a known-good lane");
         let s = body(&render_lane_map(&net, 1));
         assert_eq!(s.matches('x').count(), 1, "{s}");
         let s2 = body(&render_lane_map(&net, 2));

@@ -28,7 +28,11 @@ pub struct WaveStats {
     pub probes_reached: u64,
     /// Probes that exhausted their switch's search space.
     pub probes_exhausted: u64,
-    /// Probes rejected by faulty lanes at least once (fault encounters).
+    /// Faulty-lane rejections seen by probes, counted **per encounter**:
+    /// every time any probe scans a lane and finds it `Faulty` this
+    /// increments, so one probe bouncing off the same faulty lane across
+    /// `n` retries contributes `n` (it is a rejection count, not a count
+    /// of distinct probes or distinct lanes).
     pub probe_fault_encounters: u64,
 
     /// Establishment attempts that eventually succeeded (any switch).
@@ -51,6 +55,16 @@ pub struct WaveStats {
     /// End-point buffer re-allocations (CLRP circuits hit by a message
     /// longer than the allocated buffer, §2).
     pub buffer_reallocs: u64,
+
+    /// Lanes marked faulty (static injections plus dynamic fail events).
+    pub lane_faults: u64,
+    /// Faulty lanes returned to service (dynamic repair events).
+    pub lane_repairs: u64,
+    /// Circuits destroyed because a dynamic fault hit a reserved lane.
+    pub circuits_broken: u64,
+    /// Re-establishment attempts launched after a dynamic fault broke a
+    /// circuit (bounded by `WaveConfig::fault_retries`).
+    pub establish_retries: u64,
 }
 
 impl WaveStats {
@@ -79,6 +93,10 @@ impl WaveStats {
             teardowns,
             wormhole_fallbacks,
             buffer_reallocs,
+            lane_faults,
+            lane_repairs,
+            circuits_broken,
+            establish_retries,
         } = other;
         self.msgs_sent += msgs_sent;
         self.msgs_circuit += msgs_circuit;
@@ -101,6 +119,10 @@ impl WaveStats {
         self.teardowns += teardowns;
         self.wormhole_fallbacks += wormhole_fallbacks;
         self.buffer_reallocs += buffer_reallocs;
+        self.lane_faults += lane_faults;
+        self.lane_repairs += lane_repairs;
+        self.circuits_broken += circuits_broken;
+        self.establish_retries += establish_retries;
     }
 
     /// Circuit-cache hit rate over sends that consulted the cache.

@@ -153,7 +153,8 @@ fn carp_failed_establishment_marks_entry_and_falls_back() {
     let topo = net.topology().clone();
     for link in topo.links() {
         for s in 1..=net.config().k {
-            net.inject_lane_fault(LaneId::new(link, s));
+            net.inject_lane_fault(LaneId::new(link, s))
+                .expect("fault plan matches topology");
         }
     }
     let src = NodeId(0);
@@ -180,7 +181,8 @@ fn clrp_falls_back_to_wormhole_when_wave_plane_dead() {
     let topo = net.topology().clone();
     for link in topo.links() {
         for s in 1..=net.config().k {
-            net.inject_lane_fault(LaneId::new(link, s));
+            net.inject_lane_fault(LaneId::new(link, s))
+                .expect("fault plan matches topology");
         }
     }
     let src = node(&net, &[0, 0]);
@@ -476,6 +478,103 @@ fn carp_never_reallocates() {
     assert_eq!(net.stats().buffer_reallocs, 0);
     assert_eq!(net.cache(src).get(dest).unwrap().alloc_flits, None);
     assert_eq!(net.drain_deliveries().len(), 1);
+}
+
+/// `probe_fault_encounters` counts *rejections*, not distinct faulty
+/// lanes: two establishment attempts bouncing off the same faulty lanes
+/// must double the counter (the semantics pinned in `WaveStats`).
+#[test]
+fn fault_encounters_count_per_encounter_not_per_lane() {
+    let c = WaveConfig {
+        k: 2,
+        misroutes: 0,
+        ..cfg(ProtocolKind::Clrp)
+    };
+    let mut net = mesh(&[2], c);
+    let topo = net.topology().clone();
+    let link = topo.links().next().expect("one link in a 2-node mesh");
+    for s in 1..=2 {
+        net.inject_lane_fault(LaneId::new(link, s))
+            .expect("fault a known-good lane");
+    }
+    let src = NodeId(0);
+    let dest = NodeId(1);
+    net.send(0, Message::new(1, src, dest, 8, 0));
+    let t = run(&mut net, 0, 20_000);
+    // The establishment attempt scanned both faulty lanes at least once
+    // (CLRP's phases may re-scan them; each scan counts).
+    let first = net.stats().probe_fault_encounters;
+    assert!(first >= 2, "both lanes rejected at least once: {first}");
+    // CLRP forgot the failed attempt, so the next send probes again and
+    // rejects the *same two lanes* all over: the counter doubles even
+    // though no new faulty lane exists.
+    assert!(net.cache(src).get(dest).is_none());
+    net.send(t, Message::new(2, src, dest, 8, t));
+    run(&mut net, t, t + 20_000);
+    assert_eq!(
+        net.stats().probe_fault_encounters,
+        2 * first,
+        "same lanes re-scanned must count again (per encounter)"
+    );
+    assert_eq!(
+        net.drain_deliveries().len(),
+        2,
+        "wormhole fallback delivers"
+    );
+}
+
+/// A dynamic fault landing on a lane of an *active*, streaming circuit
+/// tears the circuit down mid-transfer — and every in-flight and queued
+/// message is still delivered (retry, then wormhole degradation; the
+/// wormhole plane is unaffected by wave-lane faults).
+#[test]
+fn mid_run_fault_on_active_circuit_delivers_all_in_flight() {
+    use wavesim_core::FaultEvent;
+
+    let mut net = mesh(&[6], cfg(ProtocolKind::Clrp));
+    let topo = net.topology().clone();
+    let src = NodeId(0);
+    let dest = NodeId(5);
+    // Three long messages: the circuit streams for thousands of cycles
+    // after the ack returns, so a fault shortly after Ready is
+    // guaranteed to hit a live, in-use circuit.
+    for i in 0..3 {
+        net.send(0, Message::new(i, src, dest, 1024, 0));
+    }
+    let mut now = 0;
+    loop {
+        net.tick(now);
+        now += 1;
+        if net.cache(src).get(dest).is_some_and(|e| e.ack_returned) {
+            break;
+        }
+        assert!(now < 10_000, "circuit should be Ready by now");
+    }
+    // The 1D path 0 -> 5 crosses the link 2 -> 3; fault every one of its
+    // lanes so the retry cannot route around it either.
+    let mid = topo
+        .links()
+        .find(|&l| topo.link_endpoints(l).0 == NodeId(2) && topo.link_dest(l) == NodeId(3))
+        .expect("mid-path link");
+    for s in 1..=net.config().k {
+        net.schedule_fault(now + 5, FaultEvent::Fail(LaneId::new(mid, s)))
+            .expect("lane exists");
+    }
+    run(&mut net, now, now + 200_000);
+    assert!(!net.busy(), "network must drain after the mid-run fault");
+    let ds = net.drain_deliveries();
+    assert_eq!(ds.len(), 3, "every in-flight message is delivered");
+    let s = net.stats();
+    assert!(
+        s.circuits_broken >= 1,
+        "the streaming circuit was torn down"
+    );
+    assert_eq!(s.lane_faults, u64::from(net.config().k));
+    assert!(
+        s.establish_retries >= 1,
+        "CLRP retried before degrading: {s:?}"
+    );
+    assert!(net.audit().is_empty(), "{:?}", net.audit());
 }
 
 /// With a slow control plane, the ack's per-hop progression is

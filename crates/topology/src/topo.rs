@@ -268,10 +268,12 @@ impl Topology {
     }
 
     /// True when the (node, port) slot behind `link` has a physical link.
+    /// Total over all link ids: out-of-range ids (from a fault plan built
+    /// for a bigger network, say) are simply `false`, not a panic.
     #[must_use]
     pub fn has_link(&self, link: LinkId) -> bool {
         let (node, port) = self.link_endpoints(link);
-        self.neighbor(node, port).is_some()
+        node.0 < self.nodes && self.neighbor(node, port).is_some()
     }
 
     /// Destination node of `link`.

@@ -253,6 +253,40 @@ pub enum TraceEvent {
         /// End-to-end latency in cycles.
         latency: u64,
     },
+    /// A wave lane became faulty (static injection or dynamic fail event).
+    LaneFault {
+        /// The lane's physical link.
+        link: u32,
+        /// The lane's wave switch (1-based).
+        switch: u8,
+    },
+    /// A faulty wave lane returned to service (dynamic repair event).
+    LaneRepair {
+        /// The lane's physical link.
+        link: u32,
+        /// The lane's wave switch (1-based).
+        switch: u8,
+    },
+    /// A dynamic fault destroyed a circuit; its teardown started.
+    CircuitBroken {
+        /// The destroyed circuit.
+        circuit: u64,
+        /// The circuit's source node.
+        src: u32,
+        /// The circuit's destination node.
+        dest: u32,
+    },
+    /// A post-fault re-establishment attempt launched (backoff expired).
+    EstablishRetry {
+        /// The fresh circuit id of the retry attempt.
+        circuit: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dest: u32,
+        /// Which retry this is (1-based, bounded by the retry budget).
+        attempt: u8,
+    },
 }
 
 impl TraceEvent {
@@ -278,6 +312,10 @@ impl TraceEvent {
             TraceEvent::WormholeInject { .. } => "wormhole_inject",
             TraceEvent::WormholeDeliver { .. } => "wormhole_deliver",
             TraceEvent::CircuitDeliver { .. } => "circuit_deliver",
+            TraceEvent::LaneFault { .. } => "lane_fault",
+            TraceEvent::LaneRepair { .. } => "lane_repair",
+            TraceEvent::CircuitBroken { .. } => "circuit_broken",
+            TraceEvent::EstablishRetry { .. } => "establish_retry",
         }
     }
 }

@@ -268,6 +268,44 @@ fn shape_of(ev: &TraceEvent) -> Shape {
                 ("circuit", circuit.into()),
             ],
         ),
+        TraceEvent::LaneFault { link, switch } => Shape::Instant(
+            PlaneId::Control.pid(),
+            n(link),
+            format!("lane fault s{switch}"),
+            vec![
+                ("link", n(link).into()),
+                ("switch", u64::from(switch).into()),
+            ],
+        ),
+        TraceEvent::LaneRepair { link, switch } => Shape::Instant(
+            PlaneId::Control.pid(),
+            n(link),
+            format!("lane repair s{switch}"),
+            vec![
+                ("link", n(link).into()),
+                ("switch", u64::from(switch).into()),
+            ],
+        ),
+        TraceEvent::CircuitBroken { circuit, src, dest } => Shape::Instant(
+            PlaneId::Circuit.pid(),
+            n(src),
+            format!("broken c{circuit}"),
+            vec![("dest", n(dest).into())],
+        ),
+        TraceEvent::EstablishRetry {
+            circuit,
+            src,
+            dest,
+            attempt,
+        } => Shape::Instant(
+            PlaneId::Circuit.pid(),
+            n(src),
+            format!("retry c{circuit}"),
+            vec![
+                ("dest", n(dest).into()),
+                ("attempt", u64::from(attempt).into()),
+            ],
+        ),
     }
 }
 

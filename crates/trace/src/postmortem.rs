@@ -192,6 +192,26 @@ pub fn record_to_json(rec: &TraceRecord) -> Value {
             pairs.push(("dest", dest.into()));
             pairs.push(("latency", latency.into()));
         }
+        TraceEvent::LaneFault { link, switch } | TraceEvent::LaneRepair { link, switch } => {
+            pairs.push(("link", link.into()));
+            pairs.push(("switch", u64::from(switch).into()));
+        }
+        TraceEvent::CircuitBroken { circuit, src, dest } => {
+            pairs.push(("circuit", circuit.into()));
+            pairs.push(("src", src.into()));
+            pairs.push(("dest", dest.into()));
+        }
+        TraceEvent::EstablishRetry {
+            circuit,
+            src,
+            dest,
+            attempt,
+        } => {
+            pairs.push(("circuit", circuit.into()));
+            pairs.push(("src", src.into()));
+            pairs.push(("dest", dest.into()));
+            pairs.push(("attempt", u64::from(attempt).into()));
+        }
     }
     Value::obj(pairs)
 }
@@ -393,6 +413,19 @@ mod tests {
                 src: 0,
                 dest: 1,
                 latency: 9,
+            },
+            TraceEvent::LaneFault { link: 3, switch: 1 },
+            TraceEvent::LaneRepair { link: 3, switch: 1 },
+            TraceEvent::CircuitBroken {
+                circuit: 1,
+                src: 0,
+                dest: 1,
+            },
+            TraceEvent::EstablishRetry {
+                circuit: 2,
+                src: 0,
+                dest: 1,
+                attempt: 1,
             },
         ];
         for (i, ev) in evs.iter().enumerate() {

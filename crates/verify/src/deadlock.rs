@@ -237,4 +237,76 @@ mod tests {
         assert!(c.contains(&(1, 0)));
         assert!(c.contains(&(4, 0)));
     }
+
+    /// Theorems 1–4 must survive the dynamic fault model: a CLRP run
+    /// under continuous lane fail/repair churn stays deadlock-free (no
+    /// wait cycle, no stall), audits clean at every sample, and still
+    /// delivers every message.
+    #[test]
+    fn clrp_stays_deadlock_free_under_fault_churn() {
+        use wavesim_core::{FaultEvent, LaneId, ProtocolKind, WaveConfig};
+        use wavesim_network::Message;
+        use wavesim_topology::{NodeId, Topology};
+
+        let topo = Topology::mesh(&[5, 5]);
+        let mut net = WaveNetwork::new(
+            topo.clone(),
+            WaveConfig {
+                protocol: ProtocolKind::Clrp,
+                misroutes: 3,
+                cache_capacity: 3,
+                ..WaveConfig::default()
+            },
+        );
+        // Deterministic churn: every valid link fails and repairs on its
+        // own staggered period while traffic flows.
+        let links: Vec<_> = topo.links().collect();
+        for (i, &link) in links.iter().enumerate() {
+            let phase = 200 + (i as u64 * 97) % 1_500;
+            for s in 1..=net.config().k {
+                let lane = LaneId::new(link, s);
+                net.schedule_fault(phase, FaultEvent::Fail(lane)).unwrap();
+                net.schedule_fault(phase + 400, FaultEvent::Repair(lane))
+                    .unwrap();
+                net.schedule_fault(phase + 1_100, FaultEvent::Fail(lane))
+                    .unwrap();
+                net.schedule_fault(phase + 1_600, FaultEvent::Repair(lane))
+                    .unwrap();
+            }
+        }
+        let mut id = 0;
+        let mut sent = 0u64;
+        for round in 0..12u32 {
+            for a in 0..25u32 {
+                let b = (a + 3 + round) % 25;
+                net.send(
+                    u64::from(round) * 150,
+                    Message::new(id, NodeId(a), NodeId(b), 48, u64::from(round) * 150),
+                );
+                id += 1;
+                sent += 1;
+            }
+        }
+        let mut now = 0;
+        let mut delivered = 0u64;
+        while net.busy() && now < 1_000_000 {
+            net.tick(now);
+            delivered += net.drain_deliveries().len() as u64;
+            if now % 64 == 0 {
+                let rep = check_wave(&net, now, 20_000);
+                assert!(
+                    !rep.deadlocked,
+                    "deadlock under fault churn at {now}: {rep:?}"
+                );
+                assert!(rep.wait_cycle.is_none(), "wait cycle at {now}");
+            }
+            now += 1;
+        }
+        assert!(!net.busy(), "network failed to drain under churn");
+        delivered += net.drain_deliveries().len() as u64;
+        assert_eq!(delivered, sent, "messages lost under fault churn");
+        assert!(net.audit().is_empty(), "{:?}", net.audit());
+        let s = net.stats();
+        assert!(s.lane_faults > 0 && s.lane_repairs > 0);
+    }
 }

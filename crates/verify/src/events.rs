@@ -34,6 +34,10 @@ pub struct CircuitLedger {
     pub injected_wormhole: u64,
     /// Forced-release demands observed (`VictimRelease`).
     pub victim_releases: u64,
+    /// Circuits destroyed by dynamic faults (`CircuitBroken`). The
+    /// teardown they trigger still ends in `CircuitReleased`, so liveness
+    /// tracking is unaffected; this only counts the breakage.
+    pub broken: u64,
 }
 
 impl CircuitLedger {
@@ -72,6 +76,7 @@ impl CircuitLedger {
                 }
                 PlaneEvent::InjectWormhole(_) => self.injected_wormhole += 1,
                 PlaneEvent::VictimRelease { .. } => self.victim_releases += 1,
+                PlaneEvent::CircuitBroken { .. } => self.broken += 1,
                 PlaneEvent::ProbeExhausted { .. } | PlaneEvent::ReleaseCircuit { .. } => {}
             }
         }

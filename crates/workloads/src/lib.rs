@@ -17,7 +17,7 @@
 //!   like the phased communication of stencil and pairwise-exchange
 //!   kernels (the "compiler" of §3.2, modelled as a trace generator);
 //! * [`faults`] — static lane-fault plans for the E8 resilience
-//!   experiment.
+//!   experiment and timed dynamic fail/repair schedules for E14.
 
 #![warn(missing_docs)]
 
@@ -29,7 +29,7 @@ pub mod trace_io;
 pub mod traffic;
 
 pub use carp::{CarpOp, CarpTrace, PairwiseSpec};
-pub use faults::FaultPlan;
+pub use faults::{FaultPlan, FaultSchedule, FaultScheduleEvent};
 pub use patterns::TrafficPattern;
 pub use reqrep::{ReqRepConfig, ReqRepWorkload};
 pub use traffic::{LengthDist, TrafficConfig, TrafficSource};

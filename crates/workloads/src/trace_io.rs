@@ -13,7 +13,7 @@ use wavesim_topology::NodeId;
 use wavesim_topology::LinkId;
 
 use crate::carp::{CarpOp, CarpTrace};
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, FaultSchedule, FaultScheduleEvent};
 
 const VERSION: u64 = 1;
 
@@ -230,6 +230,86 @@ pub fn load_fault_plan<R: Read>(mut reader: R) -> Result<FaultPlan, String> {
     Ok(FaultPlan { lanes })
 }
 
+fn schedule_event_to_json(ev: &FaultScheduleEvent) -> Value {
+    let (op, link, switch) = match *ev {
+        FaultScheduleEvent::FailLane(l, s) => ("fail", l, Some(s)),
+        FaultScheduleEvent::RepairLane(l, s) => ("repair", l, Some(s)),
+        FaultScheduleEvent::FailLink(l) => ("fail", l, None),
+        FaultScheduleEvent::RepairLink(l) => ("repair", l, None),
+    };
+    let mut pairs: Vec<(&str, Value)> = vec![("op", op.into()), ("link", u64::from(link.0).into())];
+    if let Some(s) = switch {
+        pairs.push(("switch", u64::from(s).into()));
+    }
+    Value::obj(pairs)
+}
+
+fn schedule_event_from_json(v: &Value) -> Result<FaultScheduleEvent, String> {
+    let link = LinkId(v["link"].as_u64().ok_or("fault event missing link")? as u32);
+    let switch = match &v["switch"] {
+        Value::Null => None,
+        s => Some(
+            s.as_u64()
+                .filter(|&s| (1..=u64::from(u8::MAX)).contains(&s))
+                .ok_or("fault event switch must be in 1..=255")? as u8,
+        ),
+    };
+    match (v["op"].as_str(), switch) {
+        (Some("fail"), Some(s)) => Ok(FaultScheduleEvent::FailLane(link, s)),
+        (Some("repair"), Some(s)) => Ok(FaultScheduleEvent::RepairLane(link, s)),
+        (Some("fail"), None) => Ok(FaultScheduleEvent::FailLink(link)),
+        (Some("repair"), None) => Ok(FaultScheduleEvent::RepairLink(link)),
+        (other, _) => Err(format!("unknown fault op {other:?}")),
+    }
+}
+
+/// Serializes a dynamic fault schedule as pretty JSON
+/// (`{"version": 1, "events": [[cycle, {"op", "link", "switch"?}], ...]}`;
+/// no `"switch"` key means the whole link).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_fault_schedule<W: Write>(
+    schedule: &FaultSchedule,
+    mut writer: W,
+) -> std::io::Result<()> {
+    let file = Value::obj(vec![
+        ("version", VERSION.into()),
+        (
+            "events",
+            timed_to_json(&schedule.events, schedule_event_to_json),
+        ),
+    ]);
+    writer.write_all(file.pretty().as_bytes())
+}
+
+/// Deserializes a fault schedule saved by [`save_fault_schedule`].
+///
+/// # Errors
+/// Fails on malformed JSON, an unknown version, a bad event, or a
+/// time-unsorted schedule. Topology fit is checked separately with
+/// [`FaultSchedule::validate`] (the file does not name its topology).
+pub fn load_fault_schedule<R: Read>(mut reader: R) -> Result<FaultSchedule, String> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| format!("read failed: {e}"))?;
+    let v = Value::parse(&text).map_err(|e| format!("malformed fault schedule: {e}"))?;
+    let version = v["version"]
+        .as_u64()
+        .ok_or("malformed fault schedule: no version")?;
+    if version != VERSION {
+        return Err(format!(
+            "unsupported fault schedule version {version} (expected {VERSION})"
+        ));
+    }
+    let events = timed_from_json(&v["events"], "fault event", schedule_event_from_json)?;
+    if !events.windows(2).all(|w| w[0].0 <= w[1].0) {
+        return Err("fault schedule is not time-sorted".into());
+    }
+    Ok(FaultSchedule { events })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +402,55 @@ mod tests {
         let mut second = Vec::new();
         save_fault_plan(&load_fault_plan(first.as_slice()).unwrap(), &mut second).unwrap();
         assert_eq!(first, second);
+
+        let sched = FaultSchedule::random_mtbf(&topo, 800, 200, 5_000, 9);
+        assert!(!sched.is_empty());
+        let mut first = Vec::new();
+        save_fault_schedule(&sched, &mut first).unwrap();
+        let mut second = Vec::new();
+        save_fault_schedule(&load_fault_schedule(first.as_slice()).unwrap(), &mut second).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn fault_schedule_roundtrip_covers_all_variants() {
+        let link = LinkId(4);
+        let sched = FaultSchedule {
+            events: vec![
+                (1, FaultScheduleEvent::FailLane(link, 2)),
+                (3, FaultScheduleEvent::FailLink(LinkId(9))),
+                (7, FaultScheduleEvent::RepairLane(link, 2)),
+                (9, FaultScheduleEvent::RepairLink(LinkId(9))),
+            ],
+        };
+        let mut buf = Vec::new();
+        save_fault_schedule(&sched, &mut buf).unwrap();
+        let loaded = load_fault_schedule(buf.as_slice()).unwrap();
+        assert_eq!(loaded, sched);
+    }
+
+    #[test]
+    fn malformed_fault_schedules_rejected_not_panicking() {
+        assert!(load_fault_schedule(&b"not json"[..]).is_err());
+        assert!(load_fault_schedule(&b"{}"[..]).is_err());
+        let bad_version = r#"{"version": 9, "events": []}"#;
+        assert!(load_fault_schedule(bad_version.as_bytes())
+            .unwrap_err()
+            .contains("version"));
+        let bad_op = r#"{"version": 1, "events": [[0, {"op": "explode", "link": 1}]]}"#;
+        assert!(load_fault_schedule(bad_op.as_bytes())
+            .unwrap_err()
+            .contains("unknown fault op"));
+        let zero_switch =
+            r#"{"version": 1, "events": [[0, {"op": "fail", "link": 1, "switch": 0}]]}"#;
+        assert!(load_fault_schedule(zero_switch.as_bytes()).is_err());
+        let unsorted = concat!(
+            r#"{"version": 1, "events": [[9, {"op": "fail", "link": 1}],"#,
+            r#" [2, {"op": "repair", "link": 1}]]}"#
+        );
+        assert!(load_fault_schedule(unsorted.as_bytes())
+            .unwrap_err()
+            .contains("sorted"));
     }
 
     #[test]

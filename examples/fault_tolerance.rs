@@ -25,7 +25,8 @@ fn run(fault_rate: f64) -> (usize, usize, usize, f64) {
     let mut net = WaveNetwork::new(topo.clone(), cfg);
     let plan = FaultPlan::random_lanes(&topo, cfg.k, fault_rate, 1234);
     for &(link, s) in &plan.lanes {
-        net.inject_lane_fault(LaneId::new(link, s));
+        net.inject_lane_fault(LaneId::new(link, s))
+            .expect("fault plan matches topology");
     }
 
     let mut src = TrafficSource::new(

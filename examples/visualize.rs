@@ -18,7 +18,8 @@ fn main() {
     let victim = topo.node(Coords::new(&[3, 3]));
     let port = wavesim::topology::PortDir::new(0, wavesim::topology::Dir::Plus);
     for s in 1..=net.config().k {
-        net.inject_lane_fault(LaneId::new(topo.link_id(victim, port), s));
+        net.inject_lane_fault(LaneId::new(topo.link_id(victim, port), s))
+            .expect("fault a known-good lane");
     }
 
     // A handful of circuits, including one that must dodge the fault.

@@ -181,7 +181,8 @@ fn dead_wave_plane_degrades_to_pure_wormhole() {
     let mut net = WaveNetwork::new(topo.clone(), cfg);
     for link in topo.links() {
         for s in 1..=cfg.k {
-            net.inject_lane_fault(LaneId::new(link, s));
+            net.inject_lane_fault(LaneId::new(link, s))
+                .expect("fault plan matches topology");
         }
     }
     let mut id = 0;
