@@ -1,0 +1,184 @@
+//! Fault impact windows.
+//!
+//! For every [`TraceEvent::LaneFault`] the analyzer measures delivery
+//! throughput and latency in three windows: *before* the fault, *during*
+//! it (until the matching [`TraceEvent::LaneRepair`], or the end of the
+//! trace for permanent faults), and *after* the repair. The before/after
+//! windows mirror the outage's own length, so the three numbers are
+//! directly comparable rates.
+
+use wavesim_sim::Cycle;
+use wavesim_trace::{TraceEvent, TraceRecord};
+
+use crate::spans::MessageSpan;
+
+/// Delivery statistics over one half-open window `[from, to)`.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseStats {
+    /// Window start (inclusive).
+    pub from: Cycle,
+    /// Window end (exclusive).
+    pub to: Cycle,
+    /// Messages delivered inside the window.
+    pub delivered: u64,
+    /// Mean end-to-end latency of those deliveries.
+    pub mean_latency: f64,
+}
+
+/// One lane fault's before/during/after comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultImpact {
+    /// Faulted lane's physical link.
+    pub link: u32,
+    /// Faulted lane's wave switch (1-based).
+    pub switch: u8,
+    /// Cycle the lane failed.
+    pub fault_at: Cycle,
+    /// Cycle the lane was repaired; `None` for permanent faults.
+    pub repair_at: Option<Cycle>,
+    /// The outage-length window ending at the fault.
+    pub before: PhaseStats,
+    /// The outage itself.
+    pub during: PhaseStats,
+    /// The outage-length window starting at the repair (absent for
+    /// permanent faults).
+    pub after: Option<PhaseStats>,
+}
+
+fn phase(deliveries: &[(Cycle, u64)], from: Cycle, to: Cycle) -> PhaseStats {
+    let lo = deliveries.partition_point(|&(at, _)| at < from);
+    let hi = deliveries.partition_point(|&(at, _)| at < to);
+    let window = &deliveries[lo..hi];
+    let delivered = window.len() as u64;
+    let mean_latency = if window.is_empty() {
+        0.0
+    } else {
+        window.iter().map(|&(_, l)| l as f64).sum::<f64>() / delivered as f64
+    };
+    PhaseStats {
+        from,
+        to,
+        delivered,
+        mean_latency,
+    }
+}
+
+/// Builds one [`FaultImpact`] per lane fault in the trace. `spans` are the
+/// reconstructed deliveries (already in delivery order).
+#[must_use]
+pub fn impact(records: &[TraceRecord], spans: &[MessageSpan]) -> Vec<FaultImpact> {
+    let horizon = records.last().map_or(0, |r| r.at);
+    let deliveries: Vec<(Cycle, u64)> = spans.iter().map(|s| (s.delivered, s.latency())).collect();
+    debug_assert!(deliveries.windows(2).all(|w| w[0].0 <= w[1].0));
+
+    let mut out = Vec::new();
+    for (i, rec) in records.iter().enumerate() {
+        let TraceEvent::LaneFault { link, switch } = rec.ev else {
+            continue;
+        };
+        let repair_at = records[i + 1..].iter().find_map(|r| match r.ev {
+            TraceEvent::LaneRepair {
+                link: l, switch: s, ..
+            } if l == link && s == switch => Some(r.at),
+            _ => None,
+        });
+        // Exclusive bound that still covers deliveries at the last cycle.
+        let end = horizon + 1;
+        let during_end = repair_at.unwrap_or(end);
+        let dur = during_end.saturating_sub(rec.at).max(1);
+        out.push(FaultImpact {
+            link,
+            switch,
+            fault_at: rec.at,
+            repair_at,
+            before: phase(&deliveries, rec.at.saturating_sub(dur), rec.at),
+            during: phase(&deliveries, rec.at, during_end),
+            after: repair_at.map(|r| phase(&deliveries, r, r.saturating_add(dur).min(end))),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans::reconstruct;
+
+    fn rec(at: Cycle, seq: u64, ev: TraceEvent) -> TraceRecord {
+        TraceRecord { at, seq, ev }
+    }
+
+    fn deliver(at: Cycle, seq: u64, msg: u64, latency: u64) -> TraceRecord {
+        rec(
+            at,
+            seq,
+            TraceEvent::WormholeDeliver {
+                msg,
+                src: 0,
+                dest: 1,
+                latency,
+            },
+        )
+    }
+
+    #[test]
+    fn windows_mirror_the_outage_length() {
+        let recs = vec![
+            deliver(5, 0, 1, 5),
+            deliver(8, 1, 2, 6),
+            rec(10, 2, TraceEvent::LaneFault { link: 3, switch: 1 }),
+            deliver(15, 3, 3, 12),
+            rec(20, 4, TraceEvent::LaneRepair { link: 3, switch: 1 }),
+            deliver(25, 5, 4, 7),
+            deliver(40, 6, 5, 7),
+        ];
+        let set = reconstruct(&recs);
+        let faults = impact(&recs, &set.spans);
+        assert_eq!(faults.len(), 1);
+        let f = &faults[0];
+        assert_eq!((f.link, f.switch), (3, 1));
+        assert_eq!(f.fault_at, 10);
+        assert_eq!(f.repair_at, Some(20));
+        // Outage is 10 cycles, so before = [0, 10), after = [20, 30).
+        assert_eq!((f.before.from, f.before.to), (0, 10));
+        assert_eq!(f.before.delivered, 2);
+        assert!((f.before.mean_latency - 5.5).abs() < 1e-12);
+        assert_eq!(f.during.delivered, 1);
+        assert!((f.during.mean_latency - 12.0).abs() < 1e-12);
+        let after = f.after.unwrap();
+        assert_eq!((after.from, after.to), (20, 30));
+        assert_eq!(after.delivered, 1);
+    }
+
+    #[test]
+    fn permanent_fault_has_no_after_window() {
+        let recs = vec![
+            deliver(5, 0, 1, 5),
+            rec(10, 1, TraceEvent::LaneFault { link: 0, switch: 2 }),
+            deliver(30, 2, 2, 25),
+        ];
+        let set = reconstruct(&recs);
+        let faults = impact(&recs, &set.spans);
+        let f = &faults[0];
+        assert!(f.repair_at.is_none());
+        assert!(f.after.is_none());
+        // During runs to the trace horizon (inclusive of the last cycle).
+        assert_eq!((f.during.from, f.during.to), (10, 31));
+        assert_eq!(f.during.delivered, 1);
+    }
+
+    #[test]
+    fn repeated_faults_each_get_a_window() {
+        let recs = vec![
+            rec(10, 0, TraceEvent::LaneFault { link: 1, switch: 1 }),
+            rec(20, 1, TraceEvent::LaneRepair { link: 1, switch: 1 }),
+            rec(50, 2, TraceEvent::LaneFault { link: 1, switch: 1 }),
+            rec(55, 3, TraceEvent::LaneRepair { link: 1, switch: 1 }),
+        ];
+        let set = reconstruct(&recs);
+        let faults = impact(&recs, &set.spans);
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].repair_at, Some(20));
+        assert_eq!(faults[1].repair_at, Some(55));
+    }
+}

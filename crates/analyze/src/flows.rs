@@ -1,0 +1,278 @@
+//! Per-flow circuit-cache attribution.
+//!
+//! A *flow* is a `(source, destination)` pair — the granularity the
+//! circuit cache operates at. For each flow this module gathers what the
+//! cache did to it (hits, misses, evictions it suffered), what its forced
+//! establishments cost others (parks, victim-chain depth), what dynamic
+//! faults cost it (retry wait), and how its deliveries broke down across
+//! transports.
+
+use std::collections::{BTreeMap, HashMap};
+
+use wavesim_sim::Cycle;
+use wavesim_trace::{TraceEvent, TraceRecord};
+
+use crate::spans::{SpanMode, SpanSet};
+
+/// Cache and latency attribution for one `(src, dest)` flow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowStats {
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dest: u32,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Deliveries over circuits.
+    pub circuit_msgs: u64,
+    /// Deliveries that fell back to wormhole under a circuit protocol.
+    pub fallback_msgs: u64,
+    /// Deliveries by wormhole under a wormhole-only protocol.
+    pub wormhole_msgs: u64,
+    /// Flits delivered.
+    pub flits: u64,
+    /// Sum of end-to-end latencies (cycles).
+    pub latency_sum: u64,
+    /// Sum of setup segments.
+    pub setup_sum: u64,
+    /// Sum of queue segments.
+    pub queue_sum: u64,
+    /// Sum of transit segments.
+    pub transit_sum: u64,
+    /// Circuit-cache hits at the source for this destination.
+    pub cache_hits: u64,
+    /// Circuit-cache misses.
+    pub cache_misses: u64,
+    /// Times this flow's cached circuit was evicted to make room.
+    pub evictions_suffered: u64,
+    /// Probe launches with the Force bit set.
+    pub force_launches: u64,
+    /// Force-mode parks across this flow's setups.
+    pub parks: u64,
+    /// Deepest victim chain one forced establishment walked.
+    pub victim_chain: u32,
+    /// Post-fault re-establishment attempts.
+    pub retries: u64,
+    /// Cycles between circuit breakage and the retry launch (RetryWait).
+    pub retry_wait: u64,
+}
+
+impl FlowStats {
+    /// Cache hit rate over this flow's lookups.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean end-to-end latency of this flow's deliveries.
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.delivered as f64
+        }
+    }
+}
+
+fn flow(flows: &mut BTreeMap<(u32, u32), FlowStats>, src: u32, dest: u32) -> &mut FlowStats {
+    let e = flows.entry((src, dest)).or_default();
+    e.src = src;
+    e.dest = dest;
+    e
+}
+
+/// Attributes cache behaviour and delivery latency to flows. Returns the
+/// flows sorted by traffic (deliveries, then lookups) descending, with the
+/// `(src, dest)` key breaking ties so the order is deterministic.
+#[must_use]
+pub fn attribute(records: &[TraceRecord], set: &SpanSet) -> Vec<FlowStats> {
+    let mut flows: BTreeMap<(u32, u32), FlowStats> = BTreeMap::new();
+    // Delivery sums from the reconstructed spans.
+    for s in &set.spans {
+        let e = flow(&mut flows, s.src, s.dest);
+        e.delivered += 1;
+        match s.mode {
+            SpanMode::Circuit => e.circuit_msgs += 1,
+            SpanMode::Fallback => e.fallback_msgs += 1,
+            SpanMode::Wormhole => e.wormhole_msgs += 1,
+        }
+        e.flits += u64::from(s.len_flits);
+        e.latency_sum += s.latency();
+        e.setup_sum += s.setup;
+        e.queue_sum += s.queue;
+        e.transit_sum += s.transit;
+    }
+    // Setup-side costs from the circuit lifecycles.
+    for log in set.circuits.values() {
+        let e = flow(&mut flows, log.src, log.dest);
+        e.force_launches += u64::from(log.force_launches);
+        e.parks += u64::from(log.parks);
+        e.victim_chain = e.victim_chain.max(log.parks);
+    }
+    // Cache traffic and fault recovery from the raw record stream.
+    let mut broken_at: HashMap<(u32, u32), Cycle> = HashMap::new();
+    for rec in records {
+        match rec.ev {
+            TraceEvent::CacheHit { node, dest, .. } => {
+                flow(&mut flows, node, dest).cache_hits += 1;
+            }
+            TraceEvent::CacheMiss { node, dest } => {
+                flow(&mut flows, node, dest).cache_misses += 1;
+            }
+            TraceEvent::CacheEvict {
+                node, victim_dest, ..
+            } => {
+                flow(&mut flows, node, victim_dest).evictions_suffered += 1;
+            }
+            TraceEvent::CircuitBroken { src, dest, .. } => {
+                // Keep the earliest unanswered breakage per flow.
+                broken_at.entry((src, dest)).or_insert(rec.at);
+            }
+            TraceEvent::EstablishRetry { src, dest, .. } => {
+                let e = flow(&mut flows, src, dest);
+                e.retries += 1;
+                if let Some(t) = broken_at.remove(&(src, dest)) {
+                    e.retry_wait += rec.at - t;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out: Vec<FlowStats> = flows.into_values().collect();
+    out.sort_by(|a, b| {
+        (b.delivered, b.cache_hits + b.cache_misses, a.src, a.dest).cmp(&(
+            a.delivered,
+            a.cache_hits + a.cache_misses,
+            b.src,
+            b.dest,
+        ))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans::reconstruct;
+    use wavesim_trace::TraceRecord;
+
+    fn rec(at: u64, seq: u64, ev: TraceEvent) -> TraceRecord {
+        TraceRecord { at, seq, ev }
+    }
+
+    #[test]
+    fn cache_and_retry_attribution_lands_on_the_right_flow() {
+        let recs = vec![
+            rec(0, 0, TraceEvent::CacheMiss { node: 0, dest: 3 }),
+            rec(
+                1,
+                1,
+                TraceEvent::CacheEvict {
+                    node: 0,
+                    victim_dest: 5,
+                    circuit: 9,
+                },
+            ),
+            rec(
+                2,
+                2,
+                TraceEvent::CacheHit {
+                    node: 0,
+                    dest: 3,
+                    circuit: 1,
+                },
+            ),
+            rec(
+                10,
+                3,
+                TraceEvent::CircuitBroken {
+                    circuit: 1,
+                    src: 0,
+                    dest: 3,
+                },
+            ),
+            rec(
+                18,
+                4,
+                TraceEvent::EstablishRetry {
+                    circuit: 2,
+                    src: 0,
+                    dest: 3,
+                    attempt: 1,
+                },
+            ),
+        ];
+        let set = reconstruct(&recs);
+        let flows = attribute(&recs, &set);
+        let f03 = flows.iter().find(|f| (f.src, f.dest) == (0, 3)).unwrap();
+        assert_eq!(f03.cache_hits, 1);
+        assert_eq!(f03.cache_misses, 1);
+        assert_eq!(f03.retries, 1);
+        assert_eq!(f03.retry_wait, 8);
+        assert!((f03.hit_rate() - 0.5).abs() < 1e-12);
+        let f05 = flows.iter().find(|f| (f.src, f.dest) == (0, 5)).unwrap();
+        assert_eq!(f05.evictions_suffered, 1);
+    }
+
+    #[test]
+    fn victim_chain_is_the_max_parks_of_one_setup() {
+        let recs = vec![
+            rec(
+                0,
+                0,
+                TraceEvent::ProbeLaunch {
+                    circuit: 1,
+                    src: 2,
+                    dest: 7,
+                    switch: 1,
+                    force: true,
+                },
+            ),
+            rec(
+                1,
+                1,
+                TraceEvent::ProbePark {
+                    circuit: 1,
+                    probe: 4,
+                    node: 3,
+                    victim: 8,
+                },
+            ),
+            rec(
+                5,
+                2,
+                TraceEvent::ProbePark {
+                    circuit: 1,
+                    probe: 4,
+                    node: 5,
+                    victim: 9,
+                },
+            ),
+        ];
+        let set = reconstruct(&recs);
+        let flows = attribute(&recs, &set);
+        let f = flows.iter().find(|f| (f.src, f.dest) == (2, 7)).unwrap();
+        assert_eq!(f.force_launches, 1);
+        assert_eq!(f.parks, 2);
+        assert_eq!(f.victim_chain, 2);
+    }
+
+    #[test]
+    fn flows_sort_by_traffic_then_key() {
+        let recs = vec![
+            rec(0, 0, TraceEvent::CacheMiss { node: 1, dest: 2 }),
+            rec(0, 1, TraceEvent::CacheMiss { node: 0, dest: 2 }),
+            rec(1, 2, TraceEvent::CacheMiss { node: 0, dest: 2 }),
+        ];
+        let set = reconstruct(&recs);
+        let flows = attribute(&recs, &set);
+        assert_eq!((flows[0].src, flows[0].dest), (0, 2));
+        assert_eq!((flows[1].src, flows[1].dest), (1, 2));
+    }
+}

@@ -1,0 +1,220 @@
+//! Wave-lane reservation occupancy.
+//!
+//! A wave lane is a `(physical link, wave switch)` pair. Lanes are
+//! reserved hop by hop as probes advance ([`TraceEvent::ProbeHop`]),
+//! released one at a time on backtrack, and held for the whole circuit
+//! lifetime once the probe reaches the destination — until
+//! [`TraceEvent::CircuitReleased`] frees the path. Summing those hold
+//! intervals per lane yields the reservation-occupancy ranking the "hot
+//! lanes" report is built from: the lanes most likely to block other
+//! probes and force victim selection.
+
+use std::collections::HashMap;
+
+use wavesim_sim::Cycle;
+use wavesim_trace::{TraceEvent, TraceRecord};
+
+/// Reservation statistics for one wave lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Physical link id.
+    pub link: u32,
+    /// Wave switch (1-based).
+    pub switch: u8,
+    /// Times a probe hop reserved this lane.
+    pub reservations: u64,
+    /// Total cycles the lane spent reserved (walks plus circuit holds;
+    /// reservations still open at the end of the trace are closed at the
+    /// last record's cycle).
+    pub held_cycles: u64,
+}
+
+/// Computes per-lane reservation occupancy from a record stream. Returns
+/// lanes sorted hottest first (held cycles, then reservations, then lane
+/// id — a total order, so the result is deterministic).
+#[must_use]
+pub fn occupancy(records: &[TraceRecord]) -> Vec<LaneStats> {
+    let horizon = records.last().map_or(0, |r| r.at);
+    // The switch a probe searches is named by its circuit's launch, not
+    // repeated on every hop.
+    let mut switch_of: HashMap<u64, u8> = HashMap::new();
+    // Lanes currently held by each probe, reservation order (a stack:
+    // backtracks release the most recent hop).
+    type HeldStack = Vec<((u32, u8), Cycle)>;
+    let mut stacks: HashMap<u64, HeldStack> = HashMap::new();
+    // Probes holding lanes on behalf of each circuit.
+    let mut probes_of: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut acc: HashMap<(u32, u8), LaneStats> = HashMap::new();
+
+    let close =
+        |lane: (u32, u8), since: Cycle, until: Cycle, acc: &mut HashMap<(u32, u8), LaneStats>| {
+            let e = acc.entry(lane).or_insert(LaneStats {
+                link: lane.0,
+                switch: lane.1,
+                reservations: 0,
+                held_cycles: 0,
+            });
+            e.held_cycles += until.saturating_sub(since);
+        };
+
+    for rec in records {
+        match rec.ev {
+            TraceEvent::ProbeLaunch {
+                circuit, switch, ..
+            } => {
+                switch_of.insert(circuit, switch);
+            }
+            TraceEvent::ProbeHop {
+                circuit,
+                probe,
+                link,
+                ..
+            } => {
+                let sw = switch_of.get(&circuit).copied().unwrap_or(1);
+                let lane = (link, sw);
+                acc.entry(lane)
+                    .or_insert(LaneStats {
+                        link,
+                        switch: sw,
+                        reservations: 0,
+                        held_cycles: 0,
+                    })
+                    .reservations += 1;
+                stacks.entry(probe).or_default().push((lane, rec.at));
+                let ps = probes_of.entry(circuit).or_default();
+                if !ps.contains(&probe) {
+                    ps.push(probe);
+                }
+            }
+            TraceEvent::ProbeBacktrack { probe, .. } => {
+                if let Some((lane, since)) = stacks.get_mut(&probe).and_then(Vec::pop) {
+                    close(lane, since, rec.at, &mut acc);
+                }
+            }
+            TraceEvent::CircuitReleased { circuit } | TraceEvent::CircuitAbandoned { circuit } => {
+                for probe in probes_of.remove(&circuit).unwrap_or_default() {
+                    for (lane, since) in stacks.remove(&probe).unwrap_or_default() {
+                        close(lane, since, rec.at, &mut acc);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Reservations still open when the trace ends are charged to the
+    // horizon; without this a saturated run would under-count its hottest
+    // (never-released) lanes.
+    for stack in stacks.into_values() {
+        for (lane, since) in stack {
+            close(lane, since, horizon, &mut acc);
+        }
+    }
+
+    let mut out: Vec<LaneStats> = acc.into_values().collect();
+    out.sort_by(|a, b| {
+        (b.held_cycles, b.reservations, a.link, a.switch).cmp(&(
+            a.held_cycles,
+            a.reservations,
+            b.link,
+            b.switch,
+        ))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: Cycle, seq: u64, ev: TraceEvent) -> TraceRecord {
+        TraceRecord { at, seq, ev }
+    }
+
+    fn hop(at: Cycle, seq: u64, circuit: u64, probe: u64, link: u32) -> TraceRecord {
+        rec(
+            at,
+            seq,
+            TraceEvent::ProbeHop {
+                circuit,
+                probe,
+                node: 0,
+                link,
+                misroute: false,
+            },
+        )
+    }
+
+    #[test]
+    fn walk_backtrack_and_release_account_hold_times() {
+        let recs = vec![
+            rec(
+                0,
+                0,
+                TraceEvent::ProbeLaunch {
+                    circuit: 1,
+                    src: 0,
+                    dest: 3,
+                    switch: 2,
+                    force: false,
+                },
+            ),
+            hop(10, 1, 1, 7, 0),
+            hop(12, 2, 1, 7, 4),
+            rec(
+                14,
+                3,
+                TraceEvent::ProbeBacktrack {
+                    circuit: 1,
+                    probe: 7,
+                    node: 1,
+                },
+            ),
+            hop(15, 4, 1, 7, 5),
+            rec(30, 5, TraceEvent::CircuitReleased { circuit: 1 }),
+        ];
+        let lanes = occupancy(&recs);
+        let find = |link: u32| lanes.iter().find(|l| l.link == link).unwrap();
+        // Link 4 was reserved at 12, backtracked at 14.
+        assert_eq!(find(4).held_cycles, 2);
+        // Links 0 and 5 were held until the release at 30.
+        assert_eq!(find(0).held_cycles, 20);
+        assert_eq!(find(5).held_cycles, 15);
+        assert!(lanes.iter().all(|l| l.switch == 2));
+        // Sorted hottest first.
+        assert_eq!(lanes[0].link, 0);
+        assert_eq!(lanes[0].reservations, 1);
+    }
+
+    #[test]
+    fn open_reservations_close_at_the_horizon() {
+        let recs = vec![
+            rec(
+                0,
+                0,
+                TraceEvent::ProbeLaunch {
+                    circuit: 1,
+                    src: 0,
+                    dest: 3,
+                    switch: 1,
+                    force: false,
+                },
+            ),
+            hop(5, 1, 1, 7, 2),
+            rec(
+                25,
+                2,
+                TraceEvent::PlaneTick {
+                    plane: wavesim_trace::PlaneId::Control,
+                },
+            ),
+        ];
+        let lanes = occupancy(&recs);
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes[0].held_cycles, 20);
+    }
+
+    #[test]
+    fn empty_trace_has_no_lanes() {
+        assert!(occupancy(&[]).is_empty());
+    }
+}

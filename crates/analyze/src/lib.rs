@@ -1,0 +1,183 @@
+//! Trace analytics for wave-switching runs.
+//!
+//! The simulator's tracing layer ([`wavesim_trace`]) captures a pure
+//! side-channel record stream — every probe hop, cache lookup, circuit
+//! lifecycle step, and delivery, with cycle timestamps. This crate turns
+//! that stream into answers:
+//!
+//! * [`spans`] — per-message latency waterfalls (`setup + queue + transit
+//!   == latency`, exactly) and circuit lifecycles.
+//! * [`flows`] — circuit-cache attribution per `(src, dest)` flow: hits,
+//!   misses, evictions suffered, Force victim-chain depth, post-fault
+//!   retry wait.
+//! * [`lanes`] — wave-lane reservation occupancy, the "hot lanes" ranking.
+//! * [`faults`] — before/during/after delivery windows around each lane
+//!   fault.
+//! * [`series`] — windowed time series derived offline from the trace,
+//!   producing the same rows the live bench sampler emits.
+//! * [`report`] — the human [`wavesim_bench::table::Table`] report and the
+//!   machine JSON document behind `wavesim analyze`.
+//!
+//! Everything here is deterministic: the same record stream always yields
+//! byte-identical reports, whatever thread count produced the trace.
+
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod flows;
+pub mod lanes;
+pub mod report;
+pub mod series;
+pub mod spans;
+
+use wavesim_sim::stats::Histogram;
+use wavesim_sim::Cycle;
+use wavesim_trace::timeseries::WindowRow;
+use wavesim_trace::TraceRecord;
+
+pub use faults::{FaultImpact, PhaseStats};
+pub use flows::FlowStats;
+pub use lanes::LaneStats;
+pub use spans::{CircuitLog, MessageSpan, SpanMode, SpanSet};
+
+/// Analyzer knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzeOptions {
+    /// Time-series window length in cycles.
+    pub window: u64,
+    /// Rows shown in the flow and hot-lane tables.
+    pub top_k: usize,
+    /// Node count for throughput normalization; inferred from the trace
+    /// when `None`.
+    pub nodes: Option<u64>,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            window: 1000,
+            top_k: 10,
+            nodes: None,
+        }
+    }
+}
+
+/// Whole-run aggregates over the reconstructed spans.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Records in the trace.
+    pub records: u64,
+    /// First record's cycle.
+    pub first_at: Cycle,
+    /// Last record's cycle.
+    pub last_at: Cycle,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Deliveries over circuits.
+    pub circuit_msgs: u64,
+    /// Wormhole deliveries under a wormhole-only protocol.
+    pub wormhole_msgs: u64,
+    /// Wormhole fallbacks under a circuit protocol.
+    pub fallback_msgs: u64,
+    /// Transfers still in flight when the trace ended.
+    pub in_flight: u64,
+    /// Flits delivered.
+    pub flits: u64,
+    /// Mean end-to-end latency.
+    pub mean_latency: f64,
+    /// Median end-to-end latency.
+    pub p50: f64,
+    /// 95th-percentile latency.
+    pub p95: f64,
+    /// 99th-percentile latency.
+    pub p99: f64,
+    /// Mean setup segment.
+    pub mean_setup: f64,
+    /// Mean queue segment.
+    pub mean_queue: f64,
+    /// Mean transit segment.
+    pub mean_transit: f64,
+}
+
+/// A full analysis of one captured trace.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Whole-run aggregates.
+    pub summary: Summary,
+    /// Reconstructed spans and circuit lifecycles.
+    pub spans: SpanSet,
+    /// Per-flow attribution, hottest first.
+    pub flows: Vec<FlowStats>,
+    /// Lane occupancy, hottest first.
+    pub lanes: Vec<LaneStats>,
+    /// Fault impact windows, in fault order.
+    pub faults: Vec<FaultImpact>,
+    /// Derived windowed time series.
+    pub series: Vec<WindowRow>,
+    /// Node count the series was normalized with.
+    pub nodes: u64,
+    /// Table row budget carried into the report.
+    pub top_k: usize,
+}
+
+/// Runs every analysis pass over one record stream.
+#[must_use]
+pub fn analyze(records: &[TraceRecord], opts: AnalyzeOptions) -> Analysis {
+    let spans = spans::reconstruct(records);
+    let flows = flows::attribute(records, &spans);
+    let lanes = lanes::occupancy(records);
+    let faults = faults::impact(records, &spans.spans);
+    let (series, nodes) = series::derive(records, opts.window.max(1), opts.nodes);
+
+    let mut hist = Histogram::new();
+    let (mut setup, mut queue, mut transit, mut flits) = (0u64, 0u64, 0u64, 0u64);
+    let mut by_mode = [0u64; 3];
+    for s in &spans.spans {
+        hist.record(s.latency());
+        setup += s.setup;
+        queue += s.queue;
+        transit += s.transit;
+        flits += u64::from(s.len_flits);
+        by_mode[match s.mode {
+            SpanMode::Circuit => 0,
+            SpanMode::Wormhole => 1,
+            SpanMode::Fallback => 2,
+        }] += 1;
+    }
+    let delivered = spans.spans.len() as u64;
+    let per = |x: u64| {
+        if delivered == 0 {
+            0.0
+        } else {
+            x as f64 / delivered as f64
+        }
+    };
+    let summary = Summary {
+        records: records.len() as u64,
+        first_at: records.first().map_or(0, |r| r.at),
+        last_at: records.last().map_or(0, |r| r.at),
+        delivered,
+        circuit_msgs: by_mode[0],
+        wormhole_msgs: by_mode[1],
+        fallback_msgs: by_mode[2],
+        in_flight: spans.in_flight,
+        flits,
+        mean_latency: hist.mean(),
+        p50: hist.p50(),
+        p95: hist.p95(),
+        p99: hist.p99(),
+        mean_setup: per(setup),
+        mean_queue: per(queue),
+        mean_transit: per(transit),
+    };
+    Analysis {
+        summary,
+        spans,
+        flows,
+        lanes,
+        faults,
+        series,
+        nodes,
+        top_k: opts.top_k,
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline time-series derivation.
+//!
+//! Rebuilds the same windowed rows the live bench sampler produces
+//! ([`wavesim_trace::timeseries::WindowSeries`]) from a captured record
+//! stream: deliveries feed the per-window latency histogram, cache events
+//! feed the hit rate, and the set of distinct routers named by a cycle's
+//! events stands in for the live active-router gauge.
+
+use std::collections::{HashMap, HashSet};
+
+use wavesim_sim::Cycle;
+use wavesim_trace::timeseries::{WindowRow, WindowSeries};
+use wavesim_trace::{TraceEvent, TraceRecord};
+
+/// Calls `visit` with every node id an event names as *doing work* (probe
+/// positions, cache lookups, transfer endpoints — not idle bystanders).
+fn visit_nodes(ev: &TraceEvent, mut visit: impl FnMut(u32)) {
+    match *ev {
+        TraceEvent::ProbeLaunch { src, .. }
+        | TraceEvent::ProbeExhausted { src, .. }
+        | TraceEvent::ForcedRelease { src, .. }
+        | TraceEvent::WormholeInject { src, .. }
+        | TraceEvent::EstablishRetry { src, .. } => visit(src),
+        TraceEvent::ProbeHop { node, .. }
+        | TraceEvent::ProbeBacktrack { node, .. }
+        | TraceEvent::ProbePark { node, .. }
+        | TraceEvent::CacheHit { node, .. }
+        | TraceEvent::CacheMiss { node, .. }
+        | TraceEvent::CacheEvict { node, .. } => visit(node),
+        TraceEvent::ProbeReached { dest, .. } => visit(dest),
+        TraceEvent::CircuitEstablished { src, dest, .. }
+        | TraceEvent::TransferStart { src, dest, .. }
+        | TraceEvent::CircuitBroken { src, dest, .. } => {
+            visit(src);
+            visit(dest);
+        }
+        TraceEvent::WormholeDeliver { dest, .. } | TraceEvent::CircuitDeliver { dest, .. } => {
+            visit(dest);
+        }
+        TraceEvent::PlaneTick { .. }
+        | TraceEvent::CircuitReleased { .. }
+        | TraceEvent::CircuitAbandoned { .. }
+        | TraceEvent::LaneFault { .. }
+        | TraceEvent::LaneRepair { .. } => {}
+    }
+}
+
+/// Derives windowed rows from a record stream. `nodes` normalizes
+/// throughput; pass `None` to infer the node count as the highest node id
+/// seen plus one (exact for workloads that touch every node, a safe lower
+/// bound otherwise). Returns the rows and the node count used.
+#[must_use]
+pub fn derive(records: &[TraceRecord], window: u64, nodes: Option<u64>) -> (Vec<WindowRow>, u64) {
+    let nodes = nodes.unwrap_or_else(|| {
+        let mut max_node = 0u32;
+        for rec in records {
+            visit_nodes(&rec.ev, |n| max_node = max_node.max(n));
+        }
+        u64::from(max_node) + 1
+    });
+    let mut flits_of: HashMap<u64, u32> = HashMap::new();
+    for rec in records {
+        match rec.ev {
+            TraceEvent::TransferStart { msg, len_flits, .. }
+            | TraceEvent::WormholeInject { msg, len_flits, .. } => {
+                flits_of.insert(msg, len_flits);
+            }
+            _ => {}
+        }
+    }
+
+    let mut series = WindowSeries::new(window, nodes.max(1));
+    let mut cur_at: Option<Cycle> = None;
+    let mut touched: HashSet<u32> = HashSet::new();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let flush = |series: &mut WindowSeries,
+                 at: Cycle,
+                 touched: &mut HashSet<u32>,
+                 hits: &mut u64,
+                 misses: &mut u64| {
+        series.observe(at, touched.len() as u64, *hits, *misses);
+        touched.clear();
+        *hits = 0;
+        *misses = 0;
+    };
+    for rec in records {
+        if cur_at.is_some_and(|c| c != rec.at) {
+            flush(
+                &mut series,
+                cur_at.unwrap(),
+                &mut touched,
+                &mut hits,
+                &mut misses,
+            );
+        }
+        cur_at = Some(rec.at);
+        visit_nodes(&rec.ev, |n| {
+            touched.insert(n);
+        });
+        match rec.ev {
+            TraceEvent::CacheHit { .. } => hits += 1,
+            TraceEvent::CacheMiss { .. } => misses += 1,
+            TraceEvent::WormholeDeliver { msg, latency, .. }
+            | TraceEvent::CircuitDeliver { msg, latency, .. } => {
+                let flits = u64::from(flits_of.get(&msg).copied().unwrap_or(0));
+                series.record_delivery(rec.at, latency, flits);
+            }
+            _ => {}
+        }
+    }
+    if let Some(at) = cur_at {
+        flush(&mut series, at, &mut touched, &mut hits, &mut misses);
+    }
+    let end = records.last().map_or(0, |r| r.at + 1);
+    (series.finish(end), nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: Cycle, seq: u64, ev: TraceEvent) -> TraceRecord {
+        TraceRecord { at, seq, ev }
+    }
+
+    #[test]
+    fn derived_rows_carry_deliveries_cache_and_activity() {
+        let recs = vec![
+            rec(0, 0, TraceEvent::CacheMiss { node: 2, dest: 3 }),
+            rec(
+                1,
+                1,
+                TraceEvent::WormholeInject {
+                    msg: 1,
+                    src: 2,
+                    dest: 3,
+                    len_flits: 16,
+                },
+            ),
+            rec(
+                12,
+                2,
+                TraceEvent::WormholeDeliver {
+                    msg: 1,
+                    src: 2,
+                    dest: 3,
+                    latency: 11,
+                },
+            ),
+            rec(
+                15,
+                3,
+                TraceEvent::CacheHit {
+                    node: 2,
+                    dest: 3,
+                    circuit: 1,
+                },
+            ),
+        ];
+        let (rows, nodes) = derive(&recs, 10, None);
+        assert_eq!(nodes, 4, "highest node id is 3");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].cache_misses, 1);
+        assert_eq!(rows[0].active_routers, 1, "one distinct node per cycle");
+        assert_eq!(rows[1].delivered, 1);
+        assert_eq!(rows[1].flits, 16);
+        assert_eq!(rows[1].cache_hits, 1);
+        assert!((rows[1].p50 - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_node_count_wins_over_inference() {
+        let recs = vec![rec(0, 0, TraceEvent::CacheMiss { node: 0, dest: 1 })];
+        let (_, nodes) = derive(&recs, 10, Some(64));
+        assert_eq!(nodes, 64);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_rows() {
+        let (rows, nodes) = derive(&[], 10, None);
+        assert!(rows.is_empty());
+        assert_eq!(nodes, 1);
+    }
+}

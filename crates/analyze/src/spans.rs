@@ -1,0 +1,543 @@
+//! Per-message span reconstruction.
+//!
+//! Every delivery event in a trace carries its end-to-end latency, so the
+//! message's creation cycle is `delivered_at - latency` even though the
+//! trace has no explicit "send" event. Working backwards from each
+//! delivery, this module rebuilds a latency waterfall whose segments
+//! **partition the end-to-end latency exactly**:
+//!
+//! * `setup` — cycles spent establishing the circuit this message
+//!   triggered (cache miss → probe walk → ack). Zero for cache hits,
+//!   wormhole messages, and messages queued behind an existing circuit.
+//! * `queue` — cycles the message waited at the source after setup, before
+//!   its first flit moved ([`TraceEvent::TransferStart`] /
+//!   [`TraceEvent::WormholeInject`]).
+//! * `transit` — cycles from first flit movement to delivery.
+//!
+//! The invariant `setup + queue + transit == latency` holds for every
+//! [`MessageSpan`] by construction; the integration suite cross-checks the
+//! totals against the simulator's own delivery latencies on a 16×16 run.
+
+use std::collections::{BTreeMap, HashMap};
+
+use wavesim_sim::Cycle;
+use wavesim_trace::{TraceEvent, TraceRecord};
+
+/// How a delivered message reached its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanMode {
+    /// Streamed over an established circuit.
+    Circuit,
+    /// Wormhole under a wormhole-only protocol.
+    Wormhole,
+    /// Wormhole under a circuit protocol: a failed or declined setup.
+    Fallback,
+}
+
+impl SpanMode {
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanMode::Circuit => "circuit",
+            SpanMode::Wormhole => "wormhole",
+            SpanMode::Fallback => "fallback",
+        }
+    }
+}
+
+/// One delivered message's latency waterfall.
+#[derive(Debug, Clone, Copy)]
+pub struct MessageSpan {
+    /// Message id.
+    pub msg: u64,
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dest: u32,
+    /// The carrying circuit (circuit deliveries only).
+    pub circuit: Option<u64>,
+    /// Message length in flits (zero if the start event was not traced).
+    pub len_flits: u32,
+    /// Creation cycle, recovered as `delivered - latency`.
+    pub created: Cycle,
+    /// Delivery cycle.
+    pub delivered: Cycle,
+    /// Transport of the delivery.
+    pub mode: SpanMode,
+    /// Cycles establishing the circuit this message triggered.
+    pub setup: u64,
+    /// Cycles queued at the source before the first flit moved.
+    pub queue: u64,
+    /// Cycles from first flit movement to delivery.
+    pub transit: u64,
+}
+
+impl MessageSpan {
+    /// End-to-end latency; always equals `setup + queue + transit`.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.delivered - self.created
+    }
+}
+
+/// One circuit's lifecycle as seen in the trace (shared by the flow and
+/// lane analytics).
+#[derive(Debug, Clone, Default)]
+pub struct CircuitLog {
+    /// Source node.
+    pub src: u32,
+    /// Destination node.
+    pub dest: u32,
+    /// Cycle of the first probe launch.
+    pub first_launch: Option<Cycle>,
+    /// Cycle the setup acknowledgment reached the source.
+    pub established: Option<Cycle>,
+    /// Cycle every lane was free again.
+    pub released: Option<Cycle>,
+    /// Probe launches (one per wave switch tried, plus force retries).
+    pub launches: u32,
+    /// Launches with the Force bit set (CLRP phase two).
+    pub force_launches: u32,
+    /// Forward probe hops.
+    pub hops: u64,
+    /// Probe backtracks.
+    pub backtracks: u64,
+    /// Force-mode parks: victims this circuit's setup had to displace —
+    /// the victim-chain depth of the forced establishment.
+    pub parks: u32,
+    /// Messages that started streaming over this circuit.
+    pub transfers: u32,
+    /// Establishment failed on every switch.
+    pub abandoned: bool,
+    /// Destroyed by a dynamic fault.
+    pub broken: bool,
+}
+
+/// Everything span reconstruction recovers from one record stream.
+#[derive(Debug, Clone, Default)]
+pub struct SpanSet {
+    /// Delivered messages, in delivery order.
+    pub spans: Vec<MessageSpan>,
+    /// Circuit lifecycles keyed by circuit id.
+    pub circuits: BTreeMap<u64, CircuitLog>,
+    /// Messages whose transfer started but did not finish in the trace.
+    pub in_flight: u64,
+    /// True when the trace carries circuit-protocol events; wormhole
+    /// deliveries in such a trace are fallbacks.
+    pub circuit_protocol: bool,
+}
+
+/// A message between its start event and its delivery.
+struct Pending {
+    start: Cycle,
+    len_flits: u32,
+    circuit: Option<u64>,
+    /// True when this was the first transfer on its circuit — the message
+    /// that triggered (and waited for) the establishment.
+    first_on_circuit: bool,
+}
+
+/// Builds the three waterfall segments so they sum to `latency` exactly,
+/// whatever clamping the raw cycle values needed.
+fn segments(
+    created: Cycle,
+    latency: u64,
+    start: Option<&Pending>,
+    established: Option<Cycle>,
+) -> (u64, u64, u64) {
+    let Some(p) = start else {
+        return (0, 0, latency);
+    };
+    let to_start = p.start.saturating_sub(created).min(latency);
+    let setup = if p.first_on_circuit {
+        established.map_or(0, |e| e.saturating_sub(created).min(to_start))
+    } else {
+        0
+    };
+    (setup, to_start - setup, latency - to_start)
+}
+
+/// Reconstructs every delivered message's span (and every circuit's
+/// lifecycle) from a record stream. Records must be in sequence order, as
+/// every [`wavesim_trace::TraceSink`] stores them.
+#[must_use]
+pub fn reconstruct(records: &[TraceRecord]) -> SpanSet {
+    let mut set = SpanSet::default();
+    let mut pending: HashMap<u64, Pending> = HashMap::new();
+    for rec in records {
+        let at = rec.at;
+        match rec.ev {
+            TraceEvent::ProbeLaunch {
+                circuit,
+                src,
+                dest,
+                force,
+                ..
+            } => {
+                let log = set.circuits.entry(circuit).or_default();
+                log.src = src;
+                log.dest = dest;
+                log.first_launch.get_or_insert(at);
+                log.launches += 1;
+                if force {
+                    log.force_launches += 1;
+                }
+                set.circuit_protocol = true;
+            }
+            TraceEvent::ProbeHop { circuit, .. } => {
+                set.circuits.entry(circuit).or_default().hops += 1;
+            }
+            TraceEvent::ProbeBacktrack { circuit, .. } => {
+                set.circuits.entry(circuit).or_default().backtracks += 1;
+            }
+            TraceEvent::ProbePark { circuit, .. } => {
+                set.circuits.entry(circuit).or_default().parks += 1;
+            }
+            TraceEvent::CircuitEstablished {
+                circuit, src, dest, ..
+            } => {
+                let log = set.circuits.entry(circuit).or_default();
+                log.src = src;
+                log.dest = dest;
+                log.established = Some(at);
+                set.circuit_protocol = true;
+            }
+            TraceEvent::CircuitReleased { circuit } => {
+                set.circuits.entry(circuit).or_default().released = Some(at);
+            }
+            TraceEvent::CircuitAbandoned { circuit } => {
+                set.circuits.entry(circuit).or_default().abandoned = true;
+            }
+            TraceEvent::CircuitBroken { circuit, src, dest } => {
+                let log = set.circuits.entry(circuit).or_default();
+                log.src = src;
+                log.dest = dest;
+                log.broken = true;
+            }
+            TraceEvent::CacheHit { .. }
+            | TraceEvent::CacheMiss { .. }
+            | TraceEvent::CacheEvict { .. } => {
+                set.circuit_protocol = true;
+            }
+            TraceEvent::TransferStart {
+                circuit,
+                msg,
+                len_flits,
+                ..
+            } => {
+                let log = set.circuits.entry(circuit).or_default();
+                log.transfers += 1;
+                pending.insert(
+                    msg,
+                    Pending {
+                        start: at,
+                        len_flits,
+                        circuit: Some(circuit),
+                        first_on_circuit: log.transfers == 1,
+                    },
+                );
+                set.circuit_protocol = true;
+            }
+            TraceEvent::WormholeInject { msg, len_flits, .. } => {
+                pending.insert(
+                    msg,
+                    Pending {
+                        start: at,
+                        len_flits,
+                        circuit: None,
+                        first_on_circuit: false,
+                    },
+                );
+            }
+            TraceEvent::CircuitDeliver {
+                msg,
+                src,
+                dest,
+                latency,
+            }
+            | TraceEvent::WormholeDeliver {
+                msg,
+                src,
+                dest,
+                latency,
+            } => {
+                let circuit_mode = matches!(rec.ev, TraceEvent::CircuitDeliver { .. });
+                let created = at.saturating_sub(latency);
+                let p = pending.remove(&msg);
+                let established = p
+                    .as_ref()
+                    .and_then(|p| p.circuit)
+                    .and_then(|c| set.circuits.get(&c))
+                    .and_then(|l| l.established);
+                let (setup, queue, transit) = segments(created, latency, p.as_ref(), established);
+                set.spans.push(MessageSpan {
+                    msg,
+                    src,
+                    dest,
+                    circuit: p.as_ref().and_then(|p| p.circuit),
+                    len_flits: p.as_ref().map_or(0, |p| p.len_flits),
+                    created,
+                    delivered: at,
+                    mode: if circuit_mode {
+                        SpanMode::Circuit
+                    } else {
+                        SpanMode::Wormhole
+                    },
+                    setup,
+                    queue,
+                    transit,
+                });
+            }
+            _ => {}
+        }
+    }
+    set.in_flight = pending.len() as u64;
+    if set.circuit_protocol {
+        for s in &mut set.spans {
+            if s.mode == SpanMode::Wormhole {
+                s.mode = SpanMode::Fallback;
+            }
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: Cycle, seq: u64, ev: TraceEvent) -> TraceRecord {
+        TraceRecord { at, seq, ev }
+    }
+
+    /// A miss → probe → establish → transfer → deliver walk, followed by a
+    /// cache-hit reuse of the same circuit.
+    fn circuit_trace() -> Vec<TraceRecord> {
+        vec![
+            rec(0, 0, TraceEvent::CacheMiss { node: 0, dest: 3 }),
+            rec(
+                0,
+                1,
+                TraceEvent::ProbeLaunch {
+                    circuit: 1,
+                    src: 0,
+                    dest: 3,
+                    switch: 1,
+                    force: false,
+                },
+            ),
+            rec(
+                1,
+                2,
+                TraceEvent::ProbeHop {
+                    circuit: 1,
+                    probe: 9,
+                    node: 1,
+                    link: 0,
+                    misroute: false,
+                },
+            ),
+            rec(
+                2,
+                3,
+                TraceEvent::ProbeHop {
+                    circuit: 1,
+                    probe: 9,
+                    node: 3,
+                    link: 4,
+                    misroute: false,
+                },
+            ),
+            rec(
+                3,
+                4,
+                TraceEvent::ProbeReached {
+                    circuit: 1,
+                    probe: 9,
+                    dest: 3,
+                    steps: 2,
+                },
+            ),
+            rec(
+                5,
+                5,
+                TraceEvent::CircuitEstablished {
+                    circuit: 1,
+                    src: 0,
+                    dest: 3,
+                    hops: 2,
+                },
+            ),
+            rec(
+                6,
+                6,
+                TraceEvent::TransferStart {
+                    circuit: 1,
+                    msg: 1,
+                    src: 0,
+                    dest: 3,
+                    len_flits: 24,
+                },
+            ),
+            rec(
+                20,
+                7,
+                TraceEvent::CircuitDeliver {
+                    msg: 1,
+                    src: 0,
+                    dest: 3,
+                    latency: 20,
+                },
+            ),
+            rec(
+                8,
+                8,
+                TraceEvent::CacheHit {
+                    node: 0,
+                    dest: 3,
+                    circuit: 1,
+                },
+            ),
+            rec(
+                21,
+                9,
+                TraceEvent::TransferStart {
+                    circuit: 1,
+                    msg: 2,
+                    src: 0,
+                    dest: 3,
+                    len_flits: 24,
+                },
+            ),
+            rec(
+                35,
+                10,
+                TraceEvent::CircuitDeliver {
+                    msg: 2,
+                    src: 0,
+                    dest: 3,
+                    latency: 27,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn miss_span_charges_setup_then_queue_then_transit() {
+        let set = reconstruct(&circuit_trace());
+        assert_eq!(set.spans.len(), 2);
+        let s = &set.spans[0];
+        assert_eq!(s.created, 0);
+        assert_eq!((s.setup, s.queue, s.transit), (5, 1, 14));
+        assert_eq!(s.mode, SpanMode::Circuit);
+        assert_eq!(s.circuit, Some(1));
+        assert_eq!(s.len_flits, 24);
+    }
+
+    #[test]
+    fn hit_span_has_no_setup_segment() {
+        let set = reconstruct(&circuit_trace());
+        let s = &set.spans[1];
+        assert_eq!(s.created, 8);
+        assert_eq!((s.setup, s.queue, s.transit), (0, 13, 14));
+    }
+
+    #[test]
+    fn segments_always_partition_latency() {
+        let set = reconstruct(&circuit_trace());
+        for s in &set.spans {
+            assert_eq!(s.setup + s.queue + s.transit, s.latency(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn wormhole_only_trace_yields_wormhole_spans() {
+        let recs = vec![
+            rec(
+                2,
+                0,
+                TraceEvent::WormholeInject {
+                    msg: 9,
+                    src: 0,
+                    dest: 2,
+                    len_flits: 16,
+                },
+            ),
+            rec(
+                10,
+                1,
+                TraceEvent::WormholeDeliver {
+                    msg: 9,
+                    src: 0,
+                    dest: 2,
+                    latency: 9,
+                },
+            ),
+        ];
+        let set = reconstruct(&recs);
+        let s = &set.spans[0];
+        assert_eq!(s.mode, SpanMode::Wormhole);
+        assert_eq!(s.created, 1);
+        assert_eq!((s.setup, s.queue, s.transit), (0, 1, 8));
+    }
+
+    #[test]
+    fn wormhole_delivery_in_a_circuit_trace_is_a_fallback() {
+        let mut recs = vec![rec(0, 0, TraceEvent::CacheMiss { node: 0, dest: 2 })];
+        recs.push(rec(
+            4,
+            1,
+            TraceEvent::WormholeInject {
+                msg: 9,
+                src: 0,
+                dest: 2,
+                len_flits: 16,
+            },
+        ));
+        recs.push(rec(
+            12,
+            2,
+            TraceEvent::WormholeDeliver {
+                msg: 9,
+                src: 0,
+                dest: 2,
+                latency: 12,
+            },
+        ));
+        let set = reconstruct(&recs);
+        assert_eq!(set.spans[0].mode, SpanMode::Fallback);
+        // The failed-setup time shows up as queueing before the inject.
+        assert_eq!(set.spans[0].queue, 4);
+    }
+
+    #[test]
+    fn circuit_log_counts_the_setup_walk() {
+        let set = reconstruct(&circuit_trace());
+        let log = &set.circuits[&1];
+        assert_eq!(log.launches, 1);
+        assert_eq!(log.hops, 2);
+        assert_eq!(log.established, Some(5));
+        assert_eq!(log.transfers, 2);
+        assert_eq!((log.src, log.dest), (0, 3));
+    }
+
+    #[test]
+    fn unfinished_transfers_count_as_in_flight() {
+        let mut recs = circuit_trace();
+        recs.push(rec(
+            40,
+            11,
+            TraceEvent::TransferStart {
+                circuit: 1,
+                msg: 3,
+                src: 0,
+                dest: 3,
+                len_flits: 24,
+            },
+        ));
+        let set = reconstruct(&recs);
+        assert_eq!(set.in_flight, 1);
+        assert_eq!(set.spans.len(), 2);
+    }
+}

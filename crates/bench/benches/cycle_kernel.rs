@@ -14,6 +14,16 @@
 //! measurement + drain) by the wall time of the whole run, so a kernel
 //! that fast-forwards idle cycles gets credit for them — exactly the
 //! effect the active-set kernel targets at low load.
+//!
+//! Regression gate: `BENCH_ENFORCE=1` compares this run against the
+//! committed `BENCH_cycle_kernel.json` baseline (override with
+//! `BENCH_BASELINE`) and fails when any point's *kernel work intensity*
+//! — deterministic work counters per simulated cycle — grew more than
+//! `BENCH_TOLERANCE_PCT` (default 15). Work counters are scheduling- and
+//! machine-independent, so this gate is meaningful on shared CI runners
+//! where wall clock is not; `BENCH_ENFORCE_WALL=1` additionally gates
+//! wall-clock cycles/sec for same-machine comparisons. Points are only
+//! compared when the baseline's `measure_cycles` matches this run's.
 
 use std::time::Instant;
 
@@ -102,9 +112,93 @@ fn kernel_json(net: &WaveNetwork) -> Value {
     ])
 }
 
+/// Deterministic kernel work per simulated cycle for one result entry.
+fn intensity(entry: &Value) -> Option<f64> {
+    let sim = entry.get("sim_cycles")?.as_u64()?;
+    let k = entry.get("kernel")?;
+    let work = k.get("routers_scanned")?.as_u64()?
+        + k.get("vcs_touched")?.as_u64()?
+        + k.get("events_routed")?.as_u64()?;
+    (sim > 0).then(|| work as f64 / sim as f64)
+}
+
+/// Compares `current` against the committed baseline (read into `text`
+/// before the current results were written, since the default output path
+/// IS the baseline file); returns the gate violations.
+fn enforce_baseline(
+    current: &Value,
+    text: &str,
+    tolerance_pct: f64,
+    gate_wall: bool,
+) -> Vec<String> {
+    let baseline = Value::parse(text).expect("baseline json parses");
+    if baseline.get("measure_cycles").and_then(Value::as_u64)
+        != current.get("measure_cycles").and_then(Value::as_u64)
+    {
+        println!("baseline measure_cycles differs; gate skipped");
+        return Vec::new();
+    }
+    let key = |e: &Value| {
+        (
+            e.get("topology").and_then(Value::as_str).map(String::from),
+            e.get("point").and_then(Value::as_str).map(String::from),
+        )
+    };
+    let empty = Vec::new();
+    let cur_results = current
+        .get("results")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    let mut violations = Vec::new();
+    for base in baseline
+        .get("results")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty)
+    {
+        let Some(cur) = cur_results.iter().find(|c| key(c) == key(base)) else {
+            continue;
+        };
+        let (topo, point) = key(base);
+        let name = format!("{}/{}", topo.unwrap_or_default(), point.unwrap_or_default());
+        if let (Some(b), Some(c)) = (intensity(base), intensity(cur)) {
+            let growth_pct = (c / b - 1.0) * 100.0;
+            println!("gate {name}: work/cycle {b:.1} -> {c:.1} ({growth_pct:+.1}%)");
+            if growth_pct > tolerance_pct {
+                violations.push(format!(
+                    "{name}: kernel work intensity grew {growth_pct:.1}% (> {tolerance_pct}%)"
+                ));
+            }
+        }
+        if gate_wall {
+            let b = base.get("cycles_per_sec").and_then(Value::as_f64);
+            let c = cur.get("cycles_per_sec").and_then(Value::as_f64);
+            if let (Some(b), Some(c)) = (b, c) {
+                let slowdown_pct = (b / c - 1.0) * 100.0;
+                if slowdown_pct > tolerance_pct {
+                    violations.push(format!(
+                        "{name}: cycles/sec fell {slowdown_pct:.1}% \
+                         ({b:.0} -> {c:.0}, > {tolerance_pct}%)"
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
 fn main() {
     let measure = env_u64("BENCH_MEASURE", 3_000);
     let iters = env_u64("BENCH_ITERS", 3).max(1);
+    // Snapshot the baseline up front: the default BENCH_OUT below is the
+    // baseline file itself, and the gate must not compare a run with its
+    // own freshly written results.
+    let enforcing = std::env::var("BENCH_ENFORCE").as_deref() == Ok("1");
+    let baseline_path = std::env::var("BENCH_BASELINE").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cycle_kernel.json").into()
+    });
+    let baseline_text = enforcing
+        .then(|| std::fs::read_to_string(&baseline_path).ok())
+        .flatten();
     let sides: Vec<u16> = std::env::var("BENCH_SIDES")
         .unwrap_or_else(|_| "8,16".into())
         .split(',')
@@ -166,4 +260,22 @@ fn main() {
     });
     std::fs::write(&out, json.pretty()).expect("write bench json");
     println!("wrote {out}");
+
+    if enforcing {
+        let Some(text) = baseline_text else {
+            println!("no baseline at {baseline_path}; gate skipped");
+            return;
+        };
+        let tolerance = env_u64("BENCH_TOLERANCE_PCT", 15) as f64;
+        let gate_wall = std::env::var("BENCH_ENFORCE_WALL").as_deref() == Ok("1");
+        let violations = enforce_baseline(&json, &text, tolerance, gate_wall);
+        if !violations.is_empty() {
+            eprintln!("cycle_kernel regression gate FAILED:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+        println!("cycle_kernel regression gate passed (tolerance {tolerance}%)");
+    }
 }

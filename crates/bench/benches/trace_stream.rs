@@ -1,0 +1,176 @@
+//! Streaming-capture overhead benchmark: the same 8×8 torus CLRP run
+//! three ways — tracing disarmed, an in-memory [`wavesim_trace::VecSink`]
+//! (pure hot-path emission cost), and a [`wavesim_trace::JsonlSink`]
+//! streaming every record to disk. The streaming sink's contract is
+//! *lossless and cheap*: records are chunked on the hot path and encoded
+//! plus written by a dedicated writer thread, so on a machine with a
+//! spare core the streamed run should cost barely more than emission
+//! itself. The tracked number is the wall-clock overhead of the streamed
+//! run over the disarmed one; the ring arm splits that overhead into
+//! emission (paid on the sim thread regardless of sink) and writer work.
+//!
+//! Plain `harness = false` timing main (the offline build has no bench
+//! framework). Writes `BENCH_trace_stream.json` (override with
+//! `BENCH_OUT`). Knobs: `BENCH_MEASURE` (measurement cycles, default
+//! 3000), `BENCH_ITERS` (repeats, best wall taken, default 5).
+//! `BENCH_ENFORCE=1` fails the run when the streamed-vs-disarmed
+//! overhead exceeds `BENCH_MAX_OVERHEAD_PCT` (default 5). Both arms run
+//! back to back on the same machine, so unlike raw wall-clock gates the
+//! ratio is meaningful on shared CI runners — but the gate needs at
+//! least two CPUs: with one core the writer thread's encode and I/O
+//! steal time from the simulation thread and the off-thread design
+//! cannot pay off, so the gate reports itself skipped (the JSON still
+//! records the measured overhead and the CPU count).
+
+use std::time::Instant;
+
+use wavesim_bench::{run_open_loop, RunSpec};
+use wavesim_core::{ProtocolKind, WaveConfig, WaveNetwork};
+use wavesim_json::Value;
+use wavesim_topology::Topology;
+use wavesim_trace::{JsonlSink, VecSink};
+use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn make_net_and_src() -> (WaveNetwork, TrafficSource) {
+    let topo = Topology::torus(&[8, 8]);
+    let net = WaveNetwork::new(
+        topo.clone(),
+        WaveConfig {
+            protocol: ProtocolKind::Clrp,
+            ..WaveConfig::default()
+        },
+    );
+    let src = TrafficSource::new(
+        topo,
+        TrafficConfig {
+            load: 0.30,
+            pattern: TrafficPattern::HotPairs {
+                partners: 3,
+                locality: 0.7,
+            },
+            len: LengthDist::Fixed(64),
+            seed: 131,
+            ..TrafficConfig::default()
+        },
+    );
+    (net, src)
+}
+
+/// One plain (tracing disarmed) run; returns wall seconds.
+fn run_plain(measure: u64) -> f64 {
+    let (mut net, mut src) = make_net_and_src();
+    let t0 = Instant::now();
+    let r = run_open_loop(&mut net, &mut src, RunSpec::standard(measure / 8, measure));
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(!r.stalled, "plain run stalled");
+    wall
+}
+
+/// One run with an in-memory `VecSink`: the cost of emitting every record
+/// on the hot path with no encoding or I/O behind it.
+fn run_ring(measure: u64) -> f64 {
+    let (mut net, mut src) = make_net_and_src();
+    net.install_trace_sink(Box::new(VecSink::new()));
+    let t0 = Instant::now();
+    let r = run_open_loop(&mut net, &mut src, RunSpec::standard(measure / 8, measure));
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(!r.stalled, "ring run stalled");
+    wall
+}
+
+/// One streamed run: a `JsonlSink` on `path` captures every record. The
+/// timed region includes sink teardown (`finish` drains the writer
+/// thread), because a user pays that before the file is readable.
+fn run_streamed(measure: u64, path: &std::path::Path) -> (f64, u64) {
+    let (mut net, mut src) = make_net_and_src();
+    let sink = JsonlSink::create(path).expect("create stream file");
+    net.install_trace_sink(Box::new(sink));
+    let t0 = Instant::now();
+    let r = run_open_loop(&mut net, &mut src, RunSpec::standard(measure / 8, measure));
+    let mut sink = net.take_trace_sink().expect("sink installed");
+    sink.finish().expect("stream flush");
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(!r.stalled, "streamed run stalled");
+    let bytes = std::fs::metadata(path).map_or(0, |m| m.len());
+    (wall, bytes)
+}
+
+fn main() {
+    let measure = env_u64("BENCH_MEASURE", 3_000);
+    let iters = env_u64("BENCH_ITERS", 5).max(1);
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let path = std::env::temp_dir().join("wavesim_bench_trace_stream.jsonl");
+
+    let mut plain_best = f64::INFINITY;
+    let mut ring_best = f64::INFINITY;
+    let mut stream_best = f64::INFINITY;
+    let mut bytes = 0u64;
+    for _ in 0..iters {
+        plain_best = plain_best.min(run_plain(measure));
+        ring_best = ring_best.min(run_ring(measure));
+        let (wall, b) = run_streamed(measure, &path);
+        stream_best = stream_best.min(wall);
+        bytes = b;
+    }
+    let _ = std::fs::remove_file(&path);
+    let overhead_pct = (stream_best / plain_best - 1.0) * 100.0;
+    let emission_pct = (ring_best / plain_best - 1.0) * 100.0;
+    println!(
+        "trace_stream: plain {:.2} ms, ring {:.2} ms ({:+.2}%), streamed {:.2} ms \
+         ({:+.2}% overhead, {} JSONL bytes, {cpus} cpus)",
+        plain_best * 1e3,
+        ring_best * 1e3,
+        emission_pct,
+        stream_best * 1e3,
+        overhead_pct,
+        bytes
+    );
+
+    let json = Value::obj(vec![
+        ("bench", Value::from("trace_stream")),
+        ("topology", Value::from("8x8-torus")),
+        ("protocol", Value::from("clrp")),
+        ("load", Value::from(0.30)),
+        ("measure_cycles", Value::from(measure)),
+        ("iters", Value::from(iters)),
+        ("cpus", Value::from(cpus as u64)),
+        ("plain_wall_s", Value::from(plain_best)),
+        ("ring_wall_s", Value::from(ring_best)),
+        ("stream_wall_s", Value::from(stream_best)),
+        ("emission_overhead_pct", Value::from(emission_pct)),
+        ("overhead_pct", Value::from(overhead_pct)),
+        ("jsonl_bytes", Value::from(bytes)),
+    ]);
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace_stream.json").into()
+    });
+    std::fs::write(&out, json.pretty()).expect("write bench json");
+    println!("wrote {out}");
+
+    if std::env::var("BENCH_ENFORCE").as_deref() == Ok("1") {
+        if cpus < 2 {
+            println!(
+                "trace_stream overhead gate skipped: 1 CPU — the writer thread \
+                 cannot overlap the simulation thread, so the measured \
+                 {overhead_pct:.2}% includes the full encode+write cost"
+            );
+            return;
+        }
+        let max = env_u64("BENCH_MAX_OVERHEAD_PCT", 5) as f64;
+        if overhead_pct > max {
+            eprintln!(
+                "trace_stream overhead gate FAILED: {overhead_pct:.2}% > {max}% \
+                 (streaming capture must stay off the hot path)"
+            );
+            std::process::exit(1);
+        }
+        println!("trace_stream overhead gate passed ({overhead_pct:.2}% <= {max}%)");
+    }
+}

@@ -33,6 +33,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod runner;
 pub mod table;
+pub mod timeseries;
 pub mod tracecap;
 
 pub use runner::{

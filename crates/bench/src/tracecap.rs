@@ -16,19 +16,31 @@
 //! stall cycle.
 
 use std::cell::{Cell, RefCell};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
 
 use wavesim_core::WaveNetwork;
 use wavesim_json::Value;
 use wavesim_sim::Cycle;
 use wavesim_trace::postmortem::{self, StallContext};
-use wavesim_trace::{FlightRecorder, TraceRecord};
+use wavesim_trace::recorder::TeeSink;
+use wavesim_trace::{FlightRecorder, JsonlSink, TraceRecord, TraceSink};
 use wavesim_verify::deadlock::find_wait_cycle;
 
 use crate::Drained;
 
+/// Ring capacity used when only a JSONL stream is armed: the stream is
+/// lossless on disk, so the in-memory tail only has to feed a post-mortem.
+const DEFAULT_RING: usize = 1 << 16;
+
 thread_local! {
     /// Recorder capacity for runs on this thread; `None` means untraced.
     static PLAN: Cell<Option<usize>> = const { Cell::new(None) };
+    /// A pending JSONL streaming sink, consumed by the next traced run.
+    static JSONL: RefCell<Option<JsonlSink<BufWriter<File>>>> = const { RefCell::new(None) };
+    /// A path re-streamed (truncating) at every run start, for sweeps.
+    static JSONL_PATH: RefCell<Option<PathBuf>> = const { RefCell::new(None) };
     /// Traces captured on this thread, in run order.
     static CAPTURED: RefCell<Vec<RunTrace>> = const { RefCell::new(Vec::new()) };
 }
@@ -48,6 +60,8 @@ pub struct RunTrace {
     pub stalled: bool,
     /// Post-mortem bundle; present only when the run stalled.
     pub post_mortem: Option<Value>,
+    /// Error from flushing an armed JSONL stream, if one occurred.
+    pub stream_error: Option<String>,
 }
 
 /// Arms the current thread: every subsequent [`crate::drive`] call records
@@ -79,13 +93,75 @@ pub fn take_captured() -> Vec<RunTrace> {
     CAPTURED.take()
 }
 
-/// Installs a flight recorder into `net` if this thread is armed.
-/// Returns whether a recorder was installed.
+/// Arms a lossless JSONL stream to `path` for the *next* [`crate::drive`]
+/// call on this thread (one-shot: the stream is consumed by that run and
+/// flushed when it finishes). Composes with [`arm_flight_recorder`]: the
+/// ring keeps the post-mortem tail while the stream captures everything.
+///
+/// # Errors
+/// Fails if `path` cannot be created.
+pub fn arm_jsonl_stream(path: &Path) -> Result<(), String> {
+    let sink = JsonlSink::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    JSONL.set(Some(sink));
+    Ok(())
+}
+
+/// True when a JSONL stream is armed and not yet consumed by a run.
+#[must_use]
+pub fn jsonl_stream_armed() -> bool {
+    JSONL.with_borrow(Option::is_some) || JSONL_PATH.with_borrow(Option::is_some)
+}
+
+/// Streams *every* subsequent [`crate::drive`] call on this thread to
+/// `path`, re-creating (truncating) the file at each run start — after a
+/// sweep the file holds the final point, mirroring how the exported
+/// flight-recorder trace keeps the last (most loaded) run. Cleared by
+/// [`disarm_jsonl_stream`].
+///
+/// # Errors
+/// Fails if `path` cannot be created.
+pub fn arm_jsonl_stream_per_run(path: &Path) -> Result<(), String> {
+    // Create eagerly so an unwritable path fails here, not mid-sweep.
+    let mut probe = JsonlSink::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    probe
+        .finish()
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    JSONL_PATH.set(Some(path.to_path_buf()));
+    Ok(())
+}
+
+/// Clears any armed JSONL stream, one-shot or per-run.
+pub fn disarm_jsonl_stream() {
+    JSONL.take();
+    JSONL_PATH.set(None);
+}
+
+/// Installs a trace sink into `net` if this thread is armed: the flight
+/// recorder, optionally teed into a pending JSONL stream. Returns whether
+/// a sink was installed.
 pub(crate) fn install(net: &mut WaveNetwork) -> bool {
-    let Some(capacity) = PLAN.get() else {
+    let capacity = PLAN.get();
+    let stream = JSONL.take().or_else(|| {
+        JSONL_PATH.with_borrow(|p| {
+            let path = p.as_ref()?;
+            match JsonlSink::create(path) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("note: JSONL re-arm failed for {}: {e}", path.display());
+                    None
+                }
+            }
+        })
+    });
+    if capacity.is_none() && stream.is_none() {
         return false;
+    }
+    let recorder = FlightRecorder::new(capacity.unwrap_or(DEFAULT_RING));
+    let sink: Box<dyn TraceSink> = match stream {
+        Some(s) => Box::new(TeeSink::new(Box::new(recorder), Box::new(s))),
+        None => Box::new(recorder),
     };
-    net.install_trace_sink(Box::new(FlightRecorder::new(capacity)));
+    net.install_trace_sink(sink);
     true
 }
 
@@ -93,9 +169,10 @@ pub(crate) fn install(net: &mut WaveNetwork) -> bool {
 /// appends the [`RunTrace`] — with a post-mortem bundle when the run
 /// stalled — to this thread's capture list.
 pub(crate) fn finish(net: &mut WaveNetwork, outcome: Drained) {
-    let Some(sink) = net.take_trace_sink() else {
+    let Some(mut sink) = net.take_trace_sink() else {
         return;
     };
+    let stream_error = sink.finish().err();
     let records = sink.snapshot();
     let dropped = sink.dropped();
     let total = sink.total();
@@ -120,6 +197,7 @@ pub(crate) fn finish(net: &mut WaveNetwork, outcome: Drained) {
             end: outcome.end,
             stalled: outcome.stalled,
             post_mortem,
+            stream_error,
         });
     });
 }
@@ -184,6 +262,82 @@ mod tests {
         };
         let (r, _) = traced_run();
         assert_eq!(baseline, format!("{r:?}"));
+    }
+
+    #[test]
+    fn jsonl_stream_tees_full_run_to_disk() {
+        let path = std::env::temp_dir().join(format!(
+            "wavesim_tracecap_stream_{}.jsonl",
+            std::process::id()
+        ));
+        let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), WaveConfig::default());
+        let mut src = TrafficSource::new(
+            net.topology().clone(),
+            TrafficConfig {
+                load: 0.1,
+                len: LengthDist::Fixed(32),
+                ..TrafficConfig::default()
+            },
+        );
+        arm_flight_recorder(64); // tiny ring: the stream must still be lossless
+        arm_jsonl_stream(&path).expect("create stream");
+        assert!(jsonl_stream_armed());
+        let r = run_open_loop(&mut net, &mut src, RunSpec::standard(200, 1_000));
+        disarm_flight_recorder();
+        assert!(!jsonl_stream_armed(), "stream is one-shot");
+        let traces = take_captured();
+        assert!(r.clean(), "{r:?}");
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert!(t.stream_error.is_none(), "{:?}", t.stream_error);
+        assert!(t.dropped > 0, "the tiny ring must have wrapped");
+        let streamed = wavesim_trace::stream::read_jsonl_file(&path).expect("parse");
+        std::fs::remove_file(&path).ok();
+        // The file holds every record the ring was offered, gap-free.
+        assert_eq!(streamed.len() as u64, t.total);
+        for w in streamed.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        // The ring tail is a suffix of the stream.
+        let tail = &streamed[streamed.len() - t.records.len()..];
+        assert_eq!(tail, &t.records[..]);
+    }
+
+    #[test]
+    fn per_run_stream_keeps_the_last_run_of_a_sweep() {
+        let path = std::env::temp_dir().join(format!(
+            "wavesim_tracecap_per_run_{}.jsonl",
+            std::process::id()
+        ));
+        arm_flight_recorder(1 << 16);
+        arm_jsonl_stream_per_run(&path).expect("create stream");
+        let mut last_total = 0;
+        for cycles in [400u64, 900] {
+            let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), WaveConfig::default());
+            let mut src = TrafficSource::new(
+                net.topology().clone(),
+                TrafficConfig {
+                    load: 0.1,
+                    len: LengthDist::Fixed(32),
+                    ..TrafficConfig::default()
+                },
+            );
+            let r = run_open_loop(&mut net, &mut src, RunSpec::standard(100, cycles));
+            assert!(r.clean(), "{r:?}");
+        }
+        disarm_flight_recorder();
+        disarm_jsonl_stream();
+        let traces = take_captured();
+        assert_eq!(traces.len(), 2);
+        for t in &traces {
+            assert!(t.stream_error.is_none(), "{:?}", t.stream_error);
+            last_total = t.total;
+        }
+        // The file was truncated per run, so it holds exactly the last one.
+        let streamed = wavesim_trace::stream::read_jsonl_file(&path).expect("parse");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(streamed.len() as u64, last_total);
+        assert_eq!(streamed[0].seq, 0, "re-armed stream restarts at seq 0");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!                                              N threads; output is identical
 //!                                              to --jobs 1)
 //! wavesim run [workload flags]                 one custom simulation
+//! wavesim analyze --trace run.jsonl            trace analytics report
 //! wavesim check [--side N]                     static deadlock-freedom checks (CDG)
 //! wavesim validate-trace FILE                  schema-check a Perfetto trace file
 //! wavesim info                                 print the default configuration
@@ -27,6 +28,18 @@
 //! Prometheus-style metrics page, `--flight-recorder N` sizes the in-memory
 //! ring buffer (default 65536 records). Tracing forces `--jobs 1`: the
 //! flight recorder is thread-local, and sweep workers are untraced.
+//!
+//! Analytics: `--trace-jsonl FILE` (`run` and experiments) streams the
+//! *complete* event record to JSONL with bounded memory (nothing the
+//! ring buffer would drop is lost; for experiment sweeps the file is
+//! re-streamed per point and ends holding the last one), `--timeseries-out
+//! FILE` (run only) writes windowed CSV (`--window N` cycles per row,
+//! default 1000), `--progress N` prints a
+//! one-line status every N cycles. `wavesim analyze --trace run.jsonl
+//! [--report FILE] [--json FILE] [--timeseries FILE] [--window N]
+//! [--top N]` turns a captured JSONL stream into latency waterfalls,
+//! circuit-cache flow attribution, hot-lane occupancy, and fault impact
+//! windows — `--json` takes a FILE here, unlike the experiment commands.
 //! ```
 
 use std::env;
@@ -40,11 +53,14 @@ use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wavesim <all|e1..e14|run|check|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
+        "usage: wavesim <all|e1..e14|run|analyze|check|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
          run flags: --protocol clrp|carp|wormhole --topology mesh|torus --side N --load F\n\
                     --len N --locality F --cycles N --seed N --k N --alpha N --cache N --misroutes N\n\
          fault flags (run): --fault-plan FILE --fault-schedule FILE\n\
-         trace flags: --trace-out FILE --metrics-out FILE --flight-recorder N"
+         trace flags: --trace-out FILE --metrics-out FILE --flight-recorder N\n\
+                      --trace-jsonl FILE --timeseries-out FILE --window N --progress N\n\
+         analyze flags: --trace FILE [--report FILE] [--json FILE] [--timeseries FILE]\n\
+                        [--window N] [--top N]"
     );
     std::process::exit(2);
 }
@@ -74,6 +90,17 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     flight_recorder: usize,
+    // analytics capture (`run`)
+    trace_jsonl: Option<String>,
+    timeseries_out: Option<String>,
+    window: u64,
+    progress: Option<u64>,
+    // `analyze` inputs/outputs
+    trace_in: Option<String>,
+    report_out: Option<String>,
+    json_out: Option<String>,
+    timeseries_csv: Option<String>,
+    top: usize,
     // positional operand (validate-trace FILE)
     path: Option<String>,
 }
@@ -103,6 +130,15 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         flight_recorder: 1 << 16,
+        trace_jsonl: None,
+        timeseries_out: None,
+        window: 1000,
+        progress: None,
+        trace_in: None,
+        report_out: None,
+        json_out: None,
+        timeseries_csv: None,
+        top: 10,
         path: None,
     };
     macro_rules! next_parse {
@@ -120,7 +156,34 @@ fn parse_args() -> Args {
                 Some("paper") => args.scale = Scale::paper(),
                 _ => usage(),
             },
+            // For `analyze`, --json names an output file; everywhere else
+            // it is a boolean format switch.
+            "--json" if args.cmd == "analyze" => {
+                args.json_out = Some(argv.next().unwrap_or_else(|| usage()));
+            }
             "--json" => args.json = true,
+            "--trace" => args.trace_in = Some(argv.next().unwrap_or_else(|| usage())),
+            "--report" => args.report_out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--timeseries" => {
+                args.timeseries_csv = Some(argv.next().unwrap_or_else(|| usage()));
+            }
+            "--top" => args.top = next_parse!(argv),
+            "--trace-jsonl" => args.trace_jsonl = Some(argv.next().unwrap_or_else(|| usage())),
+            "--timeseries-out" => {
+                args.timeseries_out = Some(argv.next().unwrap_or_else(|| usage()));
+            }
+            "--window" => {
+                args.window = next_parse!(argv);
+                if args.window == 0 {
+                    usage();
+                }
+            }
+            "--progress" => {
+                args.progress = Some(next_parse!(argv));
+                if args.progress == Some(0) {
+                    usage();
+                }
+            }
             "--jobs" => args.jobs = next_parse!(argv),
             "--side" => args.side = next_parse!(argv),
             "--protocol" => {
@@ -178,9 +241,11 @@ fn write_file(path: &str, contents: &str) -> bool {
 }
 
 /// Exports one captured run as Perfetto JSON (plus a post-mortem bundle
-/// when the run stalled). Returns `false` on I/O failure.
-fn export_trace(path: &str, t: &tracecap::RunTrace) -> bool {
-    let doc = wavesim_trace::perfetto::export(&t.records);
+/// when the run stalled). `counters` are pre-built counter-track events —
+/// the time-series sampler's per-window metrics. Returns `false` on I/O
+/// failure.
+fn export_trace(path: &str, t: &tracecap::RunTrace, counters: Vec<wavesim_json::Value>) -> bool {
+    let doc = wavesim_trace::perfetto::export_with_counters(&t.records, counters);
     if !write_file(path, &doc.compact()) {
         return false;
     }
@@ -325,17 +390,60 @@ fn custom_run(args: &Args) -> bool {
         },
     );
     let warmup = args.cycles / 5;
-    let tracing = args.trace_out.is_some() || args.metrics_out.is_some();
+    let tracing =
+        args.trace_out.is_some() || args.metrics_out.is_some() || args.trace_jsonl.is_some();
+    let sampling = args.timeseries_out.is_some() || args.progress.is_some();
     if tracing {
         tracecap::arm_flight_recorder(args.flight_recorder);
     }
+    if let Some(path) = &args.trace_jsonl {
+        if let Err(e) = tracecap::arm_jsonl_stream(std::path::Path::new(path)) {
+            eprintln!("error: cannot stream to {path}: {e}");
+            return false;
+        }
+    }
+    if sampling {
+        // --progress doubles as the status cadence and the window width,
+        // so each printed line covers exactly one closed window.
+        wavesim_bench::timeseries::arm_sampler(
+            args.progress.unwrap_or(args.window),
+            args.progress.is_some(),
+        );
+    }
     let r = run_open_loop(&mut net, &mut src, RunSpec::standard(warmup, args.cycles));
+    let counters = if sampling {
+        wavesim_bench::timeseries::disarm_sampler();
+        let series = wavesim_bench::timeseries::take_series();
+        let Some(series) = series else {
+            eprintln!("error: sampler produced no series");
+            return false;
+        };
+        if let Some(path) = &args.timeseries_out {
+            let csv = wavesim_trace::timeseries::to_csv(&series.rows, series.nodes);
+            if !write_file(path, &csv) {
+                return false;
+            }
+            println!("wrote time series: {path} ({} windows)", series.rows.len());
+        }
+        wavesim_trace::timeseries::perfetto_counters(&series.rows, series.nodes)
+    } else {
+        Vec::new()
+    };
     if tracing {
         tracecap::disarm_flight_recorder();
         let traces = tracecap::take_captured();
         let t = traces.last().expect("traced run captured");
+        if let Some(path) = &args.trace_jsonl {
+            match &t.stream_error {
+                None => println!("wrote JSONL stream: {path} ({} records)", t.total),
+                Some(e) => {
+                    eprintln!("error: JSONL stream {path}: {e}");
+                    return false;
+                }
+            }
+        }
         if let Some(path) = &args.trace_out {
-            if !export_trace(path, t) {
+            if !export_trace(path, t, counters) {
                 return false;
             }
         }
@@ -391,10 +499,63 @@ fn custom_run(args: &Args) -> bool {
     r.clean()
 }
 
+/// `wavesim analyze` — turns a captured JSONL record stream into the
+/// analytics report (tables on stdout or `--report`, machine JSON via
+/// `--json`, windowed CSV via `--timeseries`).
+fn analyze_cmd(args: &Args) -> bool {
+    let Some(path) = &args.trace_in else {
+        eprintln!("error: analyze needs --trace FILE (a JSONL stream from `run --trace-jsonl`)");
+        return false;
+    };
+    let records = match wavesim_trace::stream::read_jsonl_file(std::path::Path::new(path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return false;
+        }
+    };
+    let analysis = wavesim_analyze::analyze(
+        &records,
+        wavesim_analyze::AnalyzeOptions {
+            window: args.window,
+            top_k: args.top,
+            nodes: None,
+        },
+    );
+    let report = wavesim_analyze::report::render(&analysis);
+    match &args.report_out {
+        Some(out) => {
+            if !write_file(out, &report) {
+                return false;
+            }
+            println!("wrote report: {out}");
+        }
+        None => print!("{report}"),
+    }
+    if let Some(out) = &args.json_out {
+        let doc = wavesim_analyze::report::to_json(&analysis);
+        if !write_file(out, &doc.pretty()) {
+            return false;
+        }
+        println!("wrote analysis JSON: {out}");
+    }
+    if let Some(out) = &args.timeseries_csv {
+        let csv = wavesim_trace::timeseries::to_csv(&analysis.series, analysis.nodes);
+        if !write_file(out, &csv) {
+            return false;
+        }
+        println!(
+            "wrote time series: {out} ({} windows)",
+            analysis.series.len()
+        );
+    }
+    true
+}
+
 fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &Args) -> bool {
-    let tracing = args.trace_out.is_some();
+    let tracing = args.trace_out.is_some() || args.trace_jsonl.is_some();
     let jobs = if tracing && jobs > 1 {
-        eprintln!("note: --trace-out forces --jobs 1 (the flight recorder is thread-local)");
+        eprintln!("note: tracing forces --jobs 1 (the capture is thread-local)");
         1
     } else {
         jobs
@@ -404,6 +565,14 @@ fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &A
     }
     if tracing {
         tracecap::arm_flight_recorder(args.flight_recorder);
+    }
+    if let Some(path) = &args.trace_jsonl {
+        // Re-streamed per run: after the sweep the file holds the last
+        // point, matching the flight-recorder export below.
+        if let Err(e) = tracecap::arm_jsonl_stream_per_run(std::path::Path::new(path)) {
+            eprintln!("error: cannot stream to {path}: {e}");
+            return false;
+        }
     }
     for id in ids {
         for table in experiments::run_by_id_with_jobs(id, scale, jobs) {
@@ -416,14 +585,24 @@ fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &A
     }
     if tracing {
         tracecap::disarm_flight_recorder();
+        tracecap::disarm_jsonl_stream();
         let traces = tracecap::take_captured();
         // Experiments drive many runs; export the last one (for sweeps
         // this is the highest point — the most loaded, most interesting
         // trace).
         match traces.last() {
             Some(t) => {
+                if let Some(path) = &args.trace_jsonl {
+                    match &t.stream_error {
+                        None => println!("wrote JSONL stream: {path} ({} records)", t.total),
+                        Some(e) => {
+                            eprintln!("error: JSONL stream {path}: {e}");
+                            return false;
+                        }
+                    }
+                }
                 if let Some(path) = &args.trace_out {
-                    if !export_trace(path, t) {
+                    if !export_trace(path, t, Vec::new()) {
                         return false;
                     }
                 }
@@ -529,6 +708,11 @@ fn main() -> ExitCode {
         "info" => info(),
         "run" => {
             if !custom_run(&args) {
+                return ExitCode::FAILURE;
+            }
+        }
+        "analyze" => {
+            if !analyze_cmd(&args) {
                 return ExitCode::FAILURE;
             }
         }

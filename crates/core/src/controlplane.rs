@@ -529,6 +529,7 @@ impl ControlPlane {
                 circuit: p.circuit.0,
                 probe: p.id.0,
                 node: next.0,
+                link: lane.link.0,
                 misroute,
             },
         );

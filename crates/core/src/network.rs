@@ -291,6 +291,29 @@ impl WaveNetwork {
         self.data.fabric()
     }
 
+    /// Routers currently doing work, across planes: the wormhole fabric's
+    /// active set plus source nodes with a circuit in use or queued
+    /// (time-series sampler hook; a node busy in both planes counts in
+    /// each).
+    #[must_use]
+    pub fn active_routers(&self) -> u64 {
+        let circuit_sources = self
+            .circ
+            .caches()
+            .iter()
+            .filter(|c| c.iter().any(|e| e.in_use || !e.queue.is_empty()))
+            .count() as u64;
+        self.data.fabric().active_routers() + circuit_sources
+    }
+
+    /// Deliveries completed but not yet drained (read-only peek — the
+    /// time-series sampler observes them between `tick` and the driver's
+    /// drain without perturbing the run).
+    #[must_use]
+    pub fn pending_deliveries(&self) -> &[Delivery] {
+        &self.deliveries
+    }
+
     /// Cycle-kernel work counters: the fabric's scanning effort plus the
     /// inter-plane events this root routed.
     #[must_use]

@@ -288,6 +288,17 @@ impl WormholeFabric {
         now.saturating_sub(self.last_progress)
     }
 
+    /// Routers currently in the active set (a popcount over the active
+    /// bitset — the instantaneous "how much of the network is working"
+    /// gauge the time-series sampler reads each cycle).
+    #[must_use]
+    pub fn active_routers(&self) -> u64 {
+        self.active_bits
+            .iter()
+            .map(|&w| u64::from(w.count_ones()))
+            .sum()
+    }
+
     /// Aggregate statistics.
     #[must_use]
     pub fn stats(&self) -> FabricStats {

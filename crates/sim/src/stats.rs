@@ -257,6 +257,54 @@ impl Histogram {
         u64::MAX
     }
 
+    /// Bucket-interpolated percentile estimate (`p` in `0.0..=100.0`).
+    ///
+    /// Finds the bucket containing rank `p/100 × count` and interpolates
+    /// linearly inside it, with the bucket bounds clamped to the observed
+    /// min/max — so a histogram whose samples all share one value reports
+    /// that value exactly, `percentile(0.0)` is the minimum, and
+    /// `percentile(100.0)` is the maximum. Returns 0.0 when empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = p / 100.0 * n as f64;
+        let (min, max) = (self.acc.min().unwrap_or(0.0), self.acc.max().unwrap_or(0.0));
+        let mut seen = 0u64;
+        for (lo, hi, c) in self.nonzero_buckets() {
+            let prev = seen as f64;
+            seen += c;
+            if seen as f64 >= target {
+                let lo = (lo as f64).max(min);
+                let hi = (hi as f64).min(max);
+                let frac = ((target - prev) / c as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo).max(0.0);
+            }
+        }
+        max
+    }
+
+    /// Median estimate ([`Histogram::percentile`] at 50).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile estimate ([`Histogram::percentile`] at 95).
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile estimate ([`Histogram::percentile`] at 99).
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -514,6 +562,68 @@ mod tests {
         h.merge(&h2);
         assert_eq!(h.count(), 1001);
         assert_eq!(h.max(), 5000);
+    }
+
+    #[test]
+    fn percentile_single_value_is_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(7);
+        }
+        assert_eq!(h.percentile(0.0), 7.0);
+        assert_eq!(h.p50(), 7.0);
+        assert_eq!(h.p95(), 7.0);
+        assert_eq!(h.p99(), 7.0);
+        assert_eq!(h.percentile(100.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_two_point_distribution() {
+        // 50 samples of 1 and 50 samples of 1000: the median sits on the low
+        // value, the extremes are exact, and anything above p50 lands in the
+        // high bucket between its clamped bounds.
+        let mut h = Histogram::new();
+        for _ in 0..50 {
+            h.record(1);
+            h.record(1000);
+        }
+        assert_eq!(h.p50(), 1.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(100.0), 1000.0);
+        let p75 = h.percentile(75.0);
+        assert!((512.0..=1000.0).contains(&p75), "p75 = {p75}");
+    }
+
+    #[test]
+    fn percentile_uniform_within_bucket_resolution() {
+        // Uniform 0..=1023: every estimate must fall within one power-of-two
+        // bucket of the exact order statistic, and estimates are monotone.
+        let mut h = Histogram::new();
+        for x in 0..=1023u64 {
+            h.record(x);
+        }
+        let mut prev = -1.0f64;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let est = h.percentile(p);
+            let exact = (p / 100.0 * 1023.0).round();
+            assert!(est >= prev, "non-monotone at p{p}: {est} < {prev}");
+            // Bucket i spans [2^i, 2^(i+1)), so the estimate can be off by at
+            // most a factor of two from the true order statistic.
+            assert!(
+                est <= exact.max(1.0) * 2.0 && est * 2.0 >= exact,
+                "p{p}: est {est} vs exact {exact}"
+            );
+            prev = est;
+        }
+        assert_eq!(h.percentile(100.0), 1023.0);
+        assert_eq!(h.p50(), 511.0); // cumulative count hits 512 exactly at bucket 8's top
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.p99(), 0.0);
     }
 
     #[test]

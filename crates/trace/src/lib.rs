@@ -38,8 +38,12 @@ pub mod metrics;
 pub mod perfetto;
 pub mod postmortem;
 pub mod recorder;
+pub mod stream;
+pub mod timeseries;
 
 pub use recorder::{FlightRecorder, VecSink};
+pub use stream::JsonlSink;
+pub use timeseries::{WindowRow, WindowSeries};
 
 use wavesim_sim::Cycle;
 
@@ -109,6 +113,10 @@ pub enum TraceEvent {
         probe: u64,
         /// Node the probe arrived at.
         node: u32,
+        /// Physical link of the lane the hop reserved (the wave switch is
+        /// the one named by the probe's `ProbeLaunch`). Together they name
+        /// the reserved lane, which is what lane-occupancy analytics key on.
+        link: u32,
         /// Whether this hop spent misroute budget.
         misroute: bool,
     },
@@ -355,6 +363,14 @@ pub trait TraceSink {
     /// Total records offered to the sink.
     fn total(&self) -> u64 {
         0
+    }
+
+    /// Flushes any buffered state to the sink's backing store. Called once
+    /// when the traced run ends; streaming sinks (see [`stream::JsonlSink`])
+    /// drain their chunk queue and flush the writer here. In-memory sinks
+    /// keep the default no-op.
+    fn finish(&mut self) -> Result<(), String> {
+        Ok(())
     }
 }
 

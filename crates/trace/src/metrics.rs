@@ -64,6 +64,40 @@ impl MetricsPage {
         self.out.push('\n');
     }
 
+    /// Appends a free-form `# <text>` comment line (page-level headers).
+    pub fn comment(&mut self, text: &str) {
+        self.out.push_str("# ");
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    /// Appends a gauge with string labels, e.g. the `wavesim_run_info`
+    /// identity gauge that makes an exported page self-describing. Label
+    /// values have `\` and `"` escaped per the exposition format.
+    pub fn gauge_labeled(&mut self, name: &str, help: &str, labels: &[(&str, String)], value: f64) {
+        let name = sanitize(name);
+        self.header(&name, help, "gauge");
+        self.out.push_str(&name);
+        self.out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(&sanitize(k));
+            self.out.push_str("=\"");
+            for c in v.chars() {
+                match c {
+                    '\\' => self.out.push_str("\\\\"),
+                    '"' => self.out.push_str("\\\""),
+                    '\n' => self.out.push_str("\\n"),
+                    _ => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+        }
+        self.out.push_str(&format!("}} {}\n", fmt_f64(value)));
+    }
+
     /// Appends a monotonic counter.
     pub fn counter(&mut self, name: &str, help: &str, value: u64) {
         let name = sanitize(name);
@@ -105,6 +139,23 @@ impl MetricsPage {
         };
         self.out.push_str(&format!("{name}_sum {}\n", fmt_f64(sum)));
         self.out.push_str(&format!("{name}_count {}\n", h.count()));
+        // Bucket-interpolated percentiles, so readers get the headline
+        // quantiles without re-deriving them from the bucket dump.
+        self.gauge_f64(
+            &format!("{name}_p50"),
+            "Bucket-interpolated 50th percentile.",
+            h.p50(),
+        );
+        self.gauge_f64(
+            &format!("{name}_p95"),
+            "Bucket-interpolated 95th percentile.",
+            h.p95(),
+        );
+        self.gauge_f64(
+            &format!("{name}_p99"),
+            "Bucket-interpolated 99th percentile.",
+            h.p99(),
+        );
     }
 
     /// The rendered exposition text.
@@ -150,6 +201,28 @@ mod tests {
         assert!(text.contains("wavesim_latency_cycles_bucket{le=\"+Inf\"} 6\n"));
         assert!(text.contains("wavesim_latency_cycles_count 6\n"));
         assert!(text.contains("wavesim_latency_cycles_sum 117\n"));
+        assert!(text.contains("# TYPE wavesim_latency_cycles_p50 gauge\n"));
+        assert!(text.contains("wavesim_latency_cycles_p99 "));
+    }
+
+    #[test]
+    fn labeled_gauge_and_comment() {
+        let mut page = MetricsPage::new();
+        page.comment("wavesim run export");
+        page.gauge_labeled(
+            "wavesim_run_info",
+            "Run identity.",
+            &[
+                ("protocol", "clrp".to_string()),
+                ("topology", "16x16 \"mesh\"".to_string()),
+            ],
+            1.0,
+        );
+        let text = page.render();
+        assert!(text.starts_with("# wavesim run export\n"));
+        assert!(text.contains("# TYPE wavesim_run_info gauge\n"));
+        assert!(text
+            .contains("wavesim_run_info{protocol=\"clrp\",topology=\"16x16 \\\"mesh\\\"\"} 1\n"));
     }
 
     #[test]

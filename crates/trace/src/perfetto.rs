@@ -199,12 +199,17 @@ fn shape_of(ev: &TraceEvent) -> Shape {
             circuit,
             probe,
             node,
+            link,
             misroute,
         } => Shape::Instant(
             PlaneId::Control.pid(),
             n(node),
             format!("hop c{circuit}"),
-            vec![("probe", probe.into()), ("misroute", misroute.into())],
+            vec![
+                ("probe", probe.into()),
+                ("link", link.into()),
+                ("misroute", misroute.into()),
+            ],
         ),
         TraceEvent::ProbeBacktrack {
             circuit,
@@ -346,6 +351,16 @@ fn event_json(
 /// the trace horizon.
 #[must_use]
 pub fn export(records: &[TraceRecord]) -> Value {
+    export_with_counters(records, Vec::new())
+}
+
+/// [`export`], plus pre-built counter-track events (`ph: "C"`) appended
+/// after the event stream — the windowed time-series sampler renders its
+/// per-window metrics this way so traces open with overlay graphs (see
+/// [`crate::timeseries::perfetto_counters`]). Counter events live under a
+/// dedicated pid-0 "run metrics" process.
+#[must_use]
+pub fn export_with_counters(records: &[TraceRecord], counters: Vec<Value>) -> Value {
     let mut events: Vec<Value> = Vec::new();
     // (pid, tid) pairs seen, for thread_name metadata; pids seen, for
     // process_name metadata.
@@ -431,6 +446,14 @@ pub fn export(records: &[TraceRecord]) -> Value {
     threads.sort_unstable();
     threads.dedup();
     let mut meta: Vec<Value> = Vec::new();
+    if !counters.is_empty() {
+        meta.push(Value::obj(vec![
+            ("ph", "M".into()),
+            ("pid", 0u64.into()),
+            ("name", "process_name".into()),
+            ("args", Value::obj(vec![("name", "run metrics".into())])),
+        ]));
+    }
     for pid in pids {
         let name = match pid {
             1 => PlaneId::Data.name(),
@@ -457,6 +480,7 @@ pub fn export(records: &[TraceRecord]) -> Value {
         ]));
     }
     meta.extend(events);
+    meta.extend(counters);
 
     Value::obj(vec![
         ("traceEvents", Value::Arr(meta)),
@@ -473,6 +497,8 @@ pub struct PerfettoSummary {
     pub spans: usize,
     /// Instant events.
     pub instants: usize,
+    /// Counter-track samples (`ph: "C"`).
+    pub counters: usize,
 }
 
 fn require_u64(ev: &Value, key: &str, i: usize) -> Result<u64, String> {
@@ -499,6 +525,7 @@ pub fn validate(doc: &Value) -> Result<PerfettoSummary, String> {
     let mut open: HashMap<(String, String), u64> = HashMap::new();
     let mut spans = 0usize;
     let mut instants = 0usize;
+    let mut counters = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev["ph"]
             .as_str()
@@ -515,6 +542,12 @@ pub fn validate(doc: &Value) -> Result<PerfettoSummary, String> {
         require_u64(ev, "tid", i)?;
         match ph {
             "i" => instants += 1,
+            "C" => {
+                if ev["args"].get("value").and_then(Value::as_f64).is_none() {
+                    return Err(format!("event {i}: counter without numeric args.value"));
+                }
+                counters += 1;
+            }
             "b" | "e" => {
                 let cat = ev["cat"]
                     .as_str()
@@ -553,6 +586,7 @@ pub fn validate(doc: &Value) -> Result<PerfettoSummary, String> {
         events: events.len(),
         spans,
         instants,
+        counters,
     })
 }
 

@@ -62,11 +62,13 @@ pub fn record_to_json(rec: &TraceRecord) -> Value {
             circuit,
             probe,
             node,
+            link,
             misroute,
         } => {
             pairs.push(("circuit", circuit.into()));
             pairs.push(("probe", probe.into()));
             pairs.push(("node", node.into()));
+            pairs.push(("link", link.into()));
             pairs.push(("misroute", misroute.into()));
         }
         TraceEvent::ProbeBacktrack {
@@ -247,12 +249,32 @@ pub fn bundle(records: &[TraceRecord], dropped: u64, total: u64, ctx: &StallCont
         Some(vcs) => Value::Arr(vcs.iter().copied().map(vc_json).collect()),
         None => Value::Null,
     };
+    // Headline latency summary over the deliveries the recorder still
+    // holds: bucket-interpolated percentiles, not a raw bucket dump.
+    let mut lat = wavesim_sim::stats::Histogram::new();
+    for rec in records {
+        if let TraceEvent::WormholeDeliver { latency, .. }
+        | TraceEvent::CircuitDeliver { latency, .. } = rec.ev
+        {
+            lat.record(latency);
+        }
+    }
     Value::obj(vec![
         ("kind", "wavesim-postmortem".into()),
         ("version", 1u64.into()),
         ("at", ctx.now.into()),
         ("stall_age", ctx.stall_age.into()),
         ("in_flight_flits", ctx.in_flight.into()),
+        (
+            "latency",
+            Value::obj(vec![
+                ("delivered", lat.count().into()),
+                ("mean", lat.mean().into()),
+                ("p50", lat.p50().into()),
+                ("p95", lat.p95().into()),
+                ("p99", lat.p99().into()),
+            ]),
+        ),
         (
             "wait_for",
             Value::obj(vec![
@@ -344,6 +366,7 @@ mod tests {
                 circuit: 1,
                 probe: 1,
                 node: 1,
+                link: 0,
                 misroute: false,
             },
             TraceEvent::ProbeBacktrack {

@@ -121,6 +121,61 @@ impl TraceSink for VecSink {
     }
 }
 
+/// Fans every record out to two sinks: a *primary* that answers the
+/// snapshot/dropped/total queries (typically a [`FlightRecorder`] so the
+/// post-mortem tail stays available) and a *secondary* that only consumes
+/// (typically a [`crate::stream::JsonlSink`] streaming the full run to
+/// disk). `finish` forwards to both and reports the first failure.
+pub struct TeeSink {
+    primary: Box<dyn TraceSink>,
+    secondary: Box<dyn TraceSink>,
+}
+
+impl TeeSink {
+    /// Tees records into `primary` (which answers queries) and `secondary`.
+    #[must_use]
+    pub fn new(primary: Box<dyn TraceSink>, secondary: Box<dyn TraceSink>) -> Self {
+        Self { primary, secondary }
+    }
+
+    /// The query-answering primary sink.
+    #[must_use]
+    pub fn primary(&self) -> &dyn TraceSink {
+        self.primary.as_ref()
+    }
+
+    /// The consume-only secondary sink.
+    #[must_use]
+    pub fn secondary(&self) -> &dyn TraceSink {
+        self.secondary.as_ref()
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&mut self, rec: TraceRecord) {
+        self.primary.record(rec);
+        self.secondary.record(rec);
+    }
+
+    fn snapshot(&self) -> Vec<TraceRecord> {
+        self.primary.snapshot()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.primary.dropped()
+    }
+
+    fn total(&self) -> u64 {
+        self.primary.total()
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        let a = self.primary.finish();
+        let b = self.secondary.finish();
+        a.and(b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +245,24 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_capacity_rejected() {
         let _ = FlightRecorder::new(0);
+    }
+
+    #[test]
+    fn tee_feeds_both_and_queries_primary() {
+        let mut tee = TeeSink::new(Box::new(FlightRecorder::new(2)), Box::new(VecSink::new()));
+        for i in 0..5 {
+            tee.record(rec(i));
+        }
+        // Queries reflect the ring (primary)…
+        assert_eq!(tee.total(), 5);
+        assert_eq!(tee.dropped(), 3);
+        assert_eq!(
+            tee.snapshot().iter().map(|r| r.seq).collect::<Vec<_>>(),
+            [3, 4]
+        );
+        // …while the secondary saw the full stream.
+        assert_eq!(tee.secondary().total(), 5);
+        assert!(tee.finish().is_ok());
     }
 
     #[test]

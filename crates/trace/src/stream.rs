@@ -1,0 +1,766 @@
+//! Lossless streaming JSONL capture.
+//!
+//! The flight recorder keeps the *last N* records; paper-scale runs need
+//! the *whole* stream. [`JsonlSink`] writes one JSON object per line,
+//! using the same schema as [`crate::postmortem::record_to_json`], so a
+//! captured file round-trips back into [`TraceRecord`]s via
+//! [`read_jsonl`].
+//!
+//! Memory stays bounded and the hot path stays cheap: `record` appends the
+//! `Copy` record to an in-progress chunk, and full chunks are handed to a
+//! dedicated writer thread over a bounded channel. Encoding and file I/O
+//! happen entirely off the simulation thread; if the writer falls behind,
+//! the bounded channel applies backpressure instead of growing without
+//! limit. [`TraceSink::finish`] drains the queue and flushes the writer.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use wavesim_json::Value;
+
+use crate::{PlaneId, TraceEvent, TraceRecord, TraceSink};
+
+/// Records per chunk handed to the writer thread.
+const CHUNK_RECORDS: usize = 8192;
+/// Chunks the bounded queue may hold before the hot path blocks.
+const QUEUE_CHUNKS: usize = 8;
+
+/// Streaming JSONL trace sink: one line per record, written by a
+/// background thread, bounded memory, lossless.
+///
+/// Retains nothing in memory (`snapshot` is empty); pair it with a ring
+/// buffer via [`TeeSink`](crate::recorder::TeeSink) when the post-mortem
+/// machinery also needs a tail snapshot.
+pub struct JsonlSink<W: Write + Send + 'static> {
+    tx: Option<SyncSender<Vec<TraceRecord>>>,
+    handle: Option<JoinHandle<io::Result<W>>>,
+    chunk: Vec<TraceRecord>,
+    chunk_cap: usize,
+    total: u64,
+    lost: u64,
+    error: Option<String>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) `path` and streams records to it.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::new(BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send + 'static> JsonlSink<W> {
+    /// Streams records to `writer` with the default chunk size.
+    pub fn new(writer: W) -> Self {
+        Self::with_chunk(writer, CHUNK_RECORDS)
+    }
+
+    /// Streams records to `writer`, handing off every `chunk_cap` records.
+    ///
+    /// # Panics
+    /// Panics if `chunk_cap` is zero.
+    pub fn with_chunk(writer: W, chunk_cap: usize) -> Self {
+        assert!(chunk_cap > 0, "chunk capacity must be positive");
+        let (tx, rx) = sync_channel(QUEUE_CHUNKS);
+        let handle = std::thread::spawn(move || writer_loop(writer, &rx));
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+            chunk: Vec::with_capacity(chunk_cap),
+            chunk_cap,
+            total: 0,
+            lost: 0,
+            error: None,
+        }
+    }
+
+    /// Hands the in-progress chunk to the writer thread.
+    fn flush_chunk(&mut self) {
+        if self.chunk.is_empty() {
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            let full = std::mem::replace(&mut self.chunk, Vec::with_capacity(self.chunk_cap));
+            if tx.send(full).is_err() {
+                // The writer thread died (I/O error); the error surfaces on
+                // finish. Stop sending and count what we could not persist.
+                self.tx = None;
+                self.lost += self.chunk_cap as u64;
+            }
+        } else {
+            self.lost += self.chunk.len() as u64;
+            self.chunk.clear();
+        }
+    }
+
+    /// Stops the writer thread and collects its result.
+    fn shutdown(&mut self) -> Result<Option<W>, String> {
+        self.flush_chunk();
+        drop(self.tx.take());
+        let Some(handle) = self.handle.take() else {
+            return match self.error.take() {
+                Some(e) => Err(e),
+                None => Ok(None),
+            };
+        };
+        match handle.join() {
+            Ok(Ok(w)) => {
+                if self.lost > 0 {
+                    Err(format!("trace stream lost {} records", self.lost))
+                } else {
+                    Ok(Some(w))
+                }
+            }
+            Ok(Err(e)) => Err(format!("trace stream i/o error: {e}")),
+            Err(_) => Err("trace stream writer thread panicked".into()),
+        }
+    }
+
+    /// Finishes the stream and returns the underlying writer (tests use
+    /// this to inspect an in-memory capture).
+    pub fn finish_into(mut self) -> Result<W, String> {
+        match self.shutdown() {
+            Ok(Some(w)) => Ok(w),
+            Ok(None) => Err("stream already finished".into()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl<W: Write + Send + 'static> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: TraceRecord) {
+        self.total += 1;
+        self.chunk.push(rec);
+        if self.chunk.len() >= self.chunk_cap {
+            self.flush_chunk();
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.lost
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        let res = self.shutdown().map(|_| ());
+        if let Err(e) = &res {
+            self.error = Some(e.clone());
+        }
+        res
+    }
+}
+
+impl<W: Write + Send + 'static> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Best effort: never panic in drop; finish() reports errors.
+        let _ = self.shutdown();
+    }
+}
+
+/// The writer thread: encodes chunks to JSONL and writes them out.
+fn writer_loop<W: Write>(mut w: W, rx: &Receiver<Vec<TraceRecord>>) -> io::Result<W> {
+    let mut text = String::with_capacity(64 * 1024);
+    for chunk in rx {
+        text.clear();
+        for rec in &chunk {
+            encode_record(&mut text, rec);
+            text.push('\n');
+        }
+        w.write_all(text.as_bytes())?;
+    }
+    w.flush()?;
+    Ok(w)
+}
+
+/// A field value the fast encoder knows how to append. Implemented for
+/// the handful of primitive types [`TraceEvent`] fields use.
+trait PushJson {
+    fn push_json(self, buf: &mut String);
+}
+
+/// Appends `v` in decimal without going through `core::fmt` — the
+/// formatting machinery costs ~3× the digits themselves, and the writer
+/// thread encodes every record of a traced run.
+fn push_u64(buf: &mut String, mut v: u64) {
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // SAFETY-free: tmp[i..] is ASCII digits by construction.
+    buf.push_str(std::str::from_utf8(&tmp[i..]).expect("ascii digits"));
+}
+
+impl PushJson for u64 {
+    fn push_json(self, buf: &mut String) {
+        push_u64(buf, self);
+    }
+}
+
+impl PushJson for u32 {
+    fn push_json(self, buf: &mut String) {
+        push_u64(buf, u64::from(self));
+    }
+}
+
+impl PushJson for u8 {
+    fn push_json(self, buf: &mut String) {
+        push_u64(buf, u64::from(self));
+    }
+}
+
+impl PushJson for bool {
+    fn push_json(self, buf: &mut String) {
+        buf.push_str(if self { "true" } else { "false" });
+    }
+}
+
+/// Appends `,"<name>":<value>` for each listed field binding; the JSON
+/// key is the field's own name, matching `postmortem::record_to_json`.
+macro_rules! push_fields {
+    ($buf:expr $(, $field:ident)+ $(,)?) => {
+        $(
+            $buf.push_str(concat!(",\"", stringify!($field), "\":"));
+            $field.push_json($buf);
+        )+
+    };
+}
+
+/// Appends one record as a compact JSON object (no trailing newline).
+///
+/// Byte-identical to `postmortem::record_to_json(rec).compact()` — the
+/// hand-rolled encoder exists because the writer thread must keep up with
+/// the full event rate of a traced run without allocating a [`Value`] tree
+/// per record (and without paying `core::fmt` per integer).
+pub fn encode_record(buf: &mut String, rec: &TraceRecord) {
+    buf.push_str("{\"at\":");
+    push_u64(buf, rec.at);
+    buf.push_str(",\"seq\":");
+    push_u64(buf, rec.seq);
+    buf.push_str(",\"type\":\"");
+    buf.push_str(rec.ev.kind());
+    buf.push('"');
+    match rec.ev {
+        TraceEvent::PlaneTick { plane } => {
+            buf.push_str(",\"plane\":\"");
+            buf.push_str(plane.name());
+            buf.push('"');
+        }
+        TraceEvent::ProbeLaunch {
+            circuit,
+            src,
+            dest,
+            switch,
+            force,
+        } => {
+            push_fields!(buf, circuit, src, dest, switch, force);
+        }
+        TraceEvent::ProbeHop {
+            circuit,
+            probe,
+            node,
+            link,
+            misroute,
+        } => {
+            push_fields!(buf, circuit, probe, node, link, misroute);
+        }
+        TraceEvent::ProbeBacktrack {
+            circuit,
+            probe,
+            node,
+        } => {
+            push_fields!(buf, circuit, probe, node);
+        }
+        TraceEvent::ProbePark {
+            circuit,
+            probe,
+            node,
+            victim,
+        } => {
+            push_fields!(buf, circuit, probe, node, victim);
+        }
+        TraceEvent::ProbeReached {
+            circuit,
+            probe,
+            dest,
+            steps,
+        } => {
+            push_fields!(buf, circuit, probe, dest, steps);
+        }
+        TraceEvent::ProbeExhausted {
+            circuit,
+            src,
+            switch,
+            force,
+        } => {
+            push_fields!(buf, circuit, src, switch, force);
+        }
+        TraceEvent::CircuitEstablished {
+            circuit,
+            src,
+            dest,
+            hops,
+        } => {
+            push_fields!(buf, circuit, src, dest, hops);
+        }
+        TraceEvent::CircuitReleased { circuit } | TraceEvent::CircuitAbandoned { circuit } => {
+            push_fields!(buf, circuit);
+        }
+        TraceEvent::ForcedRelease { circuit, src } => {
+            push_fields!(buf, circuit, src);
+        }
+        TraceEvent::CacheHit {
+            node,
+            dest,
+            circuit,
+        } => {
+            push_fields!(buf, node, dest, circuit);
+        }
+        TraceEvent::CacheMiss { node, dest } => {
+            push_fields!(buf, node, dest);
+        }
+        TraceEvent::CacheEvict {
+            node,
+            victim_dest,
+            circuit,
+        } => {
+            push_fields!(buf, node, victim_dest, circuit);
+        }
+        TraceEvent::TransferStart {
+            circuit,
+            msg,
+            src,
+            dest,
+            len_flits,
+        } => {
+            push_fields!(buf, circuit, msg, src, dest, len_flits);
+        }
+        TraceEvent::WormholeInject {
+            msg,
+            src,
+            dest,
+            len_flits,
+        } => {
+            push_fields!(buf, msg, src, dest, len_flits);
+        }
+        TraceEvent::WormholeDeliver {
+            msg,
+            src,
+            dest,
+            latency,
+        }
+        | TraceEvent::CircuitDeliver {
+            msg,
+            src,
+            dest,
+            latency,
+        } => {
+            push_fields!(buf, msg, src, dest, latency);
+        }
+        TraceEvent::LaneFault { link, switch } | TraceEvent::LaneRepair { link, switch } => {
+            push_fields!(buf, link, switch);
+        }
+        TraceEvent::CircuitBroken { circuit, src, dest } => {
+            push_fields!(buf, circuit, src, dest);
+        }
+        TraceEvent::EstablishRetry {
+            circuit,
+            src,
+            dest,
+            attempt,
+        } => {
+            push_fields!(buf, circuit, src, dest, attempt);
+        }
+    }
+    buf.push('}');
+}
+
+/// Parses one JSONL object back into a [`TraceRecord`].
+pub fn record_from_json(v: &Value) -> Result<TraceRecord, String> {
+    let at = num(v, "at")?;
+    let seq = num(v, "seq")?;
+    let kind = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or("missing `type` field")?;
+    let ev = match kind {
+        "plane_tick" => TraceEvent::PlaneTick {
+            plane: plane_from_name(txt(v, "plane")?)?,
+        },
+        "probe_launch" => TraceEvent::ProbeLaunch {
+            circuit: num(v, "circuit")?,
+            src: num32(v, "src")?,
+            dest: num32(v, "dest")?,
+            switch: num8(v, "switch")?,
+            force: flag(v, "force")?,
+        },
+        "probe_hop" => TraceEvent::ProbeHop {
+            circuit: num(v, "circuit")?,
+            probe: num(v, "probe")?,
+            node: num32(v, "node")?,
+            link: num32(v, "link")?,
+            misroute: flag(v, "misroute")?,
+        },
+        "probe_backtrack" => TraceEvent::ProbeBacktrack {
+            circuit: num(v, "circuit")?,
+            probe: num(v, "probe")?,
+            node: num32(v, "node")?,
+        },
+        "probe_park" => TraceEvent::ProbePark {
+            circuit: num(v, "circuit")?,
+            probe: num(v, "probe")?,
+            node: num32(v, "node")?,
+            victim: num(v, "victim")?,
+        },
+        "probe_reached" => TraceEvent::ProbeReached {
+            circuit: num(v, "circuit")?,
+            probe: num(v, "probe")?,
+            dest: num32(v, "dest")?,
+            steps: num(v, "steps")?,
+        },
+        "probe_exhausted" => TraceEvent::ProbeExhausted {
+            circuit: num(v, "circuit")?,
+            src: num32(v, "src")?,
+            switch: num8(v, "switch")?,
+            force: flag(v, "force")?,
+        },
+        "circuit_established" => TraceEvent::CircuitEstablished {
+            circuit: num(v, "circuit")?,
+            src: num32(v, "src")?,
+            dest: num32(v, "dest")?,
+            hops: num32(v, "hops")?,
+        },
+        "circuit_released" => TraceEvent::CircuitReleased {
+            circuit: num(v, "circuit")?,
+        },
+        "circuit_abandoned" => TraceEvent::CircuitAbandoned {
+            circuit: num(v, "circuit")?,
+        },
+        "forced_release" => TraceEvent::ForcedRelease {
+            circuit: num(v, "circuit")?,
+            src: num32(v, "src")?,
+        },
+        "cache_hit" => TraceEvent::CacheHit {
+            node: num32(v, "node")?,
+            dest: num32(v, "dest")?,
+            circuit: num(v, "circuit")?,
+        },
+        "cache_miss" => TraceEvent::CacheMiss {
+            node: num32(v, "node")?,
+            dest: num32(v, "dest")?,
+        },
+        "cache_evict" => TraceEvent::CacheEvict {
+            node: num32(v, "node")?,
+            victim_dest: num32(v, "victim_dest")?,
+            circuit: num(v, "circuit")?,
+        },
+        "transfer_start" => TraceEvent::TransferStart {
+            circuit: num(v, "circuit")?,
+            msg: num(v, "msg")?,
+            src: num32(v, "src")?,
+            dest: num32(v, "dest")?,
+            len_flits: num32(v, "len_flits")?,
+        },
+        "wormhole_inject" => TraceEvent::WormholeInject {
+            msg: num(v, "msg")?,
+            src: num32(v, "src")?,
+            dest: num32(v, "dest")?,
+            len_flits: num32(v, "len_flits")?,
+        },
+        "wormhole_deliver" => TraceEvent::WormholeDeliver {
+            msg: num(v, "msg")?,
+            src: num32(v, "src")?,
+            dest: num32(v, "dest")?,
+            latency: num(v, "latency")?,
+        },
+        "circuit_deliver" => TraceEvent::CircuitDeliver {
+            msg: num(v, "msg")?,
+            src: num32(v, "src")?,
+            dest: num32(v, "dest")?,
+            latency: num(v, "latency")?,
+        },
+        "lane_fault" => TraceEvent::LaneFault {
+            link: num32(v, "link")?,
+            switch: num8(v, "switch")?,
+        },
+        "lane_repair" => TraceEvent::LaneRepair {
+            link: num32(v, "link")?,
+            switch: num8(v, "switch")?,
+        },
+        "circuit_broken" => TraceEvent::CircuitBroken {
+            circuit: num(v, "circuit")?,
+            src: num32(v, "src")?,
+            dest: num32(v, "dest")?,
+        },
+        "establish_retry" => TraceEvent::EstablishRetry {
+            circuit: num(v, "circuit")?,
+            src: num32(v, "src")?,
+            dest: num32(v, "dest")?,
+            attempt: num8(v, "attempt")?,
+        },
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    Ok(TraceRecord { at, seq, ev })
+}
+
+/// Parses a whole JSONL text back into records, oldest first.
+///
+/// Blank lines are skipped; any malformed line fails the whole parse with
+/// its 1-based line number.
+pub fn read_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(record_from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// Reads and parses a JSONL trace file.
+pub fn read_jsonl_file(path: &Path) -> Result<Vec<TraceRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    read_jsonl(&text)
+}
+
+fn plane_from_name(name: &str) -> Result<PlaneId, String> {
+    match name {
+        "wormhole plane" => Ok(PlaneId::Data),
+        "control plane" => Ok(PlaneId::Control),
+        "circuit plane" => Ok(PlaneId::Circuit),
+        other => Err(format!("unknown plane `{other}`")),
+    }
+}
+
+fn num(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn num32(v: &Value, key: &str) -> Result<u32, String> {
+    u32::try_from(num(v, key)?).map_err(|_| format!("field `{key}` out of u32 range"))
+}
+
+fn num8(v: &Value, key: &str) -> Result<u8, String> {
+    u8::try_from(num(v, key)?).map_err(|_| format!("field `{key}` out of u8 range"))
+}
+
+fn flag(v: &Value, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| format!("missing or non-bool field `{key}`"))
+}
+
+fn txt<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postmortem::record_to_json;
+
+    /// One record of every event kind, with distinctive field values.
+    fn sample_records() -> Vec<TraceRecord> {
+        let evs = vec![
+            TraceEvent::PlaneTick {
+                plane: PlaneId::Circuit,
+            },
+            TraceEvent::ProbeLaunch {
+                circuit: 9,
+                src: 3,
+                dest: 12,
+                switch: 2,
+                force: true,
+            },
+            TraceEvent::ProbeHop {
+                circuit: 9,
+                probe: 4,
+                node: 7,
+                link: 21,
+                misroute: true,
+            },
+            TraceEvent::ProbeBacktrack {
+                circuit: 9,
+                probe: 4,
+                node: 3,
+            },
+            TraceEvent::ProbePark {
+                circuit: 9,
+                probe: 4,
+                node: 7,
+                victim: 2,
+            },
+            TraceEvent::ProbeReached {
+                circuit: 9,
+                probe: 4,
+                dest: 12,
+                steps: 11,
+            },
+            TraceEvent::ProbeExhausted {
+                circuit: 9,
+                src: 3,
+                switch: 2,
+                force: false,
+            },
+            TraceEvent::CircuitEstablished {
+                circuit: 9,
+                src: 3,
+                dest: 12,
+                hops: 5,
+            },
+            TraceEvent::CircuitReleased { circuit: 9 },
+            TraceEvent::CircuitAbandoned { circuit: 9 },
+            TraceEvent::ForcedRelease { circuit: 9, src: 3 },
+            TraceEvent::CacheHit {
+                node: 3,
+                dest: 12,
+                circuit: 9,
+            },
+            TraceEvent::CacheMiss { node: 3, dest: 12 },
+            TraceEvent::CacheEvict {
+                node: 3,
+                victim_dest: 8,
+                circuit: 5,
+            },
+            TraceEvent::TransferStart {
+                circuit: 9,
+                msg: 77,
+                src: 3,
+                dest: 12,
+                len_flits: 32,
+            },
+            TraceEvent::WormholeInject {
+                msg: 78,
+                src: 3,
+                dest: 12,
+                len_flits: 32,
+            },
+            TraceEvent::WormholeDeliver {
+                msg: 78,
+                src: 3,
+                dest: 12,
+                latency: 140,
+            },
+            TraceEvent::CircuitDeliver {
+                msg: 77,
+                src: 3,
+                dest: 12,
+                latency: 90,
+            },
+            TraceEvent::LaneFault {
+                link: 21,
+                switch: 2,
+            },
+            TraceEvent::LaneRepair {
+                link: 21,
+                switch: 2,
+            },
+            TraceEvent::CircuitBroken {
+                circuit: 9,
+                src: 3,
+                dest: 12,
+            },
+            TraceEvent::EstablishRetry {
+                circuit: 10,
+                src: 3,
+                dest: 12,
+                attempt: 1,
+            },
+        ];
+        evs.into_iter()
+            .enumerate()
+            .map(|(i, ev)| TraceRecord {
+                at: 100 + i as u64,
+                seq: i as u64,
+                ev,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_encoder_matches_postmortem_json() {
+        for rec in sample_records() {
+            let mut fast = String::new();
+            encode_record(&mut fast, &rec);
+            assert_eq!(fast, record_to_json(&rec).compact(), "{}", rec.ev.kind());
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let recs = sample_records();
+        let mut text = String::new();
+        for rec in &recs {
+            encode_record(&mut text, rec);
+            text.push('\n');
+        }
+        let back = read_jsonl(&text).expect("parse");
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn sink_streams_all_records_through_small_chunks() {
+        let recs = sample_records();
+        let mut sink = JsonlSink::with_chunk(Vec::new(), 3);
+        for rec in &recs {
+            sink.record(*rec);
+        }
+        assert_eq!(sink.total(), recs.len() as u64);
+        let bytes = sink.finish_into().expect("finish");
+        let back = read_jsonl(std::str::from_utf8(&bytes).unwrap()).expect("parse");
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn trait_finish_flushes_and_is_idempotent() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(TraceRecord {
+            at: 1,
+            seq: 0,
+            ev: TraceEvent::CircuitReleased { circuit: 1 },
+        });
+        assert!(TraceSink::finish(&mut sink).is_ok());
+        assert!(TraceSink::finish(&mut sink).is_ok());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn reader_rejects_garbage_with_line_number() {
+        let err = read_jsonl("{\"at\":1,\"seq\":0,\"type\":\"nope\"}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("unknown event kind"), "{err}");
+        let err = read_jsonl("not json").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn reader_skips_blank_lines() {
+        let rec = TraceRecord {
+            at: 4,
+            seq: 0,
+            ev: TraceEvent::CacheMiss { node: 1, dest: 2 },
+        };
+        let mut text = String::from("\n");
+        encode_record(&mut text, &rec);
+        text.push_str("\n\n");
+        assert_eq!(read_jsonl(&text).unwrap(), vec![rec]);
+    }
+}

@@ -1,0 +1,371 @@
+//! Windowed time-series sampling.
+//!
+//! A [`WindowSeries`] folds a run into fixed-width cycle windows and
+//! reports, per window: delivered messages and flits, throughput
+//! (flits/node/cycle), p50/p99 delivery latency, circuit-cache hit rate,
+//! and the peak active-router count. The bench driver feeds one live
+//! (`wavesim-bench` observes the network each cycle); the analyzer derives
+//! the same series offline from a captured trace stream. Rows export as
+//! CSV, JSON, and Perfetto counter tracks
+//! ([`crate::perfetto::export_with_counters`]).
+//!
+//! Windows are half-open `[start, start + window)`; a trailing partial
+//! window is emitted by [`WindowSeries::finish`] with its real `end` so
+//! rates stay honest.
+
+use std::fmt::Write as _;
+
+use wavesim_json::Value;
+use wavesim_sim::stats::Histogram;
+use wavesim_sim::Cycle;
+
+/// One closed sampling window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRow {
+    /// First cycle of the window (inclusive).
+    pub start: Cycle,
+    /// End of the window (exclusive).
+    pub end: Cycle,
+    /// Messages delivered inside the window.
+    pub delivered: u64,
+    /// Flits delivered inside the window.
+    pub flits: u64,
+    /// Median delivery latency of the window's deliveries (0 when none).
+    pub p50: f64,
+    /// 99th-percentile delivery latency (0 when none).
+    pub p99: f64,
+    /// Circuit-cache hits observed in the window.
+    pub cache_hits: u64,
+    /// Circuit-cache misses observed in the window.
+    pub cache_misses: u64,
+    /// Peak simultaneously-active router count observed in the window.
+    pub active_routers: u64,
+}
+
+impl WindowRow {
+    /// Delivered flits per node per cycle over the window.
+    #[must_use]
+    pub fn throughput(&self, nodes: u64) -> f64 {
+        let span = self.end.saturating_sub(self.start);
+        if span == 0 || nodes == 0 {
+            return 0.0;
+        }
+        self.flits as f64 / (span as f64 * nodes as f64)
+    }
+
+    /// Cache hit rate over the window (0 when the cache was idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
+/// Streaming window accumulator. Feed observations in non-decreasing
+/// cycle order; closed windows accumulate in [`WindowSeries::rows`].
+#[derive(Debug)]
+pub struct WindowSeries {
+    window: u64,
+    nodes: u64,
+    start: Cycle,
+    lat: Histogram,
+    delivered: u64,
+    flits: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    active_peak: u64,
+    rows: Vec<WindowRow>,
+}
+
+impl WindowSeries {
+    /// A series with `window`-cycle windows over a `nodes`-node network.
+    ///
+    /// # Panics
+    /// Panics if `window` or `nodes` is zero.
+    #[must_use]
+    pub fn new(window: u64, nodes: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(nodes > 0, "node count must be positive");
+        Self {
+            window,
+            nodes,
+            start: 0,
+            lat: Histogram::new(),
+            delivered: 0,
+            flits: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            active_peak: 0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Window width in cycles.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Node count used for throughput normalization.
+    #[must_use]
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Windows closed so far, oldest first.
+    #[must_use]
+    pub fn rows(&self) -> &[WindowRow] {
+        &self.rows
+    }
+
+    fn close_window(&mut self) {
+        let end = self.start + self.window;
+        self.rows.push(WindowRow {
+            start: self.start,
+            end,
+            delivered: self.delivered,
+            flits: self.flits,
+            p50: self.lat.p50(),
+            p99: self.lat.p99(),
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            active_routers: self.active_peak,
+        });
+        self.start = end;
+        self.lat = Histogram::new();
+        self.delivered = 0;
+        self.flits = 0;
+        self.cache_hits = 0;
+        self.cache_misses = 0;
+        self.active_peak = 0;
+    }
+
+    fn roll_to(&mut self, now: Cycle) {
+        while now >= self.start + self.window {
+            self.close_window();
+        }
+    }
+
+    /// Per-cycle observation: current active-router count plus the cache
+    /// hit/miss activity since the previous observation.
+    pub fn observe(&mut self, now: Cycle, active_routers: u64, hits_delta: u64, misses_delta: u64) {
+        self.roll_to(now);
+        self.active_peak = self.active_peak.max(active_routers);
+        self.cache_hits += hits_delta;
+        self.cache_misses += misses_delta;
+    }
+
+    /// Records one delivered message.
+    pub fn record_delivery(&mut self, at: Cycle, latency: u64, flits: u64) {
+        self.roll_to(at);
+        self.lat.record(latency);
+        self.delivered += 1;
+        self.flits += flits;
+    }
+
+    /// Closes out the series at `end` (exclusive) and returns all rows.
+    /// A trailing partial window keeps its real `end`.
+    #[must_use]
+    pub fn finish(mut self, end: Cycle) -> Vec<WindowRow> {
+        self.roll_to(end.min(Cycle::MAX - self.window));
+        if end > self.start {
+            let had_content = self.delivered > 0
+                || self.cache_hits + self.cache_misses > 0
+                || self.active_peak > 0;
+            if had_content {
+                self.rows.push(WindowRow {
+                    start: self.start,
+                    end,
+                    delivered: self.delivered,
+                    flits: self.flits,
+                    p50: self.lat.p50(),
+                    p99: self.lat.p99(),
+                    cache_hits: self.cache_hits,
+                    cache_misses: self.cache_misses,
+                    active_routers: self.active_peak,
+                });
+            }
+        }
+        self.rows
+    }
+}
+
+/// Renders rows as CSV (header + one line per window, `{:.4}` floats for
+/// byte stability).
+#[must_use]
+pub fn to_csv(rows: &[WindowRow], nodes: u64) -> String {
+    let mut out = String::from(
+        "start,end,delivered,flits,throughput,p50_latency,p99_latency,\
+         cache_hits,cache_misses,cache_hit_rate,active_routers\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.6},{:.4},{:.4},{},{},{:.4},{}",
+            r.start,
+            r.end,
+            r.delivered,
+            r.flits,
+            r.throughput(nodes),
+            r.p50,
+            r.p99,
+            r.cache_hits,
+            r.cache_misses,
+            r.hit_rate(),
+            r.active_routers,
+        );
+    }
+    out
+}
+
+/// Renders rows as a JSON array of window objects.
+#[must_use]
+pub fn to_json(rows: &[WindowRow], nodes: u64) -> Value {
+    Value::Arr(
+        rows.iter()
+            .map(|r| {
+                Value::obj(vec![
+                    ("start", r.start.into()),
+                    ("end", r.end.into()),
+                    ("delivered", r.delivered.into()),
+                    ("flits", r.flits.into()),
+                    ("throughput", r.throughput(nodes).into()),
+                    ("p50_latency", r.p50.into()),
+                    ("p99_latency", r.p99.into()),
+                    ("cache_hits", r.cache_hits.into()),
+                    ("cache_misses", r.cache_misses.into()),
+                    ("cache_hit_rate", r.hit_rate().into()),
+                    ("active_routers", r.active_routers.into()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Builds Perfetto counter-track events (`ph: "C"`) from rows, one sample
+/// per window start per metric, for
+/// [`crate::perfetto::export_with_counters`].
+#[must_use]
+pub fn perfetto_counters(rows: &[WindowRow], nodes: u64) -> Vec<Value> {
+    let mut out = Vec::with_capacity(rows.len() * 5);
+    let mut push = |ts: Cycle, name: &str, value: f64| {
+        out.push(Value::obj(vec![
+            ("ph", "C".into()),
+            ("ts", ts.into()),
+            ("pid", 0u64.into()),
+            ("tid", 0u64.into()),
+            ("name", name.into()),
+            ("args", Value::obj(vec![("value", value.into())])),
+        ]));
+    };
+    for r in rows {
+        push(
+            r.start,
+            "throughput (flits/node/cycle)",
+            r.throughput(nodes),
+        );
+        push(r.start, "p50 latency (cycles)", r.p50);
+        push(r.start, "p99 latency (cycles)", r.p99);
+        push(r.start, "cache hit rate", r.hit_rate());
+        push(r.start, "active routers", r.active_routers as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfetto;
+
+    #[test]
+    fn windows_roll_and_aggregate() {
+        let mut s = WindowSeries::new(100, 4);
+        s.observe(0, 2, 1, 1);
+        s.record_delivery(10, 40, 8);
+        s.record_delivery(90, 60, 8);
+        s.observe(150, 3, 4, 0);
+        s.record_delivery(150, 50, 8);
+        let rows = s.finish(200);
+        assert_eq!(rows.len(), 2);
+        let w0 = &rows[0];
+        assert_eq!((w0.start, w0.end), (0, 100));
+        assert_eq!(w0.delivered, 2);
+        assert_eq!(w0.flits, 16);
+        assert_eq!(w0.cache_hits, 1);
+        assert_eq!(w0.cache_misses, 1);
+        assert_eq!(w0.active_routers, 2);
+        assert!((w0.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((w0.throughput(4) - 16.0 / 400.0).abs() < 1e-12);
+        assert!(w0.p50 >= 40.0 && w0.p99 <= 63.0);
+        let w1 = &rows[1];
+        assert_eq!((w1.start, w1.end), (100, 200));
+        assert_eq!(w1.delivered, 1);
+        assert_eq!(w1.active_routers, 3);
+    }
+
+    #[test]
+    fn empty_windows_between_activity_are_kept() {
+        let mut s = WindowSeries::new(10, 1);
+        s.record_delivery(5, 3, 1);
+        s.record_delivery(35, 3, 1);
+        let rows = s.finish(40);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[1].delivered, 0);
+        assert_eq!(rows[2].delivered, 0);
+        assert_eq!(rows[3].delivered, 1);
+    }
+
+    #[test]
+    fn trailing_partial_window_keeps_real_end() {
+        let mut s = WindowSeries::new(100, 1);
+        s.record_delivery(105, 9, 2);
+        let rows = s.finish(150);
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[1].start, rows[1].end), (100, 150));
+        assert!((rows[1].throughput(1) - 2.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiet_trailing_partial_is_dropped() {
+        let mut s = WindowSeries::new(100, 1);
+        s.record_delivery(5, 9, 2);
+        let rows = s.finish(150);
+        assert_eq!(rows.len(), 1, "empty 50-cycle tail should not add a row");
+    }
+
+    #[test]
+    fn csv_and_json_agree_on_row_count() {
+        let mut s = WindowSeries::new(50, 2);
+        s.record_delivery(10, 5, 4);
+        s.record_delivery(60, 7, 4);
+        let rows = s.finish(100);
+        let csv = to_csv(&rows, 2);
+        assert_eq!(csv.lines().count(), 1 + rows.len());
+        assert!(csv.starts_with("start,end,delivered"));
+        let json = to_json(&rows, 2);
+        assert_eq!(json.as_array().unwrap().len(), rows.len());
+        assert_eq!(json[0]["delivered"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn counter_events_validate_inside_export() {
+        let mut s = WindowSeries::new(50, 2);
+        s.observe(0, 1, 1, 0);
+        s.record_delivery(10, 5, 4);
+        let rows = s.finish(50);
+        let counters = perfetto_counters(&rows, 2);
+        assert_eq!(counters.len(), 5 * rows.len());
+        let doc = perfetto::export_with_counters(&[], counters);
+        let sum = perfetto::validate(&doc).expect("valid");
+        assert_eq!(sum.counters, 5 * rows.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = WindowSeries::new(0, 1);
+    }
+}

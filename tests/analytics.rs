@@ -1,0 +1,137 @@
+//! The trace-analytics engine, end to end: the analyzer report is pinned
+//! and byte-identical across sweep parallelism, the JSONL stream encodes
+//! records losslessly, and the reconstructed latency waterfalls agree
+//! with the simulator's own delivery accounting at evaluation scale.
+
+use wavesim::core::{WaveConfig, WaveNetwork};
+use wavesim::topology::Topology;
+use wavesim::trace::stream::{self, JsonlSink};
+use wavesim::trace::{TraceRecord, TraceSink, VecSink};
+use wavesim::workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
+use wavesim_analyze::{analyze, report, AnalyzeOptions};
+use wavesim_bench::{run_open_loop, runner::ParallelSweep, RunSpec};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn golden_check(name: &str, got: u64, want: u64) {
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("GOLDEN {name} = 0x{got:016x}");
+        return;
+    }
+    assert_eq!(
+        got, want,
+        "{name}: analyzer output changed (got 0x{got:016x}, want 0x{want:016x}); \
+         re-capture with GOLDEN_PRINT=1 only if the report change is intentional"
+    );
+}
+
+/// Runs one fully traced CLRP workload and returns the captured records.
+/// Everything derives from the arguments, so sweep workers reproduce it
+/// bit-for-bit regardless of scheduling.
+fn traced_run(side: u16, seed: u64, warmup: u64, cycles: u64) -> (Vec<TraceRecord>, f64, u64) {
+    let topo = Topology::mesh(&[side, side]);
+    let mut net = WaveNetwork::new(
+        topo.clone(),
+        WaveConfig {
+            seed,
+            ..WaveConfig::default()
+        },
+    );
+    net.install_trace_sink(Box::new(VecSink::new()));
+    let mut src = TrafficSource::new(
+        topo,
+        TrafficConfig {
+            load: 0.2,
+            pattern: TrafficPattern::HotPairs {
+                partners: 3,
+                locality: 0.7,
+            },
+            len: LengthDist::Fixed(32),
+            seed,
+            stop_at: u64::MAX,
+        },
+    );
+    let r = run_open_loop(&mut net, &mut src, RunSpec::standard(warmup, cycles));
+    let records = net.take_trace_sink().expect("sink installed").snapshot();
+    (records, r.avg_latency, r.delivered)
+}
+
+/// The 2×2 CLRP analyzer report is byte-identical whether the sweep runs
+/// on one worker or four, and its bytes are pinned: any change to event
+/// capture, span reconstruction, sorting, or formatting flips this hash.
+#[test]
+fn golden_analyzer_report_is_stable_across_sweep_parallelism() {
+    let seeds = [1u64, 2, 3, 4];
+    let render = |_: usize, &seed: &u64| {
+        let (records, _, _) = traced_run(2, seed, 100, 600);
+        report::render(&analyze(&records, AnalyzeOptions::default()))
+    };
+    let one = ParallelSweep::new(1).run(&seeds, render);
+    let four = ParallelSweep::new(4).run(&seeds, render);
+    assert_eq!(one, four, "report must not depend on worker count");
+    golden_check(
+        "analyze_2x2_clrp_report",
+        hash_str(&one.join("\n")),
+        0xb32c_7db0_1d29_f6e3,
+    );
+}
+
+/// Round-tripping a real record stream through the JSONL encoder and
+/// parser reproduces every record exactly — the streaming sink is a
+/// lossless capture, not a summary.
+#[test]
+fn jsonl_stream_round_trips_records_exactly() {
+    let (records, _, _) = traced_run(2, 9, 100, 600);
+    assert!(!records.is_empty());
+    let mut sink = JsonlSink::new(Vec::new());
+    for &rec in &records {
+        sink.record(rec);
+    }
+    let bytes = sink.finish_into().expect("in-memory writer cannot fail");
+    let text = String::from_utf8(bytes).expect("JSONL is UTF-8");
+    let back = stream::read_jsonl(&text).expect("own output parses");
+    assert_eq!(back, records);
+}
+
+/// At evaluation scale (16×16 CLRP) the reconstructed waterfall agrees
+/// with the simulator's own accounting: one span per delivered message,
+/// segments that partition each latency exactly, and a measured-window
+/// mean equal to the run's reported average latency.
+#[test]
+fn waterfall_totals_match_delivered_latencies_at_scale() {
+    let warmup = 400;
+    let (records, avg_latency, delivered) = traced_run(16, 7, warmup, 2000);
+    let a = analyze(&records, AnalyzeOptions::default());
+    assert_eq!(a.summary.delivered, delivered);
+    for s in &a.spans.spans {
+        assert_eq!(
+            s.setup + s.queue + s.transit,
+            s.latency(),
+            "segments must partition the latency: {s:?}"
+        );
+    }
+    let measured: Vec<u64> = a
+        .spans
+        .spans
+        .iter()
+        .filter(|s| s.created >= warmup)
+        .map(|s| s.latency())
+        .collect();
+    assert!(!measured.is_empty());
+    let mean = measured.iter().sum::<u64>() as f64 / measured.len() as f64;
+    let rel = (mean - avg_latency).abs() / avg_latency.max(1.0);
+    assert!(
+        rel < 1e-9,
+        "span mean {mean} != run avg latency {avg_latency} (rel {rel})"
+    );
+}

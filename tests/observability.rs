@@ -70,7 +70,7 @@ fn golden_perfetto_export_for_tiny_clrp_run() {
     golden_check(
         "perfetto_2x2_clrp",
         hash_str(&doc.compact()),
-        0x07f8_1b74_3093_048e,
+        0x0e0a_50bf_763e_96c4,
     );
 }
 
