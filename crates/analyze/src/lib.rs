@@ -163,9 +163,9 @@ pub fn analyze(records: &[TraceRecord], opts: AnalyzeOptions) -> Analysis {
         in_flight: spans.in_flight,
         flits,
         mean_latency: hist.mean(),
-        p50: hist.p50(),
-        p95: hist.p95(),
-        p99: hist.p99(),
+        p50: hist.p50().unwrap_or(0.0),
+        p95: hist.p95().unwrap_or(0.0),
+        p99: hist.p99().unwrap_or(0.0),
         mean_setup: per(setup),
         mean_queue: per(queue),
         mean_transit: per(transit),

@@ -73,8 +73,8 @@ pub fn tables(a: &Analysis) -> Vec<Table> {
             per(setup),
             per(queue),
             per(transit),
-            f2(hist.p50()),
-            f2(hist.p99()),
+            f2(hist.p50().unwrap_or(0.0)),
+            f2(hist.p99().unwrap_or(0.0)),
         ]);
     }
     out.push(t);
@@ -273,10 +273,7 @@ pub fn to_json(a: &Analysis) -> Value {
                     ("repair_at", f.repair_at.map_or(Value::Null, Value::from)),
                     ("before", phase_json(&f.before)),
                     ("during", phase_json(&f.during)),
-                    (
-                        "after",
-                        f.after.as_ref().map_or(Value::Null, &phase_json),
-                    ),
+                    ("after", f.after.as_ref().map_or(Value::Null, &phase_json)),
                 ])
             })
             .collect(),

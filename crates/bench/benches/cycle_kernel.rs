@@ -15,6 +15,15 @@
 //! that fast-forwards idle cycles gets credit for them — exactly the
 //! effect the active-set kernel targets at low load.
 //!
+//! A second section benchmarks the spatial shard partitioning: one
+//! 64×64-torus saturation point per shard count (`BENCH_SHARDS`,
+//! default "1,2,4"; side via `BENCH_SHARD_SIDE`, measurement cycles via
+//! `BENCH_SHARD_MEASURE`, default 500, single iteration). Results are
+//! byte-identical across shard counts by construction — only wall time
+//! may differ — and each entry records the per-shard wall-clock
+//! breakdown (`shard_wall_ns`) from the fabric's shard timers, so load
+//! imbalance between the router bands is visible in the artifact.
+//!
 //! Regression gate: `BENCH_ENFORCE=1` compares this run against the
 //! committed `BENCH_cycle_kernel.json` baseline (override with
 //! `BENCH_BASELINE`) and fails when any point's *kernel work intensity*
@@ -44,16 +53,25 @@ fn env_u64(name: &str, default: u64) -> u64 {
 
 struct PointResult {
     side: u16,
-    label: &'static str,
+    label: String,
     load: f64,
+    shards: usize,
     sim_cycles: u64,
     wall_s: f64,
     cycles_per_sec: f64,
     delivered: u64,
+    shard_wall_ns: Vec<u64>,
     kernel: Value,
 }
 
-fn run_point(side: u16, label: &'static str, load: f64, measure: u64, iters: u64) -> PointResult {
+fn run_point(
+    side: u16,
+    label: &str,
+    load: f64,
+    measure: u64,
+    iters: u64,
+    shards: usize,
+) -> PointResult {
     let mut best: Option<PointResult> = None;
     for _ in 0..iters {
         let topo = Topology::torus(&[side, side]);
@@ -64,6 +82,7 @@ fn run_point(side: u16, label: &'static str, load: f64, measure: u64, iters: u64
                 ..WaveConfig::default()
             },
         );
+        net.set_shards(shards);
         let mut src = TrafficSource::new(
             topo,
             TrafficConfig {
@@ -83,12 +102,14 @@ fn run_point(side: u16, label: &'static str, load: f64, measure: u64, iters: u64
         assert!(!r.stalled, "{side}x{side} @ {load} stalled");
         let point = PointResult {
             side,
-            label,
+            label: label.to_string(),
             load,
+            shards: net.shards(),
             sim_cycles: r.end,
             wall_s,
             cycles_per_sec: r.end as f64 / wall_s,
             delivered: r.delivered,
+            shard_wall_ns: net.fabric().shard_wall_ns().to_vec(),
             kernel: kernel_json(&net),
         };
         if best
@@ -212,7 +233,7 @@ fn main() {
     );
     for &side in &sides {
         for &(label, load) in &LOADS {
-            let p = run_point(side, label, load, measure, iters);
+            let p = run_point(side, label, load, measure, iters, 1);
             println!(
                 "{:<8} {:<5} {:>6.2} {:>12} {:>10.2} {:>14.0} {:>10}",
                 format!("{side}x{side} torus"),
@@ -227,11 +248,49 @@ fn main() {
         }
     }
 
+    // Spatial sharding section: the same saturation workload on a large
+    // torus, once per shard count. Deliveries are asserted identical —
+    // the partitioning contract — so the rows differ only in wall time.
+    let shard_side = env_u64("BENCH_SHARD_SIDE", 64) as u16;
+    let shard_measure = env_u64("BENCH_SHARD_MEASURE", 500);
+    let shard_counts: Vec<usize> = std::env::var("BENCH_SHARDS")
+        .unwrap_or_else(|_| "1,2,4".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let mut shard_delivered = None;
+    for &n in &shard_counts {
+        let p = run_point(shard_side, &format!("sat-s{n}"), 0.80, shard_measure, 1, n);
+        let per_shard = p
+            .shard_wall_ns
+            .iter()
+            .map(|&ns| format!("{:.1}", ns as f64 / 1e6))
+            .collect::<Vec<_>>()
+            .join("/");
+        println!(
+            "{:<8} {:<5} {:>6.2} {:>12} {:>10.2} {:>14.0} {:>10}  shard ms {per_shard}",
+            format!("{shard_side}x{shard_side} torus"),
+            p.label,
+            p.load,
+            p.sim_cycles,
+            p.wall_s * 1e3,
+            p.cycles_per_sec,
+            p.delivered,
+        );
+        let prev = shard_delivered.get_or_insert(p.delivered);
+        assert_eq!(
+            *prev, p.delivered,
+            "sharded run diverged from the serial kernel at --shards {n}"
+        );
+        results.push(p);
+    }
+
     let json = Value::obj(vec![
         ("bench", Value::from("cycle_kernel")),
         ("protocol", Value::from("clrp")),
         ("measure_cycles", Value::from(measure)),
         ("iters", Value::from(iters)),
+        ("shard_measure_cycles", Value::from(shard_measure)),
         (
             "results",
             Value::Arr(
@@ -242,10 +301,15 @@ fn main() {
                             ("topology", Value::from(format!("{0}x{0}-torus", p.side))),
                             ("point", Value::from(p.label)),
                             ("load", Value::from(p.load)),
+                            ("shards", Value::from(p.shards as u64)),
                             ("sim_cycles", Value::from(p.sim_cycles)),
                             ("wall_s", Value::from(p.wall_s)),
                             ("cycles_per_sec", Value::from(p.cycles_per_sec)),
                             ("delivered", Value::from(p.delivered)),
+                            (
+                                "shard_wall_ns",
+                                Value::Arr(p.shard_wall_ns.into_iter().map(Value::from).collect()),
+                            ),
                             ("kernel", p.kernel),
                         ])
                     })

@@ -132,7 +132,7 @@ pub(crate) fn observe(now: Cycle, net: &WaveNetwork) {
                     "[wavesim] cycle {:>9} | delivered {:>8} | p99 {:>8.1} | cache hit {:>5.1}%",
                     row.end,
                     s.cum_delivered,
-                    s.cumulative.p99(),
+                    s.cumulative.p99().unwrap_or(0.0),
                     row.hit_rate() * 100.0,
                 );
             }

@@ -15,6 +15,12 @@
 //! `run` flags: --protocol clrp|carp|wormhole  --topology mesh|torus
 //!              --side N  --load F  --len N  --locality F  --cycles N
 //!              --seed N  --k N  --alpha N  --cache N  --misroutes N
+//!              --shards N
+//!
+//! `--shards N` spatially partitions the wormhole fabric into N
+//! contiguous router bands stepped on N threads. The partitioning is
+//! deterministic and conservative — every printed line and every trace
+//! byte is identical at any shard count; only wall-clock time changes.
 //!
 //! Fault flags (`run` only): `--fault-plan FILE` applies a static fault
 //! plan (JSON, see `wavesim_workloads::trace_io`) before traffic starts;
@@ -55,7 +61,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: wavesim <all|e1..e14|run|analyze|check|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
          run flags: --protocol clrp|carp|wormhole --topology mesh|torus --side N --load F\n\
-                    --len N --locality F --cycles N --seed N --k N --alpha N --cache N --misroutes N\n\
+                    --len N --locality F --cycles N --seed N --k N --alpha N --cache N\n\
+                    --misroutes N --shards N\n\
          fault flags (run): --fault-plan FILE --fault-schedule FILE\n\
          trace flags: --trace-out FILE --metrics-out FILE --flight-recorder N\n\
                       --trace-jsonl FILE --timeseries-out FILE --window N --progress N\n\
@@ -83,6 +90,7 @@ struct Args {
     alpha: u32,
     cache: usize,
     misroutes: u8,
+    shards: usize,
     // fault injection
     fault_plan: Option<String>,
     fault_schedule: Option<String>,
@@ -125,6 +133,7 @@ fn parse_args() -> Args {
         alpha: 4,
         cache: 16,
         misroutes: 2,
+        shards: 1,
         fault_plan: None,
         fault_schedule: None,
         trace_out: None,
@@ -210,6 +219,12 @@ fn parse_args() -> Args {
             "--alpha" => args.alpha = next_parse!(argv),
             "--cache" => args.cache = next_parse!(argv),
             "--misroutes" => args.misroutes = next_parse!(argv),
+            "--shards" => {
+                args.shards = next_parse!(argv);
+                if args.shards == 0 {
+                    usage();
+                }
+            }
             "--fault-plan" => args.fault_plan = Some(argv.next().unwrap_or_else(|| usage())),
             "--fault-schedule" => {
                 args.fault_schedule = Some(argv.next().unwrap_or_else(|| usage()));
@@ -369,6 +384,7 @@ fn custom_run(args: &Args) -> bool {
         ..WaveConfig::default()
     };
     let mut net = WaveNetwork::new(topo.clone(), cfg);
+    net.set_shards(args.shards);
     if !apply_fault_inputs(&mut net, args) {
         return false;
     }

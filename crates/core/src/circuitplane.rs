@@ -16,7 +16,7 @@
 
 use wavesim_network::message::DeliveryMode;
 use wavesim_network::{Delivery, Message};
-use wavesim_sim::{Cycle, EventQueue, Model};
+use wavesim_sim::{BitSet, Cycle, EventQueue, Model};
 use wavesim_topology::{NodeId, Topology};
 use wavesim_trace::{TraceBuf, TraceEvent};
 
@@ -68,6 +68,13 @@ pub struct CircuitPlane {
     outbox: Vec<PlaneEvent>,
     /// Intra-plane trace staging; the composition root arms and absorbs it.
     pub(crate) trace: TraceBuf,
+    /// Nodes with a cache entry that is streaming or queueing — kept
+    /// incrementally (via [`CircuitPlane::recount`] after every mutating
+    /// entry point) so `busy()` and the per-cycle `active_sources()` gauge
+    /// are O(1) instead of an all-nodes × all-entries sweep.
+    active: BitSet,
+    /// Set bits in `active`.
+    active_count: usize,
 }
 
 impl CircuitPlane {
@@ -84,8 +91,29 @@ impl CircuitPlane {
             stats: WaveStats::default(),
             outbox: Vec::new(),
             trace: TraceBuf::new(),
+            active: BitSet::new(n),
+            active_count: 0,
             topo,
             cfg,
+        }
+    }
+
+    /// Re-derives `node`'s membership in the active-source set from its
+    /// cache. O(cache capacity); called after every entry point that can
+    /// change an entry's `in_use` flag or queue.
+    fn recount(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        let now_active = self.caches[n]
+            .iter()
+            .any(|e| e.in_use || !e.queue.is_empty());
+        if now_active != self.active.get(n) {
+            if now_active {
+                self.active.set(n);
+                self.active_count += 1;
+            } else {
+                self.active.clear(n);
+                self.active_count -= 1;
+            }
         }
     }
 
@@ -128,12 +156,19 @@ impl CircuitPlane {
         &self.stats
     }
 
-    /// True while any entry is carrying or queueing traffic.
+    /// True while any entry is carrying or queueing traffic. O(1): reads
+    /// the incrementally-maintained active-source counter.
     #[must_use]
     pub fn busy(&self) -> bool {
-        self.caches
-            .iter()
-            .any(|c| c.iter().any(|e| e.in_use || !e.queue.is_empty()))
+        self.active_count > 0
+    }
+
+    /// Number of nodes with a cache entry that is streaming or queueing —
+    /// the circuit plane's contribution to the per-cycle active-router
+    /// gauge. O(1).
+    #[must_use]
+    pub fn active_sources(&self) -> u64 {
+        self.active_count as u64
     }
 
     /// Moves staged outbound events into `bus`.
@@ -152,6 +187,7 @@ impl CircuitPlane {
             ProtocolKind::Clrp => self.clrp_send(now, msg, q),
             ProtocolKind::Carp => self.carp_send(now, msg, q),
         }
+        self.recount(msg.src);
     }
 
     fn send_wormhole_fallback(&mut self, msg: Message) {
@@ -284,6 +320,7 @@ impl CircuitPlane {
             },
         );
         let _ = self.start_establish(now, src, dest, false);
+        self.recount(src);
     }
 
     /// CARP: explicitly tears down the circuit from `src` to `dest` once
@@ -312,6 +349,7 @@ impl CircuitPlane {
                 }
             }
         }
+        self.recount(src);
     }
 
     // ------------------------------------------------------------------
@@ -424,6 +462,7 @@ impl CircuitPlane {
             }
             ProtocolKind::WormholeOnly => unreachable!("no probes in wormhole-only mode"),
         }
+        self.recount(src);
     }
 
     fn fail_establishment(&mut self, src: NodeId, dest: NodeId, circuit: CircuitId) {
@@ -477,9 +516,10 @@ impl CircuitPlane {
         if entry.release_pending && entry.queue.is_empty() && !entry.in_use {
             // A CARP teardown (or forced release) raced the ack.
             self.release_entry_now(src, dest);
-            return;
+        } else {
+            self.pump_circuit(now, q, src, dest);
         }
-        self.pump_circuit(now, q, src, dest);
+        self.recount(src);
     }
 
     /// [`PlaneEvent::VictimRelease`]: a forced release of a circuit that
@@ -505,6 +545,7 @@ impl CircuitPlane {
         if !entry.in_use {
             self.release_entry_now(src, dest);
         }
+        self.recount(src);
     }
 
     // ------------------------------------------------------------------
@@ -563,6 +604,7 @@ impl CircuitPlane {
                 self.send_wormhole_fallback(m);
             }
         }
+        self.recount(src);
     }
 
     /// [`TransferEvent::RetryEstablish`]: the post-fault backoff expired.
@@ -751,6 +793,7 @@ impl Model for CircuitPlane {
             TransferEvent::Delivered(_circuit, msg) => self.on_transfer_delivered(now, msg),
             TransferEvent::Acked { circuit, src, dest } => {
                 self.on_transfer_acked(now, q, circuit, src, dest);
+                self.recount(src);
             }
             TransferEvent::RetryEstablish { circuit, src, dest } => {
                 self.on_retry_establish(now, q, circuit, src, dest);

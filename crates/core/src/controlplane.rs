@@ -165,7 +165,7 @@ impl ControlPlane {
     /// In both victim cases a [`PlaneEvent::CircuitBroken`] tells the
     /// circuitplane to invalidate the cache entry and (CLRP) retry.
     pub fn on_lane_fault(&mut self, now: Cycle, q: &mut EventQueue<CtrlEvent>, lane: LaneId) {
-        if *self.lanes.state(lane) == LaneState::Faulty {
+        if self.lanes.state(lane) == LaneState::Faulty {
             return; // already faulty: idempotent
         }
         let (victim, waiters) = self.lanes.force_faulty(lane);

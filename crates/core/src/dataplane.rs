@@ -10,6 +10,7 @@ use wavesim_network::message::DeliveryMode;
 use wavesim_network::{Message, WormholeConfig, WormholeFabric};
 use wavesim_sim::{Cycle, EventQueue, Model};
 use wavesim_topology::Topology;
+use wavesim_trace::{TraceBuf, TraceEvent, TraceHub};
 
 use crate::events::PlaneEvent;
 use crate::stats::WaveStats;
@@ -23,6 +24,13 @@ pub struct DataPlane {
     /// [`WormholeFabric::drain_deliveries_into`] so the per-cycle
     /// collection path stays allocation-free.
     scratch: Vec<wavesim_network::Delivery>,
+    /// Per-shard trace staging, index-aligned with the fabric's shards:
+    /// delivery trace events stage into the buffer of the shard that owns
+    /// the destination router, and the composition root absorbs the
+    /// buffers in shard order. Because the fabric's merge already emits
+    /// deliveries in ascending-router order, the concatenation is the
+    /// same byte stream at every shard count.
+    shard_bufs: Vec<TraceBuf>,
 }
 
 impl DataPlane {
@@ -34,6 +42,47 @@ impl DataPlane {
             stats: WaveStats::default(),
             outbox: Vec::new(),
             scratch: Vec::new(),
+            shard_bufs: vec![TraceBuf::new()],
+        }
+    }
+
+    /// Repartitions the fabric into `n` spatial shards (see
+    /// [`WormholeFabric::set_shards`]) and realigns the per-shard trace
+    /// staging. Call between runs, not mid-cycle.
+    pub fn set_shards(&mut self, n: usize) {
+        self.fabric.set_shards(n);
+        let armed = self.shard_bufs.first().is_some_and(TraceBuf::armed);
+        self.shard_bufs = (0..self.fabric.shards()).map(|_| TraceBuf::new()).collect();
+        if armed {
+            self.arm_trace();
+        }
+    }
+
+    /// Arms the per-shard trace staging buffers.
+    pub(crate) fn arm_trace(&mut self) {
+        for b in &mut self.shard_bufs {
+            b.arm();
+        }
+    }
+
+    /// Disarms the per-shard trace staging buffers.
+    pub(crate) fn disarm_trace(&mut self) {
+        for b in &mut self.shard_bufs {
+            b.disarm();
+        }
+    }
+
+    /// Events staged across all shard buffers (test hook).
+    #[cfg(test)]
+    pub(crate) fn trace_staged_len(&self) -> usize {
+        self.shard_bufs.iter().map(TraceBuf::staged_len).sum()
+    }
+
+    /// Absorbs the per-shard staging buffers into `hub`, in shard order —
+    /// the deterministic merge point of the sharded trace pipeline.
+    pub(crate) fn absorb_trace_into(&mut self, hub: &mut TraceHub) {
+        for b in &mut self.shard_bufs {
+            hub.absorb(b);
         }
     }
 
@@ -43,14 +92,28 @@ impl DataPlane {
     }
 
     /// Advances the fabric one cycle and stages completed deliveries on
-    /// the outbox.
+    /// the outbox (and, when traced, the delivery trace events on the
+    /// owning shard's staging buffer).
     pub fn step(&mut self, now: Cycle) {
         self.fabric.tick(now);
         let mut buf = std::mem::take(&mut self.scratch);
         self.fabric.drain_deliveries_into(&mut buf);
+        let traced = self.shard_bufs.first().is_some_and(TraceBuf::armed);
         for &d in &buf {
             debug_assert_eq!(d.mode, DeliveryMode::Wormhole);
             self.stats.msgs_wormhole += 1;
+            if traced {
+                let s = self.fabric.shard_of(d.msg.dest);
+                self.shard_bufs[s].emit(
+                    now,
+                    TraceEvent::WormholeDeliver {
+                        msg: d.msg.id.0,
+                        src: d.msg.src.0,
+                        dest: d.msg.dest.0,
+                        latency: d.latency(),
+                    },
+                );
+            }
             self.outbox.push(PlaneEvent::WormholeDelivered(d));
         }
         self.scratch = buf;

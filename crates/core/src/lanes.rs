@@ -7,6 +7,14 @@
 //! switch `S_i` … both of them … at the same time", so one state machine
 //! per lane suffices.
 //!
+//! The table is **struct-of-arrays**: occupancy lives in one flat `u64`
+//! word per lane (free/faulty sentinels or the holding circuit id), and
+//! the rarely-populated waiter lists live in a parallel vector, so the
+//! control plane's hot lane-scan loops read a dense array instead of
+//! chasing per-lane structs. State-change counters are maintained
+//! incrementally, making [`LaneTable::census`] O(1) — it is sampled every
+//! cycle by instrumentation.
+//!
 //! Lanes can also be marked **faulty** — the fault-injection hook for the
 //! E8 (static) and E14 (dynamic) experiments (the paper notes MB-m "is
 //! very resilient to static faults in the network"). Static injection
@@ -20,7 +28,7 @@ use wavesim_topology::{LinkId, Topology};
 use crate::ids::{CircuitId, LaneId, ProbeId};
 
 /// Occupancy state of one wave lane.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LaneState {
     /// Available for reservation.
     Free,
@@ -30,34 +38,59 @@ pub enum LaneState {
     Faulty,
 }
 
-/// One lane's full bookkeeping: occupancy plus probes parked on it waiting
-/// for a forced release (CLRP phase two).
-#[derive(Debug, Clone)]
-struct Lane {
-    state: LaneState,
-    waiters: Vec<ProbeId>,
+/// Packed-word sentinel for [`LaneState::Free`].
+const FREE: u64 = u64::MAX;
+/// Packed-word sentinel for [`LaneState::Faulty`].
+const FAULTY: u64 = u64::MAX - 1;
+
+/// Packs a lane state into its occupancy word.
+fn pack(s: LaneState) -> u64 {
+    match s {
+        LaneState::Free => FREE,
+        LaneState::Faulty => FAULTY,
+        LaneState::Reserved(c) => {
+            debug_assert!(c.0 < FAULTY, "circuit id collides with lane sentinels");
+            c.0
+        }
+    }
+}
+
+/// Unpacks a lane occupancy word.
+fn unpack(w: u64) -> LaneState {
+    match w {
+        FREE => LaneState::Free,
+        FAULTY => LaneState::Faulty,
+        c => LaneState::Reserved(CircuitId(c)),
+    }
 }
 
 /// All wave lanes of the network, indexed densely by `(link, switch)`.
+/// Occupancy is one packed `u64` per lane; waiter lists (probes parked for
+/// a CLRP phase-two forced release) are a parallel array.
 #[derive(Debug, Clone)]
 pub struct LaneTable {
     k: u8,
-    lanes: Vec<Lane>,
+    /// Packed occupancy per lane: [`FREE`], [`FAULTY`], or the holder id.
+    states: Vec<u64>,
+    /// Probes parked on each lane.
+    waiters: Vec<Vec<ProbeId>>,
+    /// Incremental census: lanes currently reserved.
+    reserved: usize,
+    /// Incremental census: lanes currently faulty.
+    faulty: usize,
 }
 
 impl LaneTable {
     /// Builds the table for `topo` with `k` wave switches.
     #[must_use]
     pub fn new(topo: &Topology, k: u8) -> Self {
+        let n = topo.num_link_slots() * k as usize;
         Self {
             k,
-            lanes: vec![
-                Lane {
-                    state: LaneState::Free,
-                    waiters: Vec::new(),
-                };
-                topo.num_link_slots() * k as usize
-            ],
+            states: vec![FREE; n],
+            waiters: vec![Vec::new(); n],
+            reserved: 0,
+            faulty: 0,
         }
     }
 
@@ -77,22 +110,42 @@ impl LaneTable {
         lane.link.0 as usize * self.k as usize + (lane.switch as usize - 1)
     }
 
+    /// Writes lane `i`'s occupancy word, keeping the census counters in
+    /// sync.
+    fn transition(&mut self, i: usize, to: u64) {
+        let from = self.states[i];
+        if from == to {
+            return;
+        }
+        match from {
+            FREE => {}
+            FAULTY => self.faulty -= 1,
+            _ => self.reserved -= 1,
+        }
+        match to {
+            FREE => {}
+            FAULTY => self.faulty += 1,
+            _ => self.reserved += 1,
+        }
+        self.states[i] = to;
+    }
+
     /// Current state of `lane`.
     #[must_use]
-    pub fn state(&self, lane: LaneId) -> &LaneState {
-        &self.lanes[self.idx(lane)].state
+    pub fn state(&self, lane: LaneId) -> LaneState {
+        unpack(self.states[self.idx(lane)])
     }
 
     /// True when `lane` can be reserved right now.
     #[must_use]
     pub fn is_free(&self, lane: LaneId) -> bool {
-        matches!(self.lanes[self.idx(lane)].state, LaneState::Free)
+        self.states[self.idx(lane)] == FREE
     }
 
     /// Circuit currently holding `lane`, if any.
     #[must_use]
     pub fn holder(&self, lane: LaneId) -> Option<CircuitId> {
-        match self.lanes[self.idx(lane)].state {
+        match unpack(self.states[self.idx(lane)]) {
             LaneState::Reserved(c) => Some(c),
             _ => None,
         }
@@ -105,12 +158,8 @@ impl LaneTable {
     /// hardware performs the check-and-set atomically in the PCS unit.
     pub fn reserve(&mut self, lane: LaneId, circuit: CircuitId) {
         let i = self.idx(lane);
-        assert_eq!(
-            self.lanes[i].state,
-            LaneState::Free,
-            "lane {lane} reserved while not free"
-        );
-        self.lanes[i].state = LaneState::Reserved(circuit);
+        assert_eq!(self.states[i], FREE, "lane {lane} reserved while not free");
+        self.transition(i, pack(LaneState::Reserved(circuit)));
     }
 
     /// Releases `lane` (backtrack or teardown) and returns the probes that
@@ -122,12 +171,12 @@ impl LaneTable {
     pub fn release(&mut self, lane: LaneId, circuit: CircuitId) -> Vec<ProbeId> {
         let i = self.idx(lane);
         assert_eq!(
-            self.lanes[i].state,
+            unpack(self.states[i]),
             LaneState::Reserved(circuit),
             "lane {lane} released by non-holder {circuit}"
         );
-        self.lanes[i].state = LaneState::Free;
-        std::mem::take(&mut self.lanes[i].waiters)
+        self.transition(i, FREE);
+        std::mem::take(&mut self.waiters[i])
     }
 
     /// Parks `probe` on `lane` until the holder tears down.
@@ -137,18 +186,18 @@ impl LaneTable {
     pub fn park(&mut self, lane: LaneId, probe: ProbeId) {
         let i = self.idx(lane);
         assert!(
-            matches!(self.lanes[i].state, LaneState::Reserved(_)),
+            matches!(unpack(self.states[i]), LaneState::Reserved(_)),
             "parking on a lane that is not reserved"
         );
-        if !self.lanes[i].waiters.contains(&probe) {
-            self.lanes[i].waiters.push(probe);
+        if !self.waiters[i].contains(&probe) {
+            self.waiters[i].push(probe);
         }
     }
 
     /// Removes `probe` from `lane`'s waiter list (probe gave up or died).
     pub fn unpark(&mut self, lane: LaneId, probe: ProbeId) {
         let i = self.idx(lane);
-        self.lanes[i].waiters.retain(|&p| p != probe);
+        self.waiters[i].retain(|&p| p != probe);
     }
 
     /// Marks `lane` faulty (static fault model: legal only before the lane
@@ -158,10 +207,10 @@ impl LaneTable {
     /// (teardown-then-fault) instead.
     pub fn set_faulty(&mut self, lane: LaneId) -> Result<(), CircuitId> {
         let i = self.idx(lane);
-        match self.lanes[i].state {
+        match unpack(self.states[i]) {
             LaneState::Reserved(holder) => Err(holder),
             LaneState::Free | LaneState::Faulty => {
-                self.lanes[i].state = LaneState::Faulty;
+                self.transition(i, FAULTY);
                 Ok(())
             }
         }
@@ -172,14 +221,23 @@ impl LaneTable {
     /// probes that were parked waiting for it, so the caller can tear the
     /// victim circuit down and retry the waiters (which will re-scan, see
     /// the lane `Faulty`, and route around it).
+    ///
+    /// Force-faulting an **already-faulty** lane is a documented no-op
+    /// returning `(None, vec![])`: the lane has no holder to evict, and
+    /// its waiters (if any raced in between fault and retry) were already
+    /// drained by the fault that got there first. Fault schedules may
+    /// legitimately hit the same lane twice (overlapping link- and
+    /// lane-granularity events), and a second eviction pass must not
+    /// re-tear circuits that were already torn down.
     pub fn force_faulty(&mut self, lane: LaneId) -> (Option<CircuitId>, Vec<ProbeId>) {
         let i = self.idx(lane);
-        let holder = match self.lanes[i].state {
+        let holder = match unpack(self.states[i]) {
             LaneState::Reserved(c) => Some(c),
-            _ => None,
+            LaneState::Faulty => return (None, Vec::new()),
+            LaneState::Free => None,
         };
-        self.lanes[i].state = LaneState::Faulty;
-        (holder, std::mem::take(&mut self.lanes[i].waiters))
+        self.transition(i, FAULTY);
+        (holder, std::mem::take(&mut self.waiters[i]))
     }
 
     /// Returns a faulty `lane` to service (dynamic fault model). Returns
@@ -188,8 +246,8 @@ impl LaneTable {
     /// that never happened, e.g. an invalidated schedule entry).
     pub fn repair(&mut self, lane: LaneId) -> bool {
         let i = self.idx(lane);
-        if self.lanes[i].state == LaneState::Faulty {
-            self.lanes[i].state = LaneState::Free;
+        if self.states[i] == FAULTY {
+            self.transition(i, FREE);
             true
         } else {
             false
@@ -204,9 +262,9 @@ impl LaneTable {
     /// waiters) before the walk reaches it.
     pub fn release_if_held(&mut self, lane: LaneId, circuit: CircuitId) -> Vec<ProbeId> {
         let i = self.idx(lane);
-        if self.lanes[i].state == LaneState::Reserved(circuit) {
-            self.lanes[i].state = LaneState::Free;
-            std::mem::take(&mut self.lanes[i].waiters)
+        if self.states[i] == pack(LaneState::Reserved(circuit)) {
+            self.transition(i, FREE);
+            std::mem::take(&mut self.waiters[i])
         } else {
             Vec::new()
         }
@@ -223,19 +281,14 @@ impl LaneTable {
     }
 
     /// Number of lanes in each state: `(free, reserved, faulty)`.
+    /// O(1): counters are maintained on every transition.
     #[must_use]
     pub fn census(&self) -> (usize, usize, usize) {
-        let mut free = 0;
-        let mut reserved = 0;
-        let mut faulty = 0;
-        for l in &self.lanes {
-            match l.state {
-                LaneState::Free => free += 1,
-                LaneState::Reserved(_) => reserved += 1,
-                LaneState::Faulty => faulty += 1,
-            }
-        }
-        (free, reserved, faulty)
+        (
+            self.states.len() - self.reserved - self.faulty,
+            self.reserved,
+            self.faulty,
+        )
     }
 }
 
@@ -300,7 +353,7 @@ mod tests {
         let lane = LaneId::new(link, 2);
         lt.set_faulty(lane).unwrap();
         assert!(!lt.is_free(lane));
-        assert_eq!(*lt.state(lane), LaneState::Faulty);
+        assert_eq!(lt.state(lane), LaneState::Faulty);
         let (_, _, faulty) = lt.census();
         assert_eq!(faulty, 1);
         // Idempotent.
@@ -337,10 +390,10 @@ mod tests {
         let (holder, waiters) = lt.force_faulty(lane);
         assert_eq!(holder, Some(CircuitId(3)));
         assert_eq!(waiters, vec![ProbeId(10)]);
-        assert_eq!(*lt.state(lane), LaneState::Faulty);
+        assert_eq!(lt.state(lane), LaneState::Faulty);
         // A later teardown walk skips the already-faulted lane.
         assert!(lt.release_if_held(lane, CircuitId(3)).is_empty());
-        assert_eq!(*lt.state(lane), LaneState::Faulty);
+        assert_eq!(lt.state(lane), LaneState::Faulty);
     }
 
     #[test]
@@ -350,7 +403,27 @@ mod tests {
         let (holder, waiters) = lt.force_faulty(lane);
         assert_eq!(holder, None);
         assert!(waiters.is_empty());
-        assert_eq!(*lt.state(lane), LaneState::Faulty);
+        assert_eq!(lt.state(lane), LaneState::Faulty);
+    }
+
+    #[test]
+    fn force_fault_on_faulty_lane_is_a_noop() {
+        // Regression: a double fault (overlapping schedule entries) must
+        // not report a phantom victim or disturb the census.
+        let (t, mut lt) = table();
+        let lane = LaneId::new(t.links().next().unwrap(), 1);
+        lt.reserve(lane, CircuitId(3));
+        let (holder, _) = lt.force_faulty(lane);
+        assert_eq!(holder, Some(CircuitId(3)));
+        let census = lt.census();
+        let (holder2, waiters2) = lt.force_faulty(lane);
+        assert_eq!(holder2, None, "second fault must not re-evict");
+        assert!(waiters2.is_empty());
+        assert_eq!(lt.state(lane), LaneState::Faulty);
+        assert_eq!(lt.census(), census, "no-op must not disturb the census");
+        // And the lane still repairs normally afterwards.
+        assert!(lt.repair(lane));
+        assert!(lt.is_free(lane));
     }
 
     #[test]
@@ -406,5 +479,12 @@ mod tests {
         let lane = LaneId::new(t.links().next().unwrap(), 1);
         lt.reserve(lane, CircuitId(1));
         assert_eq!(lt.census(), (total - 1, 1, 0));
+        // The incremental counters track every kind of transition.
+        let lane2 = LaneId::new(t.links().next().unwrap(), 2);
+        lt.set_faulty(lane2).unwrap();
+        assert_eq!(lt.census(), (total - 2, 1, 1));
+        let _ = lt.release(lane, CircuitId(1));
+        assert!(lt.repair(lane2));
+        assert_eq!(lt.census(), (total, 0, 0));
     }
 }

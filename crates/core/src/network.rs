@@ -123,15 +123,13 @@ pub struct WaveNetwork {
 
 /// The trace projection of an inter-plane event, if it has one.
 /// `ReleaseCircuit` is internal bookkeeping (the observable outcome is the
-/// later `CircuitReleased`) and is not traced.
+/// later `CircuitReleased`) and is not traced. `WormholeDelivered` is
+/// traced at its source instead: the dataplane stages the delivery event
+/// into the owning shard's buffer, absorbed in shard order by
+/// [`WaveNetwork::route`].
 fn trace_event_of(ev: &PlaneEvent) -> Option<TraceEvent> {
     Some(match ev {
-        PlaneEvent::WormholeDelivered(d) => TraceEvent::WormholeDeliver {
-            msg: d.msg.id.0,
-            src: d.msg.src.0,
-            dest: d.msg.dest.0,
-            latency: d.latency(),
-        },
+        PlaneEvent::WormholeDelivered(_) => return None,
         PlaneEvent::CircuitDelivered(d) => TraceEvent::CircuitDeliver {
             msg: d.msg.id.0,
             src: d.msg.src.0,
@@ -232,12 +230,14 @@ impl WaveNetwork {
     /// from now on, stamped with a single global sequence order.
     pub fn install_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
         self.trace.install(sink);
+        self.data.arm_trace();
         self.ctrl.trace.arm();
         self.circ.trace.arm();
     }
 
     /// Disarms every emit point and returns the installed sink, if any.
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.data.disarm_trace();
         self.ctrl.trace.disarm();
         self.circ.trace.disarm();
         self.trace.take()
@@ -291,19 +291,28 @@ impl WaveNetwork {
         self.data.fabric()
     }
 
+    /// Partitions the wormhole fabric into `n` spatial shards processed by
+    /// one thread each (clamped to `1..=num_nodes`). Results — the run
+    /// schedule, every statistic, and the trace byte stream — are
+    /// identical at any shard count; see the fabric's module docs for the
+    /// conservative-sync argument. Call between runs, not mid-cycle.
+    pub fn set_shards(&mut self, n: usize) {
+        self.data.set_shards(n);
+    }
+
+    /// The configured shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.data.fabric().shards()
+    }
+
     /// Routers currently doing work, across planes: the wormhole fabric's
     /// active set plus source nodes with a circuit in use or queued
     /// (time-series sampler hook; a node busy in both planes counts in
-    /// each).
+    /// each). O(1): both planes keep their active sets incrementally.
     #[must_use]
     pub fn active_routers(&self) -> u64 {
-        let circuit_sources = self
-            .circ
-            .caches()
-            .iter()
-            .filter(|c| c.iter().any(|e| e.in_use || !e.queue.is_empty()))
-            .count() as u64;
-        self.data.fabric().active_routers() + circuit_sources
+        self.data.fabric().active_routers() + self.circ.active_sources()
     }
 
     /// Deliveries completed but not yet drained (read-only peek — the
@@ -558,6 +567,10 @@ impl WaveNetwork {
         if traced {
             // Intra-plane emits staged since the last route (outbox drains
             // happen right before route calls, so staging order ≈ bus order).
+            // Dataplane shard buffers first: their events (deliveries of
+            // the tick that just stepped) precede anything the control or
+            // circuit planes staged in response.
+            self.data.absorb_trace_into(&mut self.trace);
             self.trace.absorb(&mut self.ctrl.trace);
             self.trace.absorb(&mut self.circ.trace);
         }
@@ -818,6 +831,73 @@ mod tests {
         }
         assert_eq!(net.ctrl.trace.staged_len(), 0);
         assert_eq!(net.circ.trace.staged_len(), 0);
+        assert_eq!(net.data.trace_staged_len(), 0);
         assert!(net.take_trace_sink().is_none());
+    }
+
+    /// The circuit plane's incremental active-source set must agree with a
+    /// brute-force cache sweep at every cycle of a mixed CLRP run.
+    #[test]
+    fn active_source_counter_matches_full_scan() {
+        let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), WaveConfig::default());
+        for id in 0..12u64 {
+            let src = NodeId((id % 16) as u32);
+            let dest = NodeId(((id * 5 + 3) % 16) as u32);
+            if src != dest {
+                net.send(0, Message::new(id, src, dest, 16, 0));
+            }
+        }
+        let mut now = 0;
+        while net.busy() && now < 50_000 {
+            net.tick(now);
+            now += 1;
+            let brute = net
+                .circ
+                .caches()
+                .iter()
+                .filter(|c| c.iter().any(|e| e.in_use || !e.queue.is_empty()))
+                .count() as u64;
+            assert_eq!(
+                net.circ.active_sources(),
+                brute,
+                "incremental active-source set diverged at cycle {now}"
+            );
+        }
+        assert!(!net.busy());
+        assert_eq!(net.circ.active_sources(), 0);
+    }
+
+    /// Full-stack shard determinism: the same CLRP workload produces a
+    /// byte-identical trace and delivery schedule at every shard count.
+    #[test]
+    fn sharded_network_trace_is_byte_identical() {
+        let run_at = |shards: usize| {
+            let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), WaveConfig::default());
+            net.set_shards(shards);
+            assert_eq!(net.shards(), shards);
+            net.install_trace_sink(Box::new(wavesim_trace::VecSink::new()));
+            for id in 0..20u64 {
+                let src = NodeId((id % 16) as u32);
+                let dest = NodeId(((id * 7 + 1) % 16) as u32);
+                if src != dest {
+                    net.send(0, Message::new(id, src, dest, 24, 0));
+                }
+            }
+            let mut now = 0;
+            while net.busy() && now < 50_000 {
+                net.tick(now);
+                now += 1;
+            }
+            let sched: Vec<_> = net
+                .drain_deliveries()
+                .iter()
+                .map(|d| (d.msg.id.0, d.delivered_at))
+                .collect();
+            let sink = net.take_trace_sink().expect("sink installed");
+            (sched, format!("{:?}", sink.snapshot()))
+        };
+        let serial = run_at(1);
+        assert_eq!(serial, run_at(2));
+        assert_eq!(serial, run_at(4));
     }
 }

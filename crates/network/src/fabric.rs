@@ -30,13 +30,38 @@
 //! cycle-dependent state (the VA round-robin pointer is derived from the
 //! cycle number, and SA pointers only move on grants), so skipping them is
 //! byte-identical to scanning them. The set is iterated in ascending router
-//! id, preserving the seed kernel's deterministic phase order.
+//! id, preserving the seed kernel's deterministic phase order. Within a
+//! router, the VA and SA stages scan per-VC bitsets ([`Router::va_pending`],
+//! [`Router::sa_ready`]) instead of sweeping every VC linearly, so
+//! `vcs_touched` counts VCs that could actually make progress.
+//!
+//! # Deterministic spatial sharding
+//!
+//! A run can be partitioned across threads with [`WormholeFabric::set_shards`]
+//! without changing a single output byte. The partition is spatial:
+//! contiguous router-id bands (row-major node numbering makes these
+//! contiguous regions of the mesh/torus). The scheme works because the VA,
+//! SA, and injection phases are **router-local**: they read and write only
+//! the state of the router being scanned, plus immutable topology/routing
+//! tables. Every cross-router effect — flit arrivals, credit returns,
+//! message-slab bookkeeping, deliveries — is buffered in a per-shard
+//! scratch (`ShardScratch`) and applied in a serial merge in shard-index
+//! order.
+//! Since shards cover ascending id ranges and each shard visits its routers
+//! ascending, the merge replays effects in exactly the order the serial
+//! kernel produced them. The sync model is conservative with a one-cycle
+//! lookahead (the link latency): shards run a full cycle independently,
+//! then barrier at the merge; no shard can observe another's cycle-`t`
+//! output before cycle `t+1`, which is precisely the flit/credit pipeline
+//! latency the serial kernel already enforces.
 
-use wavesim_sim::{Cycle, CycleKernelStats};
+use wavesim_sim::{BitSet, Cycle, CycleKernelStats};
 use wavesim_topology::{Candidate, NodeId, PortDir, RoutingKind, Topology, WormholeRouting};
 
-use crate::message::{Delivery, DeliveryMode, Flit, Message};
-use crate::router::{Emitting, Queued, Router};
+use crate::message::{Delivery, DeliveryMode, Flit, Message, MessageId};
+use crate::router::{
+    route_pack, route_port, route_vc, Emitting, Queued, Router, OWNER_NONE, ROUTE_NONE,
+};
 
 /// Configuration of the wormhole fabric (the paper's `S0` switch plane).
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +100,17 @@ pub struct FabricStats {
     pub flit_hops: u64,
     /// Successful output-VC allocations.
     pub va_allocs: u64,
+}
+
+impl FabricStats {
+    /// Field-wise accumulation of a per-shard delta.
+    fn absorb(&mut self, d: &FabricStats) {
+        self.injected_msgs += d.injected_msgs;
+        self.delivered_msgs += d.delivered_msgs;
+        self.delivered_flits += d.delivered_flits;
+        self.flit_hops += d.flit_hops;
+        self.va_allocs += d.va_allocs;
+    }
 }
 
 /// A node in the output-VC wait-for graph exposed for deadlock diagnosis:
@@ -138,6 +174,61 @@ impl MsgSlab {
     }
 }
 
+/// Per-shard staging area: everything a shard's VA/SA/injection pass wants
+/// to do *outside its own routers* is recorded here and replayed by the
+/// serial merge, in shard-index order. Buffers keep their capacity across
+/// ticks, so the steady-state exchange is allocation-free.
+#[derive(Default)]
+struct ShardScratch {
+    /// Routing-candidate scratch for the VA stage.
+    cand: Vec<Candidate>,
+    /// Rotated VA visit order snapshot (dense VC indices).
+    order: Vec<u16>,
+    /// Flits forwarded to downstream routers: `(router, input VC, flit)`.
+    arrivals: Vec<(u32, u16, Flit)>,
+    /// Credits returned to upstream routers: `(router, output VC)`.
+    credit_returns: Vec<(u32, u16)>,
+    /// Tail flits delivered this cycle: `(slab slot, message id)`, in SA
+    /// visit order.
+    delivered_tails: Vec<(u32, MessageId)>,
+    /// Output VCs acquired by VA this cycle: `(slot, router, output VC)`.
+    held_pushes: Vec<(u32, u32, u16)>,
+    /// Output VCs released by a forwarded tail: `(slot, router, output VC)`.
+    held_removes: Vec<(u32, u32, u16)>,
+    /// Fabric-stat deltas accumulated by this shard this cycle.
+    stats: FabricStats,
+    /// `vcs_touched` delta (bitset visits in VA + SA).
+    vcs_touched: u64,
+    /// Net change to the in-flight flit count.
+    in_flight_delta: i64,
+    /// Net change to the emitting-message count.
+    emitting_delta: i64,
+    /// True when any flit moved in this shard (progress signal).
+    progressed: bool,
+    /// Wall-clock nanoseconds spent in this shard's phases this cycle.
+    wall_ns: u64,
+}
+
+impl ShardScratch {
+    /// Clears per-cycle staging (called by the merge); keeps capacity.
+    fn reset(&mut self) {
+        self.delivered_tails.clear();
+        self.held_pushes.clear();
+        self.held_removes.clear();
+        self.stats = FabricStats::default();
+        self.vcs_touched = 0;
+        self.in_flight_delta = 0;
+        self.emitting_delta = 0;
+        self.progressed = false;
+        self.wall_ns = 0;
+    }
+}
+
+/// Minimum worklist size before a multi-shard tick actually spawns
+/// threads; below it the shards run serially (same code, same scratches,
+/// byte-identical results) because scoped-thread startup would dominate.
+const PARALLEL_MIN_ROUTERS: usize = 128;
+
 /// The flit-level wormhole network.
 pub struct WormholeFabric {
     topo: Topology,
@@ -152,18 +243,23 @@ pub struct WormholeFabric {
     /// Active-set bitset: bit `r` set ⇒ router `r` may have work. Set on
     /// injection and flit arrival; cleared only after the router was
     /// scanned through a full tick and found [`Router::idle`].
-    active_bits: Vec<u64>,
+    active: BitSet,
     /// Scratch worklist of active router ids, reused across ticks.
     worklist: Vec<u32>,
+    /// Shard boundaries over router ids: shard `s` owns
+    /// `shard_bounds[s]..shard_bounds[s+1]`.
+    shard_bounds: Vec<u32>,
+    /// Per-shard staging areas, index-aligned with `shard_bounds` windows.
+    scratch: Vec<ShardScratch>,
+    /// Cumulative wall-clock nanoseconds spent inside each shard's phase
+    /// loops (the per-shard work breakdown the bench records).
+    shard_wall_ns: Vec<u64>,
     deliveries: Vec<Delivery>,
-    arrivals: Vec<(u32, u16, Flit)>,
-    credit_returns: Vec<(u32, u16)>,
     in_flight_flits: u64,
     emitting_msgs: u64,
     last_progress: Cycle,
     stats: FabricStats,
     kernel: CycleKernelStats,
-    cand: Vec<Candidate>,
 }
 
 impl WormholeFabric {
@@ -202,28 +298,30 @@ impl WormholeFabric {
         let routers: Vec<Router> = (0..topo.num_nodes())
             .map(|_| Router::new(nports, w, cfg.buffer_depth))
             .collect();
-        let active_bits = vec![0u64; routers.len().div_ceil(64)];
-        Self {
+        let active = BitSet::new(routers.len());
+        let mut f = Self {
             w,
             nports,
             local: nports - 1,
             routers,
             slab: MsgSlab::default(),
-            active_bits,
+            active,
             worklist: Vec::new(),
+            shard_bounds: Vec::new(),
+            scratch: Vec::new(),
+            shard_wall_ns: Vec::new(),
             deliveries: Vec::new(),
-            arrivals: Vec::new(),
-            credit_returns: Vec::new(),
             in_flight_flits: 0,
             emitting_msgs: 0,
             last_progress: 0,
             stats: FabricStats::default(),
             kernel: CycleKernelStats::default(),
-            cand: Vec::new(),
             routing,
             topo,
             cfg,
-        }
+        };
+        f.set_shards(1);
+        f
     }
 
     /// The topology this fabric runs on.
@@ -253,9 +351,37 @@ impl WormholeFabric {
         self.routing = routing;
     }
 
-    #[inline]
-    fn activate(&mut self, r: usize) {
-        self.active_bits[r / 64] |= 1u64 << (r % 64);
+    /// Partitions the run into `n` spatial shards (clamped to
+    /// `1..=num_nodes`): contiguous router-id bands processed by one thread
+    /// each. Results are **byte-identical at any shard count** — see the
+    /// module docs for why — so this only trades wall-clock for cores.
+    pub fn set_shards(&mut self, n: usize) {
+        let nodes = self.topo.num_nodes() as usize;
+        let n = n.clamp(1, nodes.max(1));
+        self.shard_bounds = (0..=n)
+            .map(|s| u32::try_from(nodes * s / n).expect("node count fits u32"))
+            .collect();
+        self.scratch = (0..n).map(|_| ShardScratch::default()).collect();
+        self.shard_wall_ns = vec![0; n];
+    }
+
+    /// The configured shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shard_bounds.len() - 1
+    }
+
+    /// Which shard owns `node`.
+    #[must_use]
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.shard_bounds.partition_point(|&b| b <= node.0) - 1
+    }
+
+    /// Cumulative wall-clock nanoseconds spent inside each shard's phase
+    /// loops (one entry per shard), for the bench's per-shard breakdown.
+    #[must_use]
+    pub fn shard_wall_ns(&self) -> &[u64] {
+        &self.shard_wall_ns
     }
 
     /// Accepts a message for injection at its source node.
@@ -265,7 +391,7 @@ impl WormholeFabric {
         let slot = self.slab.insert(msg);
         let src = msg.src.0 as usize;
         self.routers[src].inj_queue.push_back(Queued { msg, slot });
-        self.activate(src);
+        self.active.set(src);
         self.emitting_msgs += 1;
         self.stats.injected_msgs += 1;
     }
@@ -293,10 +419,7 @@ impl WormholeFabric {
     /// gauge the time-series sampler reads each cycle).
     #[must_use]
     pub fn active_routers(&self) -> u64 {
-        self.active_bits
-            .iter()
-            .map(|&w| u64::from(w.count_ones()))
-            .sum()
+        self.active.count() as u64
     }
 
     /// Aggregate statistics.
@@ -331,18 +454,16 @@ impl WormholeFabric {
         self.in_flight_flits > 0 || self.emitting_msgs > 0
     }
 
-    fn ivc(&self, port: usize, vc: usize) -> usize {
-        port * self.w + vc
-    }
-
     /// Advances the fabric by one cycle: scans only the active set, in
     /// ascending router order (the same order the seed kernel's full scan
     /// visited them, so arbitration and delivery order are unchanged).
+    /// With shards configured, the scan is split into contiguous bands run
+    /// concurrently and merged deterministically — see the module docs.
     pub fn tick(&mut self, now: Cycle) {
         self.kernel.ticks += 1;
         let mut wl = std::mem::take(&mut self.worklist);
         wl.clear();
-        for (wi, &word) in self.active_bits.iter().enumerate() {
+        for (wi, &word) in self.active.words().iter().enumerate() {
             let mut bits = word;
             while bits != 0 {
                 wl.push((wi as u32) * 64 + bits.trailing_zeros());
@@ -350,251 +471,144 @@ impl WormholeFabric {
             }
         }
         self.kernel.routers_scanned += wl.len() as u64;
-        for &r in &wl {
-            self.va_stage(r as usize, now);
+
+        let nshards = self.shards();
+        {
+            // Field-level borrows so the router slice, scratches, and the
+            // immutable tables can be handed to shard workers.
+            let topo = &self.topo;
+            let routing = self.routing.as_ref();
+            let cfg = self.cfg;
+            let (w, nports, local) = (self.w, self.nports, self.local);
+            let bounds = &self.shard_bounds;
+            let scratches = &mut self.scratch;
+
+            // Partition the (ascending) worklist at the shard boundaries
+            // and the router vector into the matching disjoint slices.
+            let mut jobs: Vec<(u32, &mut [Router], &[u32], &mut ShardScratch)> =
+                Vec::with_capacity(nshards);
+            let mut routers_rest: &mut [Router] = &mut self.routers;
+            let mut wl_rest: &[u32] = &wl;
+            for (s, scr) in scratches.iter_mut().enumerate() {
+                let lo = bounds[s] as usize;
+                let hi = bounds[s + 1] as usize;
+                let (chunk, r2) = routers_rest.split_at_mut(hi - lo);
+                routers_rest = r2;
+                let cut = wl_rest.partition_point(|&r| (r as usize) < hi);
+                let (wlp, w2) = wl_rest.split_at(cut);
+                wl_rest = w2;
+                if !wlp.is_empty() {
+                    jobs.push((lo as u32, chunk, wlp, scr));
+                }
+            }
+
+            if nshards > 1 && wl.len() >= PARALLEL_MIN_ROUTERS {
+                std::thread::scope(|sc| {
+                    for (base, chunk, wlp, scr) in jobs {
+                        sc.spawn(move || {
+                            run_shard(
+                                base, chunk, wlp, topo, routing, cfg, w, nports, local, now, scr,
+                            );
+                        });
+                    }
+                });
+            } else {
+                for (base, chunk, wlp, scr) in jobs {
+                    run_shard(
+                        base, chunk, wlp, topo, routing, cfg, w, nports, local, now, scr,
+                    );
+                }
+            }
         }
-        for &r in &wl {
-            self.sa_stage(r as usize, now);
-        }
-        for &r in &wl {
-            self.injection_stage(r as usize);
-        }
-        self.commit();
+
+        self.merge(now);
+
         // Retire provably quiescent routers. Routers that just received an
-        // arrival in commit() fail `idle` and stay in the set.
+        // arrival in the merge fail `idle` and stay in the set.
         for &r in &wl {
             if self.routers[r as usize].idle() {
-                self.active_bits[(r / 64) as usize] &= !(1u64 << (r % 64));
+                self.active.clear(r as usize);
             }
         }
         self.worklist = wl;
     }
 
-    /// Phase 1: routing computation + output-VC allocation.
-    fn va_stage(&mut self, r: usize, now: Cycle) {
-        let node = NodeId(r as u32);
-        let n_ivc = self.nports * self.w;
-        self.kernel.vcs_touched += n_ivc as u64;
-        // The VA round-robin pointer is cycle-derived: the seed kernel
-        // advanced it by exactly one per tick on every router, active or
-        // not, so `now % n_ivc` reproduces it without per-router state —
-        // and without requiring idle routers to tick at all.
-        let start = (now % n_ivc as u64) as usize;
-        for off in 0..n_ivc {
-            let i = (start + off) % n_ivc;
-            // Inspect the front flit without holding a borrow.
-            let (front_dest, front_slot) = {
-                let vc = &self.routers[r].inputs[i];
-                if vc.route.is_some() {
-                    continue;
-                }
-                match vc.buf.front() {
-                    Some(f) if f.is_head => (f.dest, f.slot),
-                    _ => continue,
-                }
-            };
-            // Routing-delay accounting.
-            let since = {
-                let vc = &mut self.routers[r].inputs[i];
-                *vc.head_since.get_or_insert(now)
-            };
-            if now < since + u64::from(self.cfg.routing_delay) {
-                continue;
-            }
-            if front_dest == node {
-                // Ejection needs no output VC: mark the route to the local
-                // port; SA treats it with infinite credit.
-                self.routers[r].inputs[i].route = Some(crate::router::RouteHold {
-                    out_port: self.local as u8,
-                    out_vc: 0,
-                });
-                self.routers[r].inputs[i].head_since = None;
-                continue;
-            }
-            self.cand.clear();
-            self.routing
-                .route(&self.topo, node, front_dest, &mut self.cand);
-            debug_assert!(!self.cand.is_empty(), "routing gave no candidates");
-            for ci in 0..self.cand.len() {
-                let c = self.cand[ci];
-                let oidx = self.ivc(c.port.index(), c.vc as usize);
-                if self.routers[r].outputs[oidx].owner.is_none() {
-                    self.routers[r].outputs[oidx].owner = Some(i as u16);
-                    self.routers[r].inputs[i].route = Some(crate::router::RouteHold {
-                        out_port: c.port.index() as u8,
-                        out_vc: c.vc,
-                    });
-                    self.routers[r].inputs[i].head_since = None;
-                    self.slab.held_mut(front_slot).push((r as u32, oidx as u16));
-                    self.stats.va_allocs += 1;
-                    break;
-                }
+    /// The serial merge: replays every cross-router effect staged by the
+    /// shards, in shard-index order — which, shards being ascending-id
+    /// bands visited ascending, is exactly the serial kernel's order. Held
+    /// pushes (VA) apply before held removes (SA) because the serial tick
+    /// runs all VA before all SA; slab removals replay in delivery order so
+    /// the LIFO free list recycles slots identically.
+    fn merge(&mut self, now: Cycle) {
+        for si in 0..self.scratch.len() {
+            for k in 0..self.scratch[si].held_pushes.len() {
+                let (slot, r, oidx) = self.scratch[si].held_pushes[k];
+                self.slab.held_mut(slot).push((r, oidx));
             }
         }
-    }
-
-    /// Phase 2: switch allocation and flit forwarding / delivery.
-    fn sa_stage(&mut self, r: usize, now: Cycle) {
-        let node = NodeId(r as u32);
-        let n_ivc = self.nports * self.w;
-        let mut input_port_used = [false; 32];
-        debug_assert!(self.nports <= 32);
-
-        for out_port in 0..self.nports {
-            let start = self.routers[r].sa_rr[out_port] as usize % n_ivc;
-            let mut pick: Option<usize> = None;
-            for off in 0..n_ivc {
-                self.kernel.vcs_touched += 1;
-                let i = (start + off) % n_ivc;
-                let vc = &self.routers[r].inputs[i];
-                let Some(route) = vc.route else { continue };
-                if route.out_port as usize != out_port || vc.buf.is_empty() {
-                    continue;
-                }
-                if input_port_used[i / self.w] {
-                    continue;
-                }
-                if out_port != self.local {
-                    let oidx = self.ivc(out_port, route.out_vc as usize);
-                    if self.routers[r].outputs[oidx].credits == 0 {
-                        continue;
-                    }
-                }
-                pick = Some(i);
-                break;
-            }
-            let Some(i) = pick else { continue };
-            input_port_used[i / self.w] = true;
-            self.routers[r].sa_rr[out_port] = ((i + 1) % n_ivc) as u16;
-
-            let route = self.routers[r].inputs[i]
-                .route
-                .expect("picked VC has route");
-            let flit = self.routers[r].inputs[i]
-                .buf
-                .pop_front()
-                .expect("picked VC has a flit");
-
-            // Return a credit upstream for the slot just freed (network
-            // input ports only; injection buffers are local).
-            let in_port = i / self.w;
-            let in_vc = i % self.w;
-            if in_port != self.local {
-                let p = PortDir::from_index(in_port);
-                let up = self
-                    .topo
-                    .neighbor(node, p)
-                    .expect("flits only arrive over real links");
-                let up_ovc = self.ivc(p.opposite().index(), in_vc);
-                self.credit_returns.push((up.0, up_ovc as u16));
-            }
-
-            self.last_progress = now;
-            if out_port == self.local {
-                // Delivery.
-                self.in_flight_flits -= 1;
-                self.stats.delivered_flits += 1;
-                if flit.is_tail {
-                    self.routers[r].inputs[i].route = None;
-                    let msg = self.slab.remove(flit.slot);
-                    debug_assert_eq!(msg.id, flit.msg, "slot/id mismatch at delivery");
-                    self.stats.delivered_msgs += 1;
-                    self.deliveries.push(Delivery {
-                        msg,
-                        delivered_at: now,
-                        mode: DeliveryMode::Wormhole,
-                    });
-                }
-            } else {
-                let oidx = self.ivc(out_port, route.out_vc as usize);
-                self.routers[r].outputs[oidx].credits -= 1;
-                let p = PortDir::from_index(out_port);
-                let down = self
-                    .topo
-                    .neighbor(node, p)
-                    .expect("allocated outputs point at real links");
-                let down_ivc = self.ivc(p.opposite().index(), route.out_vc as usize);
-                self.arrivals.push((down.0, down_ivc as u16, flit));
-                self.stats.flit_hops += 1;
-                if flit.is_tail {
-                    self.routers[r].outputs[oidx].owner = None;
-                    self.routers[r].inputs[i].route = None;
-                    // The tail has left this router: the message no longer
-                    // holds this output VC.
-                    let hs = self.slab.held_mut(flit.slot);
-                    let pos = hs
-                        .iter()
-                        .position(|&(hr, ho)| hr == r as u32 && ho == oidx as u16)
-                        .expect("held list tracks allocations in path order");
-                    hs.remove(pos);
-                }
+        for si in 0..self.scratch.len() {
+            for k in 0..self.scratch[si].held_removes.len() {
+                let (slot, r, oidx) = self.scratch[si].held_removes[k];
+                let hs = self.slab.held_mut(slot);
+                let pos = hs
+                    .iter()
+                    .position(|&(hr, ho)| hr == r && ho == oidx)
+                    .expect("held list tracks allocations in path order");
+                hs.remove(pos);
             }
         }
-    }
-
-    /// Phase 3: message flit emission at sources.
-    fn injection_stage(&mut self, r: usize) {
-        // Continue in-progress emissions: one flit per injection VC per cycle.
-        for v in 0..self.w {
-            let idx = self.ivc(self.local, v);
-            let Some(em) = self.routers[r].emitting[v] else {
-                continue;
-            };
-            if self.routers[r].inputs[idx].buf.len() < self.cfg.buffer_depth as usize {
-                let flit = Flit::of(&em.msg, em.sent, em.slot);
-                self.routers[r].inputs[idx].buf.push_back(flit);
-                self.in_flight_flits += 1;
-                let sent = em.sent + 1;
-                if sent == em.msg.len_flits {
-                    self.routers[r].emitting[v] = None;
-                    self.emitting_msgs -= 1;
-                } else {
-                    self.routers[r].emitting[v] = Some(Emitting {
-                        msg: em.msg,
-                        sent,
-                        slot: em.slot,
-                    });
-                }
-            }
-        }
-        // Claim idle injection VCs for queued messages.
-        for v in 0..self.w {
-            if self.routers[r].inj_queue.is_empty() {
-                break;
-            }
-            let idx = self.ivc(self.local, v);
-            if self.routers[r].emitting[v].is_none() && self.routers[r].inputs[idx].idle() {
-                let q = self.routers[r].inj_queue.pop_front().expect("non-empty");
-                self.routers[r].emitting[v] = Some(Emitting {
-                    msg: q.msg,
-                    sent: 0,
-                    slot: q.slot,
+        for si in 0..self.scratch.len() {
+            for k in 0..self.scratch[si].delivered_tails.len() {
+                let (slot, id) = self.scratch[si].delivered_tails[k];
+                let msg = self.slab.remove(slot);
+                debug_assert_eq!(msg.id, id, "slot/id mismatch at delivery");
+                self.stats.delivered_msgs += 1;
+                self.deliveries.push(Delivery {
+                    msg,
+                    delivered_at: now,
+                    mode: DeliveryMode::Wormhole,
                 });
             }
         }
-    }
+        for si in 0..self.scratch.len() {
+            let mut arrivals = std::mem::take(&mut self.scratch[si].arrivals);
+            for (r, ivc, flit) in arrivals.drain(..) {
+                self.active.set(r as usize);
+                let router = &mut self.routers[r as usize];
+                router.push_flit(ivc as usize, flit);
+                assert!(
+                    router.bufs[ivc as usize].len() <= self.cfg.buffer_depth as usize,
+                    "credit protocol violated: buffer overflow at router {r} vc {ivc}"
+                );
+            }
+            self.scratch[si].arrivals = arrivals;
+            let mut credits = std::mem::take(&mut self.scratch[si].credit_returns);
+            for (r, ovc) in credits.drain(..) {
+                let c = &mut self.routers[r as usize].out_credits[ovc as usize];
+                *c += 1;
+                assert!(
+                    *c <= self.cfg.buffer_depth,
+                    "credit protocol violated: credit overflow at router {r} ovc {ovc}"
+                );
+            }
+            self.scratch[si].credit_returns = credits;
 
-    /// Phase 4: arrivals and credits become visible for the next cycle.
-    /// Arrivals activate their receiving router; credit returns need no
-    /// activation, because only a router that still holds flits (and is
-    /// therefore already active) can later consume the restored credit.
-    fn commit(&mut self) {
-        for (r, ivc, flit) in self.arrivals.drain(..) {
-            self.active_bits[(r / 64) as usize] |= 1u64 << (r % 64);
-            let vc = &mut self.routers[r as usize].inputs[ivc as usize];
-            vc.buf.push_back(flit);
-            assert!(
-                vc.buf.len() <= self.cfg.buffer_depth as usize,
-                "credit protocol violated: buffer overflow at router {r} vc {ivc}"
-            );
-        }
-        for (r, ovc) in self.credit_returns.drain(..) {
-            let out = &mut self.routers[r as usize].outputs[ovc as usize];
-            out.credits += 1;
-            assert!(
-                out.credits <= self.cfg.buffer_depth,
-                "credit protocol violated: credit overflow at router {r} ovc {ovc}"
-            );
+            let s = &mut self.scratch[si];
+            self.stats.absorb(&s.stats);
+            self.kernel.vcs_touched += s.vcs_touched;
+            self.in_flight_flits = self
+                .in_flight_flits
+                .checked_add_signed(s.in_flight_delta)
+                .expect("in-flight flit count stays non-negative");
+            self.emitting_msgs = self
+                .emitting_msgs
+                .checked_add_signed(s.emitting_delta)
+                .expect("emitting message count stays non-negative");
+            if s.progressed {
+                self.last_progress = now;
+            }
+            self.shard_wall_ns[si] += s.wall_ns;
+            s.reset();
         }
     }
 
@@ -608,11 +622,11 @@ impl WormholeFabric {
         let mut cand = Vec::new();
         for (r, router) in self.routers.iter().enumerate() {
             let node = NodeId(r as u32);
-            for vc in router.inputs.iter() {
-                if vc.route.is_some() {
+            for i in 0..router.bufs.len() {
+                if router.route[i] != ROUTE_NONE {
                     continue;
                 }
-                let Some(front) = vc.buf.front() else {
+                let Some(front) = router.bufs[i].front() else {
                     continue;
                 };
                 if !front.is_head || front.dest == node {
@@ -626,7 +640,7 @@ impl WormholeFabric {
                 cand.clear();
                 self.routing.route(&self.topo, node, front.dest, &mut cand);
                 for c in &cand {
-                    let oidx = self.ivc(c.port.index(), c.vc as usize);
+                    let oidx = c.port.index() * self.w + c.vc as usize;
                     edges.push((holder, (r as u32, oidx as u16)));
                 }
             }
@@ -640,13 +654,279 @@ impl WormholeFabric {
     pub fn occupancy(&self) -> Vec<(u32, u16, usize)> {
         let mut out = Vec::new();
         for (r, router) in self.routers.iter().enumerate() {
-            for (i, vc) in router.inputs.iter().enumerate() {
-                if !vc.buf.is_empty() {
-                    out.push((r as u32, i as u16, vc.buf.len()));
+            for (i, buf) in router.bufs.iter().enumerate() {
+                if !buf.is_empty() {
+                    out.push((r as u32, i as u16, buf.len()));
                 }
             }
         }
         out
+    }
+}
+
+/// One shard's full cycle: VA, SA, and injection over its own routers,
+/// staging every cross-router effect in `s`. Runs on a worker thread when
+/// the fabric is sharded; the only shared state it touches is immutable
+/// (`topo`, `routing`).
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    base: u32,
+    routers: &mut [Router],
+    wl: &[u32],
+    topo: &Topology,
+    routing: &dyn WormholeRouting,
+    cfg: WormholeConfig,
+    w: usize,
+    nports: usize,
+    local: usize,
+    now: Cycle,
+    s: &mut ShardScratch,
+) {
+    let t0 = std::time::Instant::now();
+    for &r in wl {
+        va_stage(
+            base, routers, r, topo, routing, cfg, w, nports, local, now, s,
+        );
+    }
+    for &r in wl {
+        sa_stage(base, routers, r, topo, w, nports, local, s);
+    }
+    for &r in wl {
+        injection_stage(base, routers, r, cfg, w, local, s);
+    }
+    s.wall_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+}
+
+/// Phase 1: routing computation + output-VC allocation. Scans only the
+/// router's `va_pending` bitset, in the same rotated round-robin order the
+/// seed kernel's full sweep used.
+#[allow(clippy::too_many_arguments)]
+fn va_stage(
+    base: u32,
+    routers: &mut [Router],
+    r: u32,
+    topo: &Topology,
+    routing: &dyn WormholeRouting,
+    cfg: WormholeConfig,
+    w: usize,
+    nports: usize,
+    local: usize,
+    now: Cycle,
+    s: &mut ShardScratch,
+) {
+    let node = NodeId(r);
+    let router = &mut routers[(r - base) as usize];
+    let n_ivc = nports * w;
+    // The VA round-robin pointer is cycle-derived: the seed kernel
+    // advanced it by exactly one per tick on every router, active or
+    // not, so `now % n_ivc` reproduces it without per-router state —
+    // and without requiring idle routers to tick at all.
+    let start = (now % n_ivc as u64) as usize;
+    // Snapshot the pending set: VA neither adds pending VCs nor clears
+    // any but the one it is processing, so the snapshot equals the live
+    // visit set of the serial sweep.
+    s.order.clear();
+    router.va_pending.for_each_wrapping(start, |i| {
+        s.order.push(i as u16);
+        false
+    });
+    s.vcs_touched += s.order.len() as u64;
+    for &iu in &s.order {
+        let i = iu as usize;
+        let Some(front) = router.bufs[i].front() else {
+            debug_assert!(false, "va_pending bit set on an empty VC");
+            continue;
+        };
+        debug_assert!(
+            front.is_head,
+            "unrouted VC front must be a head flit (packet-ordered buffers)"
+        );
+        let (front_dest, front_slot) = (front.dest, front.slot);
+        // Routing-delay accounting.
+        if router.head_since[i] == crate::router::NO_HEAD {
+            router.head_since[i] = now;
+        }
+        if now < router.head_since[i] + u64::from(cfg.routing_delay) {
+            continue;
+        }
+        if front_dest == node {
+            // Ejection needs no output VC: mark the route to the local
+            // port; SA treats it with infinite credit.
+            router.set_route(i, route_pack(local as u8, 0));
+            continue;
+        }
+        s.cand.clear();
+        routing.route(topo, node, front_dest, &mut s.cand);
+        debug_assert!(!s.cand.is_empty(), "routing gave no candidates");
+        for ci in 0..s.cand.len() {
+            let c = s.cand[ci];
+            let oidx = c.port.index() * w + c.vc as usize;
+            if router.out_owner[oidx] == OWNER_NONE {
+                router.out_owner[oidx] = iu;
+                router.set_route(i, route_pack(c.port.index() as u8, c.vc));
+                s.held_pushes.push((front_slot, r, oidx as u16));
+                s.stats.va_allocs += 1;
+                break;
+            }
+        }
+    }
+}
+
+/// Phase 2: switch allocation and flit forwarding / delivery. Each output
+/// port scans the router's `sa_ready` bitset from its round-robin pointer.
+#[allow(clippy::too_many_arguments)]
+fn sa_stage(
+    base: u32,
+    routers: &mut [Router],
+    r: u32,
+    topo: &Topology,
+    w: usize,
+    nports: usize,
+    local: usize,
+    s: &mut ShardScratch,
+) {
+    let node = NodeId(r);
+    let router = &mut routers[(r - base) as usize];
+    let n_ivc = nports * w;
+    let mut input_port_used = [false; 32];
+    debug_assert!(nports <= 32);
+
+    for out_port in 0..nports {
+        let start = router.sa_rr[out_port] as usize % n_ivc;
+        let mut pick: Option<usize> = None;
+        let mut touched = 0u64;
+        {
+            let sa_ready = &router.sa_ready;
+            let route = &router.route;
+            let out_credits = &router.out_credits;
+            sa_ready.for_each_wrapping(start, |i| {
+                touched += 1;
+                let rt = route[i];
+                debug_assert_ne!(rt, ROUTE_NONE, "sa_ready bit set on an unrouted VC");
+                if route_port(rt) != out_port {
+                    return false;
+                }
+                if input_port_used[i / w] {
+                    return false;
+                }
+                if out_port != local {
+                    let oidx = out_port * w + route_vc(rt);
+                    if out_credits[oidx] == 0 {
+                        return false;
+                    }
+                }
+                pick = Some(i);
+                true
+            });
+        }
+        s.vcs_touched += touched;
+        let Some(i) = pick else { continue };
+        input_port_used[i / w] = true;
+        router.sa_rr[out_port] = ((i + 1) % n_ivc) as u16;
+
+        let rt = router.route[i];
+        let flit = router.bufs[i].pop_front().expect("picked VC has a flit");
+
+        // Return a credit upstream for the slot just freed (network
+        // input ports only; injection buffers are local).
+        let in_port = i / w;
+        let in_vc = i % w;
+        if in_port != local {
+            let p = PortDir::from_index(in_port);
+            let up = topo
+                .neighbor(node, p)
+                .expect("flits only arrive over real links");
+            let up_ovc = p.opposite().index() * w + in_vc;
+            s.credit_returns.push((up.0, up_ovc as u16));
+        }
+
+        s.progressed = true;
+        if out_port == local {
+            // Delivery.
+            s.in_flight_delta -= 1;
+            s.stats.delivered_flits += 1;
+            if flit.is_tail {
+                router.clear_route(i);
+                s.delivered_tails.push((flit.slot, flit.msg));
+            } else {
+                router.sync_after_pop(i);
+            }
+        } else {
+            let oidx = out_port * w + route_vc(rt);
+            router.out_credits[oidx] -= 1;
+            let p = PortDir::from_index(out_port);
+            let down = topo
+                .neighbor(node, p)
+                .expect("allocated outputs point at real links");
+            let down_ivc = p.opposite().index() * w + route_vc(rt);
+            s.arrivals.push((down.0, down_ivc as u16, flit));
+            s.stats.flit_hops += 1;
+            if flit.is_tail {
+                router.out_owner[oidx] = OWNER_NONE;
+                router.clear_route(i);
+                // The tail has left this router: the message no longer
+                // holds this output VC.
+                s.held_removes.push((flit.slot, r, oidx as u16));
+            } else {
+                router.sync_after_pop(i);
+            }
+        }
+    }
+}
+
+/// Phase 3: message flit emission at sources.
+fn injection_stage(
+    base: u32,
+    routers: &mut [Router],
+    r: u32,
+    cfg: WormholeConfig,
+    w: usize,
+    local: usize,
+    s: &mut ShardScratch,
+) {
+    let router = &mut routers[(r - base) as usize];
+    // Continue in-progress emissions: one flit per injection VC per cycle.
+    for v in 0..w {
+        let idx = local * w + v;
+        let Some(em) = router.emitting[v] else {
+            continue;
+        };
+        if router.bufs[idx].len() < cfg.buffer_depth as usize {
+            let flit = Flit::of(&em.msg, em.sent, em.slot);
+            router.push_flit(idx, flit);
+            s.in_flight_delta += 1;
+            let sent = em.sent + 1;
+            if sent == em.msg.len_flits {
+                router.emitting[v] = None;
+                router.emitting_live -= 1;
+                s.emitting_delta -= 1;
+            } else {
+                router.emitting[v] = Some(Emitting {
+                    msg: em.msg,
+                    sent,
+                    slot: em.slot,
+                });
+            }
+        }
+    }
+    // Claim idle injection VCs for queued messages.
+    for v in 0..w {
+        if router.inj_queue.is_empty() {
+            break;
+        }
+        let idx = local * w + v;
+        if router.emitting[v].is_none()
+            && router.bufs[idx].is_empty()
+            && router.route[idx] == ROUTE_NONE
+        {
+            let q = router.inj_queue.pop_front().expect("non-empty");
+            router.emitting[v] = Some(Emitting {
+                msg: q.msg,
+                sent: 0,
+                slot: q.slot,
+            });
+            router.emitting_live += 1;
+        }
     }
 }
 
@@ -908,6 +1188,66 @@ mod tests {
     }
 
     #[test]
+    fn sharded_run_is_byte_identical_to_serial() {
+        // The shard merge must reproduce the serial schedule exactly, at
+        // every shard count, including stats and kernel work counters.
+        let run_at = |shards: usize| {
+            let topo = Topology::torus(&[4, 4]);
+            let mut f = WormholeFabric::new(
+                topo.clone(),
+                WormholeConfig {
+                    w: 2,
+                    buffer_depth: 2,
+                    routing: RoutingKind::Deterministic,
+                    routing_delay: 1,
+                },
+            );
+            f.set_shards(shards);
+            let mut id = 0;
+            for a in topo.nodes() {
+                for b in topo.nodes() {
+                    if a != b {
+                        f.inject(Message::new(id, a, b, 6, 0));
+                        id += 1;
+                    }
+                }
+            }
+            let mut now = 0;
+            while f.busy() && now < 500_000 {
+                f.tick(now);
+                now += 1;
+            }
+            let sched: Vec<_> = f
+                .drain_deliveries()
+                .iter()
+                .map(|d| (d.msg.id.0, d.delivered_at))
+                .collect();
+            (sched, format!("{:?}{:?}", f.stats(), f.kernel_stats()))
+        };
+        let serial = run_at(1);
+        assert_eq!(serial, run_at(2));
+        assert_eq!(serial, run_at(3));
+        assert_eq!(serial, run_at(4));
+        assert_eq!(serial, run_at(16));
+    }
+
+    #[test]
+    fn shard_of_partitions_contiguously() {
+        let mut f = mesh44(1);
+        f.set_shards(4);
+        assert_eq!(f.shards(), 4);
+        let mut prev = 0;
+        for n in 0..16u32 {
+            let s = f.shard_of(NodeId(n));
+            assert!(s >= prev, "shard index must be monotone in node id");
+            prev = s;
+        }
+        assert_eq!(f.shard_of(NodeId(0)), 0);
+        assert_eq!(f.shard_of(NodeId(15)), 3);
+        assert_eq!(f.shard_wall_ns().len(), 4);
+    }
+
+    #[test]
     fn injection_respects_vc_count() {
         // With w=1, two messages from the same source serialize.
         let mut f = mesh44(1);
@@ -959,7 +1299,7 @@ mod tests {
             for (r, router) in f.routers.iter().enumerate() {
                 if !router.idle() {
                     assert!(
-                        f.active_bits[r / 64] & (1 << (r % 64)) != 0,
+                        f.active.get(r),
                         "non-idle router {r} missing from active set at cycle {now}"
                     );
                 }
@@ -967,7 +1307,7 @@ mod tests {
         }
         assert!(!f.busy());
         assert!(
-            f.active_bits.iter().all(|&w| w == 0),
+            f.active.is_empty(),
             "drained fabric must have an empty active set"
         );
         // Drained fabric: ticking is O(1) — no routers scanned.

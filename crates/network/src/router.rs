@@ -2,80 +2,58 @@
 //!
 //! This mirrors the "typical architecture of a wormhole router" of the
 //! paper's Fig. 1: input queues per virtual channel, a crossbar, a routing
-//! control unit, and output multiplexers. State is kept in flat vectors
-//! indexed `port * w + vc` so the fabric's per-cycle sweep stays cache
-//! friendly.
+//! control unit, and output multiplexers. State is kept **struct-of-arrays**:
+//! parallel flat vectors indexed by the dense VC index `port * w + vc`, so
+//! the fabric's per-cycle sweep walks contiguous memory instead of chasing
+//! per-VC objects, and the scheduling state lives in two [`BitSet`]s the
+//! allocation stages scan in O(set bits):
+//!
+//! * `va_pending` — VCs with no route and a buffered flit (their front is
+//!   necessarily a head flit, see below): exactly the VCs the VA stage must
+//!   visit;
+//! * `sa_ready` — VCs with a route and a buffered flit: exactly the VCs the
+//!   SA stage may pick from.
+//!
+//! The `va_pending` definition leans on a structural invariant of wormhole
+//! flow control: an output VC is granted to one packet at a time, so flits
+//! arrive into an input VC packet-by-packet — whenever the route is clear
+//! (packet tail gone) and the buffer is non-empty, the front flit is the
+//! next packet's head. The fabric debug-asserts this on every VA visit.
 
 use std::collections::VecDeque;
 
-use wavesim_sim::Cycle;
+use wavesim_sim::{BitSet, Cycle};
 
 use crate::message::{Flit, Message};
 
-/// Route decision held by an input VC after virtual-channel allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RouteHold {
-    /// Output port index (dense; `2·ndims` is the ejection port).
-    pub out_port: u8,
-    /// Output VC index on that port.
-    pub out_vc: u8,
+/// Sentinel in [`Router::route`]: no output allocated to this input VC.
+pub const ROUTE_NONE: u16 = u16::MAX;
+
+/// Sentinel in [`Router::out_owner`]: output VC owned by no packet.
+pub const OWNER_NONE: u16 = u16::MAX;
+
+/// Sentinel in [`Router::head_since`]: no unrouted head is waiting.
+pub const NO_HEAD: Cycle = Cycle::MAX;
+
+/// Packs an output allocation into a [`Router::route`] word.
+#[inline]
+#[must_use]
+pub fn route_pack(out_port: u8, out_vc: u8) -> u16 {
+    (u16::from(out_port) << 8) | u16::from(out_vc)
 }
 
-/// One input virtual channel: a private flit buffer plus allocation state.
-#[derive(Debug, Clone)]
-pub struct InputVc {
-    /// FIFO flit buffer (capacity enforced by the fabric).
-    pub buf: VecDeque<Flit>,
-    /// Output allocation of the packet currently occupying this VC.
-    pub route: Option<RouteHold>,
-    /// Cycle at which the head flit currently at the front was first seen
-    /// by the routing control unit (None when no unrouted head is waiting).
-    pub head_since: Option<Cycle>,
+/// Output port of a packed route word.
+#[inline]
+#[must_use]
+pub fn route_port(r: u16) -> usize {
+    (r >> 8) as usize
 }
 
-impl InputVc {
-    /// Empty VC.
-    #[must_use]
-    pub fn new() -> Self {
-        Self {
-            buf: VecDeque::new(),
-            route: None,
-            head_since: None,
-        }
-    }
-
-    /// True when this VC holds no packet state at all and can accept a new
-    /// wormhole.
-    #[must_use]
-    pub fn idle(&self) -> bool {
-        self.buf.is_empty() && self.route.is_none()
-    }
-}
-
-impl Default for InputVc {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// One output virtual channel: ownership plus credit count.
-#[derive(Debug, Clone, Copy)]
-pub struct OutputVc {
-    /// Input VC (dense index) of the packet that owns this output VC, if any.
-    pub owner: Option<u16>,
-    /// Free buffer slots at the downstream input VC.
-    pub credits: u32,
-}
-
-impl OutputVc {
-    /// Fresh output VC with `credits` downstream slots.
-    #[must_use]
-    pub fn new(credits: u32) -> Self {
-        Self {
-            owner: None,
-            credits,
-        }
-    }
+/// Output VC of a packed route word.
+#[inline]
+#[must_use]
+pub fn route_vc(r: u16) -> usize {
+    (r & 0xff) as usize
 }
 
 /// Message-emission state of one injection virtual channel.
@@ -99,17 +77,36 @@ pub struct Queued {
     pub slot: u32,
 }
 
-/// Full per-node router state.
+/// Full per-node router state, struct-of-arrays over the dense input-VC
+/// index `port * w + vc` (inputs) and the same layout for outputs.
 #[derive(Debug, Clone)]
 pub struct Router {
-    /// Input VCs, `(2·ndims + 1) · w` entries; the last port is injection.
-    pub inputs: Vec<InputVc>,
-    /// Output VCs, same layout; the last port is ejection.
-    pub outputs: Vec<OutputVc>,
+    /// Per-input-VC FIFO flit buffers (capacity enforced by the fabric).
+    pub bufs: Vec<VecDeque<Flit>>,
+    /// Per-input-VC output allocation, packed `out_port << 8 | out_vc`;
+    /// [`ROUTE_NONE`] when unallocated.
+    pub route: Vec<u16>,
+    /// Cycle at which the head flit currently at the front was first seen
+    /// by the routing control unit; [`NO_HEAD`] when none is waiting.
+    pub head_since: Vec<Cycle>,
+    /// Per-output-VC owner (dense input-VC index); [`OWNER_NONE`] if free.
+    pub out_owner: Vec<u16>,
+    /// Per-output-VC free buffer slots at the downstream input VC.
+    pub out_credits: Vec<u32>,
+    /// Input VCs with no route and a buffered (head) flit — the VA stage's
+    /// worklist.
+    pub va_pending: BitSet,
+    /// Input VCs with a route and a buffered flit — the SA stage's
+    /// candidate set.
+    pub sa_ready: BitSet,
+    /// Number of input VCs whose route is allocated (`route != ROUTE_NONE`).
+    pub routed: u16,
     /// Messages waiting for a free injection VC.
     pub inj_queue: VecDeque<Queued>,
     /// Per-injection-VC flit emission in progress.
     pub emitting: Vec<Option<Emitting>>,
+    /// Number of `Some` entries in `emitting`.
+    pub emitting_live: u16,
     /// Round-robin pointers for switch allocation, one per output port.
     /// (The VA round-robin pointer needs no storage: the seed kernel
     /// advanced it by exactly one every cycle regardless of activity, so
@@ -123,29 +120,88 @@ impl Router {
     /// VCs per port, each with `buffer_depth` downstream credits.
     #[must_use]
     pub fn new(nports: usize, w: usize, buffer_depth: u32) -> Self {
+        let n = nports * w;
         Self {
-            inputs: (0..nports * w).map(|_| InputVc::new()).collect(),
-            outputs: (0..nports * w)
-                .map(|_| OutputVc::new(buffer_depth))
-                .collect(),
+            bufs: (0..n).map(|_| VecDeque::new()).collect(),
+            route: vec![ROUTE_NONE; n],
+            head_since: vec![NO_HEAD; n],
+            out_owner: vec![OWNER_NONE; n],
+            out_credits: vec![buffer_depth; n],
+            va_pending: BitSet::new(n),
+            sa_ready: BitSet::new(n),
+            routed: 0,
             inj_queue: VecDeque::new(),
             emitting: vec![None; w],
+            emitting_live: 0,
             sa_rr: vec![0; nports],
+        }
+    }
+
+    /// Appends a flit to input VC `i` (arrival or injection), keeping the
+    /// scheduling bitsets in sync.
+    #[inline]
+    pub fn push_flit(&mut self, i: usize, flit: Flit) {
+        self.bufs[i].push_back(flit);
+        if self.route[i] == ROUTE_NONE {
+            self.va_pending.set(i);
+        } else {
+            self.sa_ready.set(i);
+        }
+    }
+
+    /// Allocates the packed route `r` to input VC `i` (VA grant or
+    /// ejection mark), moving it from the VA set to the SA set.
+    #[inline]
+    pub fn set_route(&mut self, i: usize, r: u16) {
+        debug_assert_eq!(self.route[i], ROUTE_NONE);
+        debug_assert_ne!(r, ROUTE_NONE);
+        self.route[i] = r;
+        self.routed += 1;
+        self.head_since[i] = NO_HEAD;
+        self.va_pending.clear(i);
+        if !self.bufs[i].is_empty() {
+            self.sa_ready.set(i);
+        }
+    }
+
+    /// Releases input VC `i`'s route (its packet's tail left), returning
+    /// the VC to the VA set if the next packet is already buffered.
+    #[inline]
+    pub fn clear_route(&mut self, i: usize) {
+        debug_assert_ne!(self.route[i], ROUTE_NONE);
+        self.route[i] = ROUTE_NONE;
+        self.routed -= 1;
+        self.sa_ready.clear(i);
+        if !self.bufs[i].is_empty() {
+            self.va_pending.set(i);
+        }
+    }
+
+    /// Re-syncs the bitsets after a non-tail flit was popped from input VC
+    /// `i` (the route is still held; only emptiness can change).
+    #[inline]
+    pub fn sync_after_pop(&mut self, i: usize) {
+        if self.bufs[i].is_empty() {
+            self.sa_ready.clear(i);
         }
     }
 
     /// Total flits buffered in this router's input VCs.
     #[must_use]
     pub fn buffered_flits(&self) -> usize {
-        self.inputs.iter().map(|vc| vc.buf.len()).sum()
+        self.bufs.iter().map(VecDeque::len).sum()
     }
 
     /// True when nothing is queued, buffered, or mid-emission here.
+    /// `routed == 0` covers every allocated VC (buffered or in transit);
+    /// an empty `va_pending` then certifies every unallocated VC is
+    /// drained too.
     #[must_use]
     pub fn idle(&self) -> bool {
         self.inj_queue.is_empty()
-            && self.emitting.iter().all(Option::is_none)
-            && self.inputs.iter().all(InputVc::idle)
+            && self.emitting_live == 0
+            && self.routed == 0
+            && self.va_pending.is_empty()
     }
 }
 
@@ -158,13 +214,11 @@ mod tests {
     fn fresh_router_is_idle() {
         let r = Router::new(5, 2, 4);
         assert!(r.idle());
-        assert_eq!(r.inputs.len(), 10);
-        assert_eq!(r.outputs.len(), 10);
+        assert_eq!(r.bufs.len(), 10);
+        assert_eq!(r.out_owner.len(), 10);
         assert_eq!(r.buffered_flits(), 0);
-        assert!(r
-            .outputs
-            .iter()
-            .all(|o| o.credits == 4 && o.owner.is_none()));
+        assert!(r.out_credits.iter().all(|&c| c == 4));
+        assert!(r.out_owner.iter().all(|&o| o == OWNER_NONE));
     }
 
     #[test]
@@ -178,13 +232,49 @@ mod tests {
     }
 
     #[test]
-    fn input_vc_idle_semantics() {
-        let mut vc = InputVc::new();
-        assert!(vc.idle());
-        vc.route = Some(RouteHold {
-            out_port: 0,
-            out_vc: 0,
-        });
-        assert!(!vc.idle(), "allocated VC is not idle even when drained");
+    fn route_pack_round_trips() {
+        let r = route_pack(7, 3);
+        assert_eq!(route_port(r), 7);
+        assert_eq!(route_vc(r), 3);
+        assert_ne!(r, ROUTE_NONE);
+    }
+
+    #[test]
+    fn bitsets_track_push_route_pop_lifecycle() {
+        let mut r = Router::new(5, 2, 4);
+        let m = Message::new(1, NodeId(0), NodeId(1), 2, 0);
+        let head = Flit::of(&m, 0, 0);
+        let tail = Flit::of(&m, 1, 0);
+
+        r.push_flit(3, head);
+        assert!(r.va_pending.get(3) && !r.sa_ready.get(3));
+        assert!(!r.idle(), "pending VC is not idle");
+
+        r.set_route(3, route_pack(1, 0));
+        assert!(!r.va_pending.get(3) && r.sa_ready.get(3));
+        assert_eq!(r.routed, 1);
+
+        r.push_flit(3, tail);
+        let _ = r.bufs[3].pop_front().unwrap();
+        r.sync_after_pop(3);
+        assert!(r.sa_ready.get(3), "tail still buffered");
+
+        let popped = r.bufs[3].pop_front().unwrap();
+        assert!(popped.is_tail);
+        r.clear_route(3);
+        assert_eq!(r.routed, 0);
+        assert!(!r.sa_ready.get(3) && !r.va_pending.get(3));
+        assert!(r.idle());
+    }
+
+    #[test]
+    fn allocated_vc_is_not_idle_even_when_drained() {
+        let mut r = Router::new(5, 2, 4);
+        let m = Message::new(1, NodeId(0), NodeId(1), 3, 0);
+        r.push_flit(0, Flit::of(&m, 0, 0));
+        r.set_route(0, route_pack(2, 1));
+        let _ = r.bufs[0].pop_front().unwrap();
+        r.sync_after_pop(0);
+        assert!(!r.idle(), "allocated VC is not idle even when drained");
     }
 }

@@ -23,12 +23,14 @@
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod engine;
 pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use bitset::BitSet;
 pub use engine::{Engine, EngineReport, Model, StopReason};
 pub use event::{EventQueue, ScheduledEvent};
 pub use rng::SimRng;

@@ -263,12 +263,16 @@ impl Histogram {
     /// linearly inside it, with the bucket bounds clamped to the observed
     /// min/max — so a histogram whose samples all share one value reports
     /// that value exactly, `percentile(0.0)` is the minimum, and
-    /// `percentile(100.0)` is the maximum. Returns 0.0 when empty.
+    /// `percentile(100.0)` is the maximum. Returns `None` when the
+    /// histogram is empty: an empty distribution has no order statistics,
+    /// and a 0.0 sentinel is indistinguishable from a real zero-latency
+    /// sample (callers that want the old sentinel write
+    /// `.unwrap_or(0.0)`).
     #[must_use]
-    pub fn percentile(&self, p: f64) -> f64 {
+    pub fn percentile(&self, p: f64) -> Option<f64> {
         let n = self.count();
         if n == 0 {
-            return 0.0;
+            return None;
         }
         let p = p.clamp(0.0, 100.0);
         let target = p / 100.0 * n as f64;
@@ -281,27 +285,30 @@ impl Histogram {
                 let lo = (lo as f64).max(min);
                 let hi = (hi as f64).min(max);
                 let frac = ((target - prev) / c as f64).clamp(0.0, 1.0);
-                return lo + frac * (hi - lo).max(0.0);
+                return Some(lo + frac * (hi - lo).max(0.0));
             }
         }
-        max
+        Some(max)
     }
 
-    /// Median estimate ([`Histogram::percentile`] at 50).
+    /// Median estimate ([`Histogram::percentile`] at 50); `None` when
+    /// empty.
     #[must_use]
-    pub fn p50(&self) -> f64 {
+    pub fn p50(&self) -> Option<f64> {
         self.percentile(50.0)
     }
 
-    /// 95th-percentile estimate ([`Histogram::percentile`] at 95).
+    /// 95th-percentile estimate ([`Histogram::percentile`] at 95); `None`
+    /// when empty.
     #[must_use]
-    pub fn p95(&self) -> f64 {
+    pub fn p95(&self) -> Option<f64> {
         self.percentile(95.0)
     }
 
-    /// 99th-percentile estimate ([`Histogram::percentile`] at 99).
+    /// 99th-percentile estimate ([`Histogram::percentile`] at 99); `None`
+    /// when empty.
     #[must_use]
-    pub fn p99(&self) -> f64 {
+    pub fn p99(&self) -> Option<f64> {
         self.percentile(99.0)
     }
 
@@ -570,11 +577,11 @@ mod tests {
         for _ in 0..100 {
             h.record(7);
         }
-        assert_eq!(h.percentile(0.0), 7.0);
-        assert_eq!(h.p50(), 7.0);
-        assert_eq!(h.p95(), 7.0);
-        assert_eq!(h.p99(), 7.0);
-        assert_eq!(h.percentile(100.0), 7.0);
+        assert_eq!(h.percentile(0.0), Some(7.0));
+        assert_eq!(h.p50(), Some(7.0));
+        assert_eq!(h.p95(), Some(7.0));
+        assert_eq!(h.p99(), Some(7.0));
+        assert_eq!(h.percentile(100.0), Some(7.0));
     }
 
     #[test]
@@ -587,10 +594,10 @@ mod tests {
             h.record(1);
             h.record(1000);
         }
-        assert_eq!(h.p50(), 1.0);
-        assert_eq!(h.percentile(0.0), 1.0);
-        assert_eq!(h.percentile(100.0), 1000.0);
-        let p75 = h.percentile(75.0);
+        assert_eq!(h.p50(), Some(1.0));
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert_eq!(h.percentile(100.0), Some(1000.0));
+        let p75 = h.percentile(75.0).unwrap();
         assert!((512.0..=1000.0).contains(&p75), "p75 = {p75}");
     }
 
@@ -604,7 +611,7 @@ mod tests {
         }
         let mut prev = -1.0f64;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
-            let est = h.percentile(p);
+            let est = h.percentile(p).unwrap();
             let exact = (p / 100.0 * 1023.0).round();
             assert!(est >= prev, "non-monotone at p{p}: {est} < {prev}");
             // Bucket i spans [2^i, 2^(i+1)), so the estimate can be off by at
@@ -615,15 +622,21 @@ mod tests {
             );
             prev = est;
         }
-        assert_eq!(h.percentile(100.0), 1023.0);
-        assert_eq!(h.p50(), 511.0); // cumulative count hits 512 exactly at bucket 8's top
+        assert_eq!(h.percentile(100.0), Some(1023.0));
+        // Cumulative count hits 512 exactly at bucket 8's top.
+        assert_eq!(h.p50(), Some(511.0));
     }
 
     #[test]
-    fn percentile_empty_is_zero() {
+    fn percentile_empty_is_none() {
         let h = Histogram::new();
-        assert_eq!(h.percentile(50.0), 0.0);
-        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        // One sample makes every percentile well-defined again.
+        let mut h = h;
+        h.record(42);
+        assert_eq!(h.p99(), Some(42.0));
     }
 
     #[test]

@@ -144,17 +144,17 @@ impl MetricsPage {
         self.gauge_f64(
             &format!("{name}_p50"),
             "Bucket-interpolated 50th percentile.",
-            h.p50(),
+            h.p50().unwrap_or(0.0),
         );
         self.gauge_f64(
             &format!("{name}_p95"),
             "Bucket-interpolated 95th percentile.",
-            h.p95(),
+            h.p95().unwrap_or(0.0),
         );
         self.gauge_f64(
             &format!("{name}_p99"),
             "Bucket-interpolated 99th percentile.",
-            h.p99(),
+            h.p99().unwrap_or(0.0),
         );
     }
 

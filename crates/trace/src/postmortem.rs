@@ -270,9 +270,9 @@ pub fn bundle(records: &[TraceRecord], dropped: u64, total: u64, ctx: &StallCont
             Value::obj(vec![
                 ("delivered", lat.count().into()),
                 ("mean", lat.mean().into()),
-                ("p50", lat.p50().into()),
-                ("p95", lat.p95().into()),
-                ("p99", lat.p99().into()),
+                ("p50", lat.p50().unwrap_or(0.0).into()),
+                ("p95", lat.p95().unwrap_or(0.0).into()),
+                ("p99", lat.p99().unwrap_or(0.0).into()),
             ]),
         ),
         (

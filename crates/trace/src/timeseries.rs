@@ -128,8 +128,8 @@ impl WindowSeries {
             end,
             delivered: self.delivered,
             flits: self.flits,
-            p50: self.lat.p50(),
-            p99: self.lat.p99(),
+            p50: self.lat.p50().unwrap_or(0.0),
+            p99: self.lat.p99().unwrap_or(0.0),
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             active_routers: self.active_peak,
@@ -181,8 +181,8 @@ impl WindowSeries {
                     end,
                     delivered: self.delivered,
                     flits: self.flits,
-                    p50: self.lat.p50(),
-                    p99: self.lat.p99(),
+                    p50: self.lat.p50().unwrap_or(0.0),
+                    p99: self.lat.p99().unwrap_or(0.0),
                     cache_hits: self.cache_hits,
                     cache_misses: self.cache_misses,
                     active_routers: self.active_peak,

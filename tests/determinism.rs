@@ -4,9 +4,13 @@
 
 use wavesim::core::{ProtocolKind, WaveConfig, WaveNetwork};
 use wavesim::topology::Topology;
-use wavesim::workloads::{CarpTrace, LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
+use wavesim::workloads::{
+    CarpTrace, FaultSchedule, LengthDist, TrafficConfig, TrafficPattern, TrafficSource,
+};
 use wavesim_bench::experiments::{e11_loadsweep, e14_dynamic_faults};
-use wavesim_bench::{run_carp_trace, run_open_loop, ParallelSweep, RunSpec, Scale};
+use wavesim_bench::{
+    apply_fault_schedule, run_carp_trace, run_open_loop, ParallelSweep, RunSpec, Scale,
+};
 
 fn full_run(seed: u64, protocol: ProtocolKind) -> Vec<(u64, u64)> {
     let topo = Topology::mesh(&[5, 5]);
@@ -311,5 +315,102 @@ fn golden_trace_clrp_carp_mixed_workload_matches_seed_kernel() {
         "clrp_stencil_result",
         hash_str(&go(ProtocolKind::Clrp)),
         0xf632_b5ec_e635_f488,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Spatial sharding: `--shards N` partitions the wormhole fabric into N
+// contiguous router bands stepped on N threads with conservative
+// cross-shard synchronization. The contract is *byte identity* — not
+// statistical equivalence — so every counter and float bit pattern of
+// the `RunResult` is compared across shard counts, and representative
+// configurations are pinned against the serial kernel with goldens.
+// ---------------------------------------------------------------------
+
+/// One complete run on a `side`×`side` torus at the given shard count.
+/// CLRP runs the open-loop hot-pair workload; CARP replays a stencil
+/// instruction trace. With `faults`, a drawn MTBF link fail/repair
+/// schedule tears circuits down mid-run.
+fn sharded_run(side: u16, protocol: ProtocolKind, shards: usize, faults: bool) -> String {
+    let topo = Topology::torus(&[side, side]);
+    let mut net = WaveNetwork::new(
+        topo.clone(),
+        WaveConfig {
+            protocol,
+            cache_capacity: 8,
+            ..WaveConfig::default()
+        },
+    );
+    net.set_shards(shards);
+    if faults {
+        let sched = FaultSchedule::random_mtbf(&topo, 4_000, 300, 1_000, 17);
+        assert!(!sched.is_empty(), "fault schedule drew no events");
+        apply_fault_schedule(&mut net, &sched).expect("schedule fits the network");
+    }
+    let r = match protocol {
+        ProtocolKind::Carp => {
+            let mut trace = CarpTrace::stencil(&topo, 3, 4, 32, 400, 150);
+            run_carp_trace(&mut net, &mut trace, RunSpec::standard(150, 1_200))
+        }
+        _ => {
+            let mut src = TrafficSource::new(
+                topo,
+                TrafficConfig {
+                    load: 0.25,
+                    pattern: TrafficPattern::HotPairs {
+                        partners: 3,
+                        locality: 0.7,
+                    },
+                    len: LengthDist::Fixed(48),
+                    seed: 131,
+                    ..TrafficConfig::default()
+                },
+            );
+            run_open_loop(&mut net, &mut src, RunSpec::standard(300, 1_200))
+        }
+    };
+    assert!(r.delivered > 0, "{side}x{side} {protocol:?} must deliver");
+    // Debug output covers every field, including float bit patterns
+    // rendered exactly, so string equality is bitwise equality.
+    format!("{r:?}")
+}
+
+/// The full matrix: 8×8 and 16×16 tori, CLRP and CARP, with and without
+/// a dynamic fault schedule — `--shards 2` and `--shards 4` must produce
+/// the exact `RunResult` bytes of `--shards 1`.
+#[test]
+fn sharded_runs_are_byte_identical_across_shard_counts() {
+    for side in [8u16, 16] {
+        for protocol in [ProtocolKind::Clrp, ProtocolKind::Carp] {
+            for faults in [false, true] {
+                let serial = sharded_run(side, protocol, 1, faults);
+                for shards in [2usize, 4] {
+                    assert_eq!(
+                        serial,
+                        sharded_run(side, protocol, shards, faults),
+                        "{side}x{side} torus {protocol:?} faults={faults}: \
+                         --shards {shards} diverged from --shards 1"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Representative sharded configurations pinned against the serial seed
+/// kernel: the shard partitioning must not merely be self-consistent
+/// across shard counts — it must reproduce the original single-thread
+/// kernel byte for byte.
+#[test]
+fn golden_trace_sharded_runs_match_seed_kernel() {
+    golden_check(
+        "sharded_clrp_8x8_faults",
+        hash_str(&sharded_run(8, ProtocolKind::Clrp, 4, true)),
+        0x2283_ec3d_743c_71ba,
+    );
+    golden_check(
+        "sharded_carp_16x16",
+        hash_str(&sharded_run(16, ProtocolKind::Carp, 4, false)),
+        0xfbe4_3188_c230_e789,
     );
 }
