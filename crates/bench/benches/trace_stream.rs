@@ -1,26 +1,33 @@
-//! Streaming-capture overhead benchmark: the same 8×8 torus CLRP run
-//! three ways — tracing disarmed, an in-memory [`wavesim_trace::VecSink`]
-//! (pure hot-path emission cost), and a [`wavesim_trace::JsonlSink`]
-//! streaming every record to disk. The streaming sink's contract is
-//! *lossless and cheap*: records are chunked on the hot path and encoded
-//! plus written by a dedicated writer thread, so on a machine with a
-//! spare core the streamed run should cost barely more than emission
-//! itself. The tracked number is the wall-clock overhead of the streamed
-//! run over the disarmed one; the ring arm splits that overhead into
-//! emission (paid on the sim thread regardless of sink) and writer work.
+//! Trace-capture overhead benchmark: the same 16×16 torus CLRP run five
+//! ways — tracing disarmed, an in-memory [`wavesim_trace::VecSink`] (pure
+//! hot-path emission cost), an inline [`wavesim_trace::ColumnarBuf`]
+//! (emission + binary encode, synchronous on the sim thread), a
+//! [`wavesim_trace::ColumnarSink`] streaming binary frames to disk, and a
+//! [`wavesim_trace::JsonlSink`] streaming JSONL to disk.
+//!
+//! The production-observability contract is the binary path: *lossless,
+//! always-on, <5 % overhead on a single core*. The inline columnar arm is
+//! the enforceable measurement of that contract — it pays emission and
+//! encoding synchronously with no writer thread, so the number means the
+//! same thing on a 1-CPU runner as on a 64-core box (no overlap to
+//! credit, no starvation to excuse). The streamed arms additionally pay
+//! hand-off and I/O; on multi-core machines they should cost no more than
+//! the inline arm.
 //!
 //! Plain `harness = false` timing main (the offline build has no bench
 //! framework). Writes `BENCH_trace_stream.json` (override with
 //! `BENCH_OUT`). Knobs: `BENCH_MEASURE` (measurement cycles, default
 //! 3000), `BENCH_ITERS` (repeats, best wall taken, default 5).
-//! `BENCH_ENFORCE=1` fails the run when the streamed-vs-disarmed
-//! overhead exceeds `BENCH_MAX_OVERHEAD_PCT` (default 5). Both arms run
-//! back to back on the same machine, so unlike raw wall-clock gates the
-//! ratio is meaningful on shared CI runners — but the gate needs at
-//! least two CPUs: with one core the writer thread's encode and I/O
-//! steal time from the simulation thread and the off-thread design
-//! cannot pay off, so the gate reports itself skipped (the JSON still
-//! records the measured overhead and the CPU count).
+//! `BENCH_ENFORCE=1` fails the run when:
+//!
+//! * the inline binary capture overhead exceeds `BENCH_MAX_OVERHEAD_PCT`
+//!   (default 5) — enforced at **any** CPU count;
+//! * the binary file exceeds 25 % of the JSONL file for the same run —
+//!   byte counts are machine-independent;
+//! * on ≥ 2 CPUs only: a *streamed* arm (binary or JSONL) exceeds the
+//!   same overhead bound, since with one core the writer thread steals
+//!   time from the simulation and the off-thread design cannot pay off
+//!   (the JSON still records the measured single-core numbers).
 
 use std::time::Instant;
 
@@ -28,7 +35,7 @@ use wavesim_bench::{run_open_loop, RunSpec};
 use wavesim_core::{ProtocolKind, WaveConfig, WaveNetwork};
 use wavesim_json::Value;
 use wavesim_topology::Topology;
-use wavesim_trace::{JsonlSink, VecSink};
+use wavesim_trace::{ColumnarBuf, ColumnarSink, JsonlSink, VecSink};
 use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -39,7 +46,7 @@ fn env_u64(name: &str, default: u64) -> u64 {
 }
 
 fn make_net_and_src() -> (WaveNetwork, TrafficSource) {
-    let topo = Topology::torus(&[8, 8]);
+    let topo = Topology::torus(&[16, 16]);
     let net = WaveNetwork::new(
         topo.clone(),
         WaveConfig {
@@ -85,13 +92,30 @@ fn run_ring(measure: u64) -> f64 {
     wall
 }
 
-/// One streamed run: a `JsonlSink` on `path` captures every record. The
-/// timed region includes sink teardown (`finish` drains the writer
-/// thread), because a user pays that before the file is readable.
-fn run_streamed(measure: u64, path: &std::path::Path) -> (f64, u64) {
+/// One run with an inline `ColumnarBuf`: emission plus binary encoding,
+/// all synchronous on the simulation thread. This is the capture cost a
+/// single-core deployment actually pays, minus only the file write.
+fn run_bin_inline(measure: u64) -> f64 {
     let (mut net, mut src) = make_net_and_src();
-    let sink = JsonlSink::create(path).expect("create stream file");
-    net.install_trace_sink(Box::new(sink));
+    net.install_trace_sink(Box::new(ColumnarBuf::new()));
+    let t0 = Instant::now();
+    let r = run_open_loop(&mut net, &mut src, RunSpec::standard(measure / 8, measure));
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(!r.stalled, "bin-inline run stalled");
+    wall
+}
+
+/// One streamed run over `install`-provided sink plumbing: the timed
+/// region includes sink teardown (`finish` drains the writer thread),
+/// because a user pays that before the file is readable. Returns wall
+/// seconds and the captured file size.
+fn run_streamed(
+    measure: u64,
+    path: &std::path::Path,
+    make_sink: impl FnOnce() -> Box<dyn wavesim_trace::TraceSink>,
+) -> (f64, u64) {
+    let (mut net, mut src) = make_net_and_src();
+    net.install_trace_sink(make_sink());
     let t0 = Instant::now();
     let r = run_open_loop(&mut net, &mut src, RunSpec::standard(measure / 8, measure));
     let mut sink = net.take_trace_sink().expect("sink installed");
@@ -106,47 +130,107 @@ fn main() {
     let measure = env_u64("BENCH_MEASURE", 3_000);
     let iters = env_u64("BENCH_ITERS", 5).max(1);
     let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let path = std::env::temp_dir().join("wavesim_bench_trace_stream.jsonl");
+    let jsonl_path = std::env::temp_dir().join("wavesim_bench_trace_stream.jsonl");
+    let bin_path = std::env::temp_dir().join("wavesim_bench_trace_stream.wstrace");
+
+    // Each traced arm is paired with its own plain run immediately before
+    // it — adjacent runs see the same machine conditions, so transient
+    // load on a shared runner inflates both sides of a pair instead of
+    // poisoning one global baseline — and the tracked number is the
+    // *median* ratio across iterations, robust to a noise spike landing
+    // on either side of any single pair.
+    fn median(samples: &mut [f64]) -> f64 {
+        samples.sort_by(f64::total_cmp);
+        let n = samples.len();
+        if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+        }
+    }
 
     let mut plain_best = f64::INFINITY;
-    let mut ring_best = f64::INFINITY;
-    let mut stream_best = f64::INFINITY;
-    let mut bytes = 0u64;
+    let mut ring_ratios = Vec::new();
+    let mut bin_inline_ratios = Vec::new();
+    let mut bin_stream_ratios = Vec::new();
+    let mut jsonl_stream_ratios = Vec::new();
+    let mut bin_inline_best = f64::INFINITY;
+    let mut bin_stream_best = f64::INFINITY;
+    let mut jsonl_stream_best = f64::INFINITY;
+    let mut jsonl_bytes = 0u64;
+    let mut bin_bytes = 0u64;
     for _ in 0..iters {
-        plain_best = plain_best.min(run_plain(measure));
-        ring_best = ring_best.min(run_ring(measure));
-        let (wall, b) = run_streamed(measure, &path);
-        stream_best = stream_best.min(wall);
-        bytes = b;
+        let p = run_plain(measure);
+        plain_best = plain_best.min(p);
+        ring_ratios.push(run_ring(measure) / p);
+
+        let p = run_plain(measure);
+        plain_best = plain_best.min(p);
+        let wall = run_bin_inline(measure);
+        bin_inline_best = bin_inline_best.min(wall);
+        bin_inline_ratios.push(wall / p);
+
+        let p = run_plain(measure);
+        plain_best = plain_best.min(p);
+        let (wall, b) = run_streamed(measure, &bin_path, || {
+            Box::new(ColumnarSink::create(&bin_path).expect("create bin stream"))
+        });
+        bin_stream_best = bin_stream_best.min(wall);
+        bin_stream_ratios.push(wall / p);
+        bin_bytes = b;
+
+        let p = run_plain(measure);
+        plain_best = plain_best.min(p);
+        let (wall, b) = run_streamed(measure, &jsonl_path, || {
+            Box::new(JsonlSink::create(&jsonl_path).expect("create jsonl stream"))
+        });
+        jsonl_stream_best = jsonl_stream_best.min(wall);
+        jsonl_stream_ratios.push(wall / p);
+        jsonl_bytes = b;
     }
-    let _ = std::fs::remove_file(&path);
-    let overhead_pct = (stream_best / plain_best - 1.0) * 100.0;
-    let emission_pct = (ring_best / plain_best - 1.0) * 100.0;
+    let _ = std::fs::remove_file(&jsonl_path);
+    let _ = std::fs::remove_file(&bin_path);
+
+    let pct = |ratio: f64| (ratio - 1.0) * 100.0;
+    let emission_pct = pct(median(&mut ring_ratios));
+    let capture_pct = pct(median(&mut bin_inline_ratios));
+    let bin_stream_pct = pct(median(&mut bin_stream_ratios));
+    let jsonl_stream_pct = pct(median(&mut jsonl_stream_ratios));
+    let bytes_ratio_pct = if jsonl_bytes > 0 {
+        bin_bytes as f64 / jsonl_bytes as f64 * 100.0
+    } else {
+        0.0
+    };
     println!(
-        "trace_stream: plain {:.2} ms, ring {:.2} ms ({:+.2}%), streamed {:.2} ms \
-         ({:+.2}% overhead, {} JSONL bytes, {cpus} cpus)",
+        "trace_stream: plain {:.2} ms | ring {emission_pct:+.2}% | \
+         bin-inline {:.2} ms ({capture_pct:+.2}%) | bin-file {:.2} ms \
+         ({bin_stream_pct:+.2}%, {bin_bytes} B) | jsonl-file {:.2} ms \
+         ({jsonl_stream_pct:+.2}%, {jsonl_bytes} B) | bin/jsonl {bytes_ratio_pct:.1}% | {cpus} cpus",
         plain_best * 1e3,
-        ring_best * 1e3,
-        emission_pct,
-        stream_best * 1e3,
-        overhead_pct,
-        bytes
+        bin_inline_best * 1e3,
+        bin_stream_best * 1e3,
+        jsonl_stream_best * 1e3,
     );
 
     let json = Value::obj(vec![
         ("bench", Value::from("trace_stream")),
-        ("topology", Value::from("8x8-torus")),
+        ("topology", Value::from("16x16-torus")),
         ("protocol", Value::from("clrp")),
         ("load", Value::from(0.30)),
         ("measure_cycles", Value::from(measure)),
         ("iters", Value::from(iters)),
         ("cpus", Value::from(cpus as u64)),
         ("plain_wall_s", Value::from(plain_best)),
-        ("ring_wall_s", Value::from(ring_best)),
-        ("stream_wall_s", Value::from(stream_best)),
+        ("bin_inline_wall_s", Value::from(bin_inline_best)),
+        ("bin_stream_wall_s", Value::from(bin_stream_best)),
+        ("jsonl_stream_wall_s", Value::from(jsonl_stream_best)),
         ("emission_overhead_pct", Value::from(emission_pct)),
-        ("overhead_pct", Value::from(overhead_pct)),
-        ("jsonl_bytes", Value::from(bytes)),
+        ("capture_overhead_pct", Value::from(capture_pct)),
+        ("bin_stream_overhead_pct", Value::from(bin_stream_pct)),
+        ("jsonl_stream_overhead_pct", Value::from(jsonl_stream_pct)),
+        ("bin_bytes", Value::from(bin_bytes)),
+        ("jsonl_bytes", Value::from(jsonl_bytes)),
+        ("bytes_ratio_pct", Value::from(bytes_ratio_pct)),
     ]);
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace_stream.json").into()
@@ -155,22 +239,60 @@ fn main() {
     println!("wrote {out}");
 
     if std::env::var("BENCH_ENFORCE").as_deref() == Ok("1") {
+        let max = env_u64("BENCH_MAX_OVERHEAD_PCT", 5) as f64;
+        let mut failed = false;
+
+        // Gate 1 (any CPU count): emission + binary encode on the sim
+        // thread. This is the capture cost with no writer thread to hide
+        // behind, so it is enforceable even on a 1-CPU runner.
+        if capture_pct > max {
+            eprintln!(
+                "trace_stream capture gate FAILED: inline binary capture \
+                 {capture_pct:.2}% > {max}% (emission+encode must stay production-cheap)"
+            );
+            failed = true;
+        } else {
+            println!("trace_stream capture gate passed ({capture_pct:.2}% <= {max}%)");
+        }
+
+        // Gate 2 (any CPU count): binary bytes at most 25% of JSONL bytes
+        // for the identical run. Byte counts are machine-independent.
+        if bin_bytes * 4 > jsonl_bytes {
+            eprintln!(
+                "trace_stream size gate FAILED: binary {bin_bytes} B > 25% of \
+                 JSONL {jsonl_bytes} B"
+            );
+            failed = true;
+        } else {
+            println!(
+                "trace_stream size gate passed (binary is {bytes_ratio_pct:.1}% of JSONL bytes)"
+            );
+        }
+
+        // Gate 3 (≥2 CPUs): the streamed arms, whose writer thread needs
+        // a core to overlap into.
         if cpus < 2 {
             println!(
-                "trace_stream overhead gate skipped: 1 CPU — the writer thread \
-                 cannot overlap the simulation thread, so the measured \
-                 {overhead_pct:.2}% includes the full encode+write cost"
+                "trace_stream streamed gates skipped: 1 CPU — the writer thread \
+                 cannot overlap the simulation thread (measured bin \
+                 {bin_stream_pct:.2}%, jsonl {jsonl_stream_pct:.2}%)"
             );
-            return;
+        } else {
+            for (name, p) in [("bin", bin_stream_pct), ("jsonl", jsonl_stream_pct)] {
+                if p > max {
+                    eprintln!(
+                        "trace_stream streamed-{name} gate FAILED: {p:.2}% > {max}% \
+                         (streaming capture must stay off the hot path)"
+                    );
+                    failed = true;
+                } else {
+                    println!("trace_stream streamed-{name} gate passed ({p:.2}% <= {max}%)");
+                }
+            }
         }
-        let max = env_u64("BENCH_MAX_OVERHEAD_PCT", 5) as f64;
-        if overhead_pct > max {
-            eprintln!(
-                "trace_stream overhead gate FAILED: {overhead_pct:.2}% > {max}% \
-                 (streaming capture must stay off the hot path)"
-            );
+
+        if failed {
             std::process::exit(1);
         }
-        println!("trace_stream overhead gate passed ({overhead_pct:.2}% <= {max}%)");
     }
 }

@@ -25,12 +25,12 @@ use wavesim_json::Value;
 use wavesim_sim::Cycle;
 use wavesim_trace::postmortem::{self, StallContext};
 use wavesim_trace::recorder::TeeSink;
-use wavesim_trace::{FlightRecorder, JsonlSink, TraceRecord, TraceSink};
+use wavesim_trace::{ColumnarSink, FlightRecorder, JsonlSink, TraceRecord, TraceSink};
 use wavesim_verify::deadlock::find_wait_cycle;
 
 use crate::Drained;
 
-/// Ring capacity used when only a JSONL stream is armed: the stream is
+/// Ring capacity used when only a byte stream is armed: the stream is
 /// lossless on disk, so the in-memory tail only has to feed a post-mortem.
 const DEFAULT_RING: usize = 1 << 16;
 
@@ -41,6 +41,10 @@ thread_local! {
     static JSONL: RefCell<Option<JsonlSink<BufWriter<File>>>> = const { RefCell::new(None) };
     /// A path re-streamed (truncating) at every run start, for sweeps.
     static JSONL_PATH: RefCell<Option<PathBuf>> = const { RefCell::new(None) };
+    /// A pending binary columnar sink, consumed by the next traced run.
+    static BIN: RefCell<Option<ColumnarSink<BufWriter<File>>>> = const { RefCell::new(None) };
+    /// Per-run binary re-arm: path plus bulk-kind sampling divisor.
+    static BIN_PATH: RefCell<Option<(PathBuf, u64)>> = const { RefCell::new(None) };
     /// Traces captured on this thread, in run order.
     static CAPTURED: RefCell<Vec<RunTrace>> = const { RefCell::new(Vec::new()) };
 }
@@ -136,12 +140,58 @@ pub fn disarm_jsonl_stream() {
     JSONL_PATH.set(None);
 }
 
+/// Arms a binary columnar stream to `path` for the *next*
+/// [`crate::drive`] call on this thread (one-shot, like
+/// [`arm_jsonl_stream`]). `sample_every` of 0 or 1 captures losslessly;
+/// N > 1 keeps 1-in-N of the bulk kinds deterministically (see
+/// [`wavesim_trace::stream::StreamSink::with_sampling`]).
+///
+/// # Errors
+/// Fails if `path` cannot be created.
+pub fn arm_bin_stream(path: &Path, sample_every: u64) -> Result<(), String> {
+    let sink = ColumnarSink::create(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?
+        .with_sampling(sample_every);
+    BIN.set(Some(sink));
+    Ok(())
+}
+
+/// Streams *every* subsequent [`crate::drive`] call on this thread to
+/// `path` as binary columnar frames, re-creating (truncating) the file at
+/// each run start — the binary twin of [`arm_jsonl_stream_per_run`].
+/// Cleared by [`disarm_bin_stream`].
+///
+/// # Errors
+/// Fails if `path` cannot be created.
+pub fn arm_bin_stream_per_run(path: &Path, sample_every: u64) -> Result<(), String> {
+    // Create eagerly so an unwritable path fails here, not mid-sweep.
+    let mut probe = ColumnarSink::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    probe
+        .finish()
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    BIN_PATH.set(Some((path.to_path_buf(), sample_every)));
+    Ok(())
+}
+
+/// True when a binary stream is armed and not yet consumed by a run.
+#[must_use]
+pub fn bin_stream_armed() -> bool {
+    BIN.with_borrow(Option::is_some) || BIN_PATH.with_borrow(Option::is_some)
+}
+
+/// Clears any armed binary stream, one-shot or per-run.
+pub fn disarm_bin_stream() {
+    BIN.take();
+    BIN_PATH.set(None);
+}
+
 /// Installs a trace sink into `net` if this thread is armed: the flight
-/// recorder, optionally teed into a pending JSONL stream. Returns whether
-/// a sink was installed.
+/// recorder, optionally teed into pending JSONL and/or binary columnar
+/// streams (the recorder stays the query-answering primary through the
+/// nested tees). Returns whether a sink was installed.
 pub(crate) fn install(net: &mut WaveNetwork) -> bool {
     let capacity = PLAN.get();
-    let stream = JSONL.take().or_else(|| {
+    let jsonl = JSONL.take().or_else(|| {
         JSONL_PATH.with_borrow(|p| {
             let path = p.as_ref()?;
             match JsonlSink::create(path) {
@@ -153,14 +203,29 @@ pub(crate) fn install(net: &mut WaveNetwork) -> bool {
             }
         })
     });
-    if capacity.is_none() && stream.is_none() {
+    let bin = BIN.take().or_else(|| {
+        BIN_PATH.with_borrow(|p| {
+            let (path, sample) = p.as_ref()?;
+            match ColumnarSink::create(path) {
+                Ok(s) => Some(s.with_sampling(*sample)),
+                Err(e) => {
+                    eprintln!("note: binary re-arm failed for {}: {e}", path.display());
+                    None
+                }
+            }
+        })
+    });
+    if capacity.is_none() && jsonl.is_none() && bin.is_none() {
         return false;
     }
-    let recorder = FlightRecorder::new(capacity.unwrap_or(DEFAULT_RING));
-    let sink: Box<dyn TraceSink> = match stream {
-        Some(s) => Box::new(TeeSink::new(Box::new(recorder), Box::new(s))),
-        None => Box::new(recorder),
-    };
+    let mut sink: Box<dyn TraceSink> =
+        Box::new(FlightRecorder::new(capacity.unwrap_or(DEFAULT_RING)));
+    if let Some(s) = jsonl {
+        sink = Box::new(TeeSink::new(sink, Box::new(s)));
+    }
+    if let Some(s) = bin {
+        sink = Box::new(TeeSink::new(sink, Box::new(s)));
+    }
     net.install_trace_sink(sink);
     true
 }
@@ -338,6 +403,46 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(streamed.len() as u64, last_total);
         assert_eq!(streamed[0].seq, 0, "re-armed stream restarts at seq 0");
+    }
+
+    #[test]
+    fn bin_stream_matches_jsonl_stream_exactly() {
+        let pid = std::process::id();
+        let jpath = std::env::temp_dir().join(format!("wavesim_tracecap_bj_{pid}.jsonl"));
+        let bpath = std::env::temp_dir().join(format!("wavesim_tracecap_bj_{pid}.wstrace"));
+        let mut net = WaveNetwork::new(Topology::mesh(&[4, 4]), WaveConfig::default());
+        let mut src = TrafficSource::new(
+            net.topology().clone(),
+            TrafficConfig {
+                load: 0.1,
+                len: LengthDist::Fixed(32),
+                ..TrafficConfig::default()
+            },
+        );
+        arm_jsonl_stream(&jpath).expect("create jsonl stream");
+        arm_bin_stream(&bpath, 0).expect("create bin stream");
+        assert!(bin_stream_armed());
+        let r = run_open_loop(&mut net, &mut src, RunSpec::standard(200, 1_000));
+        assert!(!bin_stream_armed(), "stream is one-shot");
+        let traces = take_captured();
+        assert!(r.clean(), "{r:?}");
+        assert!(
+            traces[0].stream_error.is_none(),
+            "{:?}",
+            traces[0].stream_error
+        );
+        let jsonl = wavesim_trace::stream::read_jsonl_file(&jpath).expect("parse jsonl");
+        let bin = wavesim_trace::read_trace_file(&bpath).expect("decode bin");
+        let jsonl_bytes = std::fs::metadata(&jpath).expect("stat").len();
+        let bin_bytes = std::fs::metadata(&bpath).expect("stat").len();
+        std::fs::remove_file(&jpath).ok();
+        std::fs::remove_file(&bpath).ok();
+        assert!(!bin.is_empty());
+        assert_eq!(bin, jsonl, "both formats capture the identical stream");
+        assert!(
+            bin_bytes * 4 <= jsonl_bytes,
+            "binary must be at most a quarter of JSONL ({bin_bytes} vs {jsonl_bytes})"
+        );
     }
 
     #[test]

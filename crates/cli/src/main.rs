@@ -46,6 +46,16 @@
 //! [--top N]` turns a captured JSONL stream into latency waterfalls,
 //! circuit-cache flow attribution, hot-lane occupancy, and fault impact
 //! windows — `--json` takes a FILE here, unlike the experiment commands.
+//!
+//! Binary capture: `--trace-bin FILE` (`run` and experiments) streams the
+//! same record stream as `--trace-jsonl` in the compact binary columnar
+//! format (`WSTRACE1` frames, typically < 10% of the JSONL bytes);
+//! `--trace-sample N` keeps 1-in-N of the bulk event kinds (plane ticks,
+//! probe hops, cache probes) deterministically while always keeping
+//! lifecycle events. `analyze --trace` accepts either format
+//! transparently, and `wavesim convert-trace IN --out FILE [--to
+//! jsonl|bin]` converts losslessly between them (`validate-trace` also
+//! recognises both, alongside Perfetto exports).
 //! ```
 
 use std::env;
@@ -54,20 +64,23 @@ use std::process::ExitCode;
 use wavesim_bench::{experiments, run_open_loop, tracecap, RunSpec, Scale};
 use wavesim_core::{LaneId, ProtocolKind, WaveConfig, WaveNetwork};
 use wavesim_topology::{RoutingKind, Topology};
+use wavesim_trace::TraceSink;
 use wavesim_verify::check_deadlock_freedom;
 use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wavesim <all|e1..e14|run|analyze|check|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
+        "usage: wavesim <all|e1..e14|run|analyze|convert-trace|check|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
          run flags: --protocol clrp|carp|wormhole --topology mesh|torus --side N --load F\n\
                     --len N --locality F --cycles N --seed N --k N --alpha N --cache N\n\
                     --misroutes N --shards N\n\
          fault flags (run): --fault-plan FILE --fault-schedule FILE\n\
          trace flags: --trace-out FILE --metrics-out FILE --flight-recorder N\n\
-                      --trace-jsonl FILE --timeseries-out FILE --window N --progress N\n\
+                      --trace-jsonl FILE --trace-bin FILE --trace-sample N\n\
+                      --timeseries-out FILE --window N --progress N\n\
          analyze flags: --trace FILE [--report FILE] [--json FILE] [--timeseries FILE]\n\
-                        [--window N] [--top N]"
+                        [--window N] [--top N]\n\
+         convert-trace: wavesim convert-trace IN --out FILE [--to jsonl|bin]"
     );
     std::process::exit(2);
 }
@@ -100,6 +113,8 @@ struct Args {
     flight_recorder: usize,
     // analytics capture (`run`)
     trace_jsonl: Option<String>,
+    trace_bin: Option<String>,
+    trace_sample: u64,
     timeseries_out: Option<String>,
     window: u64,
     progress: Option<u64>,
@@ -109,7 +124,10 @@ struct Args {
     json_out: Option<String>,
     timeseries_csv: Option<String>,
     top: usize,
-    // positional operand (validate-trace FILE)
+    // `convert-trace` outputs
+    out: Option<String>,
+    to_bin: bool,
+    // positional operand (validate-trace FILE / convert-trace IN)
     path: Option<String>,
 }
 
@@ -140,6 +158,8 @@ fn parse_args() -> Args {
         metrics_out: None,
         flight_recorder: 1 << 16,
         trace_jsonl: None,
+        trace_bin: None,
+        trace_sample: 1,
         timeseries_out: None,
         window: 1000,
         progress: None,
@@ -148,6 +168,8 @@ fn parse_args() -> Args {
         json_out: None,
         timeseries_csv: None,
         top: 10,
+        out: None,
+        to_bin: false,
         path: None,
     };
     macro_rules! next_parse {
@@ -178,6 +200,21 @@ fn parse_args() -> Args {
             }
             "--top" => args.top = next_parse!(argv),
             "--trace-jsonl" => args.trace_jsonl = Some(argv.next().unwrap_or_else(|| usage())),
+            "--trace-bin" => args.trace_bin = Some(argv.next().unwrap_or_else(|| usage())),
+            "--trace-sample" => {
+                args.trace_sample = next_parse!(argv);
+                if args.trace_sample == 0 {
+                    usage();
+                }
+            }
+            "--out" => args.out = Some(argv.next().unwrap_or_else(|| usage())),
+            "--to" => {
+                args.to_bin = match argv.next().as_deref() {
+                    Some("jsonl") => false,
+                    Some("bin") => true,
+                    _ => usage(),
+                }
+            }
             "--timeseries-out" => {
                 args.timeseries_out = Some(argv.next().unwrap_or_else(|| usage()));
             }
@@ -280,16 +317,55 @@ fn export_trace(path: &str, t: &tracecap::RunTrace, counters: Vec<wavesim_json::
     true
 }
 
-/// Schema-checks a Perfetto trace file written by `--trace-out`.
+/// Schema-checks a trace file: binary columnar streams (`--trace-bin`),
+/// JSONL record streams (`--trace-jsonl`), and Perfetto exports
+/// (`--trace-out`) are all recognised by content, not extension.
 fn validate_trace(path: &str) -> bool {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("error: cannot read {path}: {e}");
             return false;
         }
     };
-    let doc = match wavesim_json::Value::parse(&text) {
+    if wavesim_trace::stream::TraceFormat::detect(&bytes)
+        == wavesim_trace::stream::TraceFormat::Columnar
+    {
+        return match wavesim_trace::read_columnar(&bytes) {
+            Ok(records) => {
+                println!(
+                    "{path}: valid binary columnar trace — {} records ({} bytes)",
+                    records.len(),
+                    bytes.len()
+                );
+                true
+            }
+            Err(e) => {
+                eprintln!("error: {path}: corrupt binary trace: {e}");
+                false
+            }
+        };
+    }
+    let text = match std::str::from_utf8(&bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: neither a binary trace nor UTF-8 JSON: {e}");
+            return false;
+        }
+    };
+    // A JSONL record stream is many one-object lines; a Perfetto export is
+    // one document. Try the record schema first so a single-record stream
+    // is not misread as a malformed Perfetto file.
+    if let Ok(records) = wavesim_trace::stream::read_jsonl(text) {
+        if !records.is_empty() {
+            println!(
+                "{path}: valid JSONL record stream — {} records",
+                records.len()
+            );
+            return true;
+        }
+    }
+    let doc = match wavesim_json::Value::parse(text) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {path}: invalid JSON: {e}");
@@ -309,6 +385,49 @@ fn validate_trace(path: &str) -> bool {
             false
         }
     }
+}
+
+/// `wavesim convert-trace IN --out FILE [--to jsonl|bin]` — lossless
+/// conversion between the JSONL and binary columnar stream formats (the
+/// input format is sniffed from its leading bytes).
+fn convert_trace(args: &Args) -> bool {
+    let Some(input) = &args.path else {
+        eprintln!("error: convert-trace needs an input FILE operand");
+        return false;
+    };
+    let Some(out) = &args.out else {
+        eprintln!("error: convert-trace needs --out FILE");
+        return false;
+    };
+    let records = match wavesim_trace::stream::read_trace_file(std::path::Path::new(input)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {input}: {e}");
+            return false;
+        }
+    };
+    let (bytes, what) = if args.to_bin {
+        let mut buf = wavesim_trace::ColumnarBuf::new();
+        buf.record_many(&records);
+        (buf.into_bytes(), "binary columnar")
+    } else {
+        let mut text = String::new();
+        for rec in &records {
+            wavesim_trace::stream::encode_record(&mut text, rec);
+            text.push('\n');
+        }
+        (text.into_bytes(), "JSONL")
+    };
+    if let Err(e) = std::fs::write(out, &bytes) {
+        eprintln!("error: cannot write {out}: {e}");
+        return false;
+    }
+    println!(
+        "converted {input} -> {out}: {} records as {what} ({} bytes)",
+        records.len(),
+        bytes.len()
+    );
+    true
 }
 
 /// Loads and applies `--fault-plan` / `--fault-schedule` files onto the
@@ -406,8 +525,10 @@ fn custom_run(args: &Args) -> bool {
         },
     );
     let warmup = args.cycles / 5;
-    let tracing =
-        args.trace_out.is_some() || args.metrics_out.is_some() || args.trace_jsonl.is_some();
+    let tracing = args.trace_out.is_some()
+        || args.metrics_out.is_some()
+        || args.trace_jsonl.is_some()
+        || args.trace_bin.is_some();
     let sampling = args.timeseries_out.is_some() || args.progress.is_some();
     if tracing {
         tracecap::arm_flight_recorder(args.flight_recorder);
@@ -417,6 +538,14 @@ fn custom_run(args: &Args) -> bool {
             eprintln!("error: cannot stream to {path}: {e}");
             return false;
         }
+    }
+    if let Some(path) = &args.trace_bin {
+        if let Err(e) = tracecap::arm_bin_stream(std::path::Path::new(path), args.trace_sample) {
+            eprintln!("error: cannot stream to {path}: {e}");
+            return false;
+        }
+    } else if args.trace_sample > 1 {
+        eprintln!("note: --trace-sample applies to --trace-bin only; ignored");
     }
     if sampling {
         // --progress doubles as the status cadence and the window width,
@@ -454,6 +583,24 @@ fn custom_run(args: &Args) -> bool {
                 None => println!("wrote JSONL stream: {path} ({} records)", t.total),
                 Some(e) => {
                     eprintln!("error: JSONL stream {path}: {e}");
+                    return false;
+                }
+            }
+        }
+        if let Some(path) = &args.trace_bin {
+            match &t.stream_error {
+                None => {
+                    if args.trace_sample > 1 {
+                        println!(
+                            "wrote binary stream: {path} ({} records emitted, bulk kinds sampled 1-in-{})",
+                            t.total, args.trace_sample
+                        );
+                    } else {
+                        println!("wrote binary stream: {path} ({} records)", t.total);
+                    }
+                }
+                Some(e) => {
+                    eprintln!("error: binary stream {path}: {e}");
                     return false;
                 }
             }
@@ -515,15 +662,18 @@ fn custom_run(args: &Args) -> bool {
     r.clean()
 }
 
-/// `wavesim analyze` — turns a captured JSONL record stream into the
-/// analytics report (tables on stdout or `--report`, machine JSON via
-/// `--json`, windowed CSV via `--timeseries`).
+/// `wavesim analyze` — turns a captured record stream (JSONL or binary
+/// columnar, sniffed by content) into the analytics report (tables on
+/// stdout or `--report`, machine JSON via `--json`, windowed CSV via
+/// `--timeseries`).
 fn analyze_cmd(args: &Args) -> bool {
     let Some(path) = &args.trace_in else {
-        eprintln!("error: analyze needs --trace FILE (a JSONL stream from `run --trace-jsonl`)");
+        eprintln!(
+            "error: analyze needs --trace FILE (a stream from `run --trace-jsonl` or `run --trace-bin`)"
+        );
         return false;
     };
-    let records = match wavesim_trace::stream::read_jsonl_file(std::path::Path::new(path)) {
+    let records = match wavesim_trace::stream::read_trace_file(std::path::Path::new(path)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {path}: {e}");
@@ -569,7 +719,8 @@ fn analyze_cmd(args: &Args) -> bool {
 }
 
 fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &Args) -> bool {
-    let tracing = args.trace_out.is_some() || args.trace_jsonl.is_some();
+    let tracing =
+        args.trace_out.is_some() || args.trace_jsonl.is_some() || args.trace_bin.is_some();
     let jobs = if tracing && jobs > 1 {
         eprintln!("note: tracing forces --jobs 1 (the capture is thread-local)");
         1
@@ -590,6 +741,16 @@ fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &A
             return false;
         }
     }
+    if let Some(path) = &args.trace_bin {
+        if let Err(e) =
+            tracecap::arm_bin_stream_per_run(std::path::Path::new(path), args.trace_sample)
+        {
+            eprintln!("error: cannot stream to {path}: {e}");
+            return false;
+        }
+    } else if tracing && args.trace_sample > 1 {
+        eprintln!("note: --trace-sample applies to --trace-bin only; ignored");
+    }
     for id in ids {
         for table in experiments::run_by_id_with_jobs(id, scale, jobs) {
             if json {
@@ -602,6 +763,7 @@ fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &A
     if tracing {
         tracecap::disarm_flight_recorder();
         tracecap::disarm_jsonl_stream();
+        tracecap::disarm_bin_stream();
         let traces = tracecap::take_captured();
         // Experiments drive many runs; export the last one (for sweeps
         // this is the highest point — the most loaded, most interesting
@@ -613,6 +775,15 @@ fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &A
                         None => println!("wrote JSONL stream: {path} ({} records)", t.total),
                         Some(e) => {
                             eprintln!("error: JSONL stream {path}: {e}");
+                            return false;
+                        }
+                    }
+                }
+                if let Some(path) = &args.trace_bin {
+                    match &t.stream_error {
+                        None => println!("wrote binary stream: {path} ({} records)", t.total),
+                        Some(e) => {
+                            eprintln!("error: binary stream {path}: {e}");
                             return false;
                         }
                     }
@@ -735,6 +906,11 @@ fn main() -> ExitCode {
         "validate-trace" => {
             let path = args.path.clone().unwrap_or_else(|| usage());
             if !validate_trace(&path) {
+                return ExitCode::FAILURE;
+            }
+        }
+        "convert-trace" => {
+            if !convert_trace(&args) {
                 return ExitCode::FAILURE;
             }
         }

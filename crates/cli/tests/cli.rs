@@ -146,6 +146,149 @@ fn validate_trace_rejects_malformed_input() {
 }
 
 #[test]
+fn binary_capture_converts_and_analyzes_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("wavesim-cli-bintrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = dir.join("run.wstrace");
+    let jsonl = dir.join("run.jsonl");
+    let run = |extra: &[&str]| {
+        let out = wavesim()
+            .args(["run", "--side", "4", "--load", "0.1", "--cycles", "2000"])
+            .args(extra)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    // One run, both stream formats.
+    let text = run(&[
+        "--trace-bin",
+        bin.to_str().unwrap(),
+        "--trace-jsonl",
+        jsonl.to_str().unwrap(),
+    ]);
+    assert!(text.contains("wrote binary stream"), "{text}");
+    let bin_len = std::fs::metadata(&bin).unwrap().len();
+    let jsonl_len = std::fs::metadata(&jsonl).unwrap().len();
+    assert!(
+        bin_len * 4 <= jsonl_len,
+        "binary must be <= 25% of JSONL ({bin_len} vs {jsonl_len} bytes)"
+    );
+
+    // validate-trace recognises both stream formats by content.
+    for (path, tag) in [
+        (&bin, "binary columnar trace"),
+        (&jsonl, "JSONL record stream"),
+    ] {
+        let out = wavesim()
+            .args(["validate-trace", path.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains(tag), "{text}");
+    }
+
+    // Binary -> JSONL conversion reproduces the streamed JSONL bytes.
+    let conv = dir.join("conv.jsonl");
+    let out = wavesim()
+        .args([
+            "convert-trace",
+            bin.to_str().unwrap(),
+            "--out",
+            conv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&conv).unwrap(),
+        std::fs::read(&jsonl).unwrap(),
+        "conversion must be lossless, byte for byte"
+    );
+
+    // JSONL -> binary conversion reproduces the streamed binary bytes.
+    let conv_bin = dir.join("conv.wstrace");
+    let out = wavesim()
+        .args([
+            "convert-trace",
+            jsonl.to_str().unwrap(),
+            "--out",
+            conv_bin.to_str().unwrap(),
+            "--to",
+            "bin",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&conv_bin).unwrap(),
+        std::fs::read(&bin).unwrap(),
+        "round-trip conversion must reproduce the binary stream"
+    );
+
+    // analyze consumes the binary stream natively and matches the JSONL
+    // analysis exactly.
+    let analyze = |path: &std::path::Path, json_out: &std::path::Path| {
+        let out = wavesim()
+            .args([
+                "analyze",
+                "--trace",
+                path.to_str().unwrap(),
+                "--report",
+                dir.join("rep.txt").to_str().unwrap(),
+                "--json",
+                json_out.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(json_out).unwrap()
+    };
+    let from_bin = analyze(&bin, &dir.join("a_bin.json"));
+    let from_jsonl = analyze(&jsonl, &dir.join("a_jsonl.json"));
+    assert_eq!(from_bin, from_jsonl, "analysis must be format-agnostic");
+
+    // Sampled capture stays decodable and strictly smaller.
+    let sampled = dir.join("sampled.wstrace");
+    run(&[
+        "--trace-bin",
+        sampled.to_str().unwrap(),
+        "--trace-sample",
+        "8",
+    ]);
+    let out = wavesim()
+        .args(["validate-trace", sampled.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(std::fs::metadata(&sampled).unwrap().len() < bin_len);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = wavesim().arg("bogus").output().expect("binary runs");
     assert!(!out.status.success());

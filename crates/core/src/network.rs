@@ -250,8 +250,8 @@ impl WaveNetwork {
     }
 
     /// Read access to the installed trace sink (peek at a live recorder).
-    #[must_use]
-    pub fn trace_sink(&self) -> Option<&dyn TraceSink> {
+    /// Flushes the hub's pending batch first so the view is current.
+    pub fn trace_sink(&mut self) -> Option<&dyn TraceSink> {
         self.trace.sink()
     }
 

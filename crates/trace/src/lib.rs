@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod metrics;
 pub mod perfetto;
 pub mod postmortem;
@@ -41,8 +42,9 @@ pub mod recorder;
 pub mod stream;
 pub mod timeseries;
 
+pub use columnar::{read_columnar, ColumnarBuf, ColumnarReader};
 pub use recorder::{FlightRecorder, VecSink};
-pub use stream::JsonlSink;
+pub use stream::{read_trace_file, ColumnarSink, JsonlSink, TraceFormat, TraceReader};
 pub use timeseries::{WindowRow, WindowSeries};
 
 use wavesim_sim::Cycle;
@@ -349,6 +351,16 @@ pub trait TraceSink {
     /// Accepts one record.
     fn record(&mut self, rec: TraceRecord);
 
+    /// Accepts a batch of records in order. The [`TraceHub`] hands its
+    /// pending buffer over through this, so one virtual call amortizes
+    /// over thousands of records; sinks with a bulk fast path (the
+    /// streaming sinks, [`recorder::VecSink`]) override it.
+    fn record_many(&mut self, recs: &[TraceRecord]) {
+        for rec in recs {
+            self.record(*rec);
+        }
+    }
+
     /// The records the sink retained, oldest first. Exporters and the
     /// post-mortem dump read this; sinks that retain nothing return empty.
     fn snapshot(&self) -> Vec<TraceRecord> {
@@ -383,18 +395,32 @@ impl TraceSink for NullSink {
     fn record(&mut self, _rec: TraceRecord) {}
 }
 
+/// Events a [`TraceBuf`] pre-allocates for when armed (a plane's worst
+/// single-dispatch burst stays well under this on the benched fabrics).
+const STAGED_CAPACITY: usize = 4096;
+
+/// Records the [`TraceHub`] accumulates before one `record_many` hand-off
+/// to the sink. Batching keeps the per-record hot-path cost to a bounds
+/// check + 24-byte copy; the dyn-dispatch and sink bookkeeping amortize
+/// across the batch.
+const PENDING_FLUSH: usize = 4096;
+
 /// Per-plane staging buffer for intra-plane emit points.
 ///
 /// Planes cannot reach the network-level [`TraceHub`] directly (they are
-/// independent engines), so they stage `(cycle, event)` pairs here and the
-/// composition root absorbs them into the hub after every dispatch. A
-/// disarmed buffer ignores emits — the instrumented planes pay exactly one
-/// predictable branch per potential record, which is what keeps the
-/// `NullSink` bench delta inside the < 3 % budget.
+/// independent engines), so they stage records here and the composition
+/// root absorbs them into the hub after every dispatch. A disarmed buffer
+/// ignores emits — the instrumented planes pay exactly one predictable
+/// branch per potential record, which is what keeps the `NullSink` bench
+/// delta inside the < 3 % budget.
+///
+/// Events are staged as full [`TraceRecord`]s with a placeholder sequence
+/// number, so [`TraceHub::absorb`] stamps sequences in place and moves
+/// the batch with one bulk copy instead of re-building each record.
 #[derive(Debug, Default)]
 pub struct TraceBuf {
     armed: bool,
-    staged: Vec<(Cycle, TraceEvent)>,
+    staged: Vec<TraceRecord>,
 }
 
 impl TraceBuf {
@@ -411,9 +437,13 @@ impl TraceBuf {
         self.armed
     }
 
-    /// Starts recording emits.
+    /// Starts recording emits. Pre-sizes the staging vector so the first
+    /// traced cycles never grow it mid-dispatch.
     pub fn arm(&mut self) {
         self.armed = true;
+        if self.staged.capacity() < STAGED_CAPACITY {
+            self.staged.reserve(STAGED_CAPACITY - self.staged.len());
+        }
     }
 
     /// Stops recording and discards anything staged.
@@ -427,7 +457,7 @@ impl TraceBuf {
     #[inline]
     pub fn emit(&mut self, at: Cycle, ev: TraceEvent) {
         if self.armed {
-            self.staged.push((at, ev));
+            self.staged.push(TraceRecord { at, seq: 0, ev });
         }
     }
 
@@ -440,10 +470,17 @@ impl TraceBuf {
 
 /// The per-network trace hub: owns the installed sink, stamps global
 /// sequence numbers, and absorbs the planes' staging buffers.
+///
+/// Stamped records accumulate in a pending batch and reach the sink
+/// through [`TraceSink::record_many`] — every `PENDING_FLUSH` records,
+/// and unconditionally in [`TraceHub::take`] / [`TraceHub::flush`] — so
+/// the per-record cost on the simulation thread is a plain `Vec` push,
+/// not a virtual call.
 #[derive(Default)]
 pub struct TraceHub {
     sink: Option<Box<dyn TraceSink>>,
     seq: u64,
+    pending: Vec<TraceRecord>,
 }
 
 impl TraceHub {
@@ -464,37 +501,66 @@ impl TraceHub {
     pub fn install(&mut self, sink: Box<dyn TraceSink>) {
         self.sink = Some(sink);
         self.seq = 0;
+        self.pending.reserve(PENDING_FLUSH);
     }
 
-    /// Removes and returns the installed sink, if any.
+    /// Removes and returns the installed sink (pending records are
+    /// flushed to it first), if any.
     pub fn take(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.flush();
         self.sink.take()
     }
 
     /// Read access to the installed sink (peek at a live recorder).
-    #[must_use]
-    pub fn sink(&self) -> Option<&dyn TraceSink> {
+    /// Flushes pending records first so the view is current.
+    pub fn sink(&mut self) -> Option<&dyn TraceSink> {
+        self.flush();
         self.sink.as_deref()
+    }
+
+    /// Hands the pending batch to the sink. Called automatically at the
+    /// batch threshold and from [`TraceHub::take`]; callers only need it
+    /// when inspecting the sink mid-run through other means.
+    pub fn flush(&mut self) {
+        if let Some(sink) = &mut self.sink {
+            if !self.pending.is_empty() {
+                sink.record_many(&self.pending);
+                self.pending.clear();
+            }
+        }
     }
 
     /// Forwards one event to the sink (no-op when none is installed).
     #[inline]
     pub fn emit(&mut self, at: Cycle, ev: TraceEvent) {
-        if let Some(sink) = &mut self.sink {
+        if self.sink.is_some() {
             let seq = self.seq;
             self.seq += 1;
-            sink.record(TraceRecord { at, seq, ev });
+            self.pending.push(TraceRecord { at, seq, ev });
+            if self.pending.len() >= PENDING_FLUSH {
+                self.flush();
+            }
         }
     }
 
     /// Drains a plane's staging buffer into the sink, stamping sequence
-    /// numbers in staging order.
+    /// numbers in staging order: one in-place pass over the staged batch
+    /// plus one bulk copy into the pending buffer.
+    #[inline]
     pub fn absorb(&mut self, buf: &mut TraceBuf) {
-        if let Some(sink) = &mut self.sink {
-            for (at, ev) in buf.staged.drain(..) {
-                let seq = self.seq;
-                self.seq += 1;
-                sink.record(TraceRecord { at, seq, ev });
+        if buf.staged.is_empty() {
+            return;
+        }
+        if self.sink.is_some() {
+            let base = self.seq;
+            for (i, rec) in buf.staged.iter_mut().enumerate() {
+                rec.seq = base + i as u64;
+            }
+            self.seq = base + buf.staged.len() as u64;
+            self.pending.extend_from_slice(&buf.staged);
+            buf.staged.clear();
+            if self.pending.len() >= PENDING_FLUSH {
+                self.flush();
             }
         } else {
             buf.staged.clear();

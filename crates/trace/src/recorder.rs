@@ -112,6 +112,10 @@ impl TraceSink for VecSink {
         self.records.push(rec);
     }
 
+    fn record_many(&mut self, recs: &[TraceRecord]) {
+        self.records.extend_from_slice(recs);
+    }
+
     fn snapshot(&self) -> Vec<TraceRecord> {
         self.records.clone()
     }
@@ -155,6 +159,11 @@ impl TraceSink for TeeSink {
     fn record(&mut self, rec: TraceRecord) {
         self.primary.record(rec);
         self.secondary.record(rec);
+    }
+
+    fn record_many(&mut self, recs: &[TraceRecord]) {
+        self.primary.record_many(recs);
+        self.secondary.record_many(recs);
     }
 
     fn snapshot(&self) -> Vec<TraceRecord> {

@@ -1,58 +1,133 @@
-//! Lossless streaming JSONL capture.
+//! Lossless streaming trace capture (JSONL and binary columnar).
 //!
 //! The flight recorder keeps the *last N* records; paper-scale runs need
-//! the *whole* stream. [`JsonlSink`] writes one JSON object per line,
-//! using the same schema as [`crate::postmortem::record_to_json`], so a
-//! captured file round-trips back into [`TraceRecord`]s via
-//! [`read_jsonl`].
+//! the *whole* stream. This module provides the streaming machinery: the
+//! hot path appends `Copy` records to an in-progress chunk, and full
+//! chunks are handed to a dedicated writer thread over a bounded channel.
+//! Encoding and file I/O happen entirely off the simulation thread; if
+//! the writer falls behind, the bounded channel applies backpressure
+//! instead of growing without limit. [`TraceSink::finish`] drains the
+//! queue and flushes the writer.
 //!
-//! Memory stays bounded and the hot path stays cheap: `record` appends the
-//! `Copy` record to an in-progress chunk, and full chunks are handed to a
-//! dedicated writer thread over a bounded channel. Encoding and file I/O
-//! happen entirely off the simulation thread; if the writer falls behind,
-//! the bounded channel applies backpressure instead of growing without
-//! limit. [`TraceSink::finish`] drains the queue and flushes the writer.
+//! Two encoders share that plumbing through [`ChunkEncoder`]:
+//!
+//! * [`JsonlSink`] writes one JSON object per line, using the same schema
+//!   as [`crate::postmortem::record_to_json`], so a captured file
+//!   round-trips back into [`TraceRecord`]s via [`read_jsonl`];
+//! * [`ColumnarSink`] writes the compact binary frame format of
+//!   [`crate::columnar`] — typically under a tenth of the JSONL bytes —
+//!   which round-trips via [`crate::columnar::read_columnar`].
+//!
+//! Reading is format-agnostic: [`read_trace_file`] sniffs the
+//! [`crate::columnar::MAGIC`] prefix ([`TraceFormat::detect`]) and every
+//! decoder is a [`TraceReader`], so the analyzer and the CLI never care
+//! which format a capture used.
+//!
+//! Saturated runs can cap bytes deterministically with
+//! [`StreamSink::with_sampling`]: bulk kinds (tick markers, per-hop probe
+//! movement, cache lookups) keep 1-in-N records by a counter over the
+//! deterministic record order, while every lifecycle and delivery event
+//! is always kept — so spans, flows and fault windows stay exact and the
+//! sampled stream is identical at any shard count.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
+use std::marker::PhantomData;
 use std::path::Path;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
 use wavesim_json::Value;
 
+use crate::columnar::FrameEncoder;
 use crate::{PlaneId, TraceEvent, TraceRecord, TraceSink};
 
-/// Records per chunk handed to the writer thread.
-const CHUNK_RECORDS: usize = 8192;
+/// Records per chunk handed to the writer thread (also the columnar
+/// frame size).
+pub const CHUNK_RECORDS: usize = 8192;
 /// Chunks the bounded queue may hold before the hot path blocks.
 const QUEUE_CHUNKS: usize = 8;
 
-/// Streaming JSONL trace sink: one line per record, written by a
-/// background thread, bounded memory, lossless.
+// ---------------------------------------------------------------------
+// Chunk encoders
+// ---------------------------------------------------------------------
+
+/// Turns chunks of records into bytes on the writer thread.
+///
+/// Implementations run off the simulation thread and may keep scratch
+/// state across chunks (the columnar encoder reuses its column buffers).
+pub trait ChunkEncoder: Send + 'static {
+    /// Appends the stream header (file magic) once, before any chunk.
+    fn header(&mut self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Appends the encoding of `recs` to `out`.
+    fn encode_chunk(&mut self, recs: &[TraceRecord], out: &mut Vec<u8>);
+}
+
+/// [`ChunkEncoder`] emitting one compact JSON object per line.
+#[derive(Default)]
+pub struct JsonlEncoder {
+    text: String,
+}
+
+impl ChunkEncoder for JsonlEncoder {
+    fn encode_chunk(&mut self, recs: &[TraceRecord], out: &mut Vec<u8>) {
+        self.text.clear();
+        for rec in recs {
+            encode_record(&mut self.text, rec);
+            self.text.push('\n');
+        }
+        out.extend_from_slice(self.text.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// The streaming sink
+// ---------------------------------------------------------------------
+
+/// Streaming trace sink: chunks of records encoded and written by a
+/// background thread, bounded memory, lossless (unless sampling is
+/// requested explicitly).
 ///
 /// Retains nothing in memory (`snapshot` is empty); pair it with a ring
 /// buffer via [`TeeSink`](crate::recorder::TeeSink) when the post-mortem
-/// machinery also needs a tail snapshot.
-pub struct JsonlSink<W: Write + Send + 'static> {
+/// machinery also needs a tail snapshot. Use the [`JsonlSink`] /
+/// [`ColumnarSink`] aliases rather than naming the encoder directly.
+pub struct StreamSink<W: Write + Send + 'static, E: ChunkEncoder> {
     tx: Option<SyncSender<Vec<TraceRecord>>>,
     handle: Option<JoinHandle<io::Result<W>>>,
     chunk: Vec<TraceRecord>,
     chunk_cap: usize,
     total: u64,
     lost: u64,
+    /// Keep 1-in-N bulk-kind records; 0 or 1 = keep everything.
+    sample_every: u64,
+    /// Bulk-kind records seen (the deterministic sampling clock).
+    bulk_seen: u64,
     error: Option<String>,
+    _enc: PhantomData<fn() -> E>,
 }
 
-impl JsonlSink<BufWriter<File>> {
+/// Streaming JSONL sink: one JSON line per record.
+pub type JsonlSink<W> = StreamSink<W, JsonlEncoder>;
+
+/// Streaming binary columnar sink: [`crate::columnar`] frames.
+pub type ColumnarSink<W> = StreamSink<W, FrameEncoder>;
+
+impl<E: ChunkEncoder + Default> StreamSink<BufWriter<File>, E> {
     /// Creates (truncating) `path` and streams records to it.
+    ///
+    /// # Errors
+    /// Fails when the file cannot be created.
     pub fn create(path: &Path) -> io::Result<Self> {
         let file = File::create(path)?;
         Ok(Self::new(BufWriter::new(file)))
     }
 }
 
-impl<W: Write + Send + 'static> JsonlSink<W> {
+impl<W: Write + Send + 'static, E: ChunkEncoder + Default> StreamSink<W, E> {
     /// Streams records to `writer` with the default chunk size.
     pub fn new(writer: W) -> Self {
         Self::with_chunk(writer, CHUNK_RECORDS)
@@ -65,7 +140,8 @@ impl<W: Write + Send + 'static> JsonlSink<W> {
     pub fn with_chunk(writer: W, chunk_cap: usize) -> Self {
         assert!(chunk_cap > 0, "chunk capacity must be positive");
         let (tx, rx) = sync_channel(QUEUE_CHUNKS);
-        let handle = std::thread::spawn(move || writer_loop(writer, &rx));
+        let enc = E::default();
+        let handle = std::thread::spawn(move || writer_loop(writer, enc, &rx));
         Self {
             tx: Some(tx),
             handle: Some(handle),
@@ -73,10 +149,27 @@ impl<W: Write + Send + 'static> JsonlSink<W> {
             chunk_cap,
             total: 0,
             lost: 0,
+            sample_every: 0,
+            bulk_seen: 0,
             error: None,
+            _enc: PhantomData,
         }
     }
 
+    /// Keeps only 1-in-`every` records of the bulk kinds (see
+    /// [`is_bulk_kind`]); lifecycle and delivery events are always kept.
+    ///
+    /// Sampling is a counter over the deterministic record order, so the
+    /// kept set — and therefore the captured bytes — is identical across
+    /// reruns and shard counts. `every` of 0 or 1 disables sampling.
+    #[must_use]
+    pub fn with_sampling(mut self, every: u64) -> Self {
+        self.sample_every = every;
+        self
+    }
+}
+
+impl<W: Write + Send + 'static, E: ChunkEncoder> StreamSink<W, E> {
     /// Hands the in-progress chunk to the writer thread.
     fn flush_chunk(&mut self) {
         if self.chunk.is_empty() {
@@ -121,6 +214,10 @@ impl<W: Write + Send + 'static> JsonlSink<W> {
 
     /// Finishes the stream and returns the underlying writer (tests use
     /// this to inspect an in-memory capture).
+    ///
+    /// # Errors
+    /// Fails when the writer thread hit an I/O error, records were lost,
+    /// or the stream already finished.
     pub fn finish_into(mut self) -> Result<W, String> {
         match self.shutdown() {
             Ok(Some(w)) => Ok(w),
@@ -130,12 +227,54 @@ impl<W: Write + Send + 'static> JsonlSink<W> {
     }
 }
 
-impl<W: Write + Send + 'static> TraceSink for JsonlSink<W> {
+/// True for the high-volume kinds [`StreamSink::with_sampling`] thins:
+/// per-cycle tick markers, per-hop probe movement, and cache lookups.
+/// Everything else (circuit lifecycle, transfers, deliveries, faults) is
+/// always captured so span and flow analytics stay exact under sampling.
+#[must_use]
+pub fn is_bulk_kind(ev: &TraceEvent) -> bool {
+    matches!(
+        ev,
+        TraceEvent::PlaneTick { .. }
+            | TraceEvent::ProbeHop { .. }
+            | TraceEvent::ProbeBacktrack { .. }
+            | TraceEvent::CacheHit { .. }
+            | TraceEvent::CacheMiss { .. }
+    )
+}
+
+impl<W: Write + Send + 'static, E: ChunkEncoder> TraceSink for StreamSink<W, E> {
     fn record(&mut self, rec: TraceRecord) {
         self.total += 1;
+        if self.sample_every > 1 && is_bulk_kind(&rec.ev) {
+            let keep = self.bulk_seen.is_multiple_of(self.sample_every);
+            self.bulk_seen += 1;
+            if !keep {
+                return;
+            }
+        }
         self.chunk.push(rec);
         if self.chunk.len() >= self.chunk_cap {
             self.flush_chunk();
+        }
+    }
+
+    fn record_many(&mut self, recs: &[TraceRecord]) {
+        if self.sample_every > 1 {
+            for rec in recs {
+                self.record(*rec);
+            }
+            return;
+        }
+        self.total += recs.len() as u64;
+        let mut rest = recs;
+        while !rest.is_empty() {
+            let take = (self.chunk_cap - self.chunk.len()).min(rest.len());
+            self.chunk.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.chunk.len() >= self.chunk_cap {
+                self.flush_chunk();
+            }
         }
     }
 
@@ -156,27 +295,152 @@ impl<W: Write + Send + 'static> TraceSink for JsonlSink<W> {
     }
 }
 
-impl<W: Write + Send + 'static> Drop for JsonlSink<W> {
+impl<W: Write + Send + 'static, E: ChunkEncoder> Drop for StreamSink<W, E> {
     fn drop(&mut self) {
         // Best effort: never panic in drop; finish() reports errors.
         let _ = self.shutdown();
     }
 }
 
-/// The writer thread: encodes chunks to JSONL and writes them out.
-fn writer_loop<W: Write>(mut w: W, rx: &Receiver<Vec<TraceRecord>>) -> io::Result<W> {
-    let mut text = String::with_capacity(64 * 1024);
+/// The writer thread: encodes chunks and writes them out.
+fn writer_loop<W: Write, E: ChunkEncoder>(
+    mut w: W,
+    mut enc: E,
+    rx: &Receiver<Vec<TraceRecord>>,
+) -> io::Result<W> {
+    let mut bytes = Vec::with_capacity(64 * 1024);
+    enc.header(&mut bytes);
+    w.write_all(&bytes)?;
     for chunk in rx {
-        text.clear();
-        for rec in &chunk {
-            encode_record(&mut text, rec);
-            text.push('\n');
-        }
-        w.write_all(text.as_bytes())?;
+        bytes.clear();
+        enc.encode_chunk(&chunk, &mut bytes);
+        w.write_all(&bytes)?;
     }
     w.flush()?;
     Ok(w)
 }
+
+// ---------------------------------------------------------------------
+// Format detection and the reader trait
+// ---------------------------------------------------------------------
+
+/// On-disk encoding of a trace capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line (`{"at":...`).
+    Jsonl,
+    /// Binary columnar frames behind the `WSTRACE1` magic.
+    Columnar,
+}
+
+impl TraceFormat {
+    /// Sniffs the format from a capture's leading bytes: the columnar
+    /// magic wins, anything else is treated as JSONL.
+    #[must_use]
+    pub fn detect(bytes: &[u8]) -> Self {
+        if bytes.starts_with(&crate::columnar::MAGIC) {
+            TraceFormat::Columnar
+        } else {
+            TraceFormat::Jsonl
+        }
+    }
+}
+
+/// A streaming decoder over a trace capture, format-agnostic.
+///
+/// Both [`JsonlReader`] and [`crate::columnar::ColumnarReader`] implement
+/// this, so consumers (the analyzer, the converter, the window series)
+/// never branch on format past the initial sniff.
+pub trait TraceReader {
+    /// The next record, `None` at end of stream. After an `Err` the
+    /// reader is done (subsequent calls return `None`).
+    fn next_record(&mut self) -> Option<Result<TraceRecord, String>>;
+
+    /// Drains the reader into a vector, oldest first.
+    ///
+    /// # Errors
+    /// Fails on the first malformed record.
+    fn read_all(&mut self) -> Result<Vec<TraceRecord>, String> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record() {
+            out.push(rec?);
+        }
+        Ok(out)
+    }
+}
+
+/// Streaming decoder over JSONL text: one record per non-blank line.
+pub struct JsonlReader<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+    failed: bool,
+}
+
+impl<'a> JsonlReader<'a> {
+    /// A reader over `text`.
+    #[must_use]
+    pub fn new(text: &'a str) -> Self {
+        Self {
+            lines: text.lines(),
+            line_no: 0,
+            failed: false,
+        }
+    }
+}
+
+impl TraceReader for JsonlReader<'_> {
+    fn next_record(&mut self) -> Option<Result<TraceRecord, String>> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            let line = self.lines.next()?;
+            self.line_no += 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let res = Value::parse(line)
+                .map_err(|e| format!("line {}: {e}", self.line_no))
+                .and_then(|v| {
+                    record_from_json(&v).map_err(|e| format!("line {}: {e}", self.line_no))
+                });
+            if res.is_err() {
+                self.failed = true;
+            }
+            return Some(res);
+        }
+    }
+}
+
+/// Decodes an in-memory capture of either format, oldest first.
+///
+/// # Errors
+/// Fails on malformed content (or non-UTF-8 bytes without the columnar
+/// magic).
+pub fn read_trace_bytes(bytes: &[u8]) -> Result<Vec<TraceRecord>, String> {
+    match TraceFormat::detect(bytes) {
+        TraceFormat::Columnar => crate::columnar::read_columnar(bytes),
+        TraceFormat::Jsonl => {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| "trace is neither columnar (no magic) nor UTF-8 JSONL".to_string())?;
+            read_jsonl(text)
+        }
+    }
+}
+
+/// Reads and decodes a trace file, auto-detecting its format.
+///
+/// # Errors
+/// Fails when the file cannot be read or its content is malformed.
+pub fn read_trace_file(path: &Path) -> Result<Vec<TraceRecord>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    read_trace_bytes(&bytes)
+}
+
+// ---------------------------------------------------------------------
+// JSONL encode/decode
+// ---------------------------------------------------------------------
 
 /// A field value the fast encoder knows how to append. Implemented for
 /// the handful of primitive types [`TraceEvent`] fields use.
@@ -387,6 +651,9 @@ pub fn encode_record(buf: &mut String, rec: &TraceRecord) {
 }
 
 /// Parses one JSONL object back into a [`TraceRecord`].
+///
+/// # Errors
+/// Fails on a missing/unknown `type` or missing/mistyped fields.
 pub fn record_from_json(v: &Value) -> Result<TraceRecord, String> {
     let at = num(v, "at")?;
     let seq = num(v, "seq")?;
@@ -516,22 +783,18 @@ pub fn record_from_json(v: &Value) -> Result<TraceRecord, String> {
 
 /// Parses a whole JSONL text back into records, oldest first.
 ///
-/// Blank lines are skipped; any malformed line fails the whole parse with
-/// its 1-based line number.
+/// Blank lines are skipped.
+///
+/// # Errors
+/// Any malformed line fails the whole parse with its 1-based line number.
 pub fn read_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
-    let mut out = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let v = Value::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        out.push(record_from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
-    }
-    Ok(out)
+    JsonlReader::new(text).read_all()
 }
 
 /// Reads and parses a JSONL trace file.
+///
+/// # Errors
+/// Fails when the file cannot be read or any line is malformed.
 pub fn read_jsonl_file(path: &Path) -> Result<Vec<TraceRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     read_jsonl(&text)
@@ -727,6 +990,67 @@ mod tests {
         let bytes = sink.finish_into().expect("finish");
         let back = read_jsonl(std::str::from_utf8(&bytes).unwrap()).expect("parse");
         assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn columnar_sink_round_trips_every_kind() {
+        let recs = sample_records();
+        let mut sink = ColumnarSink::with_chunk(Vec::new(), 5);
+        sink.record_many(&recs);
+        assert_eq!(sink.total(), recs.len() as u64);
+        let bytes = sink.finish_into().expect("finish");
+        assert_eq!(TraceFormat::detect(&bytes), TraceFormat::Columnar);
+        let back = crate::columnar::read_columnar(&bytes).expect("decode");
+        assert_eq!(back, recs);
+        assert_eq!(read_trace_bytes(&bytes).expect("auto-detect"), recs);
+    }
+
+    #[test]
+    fn record_many_matches_per_record_streaming() {
+        let recs = sample_records();
+        let mut one = JsonlSink::with_chunk(Vec::new(), 4);
+        for rec in &recs {
+            one.record(*rec);
+        }
+        let mut many = JsonlSink::with_chunk(Vec::new(), 4);
+        many.record_many(&recs);
+        assert_eq!(
+            one.finish_into().expect("finish"),
+            many.finish_into().expect("finish")
+        );
+    }
+
+    #[test]
+    fn sampling_keeps_lifecycle_events_and_thins_bulk() {
+        // 10 bulk records interleaved with 10 lifecycle records.
+        let mut recs = Vec::new();
+        for i in 0..10u64 {
+            recs.push(TraceRecord {
+                at: i,
+                seq: i * 2,
+                ev: TraceEvent::CacheMiss {
+                    node: 0,
+                    dest: i as u32,
+                },
+            });
+            recs.push(TraceRecord {
+                at: i,
+                seq: i * 2 + 1,
+                ev: TraceEvent::CircuitReleased { circuit: i },
+            });
+        }
+        let mut sink = JsonlSink::with_chunk(Vec::new(), 4).with_sampling(4);
+        sink.record_many(&recs);
+        let bytes = sink.finish_into().expect("finish");
+        let back = read_jsonl(std::str::from_utf8(&bytes).unwrap()).expect("parse");
+        let bulk = back.iter().filter(|r| is_bulk_kind(&r.ev)).count();
+        let life = back.iter().filter(|r| !is_bulk_kind(&r.ev)).count();
+        assert_eq!(bulk, 3, "1-in-4 of 10 bulk records (indices 0,4,8)");
+        assert_eq!(life, 10, "lifecycle events always kept");
+        // Sampling is deterministic: a rerun produces identical bytes.
+        let mut again = JsonlSink::with_chunk(Vec::new(), 4).with_sampling(4);
+        again.record_many(&recs);
+        assert_eq!(again.finish_into().expect("finish"), bytes);
     }
 
     #[test]
