@@ -1,4 +1,4 @@
-//! E12 — micro-ablations of design choices DESIGN.md §12 calls out:
+//! E12 — micro-ablations of design choices DESIGN.md §13 calls out:
 //!
 //! * **initial-switch staggering** — "it is convenient that neighboring
 //!   nodes try to use different initial switches" (§3.1): with staggering

@@ -9,6 +9,22 @@
 //! wavesim run [workload flags]                 one custom simulation
 //! wavesim analyze --trace run.jsonl            trace analytics report
 //! wavesim check [--side N]                     static deadlock-freedom checks (CDG)
+//! wavesim check --model clrp|carp|probe        exhaustive protocol model check
+//!   [--topology mesh|torus] [--side N] [--k N] [--msgs N | --msg S:D ...] [--seed N]
+//!   [--fault] [--repair] [--mutate drop-release|skip-backoff|wait-establishing]
+//!   [--max-states N] [--counterexample FILE]
+//!   Explores EVERY interleaving of the protocol automaton on a small
+//!   fabric (default 2x2 mesh / 3x3 torus) and proves deadlock- and
+//!   livelock-freedom, or prints a shrunk counterexample schedule and
+//!   exits nonzero. `--counterexample FILE` additionally replays the
+//!   schedule through the real network and writes the captured trace
+//!   (JSONL, or WSTRACE1 when FILE ends in `.bin`) for `validate-trace`
+//!   and `analyze`. `--mutate` injects a deliberate protocol bug so the
+//!   checker's teeth can be demonstrated (and regression-tested).
+//! wavesim fuzz --model clrp|carp|probe         adversarial schedule fuzzing
+//!   [--runs N] [--steps N] [--seed N] + the model flags above
+//!   Random interleavings plus random fault churn; violations are
+//!   shrunk to 1-minimal schedules. Deterministic in --seed.
 //! wavesim validate-trace FILE                  schema-check a Perfetto trace file
 //! wavesim info                                 print the default configuration
 //!
@@ -70,7 +86,11 @@ use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wavesim <all|e1..e14|run|analyze|convert-trace|check|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
+        "usage: wavesim <all|e1..e14|run|analyze|convert-trace|check|fuzz|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
+         model check: wavesim check --model clrp|carp|probe [--topology mesh|torus] [--side N]\n\
+                      [--k N] [--msgs N] [--seed N] [--fault] [--repair] [--mutate M]\n\
+                      [--max-states N] [--counterexample FILE]\n\
+         fuzz:        wavesim fuzz --model ... [--runs N] [--steps N] [--seed N]\n\
          run flags: --protocol clrp|carp|wormhole --topology mesh|torus --side N --load F\n\
                     --len N --locality F --cycles N --seed N --k N --alpha N --cache N\n\
                     --misroutes N --shards N\n\
@@ -129,6 +149,18 @@ struct Args {
     to_bin: bool,
     // positional operand (validate-trace FILE / convert-trace IN)
     path: Option<String>,
+    // model checker (`check --model …` / `fuzz`)
+    model: Option<String>,
+    side_set: bool,
+    msgs: usize,
+    fault: bool,
+    repair: bool,
+    mutate: Option<String>,
+    msg_list: Vec<String>,
+    max_states: u64,
+    counterexample: Option<String>,
+    runs: u32,
+    steps: u32,
 }
 
 fn parse_args() -> Args {
@@ -171,6 +203,17 @@ fn parse_args() -> Args {
         out: None,
         to_bin: false,
         path: None,
+        model: None,
+        side_set: false,
+        msgs: 3,
+        fault: false,
+        repair: false,
+        mutate: None,
+        msg_list: Vec::new(),
+        max_states: 5_000_000,
+        counterexample: None,
+        runs: 64,
+        steps: 4_000,
     };
     macro_rules! next_parse {
         ($argv:ident) => {
@@ -231,7 +274,27 @@ fn parse_args() -> Args {
                 }
             }
             "--jobs" => args.jobs = next_parse!(argv),
-            "--side" => args.side = next_parse!(argv),
+            "--side" => {
+                args.side = next_parse!(argv);
+                args.side_set = true;
+            }
+            "--model" => args.model = Some(argv.next().unwrap_or_else(|| usage())),
+            "--msgs" => args.msgs = next_parse!(argv),
+            "--msg" => args.msg_list.push(argv.next().unwrap_or_else(|| usage())),
+            "--fault" => args.fault = true,
+            "--repair" => args.repair = true,
+            "--mutate" => args.mutate = Some(argv.next().unwrap_or_else(|| usage())),
+            "--max-states" => {
+                args.max_states = next_parse!(argv);
+                if args.max_states == 0 {
+                    usage();
+                }
+            }
+            "--counterexample" => {
+                args.counterexample = Some(argv.next().unwrap_or_else(|| usage()));
+            }
+            "--runs" => args.runs = next_parse!(argv),
+            "--steps" => args.steps = next_parse!(argv),
             "--protocol" => {
                 args.protocol = match argv.next().as_deref() {
                     Some("clrp") => ProtocolKind::Clrp,
@@ -800,6 +863,162 @@ fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &A
     true
 }
 
+/// Builds a model-checker spec from the CLI flags. `--model` selects the
+/// protocol automaton; `probe` is CLRP with the Force phase disabled, so
+/// what is exercised is pure MB-m backtracking (Theorem 3's machinery).
+fn model_spec(args: &Args) -> Result<wavesim_model::ModelSpec, String> {
+    use wavesim_model::{ModelProtocol, ModelSpec, Mutation};
+    let protocol = match args.model.as_deref() {
+        Some("clrp") => ModelProtocol::Clrp,
+        Some("carp") => ModelProtocol::Carp,
+        Some("probe") => ModelProtocol::ClrpNoForce,
+        Some(other) => return Err(format!("unknown model `{other}` (clrp | carp | probe)")),
+        None => return Err("missing --model".into()),
+    };
+    // Exhaustive exploration wants the smallest non-degenerate fabric:
+    // 2x2 mesh, 3x3 torus (the torus constructor requires radix >= 3).
+    let side = if args.side_set {
+        args.side
+    } else if args.torus {
+        3
+    } else {
+        2
+    };
+    let topo = if args.torus {
+        Topology::torus(&[side, side])
+    } else {
+        Topology::mesh(&[side, side])
+    };
+    let mut spec = ModelSpec::new(topo, protocol, args.k);
+    if args.msg_list.is_empty() {
+        spec = spec.msgs_from_pattern(TrafficPattern::Uniform, args.msgs, args.seed);
+    } else {
+        for m in &args.msg_list {
+            let (s, d) = m
+                .split_once(':')
+                .ok_or_else(|| format!("--msg wants SRC:DEST, got `{m}`"))?;
+            let s: u32 = s.parse().map_err(|_| format!("bad --msg source `{s}`"))?;
+            let d: u32 = d.parse().map_err(|_| format!("bad --msg dest `{d}`"))?;
+            spec = spec.msg(s, d);
+        }
+    }
+    if let Some(m) = &args.mutate {
+        spec = spec.mutate(Mutation::parse(m)?);
+    }
+    if args.fault {
+        spec = spec.fault_on_first_path(args.repair);
+    }
+    Ok(spec)
+}
+
+/// Writes a counterexample's concrete replay trace (JSONL, or `WSTRACE1`
+/// columnar when the path ends in `.bin`), ready for `validate-trace`.
+fn write_counterexample(
+    spec: &wavesim_model::ModelSpec,
+    cx: &wavesim_model::Counterexample,
+    path: &str,
+) -> bool {
+    let rep = wavesim_model::replay_schedule(spec, &cx.schedule);
+    let ok = if path.ends_with(".bin") {
+        std::fs::write(path, rep.columnar()).map_err(|e| e.to_string())
+    } else {
+        std::fs::write(path, rep.jsonl()).map_err(|e| e.to_string())
+    };
+    if let Err(e) = ok {
+        eprintln!("error: cannot write {path}: {e}");
+        return false;
+    }
+    println!(
+        "wrote counterexample replay trace: {path} ({} records; real network {})",
+        rep.records.len(),
+        if rep.survived() {
+            "survives the stimulus — the flaw is model-only"
+        } else {
+            "reproduces the failure"
+        }
+    );
+    true
+}
+
+/// Describes a model spec on one line (header for check/fuzz output).
+fn describe_spec(spec: &wavesim_model::ModelSpec) -> String {
+    format!(
+        "model={:?} k={} msgs={:?} fault={:?} mutation={}",
+        spec.protocol,
+        spec.k,
+        spec.msgs
+            .iter()
+            .map(|(s, d)| (s.0, d.0))
+            .collect::<Vec<_>>(),
+        spec.fault,
+        spec.mutation.name(),
+    )
+}
+
+/// Exhaustive model check (`wavesim check --model …`). Returns `false`
+/// (nonzero exit) on violation or an exhausted state budget.
+fn model_check(args: &Args) -> bool {
+    let spec = match model_spec(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return false;
+        }
+    };
+    println!("exhaustive model check: {}", describe_spec(&spec));
+    let out = wavesim_model::check(&spec, args.max_states);
+    println!(
+        "explored {} states / {} transitions, depth {}, {} wait-graphs checked",
+        out.states, out.transitions, out.depth, out.wait_checked
+    );
+    println!("{}", out.verdict());
+    if let Some(cx) = &out.violation {
+        let cx = wavesim_model::shrink(&spec, cx);
+        println!("shrunk schedule ({} actions):", cx.schedule.len());
+        print!("{}", cx.render());
+        if let Some(path) = &args.counterexample {
+            if !write_counterexample(&spec, &cx, path) {
+                return false;
+            }
+        }
+        return false;
+    }
+    out.proved()
+}
+
+/// Randomized schedule fuzzing (`wavesim fuzz`). Returns `false` on a
+/// violation.
+fn fuzz_cmd(args: &Args) -> bool {
+    let spec = match model_spec(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return false;
+        }
+    };
+    println!("schedule fuzz: {}", describe_spec(&spec));
+    let cfg = wavesim_model::FuzzConfig {
+        seed: args.seed,
+        runs: args.runs,
+        max_steps: args.steps,
+        fault_churn: !args.fault,
+    };
+    let out = wavesim_model::fuzz(&spec, &cfg);
+    println!("{}", out.verdict());
+    if let Some((variant, cx)) = &out.violation {
+        println!("violating variant: {}", describe_spec(variant));
+        println!("shrunk schedule ({} actions):", cx.schedule.len());
+        print!("{}", cx.render());
+        if let Some(path) = &args.counterexample {
+            if !write_counterexample(variant, cx, path) {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
 fn static_checks(side: u16) -> bool {
     let mut ok = true;
     let cases: Vec<(String, Topology, RoutingKind, u8)> = vec![
@@ -888,7 +1107,17 @@ fn main() -> ExitCode {
             }
         }
         "check" => {
-            if !static_checks(args.side) {
+            let ok = if args.model.is_some() {
+                model_check(&args)
+            } else {
+                static_checks(args.side)
+            };
+            if !ok {
+                return ExitCode::FAILURE;
+            }
+        }
+        "fuzz" => {
+            if !fuzz_cmd(&args) {
                 return ExitCode::FAILURE;
             }
         }

@@ -289,6 +289,88 @@ fn binary_capture_converts_and_analyzes_end_to_end() {
 }
 
 #[test]
+fn model_check_proves_and_mutation_refutes() {
+    // Exhaustive proof on the 2x2 mesh: exit 0, PROVED verdict with the
+    // pinned state count (exploration is deterministic).
+    let out = wavesim()
+        .args([
+            "check", "--model", "clrp", "--k", "1", "--msg", "0:3", "--msg", "3:0", "--msg", "1:2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("PROVED deadlock- and livelock-free: 7767 states"),
+        "{text}"
+    );
+
+    // The mutated model must fail, write a replayable counterexample
+    // trace, and that trace must pass the binary's own validator.
+    let dir = std::env::temp_dir().join(format!("wavesim-cli-model-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cx = dir.join("cx.jsonl");
+    let out = wavesim()
+        .args([
+            "check",
+            "--model",
+            "clrp",
+            "--k",
+            "1",
+            "--msg",
+            "0:1",
+            "--msg",
+            "2:3",
+            "--msg",
+            "0:3",
+            "--mutate",
+            "drop-release",
+            "--counterexample",
+            cx.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "mutated model must not prove clean");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("VIOLATION (deadlock)"), "{text}");
+    let out = wavesim()
+        .args(["validate-trace", cx.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fuzz_is_deterministic_and_clean_on_correct_model() {
+    let run = || {
+        let out = wavesim()
+            .args([
+                "fuzz", "--model", "carp", "--runs", "16", "--steps", "2000", "--seed", "11",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let a = run();
+    assert!(a.contains("OK: 16 runs"), "{a}");
+    assert_eq!(a, run(), "fuzzing must be deterministic in --seed");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = wavesim().arg("bogus").output().expect("binary runs");
     assert!(!out.status.success());

@@ -23,7 +23,7 @@ use crate::config::WaveConfig;
 use crate::ids::{CircuitId, LaneId};
 
 /// Lifecycle of a circuit in the global registry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CircuitStatus {
     /// A probe is still searching/reserving.
     Establishing,

@@ -40,6 +40,7 @@ pub mod pcs;
 pub mod probe;
 pub mod render;
 pub mod replacement;
+pub mod snapshot;
 pub mod stats;
 
 pub use arena::{ArenaId, GenSlab, IdAlloc, SlotMap};
@@ -54,4 +55,5 @@ pub use ids::{CircuitId, LaneId, ProbeId};
 pub use lanes::{LaneState, LaneTable};
 pub use network::{FaultEvent, WaveNetwork};
 pub use probe::{ProbeFlit, ProbeState};
+pub use snapshot::{CircuitSnap, LaneUse, NetSnapshot, ProbeSnap};
 pub use stats::WaveStats;

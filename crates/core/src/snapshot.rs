@@ -1,0 +1,246 @@
+//! Canonical observable state snapshots.
+//!
+//! [`NetSnapshot`] is a deterministic, order-normalized digest of a
+//! [`WaveNetwork`]'s protocol-visible state: which lanes are held or
+//! faulty, which circuits exist and where they stand, which probes are in
+//! flight. Two networks that have reached the same protocol state produce
+//! byte-identical snapshots regardless of internal arena slot order, so
+//! snapshots support:
+//!
+//! * convergence checks ("did these two runs end in the same place?");
+//! * the model checker's abstraction audit (`wavesim-model` replays an
+//!   abstract schedule and compares the real network's snapshot against
+//!   what the abstraction predicts);
+//! * cheap state digests via [`NetSnapshot::fingerprint`] without keeping
+//!   the full snapshot around.
+
+use wavesim_topology::NodeId;
+
+use crate::circuit::CircuitStatus;
+use crate::ids::{CircuitId, LaneId};
+use crate::lanes::LaneState;
+use crate::network::WaveNetwork;
+
+/// One non-free lane: who holds it, or that it is out of service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LaneUse {
+    /// Reserved by the given circuit.
+    Held(CircuitId),
+    /// Marked faulty.
+    Faulty,
+}
+
+/// One circuit, reduced to its protocol-visible fields.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CircuitSnap {
+    /// The attempt/circuit id.
+    pub id: CircuitId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Wave switch in use.
+    pub switch: u8,
+    /// Lifecycle stage.
+    pub status: CircuitStatus,
+    /// Reserved path, source first.
+    pub path: Vec<LaneId>,
+}
+
+/// One in-flight probe, reduced to its protocol-visible fields.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProbeSnap {
+    /// The circuit attempt the probe works for.
+    pub circuit: CircuitId,
+    /// Node currently occupied.
+    pub at: NodeId,
+    /// Switch being searched.
+    pub switch: u8,
+    /// Lane the probe is parked on awaiting a forced teardown, if any.
+    pub parked_on: Option<LaneId>,
+}
+
+/// Order-normalized digest of a network's protocol-visible state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct NetSnapshot {
+    /// Every non-free lane, sorted by id.
+    pub lanes: Vec<(LaneId, LaneUse)>,
+    /// Every live circuit, sorted by id.
+    pub circuits: Vec<CircuitSnap>,
+    /// Every in-flight probe, sorted by circuit then position.
+    pub probes: Vec<ProbeSnap>,
+    /// Messages accepted but not yet delivered.
+    pub outstanding: u64,
+    /// Queued control flits (probes/acks/teardowns in transit).
+    pub control_backlog: u64,
+}
+
+impl NetSnapshot {
+    /// True when nothing is reserved, searching, or outstanding.
+    #[must_use]
+    pub fn quiescent(&self) -> bool {
+        self.outstanding == 0
+            && self.control_backlog == 0
+            && self.probes.is_empty()
+            && self.lanes.iter().all(|(_, u)| matches!(u, LaneUse::Faulty))
+    }
+
+    /// FNV-1a digest of the canonical encoding. Stable across runs and
+    /// processes (unlike `DefaultHasher`), so it can be pinned in goldens.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            acc ^= v;
+            acc = acc.wrapping_mul(0x100_0000_01b3);
+        };
+        for (lane, usage) in &self.lanes {
+            mix(u64::from(lane.link.0));
+            mix(u64::from(lane.switch));
+            match usage {
+                LaneUse::Held(c) => mix(c.0 ^ 1),
+                LaneUse::Faulty => mix(u64::MAX),
+            }
+        }
+        for c in &self.circuits {
+            mix(c.id.0);
+            mix(u64::from(c.src.0));
+            mix(u64::from(c.dest.0));
+            mix(u64::from(c.switch));
+            mix(match c.status {
+                CircuitStatus::Establishing => 1,
+                CircuitStatus::Ready => 2,
+                CircuitStatus::TearingDown => 3,
+            });
+            mix(c.path.len() as u64);
+            for l in &c.path {
+                mix(u64::from(l.link.0));
+                mix(u64::from(l.switch));
+            }
+        }
+        for p in &self.probes {
+            mix(p.circuit.0);
+            mix(u64::from(p.at.0));
+            mix(u64::from(p.switch));
+            match p.parked_on {
+                Some(l) => {
+                    mix(u64::from(l.link.0));
+                    mix(u64::from(l.switch));
+                }
+                None => mix(u64::MAX - 1),
+            }
+        }
+        mix(self.outstanding);
+        mix(self.control_backlog);
+        acc
+    }
+}
+
+impl WaveNetwork {
+    /// Captures the protocol-visible state as a canonical snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> NetSnapshot {
+        let topo = self.topology();
+        let k = self.lanes().k();
+        let mut lanes = Vec::new();
+        for link in topo.links() {
+            for s in 1..=k {
+                let lane = LaneId::new(link, s);
+                match self.lanes().state(lane) {
+                    LaneState::Free => {}
+                    LaneState::Reserved(c) => lanes.push((lane, LaneUse::Held(c))),
+                    LaneState::Faulty => lanes.push((lane, LaneUse::Faulty)),
+                }
+            }
+        }
+        lanes.sort_unstable();
+        let mut circuits: Vec<CircuitSnap> = self
+            .circuits()
+            .iter()
+            .map(|(id, c)| CircuitSnap {
+                id,
+                src: c.src,
+                dest: c.dest,
+                switch: c.switch,
+                status: c.status,
+                path: c.path.clone(),
+            })
+            .collect();
+        circuits.sort_unstable_by_key(|c| c.id);
+        let mut probes: Vec<ProbeSnap> = self
+            .probes()
+            .iter()
+            .map(|(_, p)| ProbeSnap {
+                circuit: p.circuit,
+                at: p.at,
+                switch: p.switch,
+                parked_on: p.parked_on,
+            })
+            .collect();
+        probes.sort_unstable_by_key(|p| (p.circuit, p.at, p.switch));
+        NetSnapshot {
+            lanes,
+            circuits,
+            probes,
+            outstanding: self.outstanding(),
+            control_backlog: self.control_backlog() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ProtocolKind, WaveConfig};
+    use crate::network::WaveNetwork;
+    use wavesim_network::Message;
+    use wavesim_topology::Topology;
+
+    fn drained_net() -> WaveNetwork {
+        let mut net = WaveNetwork::new(
+            Topology::mesh(&[2, 2]),
+            WaveConfig {
+                protocol: ProtocolKind::Clrp,
+                ..WaveConfig::default()
+            },
+        );
+        for i in 0..3u64 {
+            net.send(0, Message::new(i, NodeId(i as u32), NodeId(3), 8, 0));
+        }
+        let mut now = 0;
+        while net.busy() && now < 100_000 {
+            net.tick(now);
+            now += 1;
+        }
+        assert!(!net.busy());
+        net
+    }
+
+    #[test]
+    fn fresh_network_snapshot_is_quiescent() {
+        let net = WaveNetwork::new(Topology::mesh(&[2, 2]), WaveConfig::default());
+        let snap = net.snapshot();
+        assert!(snap.quiescent());
+        assert_eq!(snap, NetSnapshot::default());
+    }
+
+    #[test]
+    fn identical_runs_have_identical_snapshots() {
+        let a = drained_net().snapshot();
+        let b = drained_net().snapshot();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // CLRP caches circuits: a drained run is NOT quiescent, the
+        // Ready circuits and their lanes persist.
+        assert!(!a.circuits.is_empty());
+        assert!(!a.lanes.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_reacts_to_state() {
+        let fresh = WaveNetwork::new(Topology::mesh(&[2, 2]), WaveConfig::default())
+            .snapshot()
+            .fingerprint();
+        assert_ne!(fresh, drained_net().snapshot().fingerprint());
+    }
+}

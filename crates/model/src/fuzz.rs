@@ -1,0 +1,321 @@
+//! Adversarial schedule fuzzing with shrinking.
+//!
+//! The exhaustive explorer caps out at a few messages on a 2x2/3x3
+//! fabric; beyond that, [`fuzz`] drives long random interleavings (plus
+//! random fault placement — fault churn) through the same transition
+//! relation and checks the same properties per step:
+//!
+//! * **deadlock** — pending work with no enabled protocol action, or a
+//!   circular wait among parked probes
+//!   ([`wavesim_verify::deadlock::find_wait_cycle`]);
+//! * **livelock** — an *exact state revisit* with pending work. Because
+//!   [`crate::step::apply`] is deterministic, revisiting a state proves a
+//!   reachable cycle, so this is a sound lasso certificate, not a
+//!   heuristic;
+//! * **structural consistency** — [`crate::state::ModelState::consistent`]
+//!   must hold after every action (a failure is a model bug, reported as
+//!   a panic, not a protocol violation).
+//!
+//! On violation the schedule is [`shrink`]-ed by greedy single-deletion
+//! to a local minimum: drop one action, replay (skipping actions that are
+//! no longer enabled), keep the deletion if the same kind of violation
+//! still occurs.
+
+use std::collections::HashMap;
+
+use wavesim_sim::SimRng;
+use wavesim_verify::deadlock::find_wait_cycle;
+
+use crate::explore::{Counterexample, ViolationKind};
+use crate::spec::{FaultSpec, ModelSpec};
+use crate::state::ModelState;
+use crate::step::{apply, enabled, Action};
+
+/// Fuzzing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Master seed; run `r` uses the deterministic split `seed ⊕ r`.
+    pub seed: u64,
+    /// Number of independent random runs.
+    pub runs: u32,
+    /// Step budget per run (runs usually quiesce much earlier).
+    pub max_steps: u32,
+    /// When the spec has no fault armed, arm a random lane fault per run
+    /// (repairable half the time) — the fault-churn dimension.
+    pub fault_churn: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 1,
+            runs: 64,
+            max_steps: 4_000,
+            fault_churn: true,
+        }
+    }
+}
+
+/// What a fuzzing campaign found.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Runs completed (≤ `cfg.runs`; stops early on violation).
+    pub runs: u32,
+    /// Total actions applied across all runs.
+    pub steps: u64,
+    /// Runs that quiesced with every message delivered.
+    pub clean_runs: u32,
+    /// Runs that hit the step budget inconclusively.
+    pub exhausted_runs: u32,
+    /// The first violation, already shrunk, with the spec variant (fault
+    /// placement) that produced it.
+    pub violation: Option<(ModelSpec, Counterexample)>,
+}
+
+impl FuzzOutcome {
+    /// The CLI verdict line.
+    #[must_use]
+    pub fn verdict(&self) -> String {
+        match &self.violation {
+            Some((_, cx)) => format!(
+                "VIOLATION ({}): shrunk counterexample of {} steps (fingerprint {:#018x})",
+                cx.kind.name(),
+                cx.schedule.len(),
+                cx.fingerprint
+            ),
+            None => format!(
+                "OK: {} runs, {} steps, {} clean, {} budget-capped — no violation",
+                self.runs, self.steps, self.clean_runs, self.exhausted_runs
+            ),
+        }
+    }
+}
+
+/// One random walk. Returns `(steps, Ok(clean) | Err(counterexample))`
+/// where `clean = true` means quiescent with all messages delivered.
+fn run_once(
+    spec: &ModelSpec,
+    rng: &mut SimRng,
+    max_steps: u32,
+) -> (u64, Result<bool, Counterexample>) {
+    let ctx = spec.compile();
+    let mut s = ModelState::initial(&ctx);
+    let mut schedule: Vec<Action> = Vec::new();
+    let mut seen: HashMap<ModelState, usize> = HashMap::new();
+    seen.insert(s.clone(), 0);
+    for _ in 0..max_steps {
+        if let Err(problem) = s.consistent(&ctx) {
+            panic!("model inconsistency after {:?}: {problem}", schedule.last());
+        }
+        let acts = enabled(&ctx, &s);
+        let stuck = s.has_pending_work() && !acts.iter().any(|a| a.is_protocol());
+        let wait_cycle = find_wait_cycle(&s.wait_edges());
+        if stuck || wait_cycle.is_some() {
+            let cx = Counterexample {
+                kind: ViolationKind::Deadlock { wait_cycle },
+                schedule: schedule.clone(),
+                loop_start: None,
+                fingerprint: s.fingerprint(),
+            };
+            return (schedule.len() as u64, Err(cx));
+        }
+        if acts.is_empty() {
+            return (schedule.len() as u64, Ok(s.all_delivered()));
+        }
+        let a = *rng.choose(&acts).expect("non-empty action set");
+        s = apply(&ctx, &s, a);
+        schedule.push(a);
+        if s.has_pending_work() {
+            if let Some(&first) = seen.get(&s) {
+                // Deterministic transitions: an exact revisit proves the
+                // segment [first..] is a repeatable loop.
+                let cx = Counterexample {
+                    kind: ViolationKind::Livelock,
+                    schedule: schedule.clone(),
+                    loop_start: Some(first),
+                    fingerprint: s.fingerprint(),
+                };
+                return (schedule.len() as u64, Err(cx));
+            }
+        }
+        seen.insert(s.clone(), schedule.len());
+    }
+    (u64::from(max_steps), Ok(false))
+}
+
+/// Replays `schedule` (skipping actions that are no longer enabled) and
+/// reports whether a violation of `kind`'s coarse class still occurs.
+fn violates(spec: &ModelSpec, schedule: &[Action], kind: &ViolationKind) -> bool {
+    let ctx = spec.compile();
+    let mut s = ModelState::initial(&ctx);
+    let mut seen: HashMap<ModelState, usize> = HashMap::new();
+    seen.insert(s.clone(), 0);
+    let want_livelock = matches!(kind, ViolationKind::Livelock);
+    for (i, a) in schedule.iter().enumerate() {
+        if !enabled(&ctx, &s).contains(a) {
+            continue;
+        }
+        s = apply(&ctx, &s, *a);
+        if want_livelock && s.has_pending_work() && seen.contains_key(&s) {
+            return true;
+        }
+        seen.insert(s.clone(), i + 1);
+    }
+    if want_livelock {
+        return false;
+    }
+    let acts = enabled(&ctx, &s);
+    let stuck = s.has_pending_work() && !acts.iter().any(|a| a.is_protocol());
+    stuck || find_wait_cycle(&s.wait_edges()).is_some()
+}
+
+/// Greedy delta-debugging: removes one action at a time while the same
+/// kind of violation persists; runs to a single-deletion fixpoint.
+#[must_use]
+pub fn shrink(spec: &ModelSpec, cx: &Counterexample) -> Counterexample {
+    let mut best = cx.schedule.clone();
+    debug_assert!(
+        violates(spec, &best, &cx.kind),
+        "counterexample must replay"
+    );
+    let mut improved = true;
+    while improved {
+        improved = false;
+        let mut i = 0;
+        while i < best.len() {
+            let mut candidate = best.clone();
+            candidate.remove(i);
+            if violates(spec, &candidate, &cx.kind) {
+                best = candidate;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // Recompute the landing state (and for livelocks the loop entry) by
+    // replaying the shrunk schedule.
+    let ctx = spec.compile();
+    let mut s = ModelState::initial(&ctx);
+    let mut seen: HashMap<ModelState, usize> = HashMap::new();
+    let mut loop_start = None;
+    let mut kept = Vec::with_capacity(best.len());
+    seen.insert(s.clone(), 0);
+    for a in &best {
+        if !enabled(&ctx, &s).contains(a) {
+            continue;
+        }
+        s = apply(&ctx, &s, *a);
+        kept.push(*a);
+        if loop_start.is_none() && s.has_pending_work() {
+            if let Some(&first) = seen.get(&s) {
+                loop_start = Some(first);
+            }
+        }
+        seen.insert(s.clone(), kept.len());
+    }
+    Counterexample {
+        kind: cx.kind.clone(),
+        schedule: kept,
+        loop_start,
+        fingerprint: s.fingerprint(),
+    }
+}
+
+/// Runs a fuzzing campaign against `spec`. Deterministic in
+/// `cfg.seed` — CI replays are exact.
+#[must_use]
+pub fn fuzz(spec: &ModelSpec, cfg: &FuzzConfig) -> FuzzOutcome {
+    let mut out = FuzzOutcome {
+        runs: 0,
+        steps: 0,
+        clean_runs: 0,
+        exhausted_runs: 0,
+        violation: None,
+    };
+    for r in 0..cfg.runs {
+        let mut rng = SimRng::new(cfg.seed).split(u64::from(r));
+        let mut variant = spec.clone();
+        if cfg.fault_churn && variant.fault.is_none() {
+            let lanes = variant.compile().lane_count() as u64;
+            variant.fault = Some(FaultSpec {
+                lane: rng.below(lanes) as u16,
+                repair: rng.chance(0.5),
+            });
+        }
+        let (steps, res) = run_once(&variant, &mut rng, cfg.max_steps);
+        out.runs += 1;
+        out.steps += steps;
+        match res {
+            Ok(true) => out.clean_runs += 1,
+            Ok(false) => out.exhausted_runs += 1,
+            Err(cx) => {
+                let shrunk = shrink(&variant, &cx);
+                out.violation = Some((variant, shrunk));
+                return out;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ModelProtocol, Mutation};
+    use wavesim_topology::Topology;
+
+    #[test]
+    fn correct_clrp_fuzzes_clean_under_fault_churn() {
+        let spec = ModelSpec::new(Topology::mesh(&[2, 2]), ModelProtocol::Clrp, 2)
+            .msg(0, 3)
+            .msg(3, 0)
+            .msg(1, 2);
+        let out = fuzz(
+            &spec,
+            &FuzzConfig {
+                seed: 7,
+                runs: 40,
+                max_steps: 4_000,
+                fault_churn: true,
+            },
+        );
+        assert!(out.violation.is_none(), "{}", out.verdict());
+        assert!(
+            out.clean_runs > 0,
+            "some runs must drain: {}",
+            out.verdict()
+        );
+        assert_eq!(out.exhausted_runs, 0, "{}", out.verdict());
+    }
+
+    #[test]
+    fn fuzzer_finds_and_shrinks_drop_release() {
+        let spec = ModelSpec::new(Topology::mesh(&[2, 2]), ModelProtocol::Clrp, 1)
+            .msg(0, 1)
+            .msg(2, 3)
+            .msg(0, 3)
+            .mutate(Mutation::DropRelease);
+        let out = fuzz(
+            &spec,
+            &FuzzConfig {
+                seed: 3,
+                runs: 200,
+                max_steps: 2_000,
+                fault_churn: false,
+            },
+        );
+        let (variant, cx) = out.violation.expect("fuzzer must hit the deadlock");
+        assert!(matches!(cx.kind, ViolationKind::Deadlock { .. }));
+        // Shrunk and still violating.
+        assert!(violates(&variant, &cx.schedule, &cx.kind));
+        for i in 0..cx.schedule.len() {
+            let mut c = cx.schedule.clone();
+            c.remove(i);
+            assert!(
+                !violates(&variant, &c, &cx.kind),
+                "schedule not 1-minimal at {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The canonical, hashable protocol state.
+//!
+//! [`ModelState`] abstracts core's router/lane/circuit state down to what
+//! the theorems quantify over: who holds which lane, and where each
+//! circuit attempt is in its automaton. Everything is stored in dense,
+//! fixed-order vectors (lane `i` is always the same physical lane, circuit
+//! `j` is always message `j` of the spec), so structural equality *is*
+//! canonical equality and `Hash` needs no sorting — the moral equivalent
+//! of the arena-index idiom `core::arena` uses for ids and `sim::BitSet`
+//! uses for membership (the History Store below is literally a bitmask
+//! per node).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use wavesim_verify::ProgressMeasure;
+
+use crate::spec::ModelCtx;
+
+/// One lane's abstract state: exactly core's
+/// [`wavesim_core::LaneState`] with the holder renamed to a message
+/// index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneSt {
+    /// Available.
+    Free,
+    /// Reserved by circuit attempt `msg`.
+    Held(u8),
+    /// Out of service.
+    Faulty,
+}
+
+/// A probe walking the control network (MB search, phases one/two).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProbeSt {
+    /// Current switch (1-based).
+    pub switch: u8,
+    /// Bitmask of switches already exhausted in this phase.
+    pub tried: u8,
+    /// Phase two (Force bit set)?
+    pub force: bool,
+    /// Node the probe head sits at.
+    pub at: u8,
+    /// Per-node History Store: bit `p` set ⇔ output port `p` was searched
+    /// from that node on this (switch, phase) leg.
+    pub history: Vec<u8>,
+    /// Lane the probe is parked on awaiting a Force release, if any.
+    pub parked: Option<u16>,
+}
+
+/// Where a circuit attempt is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Message not yet injected.
+    Pending,
+    /// A probe is searching (path so far lives in [`CircSt::path`]).
+    Probing(ProbeSt),
+    /// Path fully reserved; the ack is walking back to the source.
+    Acking {
+        /// Ack hops still to travel.
+        left: u8,
+    },
+    /// Established end to end.
+    Ready,
+    /// Releasing its lanes front-to-back (victim release, CARP teardown,
+    /// or fault eviction).
+    Tearing {
+        /// Lanes already released.
+        freed: u8,
+    },
+    /// Establishment given up — the message rides the (separately
+    /// certified) minimal wormhole plane.
+    Wormhole,
+    /// Torn down for good.
+    Closed,
+}
+
+/// One circuit attempt (= one message of the spec).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CircSt {
+    /// Lifecycle phase.
+    pub phase: Phase,
+    /// Reserved lanes, source-to-head order. Meaningful in
+    /// `Probing`/`Acking`/`Ready`/`Tearing`; empty otherwise.
+    pub path: Vec<u16>,
+    /// Message delivered?
+    pub delivered: bool,
+    /// Remaining post-fault re-establishment budget.
+    pub retries: u8,
+}
+
+/// A full protocol state — the unit of the seen-set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelState {
+    /// Per-lane occupancy, dense lane order.
+    pub lanes: Vec<LaneSt>,
+    /// Per-message automaton state, spec order.
+    pub circs: Vec<CircSt>,
+    /// Has the spec's fault event fired?
+    pub fault_fired: bool,
+    /// Has the repair event fired?
+    pub repaired: bool,
+}
+
+impl ModelState {
+    /// The initial state: all lanes free, all messages pending.
+    #[must_use]
+    pub fn initial(ctx: &ModelCtx) -> Self {
+        let retries = if ctx.spec.protocol.is_clrp() {
+            ctx.spec.retries
+        } else {
+            0
+        };
+        ModelState {
+            lanes: vec![LaneSt::Free; ctx.lane_count()],
+            circs: ctx
+                .spec
+                .msgs
+                .iter()
+                .map(|_| CircSt {
+                    phase: Phase::Pending,
+                    path: Vec::new(),
+                    delivered: false,
+                    retries,
+                })
+                .collect(),
+            fault_fired: false,
+            repaired: false,
+        }
+    }
+
+    /// A fresh probe for message `m` (phase one, staggered initial
+    /// switch, empty History Store).
+    #[must_use]
+    pub fn fresh_probe(ctx: &ModelCtx, m: u8) -> ProbeSt {
+        let (src, _) = ctx.spec.msgs[m as usize];
+        ProbeSt {
+            switch: ctx.initial_switch(src),
+            tried: 0,
+            force: false,
+            at: src.0 as u8,
+            history: vec![0; ctx.spec.topo.num_nodes() as usize],
+            parked: None,
+        }
+    }
+
+    /// True when some injected message is still undelivered — the
+    /// "pending work" side condition of both the deadlock and the lasso
+    /// checks.
+    #[must_use]
+    pub fn has_pending_work(&self) -> bool {
+        self.circs
+            .iter()
+            .any(|c| !matches!(c.phase, Phase::Pending) && !c.delivered)
+    }
+
+    /// True when every message was delivered.
+    #[must_use]
+    pub fn all_delivered(&self) -> bool {
+        self.circs.iter().all(|c| c.delivered)
+    }
+
+    /// A 64-bit digest (hash of the full state). Collisions are possible;
+    /// the explorer's seen-set keys on the full state and uses this only
+    /// for reporting.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    /// The shared progress measure (see
+    /// [`wavesim_verify::ProgressMeasure`]): every component is
+    /// nondecreasing along every transition of the *unmutated* automaton
+    /// and of every mutation shipped here, so any cycle in the reachable
+    /// graph has constant rank — which is what lets the lasso search
+    /// restrict itself to rank-preserving edges.
+    #[must_use]
+    pub fn measure(&self, ctx: &ModelCtx) -> ProgressMeasure {
+        let injected = self
+            .circs
+            .iter()
+            .filter(|c| !matches!(c.phase, Phase::Pending))
+            .count() as u64;
+        let delivered = self.circs.iter().filter(|c| c.delivered).count() as u64;
+        let base = if ctx.spec.protocol.is_clrp() {
+            ctx.spec.retries
+        } else {
+            0
+        };
+        let escaped: u64 = self
+            .circs
+            .iter()
+            .map(|c| {
+                let settled = u64::from(matches!(c.phase, Phase::Wormhole | Phase::Closed));
+                settled + u64::from(base - c.retries)
+            })
+            .sum::<u64>()
+            + u64::from(self.fault_fired)
+            + u64::from(self.repaired);
+        ProgressMeasure {
+            injected,
+            delivered,
+            escaped,
+        }
+    }
+
+    /// Wait-for edges of this state, in the edge-list format
+    /// [`wavesim_verify::deadlock::find_wait_cycle`] consumes: vertex =
+    /// circuit attempt, edge `a → b` = "a's probe is parked on a lane
+    /// reserved by b". A vertex is keyed `(circuit, lane-it-waits-on)` —
+    /// the *same* key wherever that circuit appears, so edges chain and
+    /// cycles close; a circuit that waits on nothing is keyed by the
+    /// contested lane it holds. Reported cycles therefore name both the
+    /// circuits and the contested lanes.
+    #[must_use]
+    pub fn wait_edges(&self) -> Vec<((u32, u16), (u32, u16))> {
+        // Key every parked circuit by the lane it waits on first, so the
+        // holder side of each edge can reuse the holder's own key.
+        let parked_on: Vec<Option<u16>> = self
+            .circs
+            .iter()
+            .map(|c| match c.phase {
+                Phase::Probing(ref p) => p.parked,
+                _ => None,
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for (i, lane) in parked_on.iter().enumerate() {
+            let Some(lane) = *lane else { continue };
+            if let LaneSt::Held(holder) = self.lanes[lane as usize] {
+                let holder_key = parked_on[usize::from(holder)].unwrap_or(lane);
+                edges.push(((i as u32, lane), (u32::from(holder), holder_key)));
+            }
+        }
+        edges
+    }
+
+    /// Structural sanity: every held lane appears in its holder's path,
+    /// and every path lane is held by that circuit — except the spec's
+    /// faulted lane, which an evicted circuit legally loses: it stays
+    /// `Faulty` under the teardown, and after a repair it may already be
+    /// `Free` or re-reserved by someone else. Debug aid for the fuzzer.
+    pub fn consistent(&self, ctx: &ModelCtx) -> Result<(), String> {
+        let lost = match ctx.spec.fault {
+            Some(f) if self.fault_fired => Some(f.lane),
+            _ => None,
+        };
+        for (i, c) in self.circs.iter().enumerate() {
+            let owns = matches!(
+                c.phase,
+                Phase::Probing(_) | Phase::Acking { .. } | Phase::Ready | Phase::Tearing { .. }
+            );
+            if !owns && !c.path.is_empty() {
+                return Err(format!("circuit {i} in a pathless phase but path nonempty"));
+            }
+            let freed = match c.phase {
+                Phase::Tearing { freed } => usize::from(freed),
+                _ => 0,
+            };
+            for (j, &l) in c.path.iter().enumerate() {
+                let st = self.lanes[l as usize];
+                if j < freed {
+                    continue; // already released (or faulty)
+                }
+                if st != LaneSt::Held(i as u8) && st != LaneSt::Faulty && lost != Some(l) {
+                    return Err(format!("circuit {i} path lane {l} is {st:?}"));
+                }
+            }
+        }
+        for (l, &st) in self.lanes.iter().enumerate() {
+            if let LaneSt::Held(h) = st {
+                let c = &self.circs[h as usize];
+                if !c.path.contains(&(l as u16)) {
+                    return Err(format!("lane {l} held by {h} but absent from its path"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ModelProtocol, ModelSpec};
+    use wavesim_topology::Topology;
+
+    fn ctx() -> ModelCtx {
+        ModelSpec::new(Topology::mesh(&[2, 2]), ModelProtocol::Clrp, 1)
+            .msg(0, 3)
+            .msg(3, 0)
+            .compile()
+    }
+
+    #[test]
+    fn initial_state_is_canonical_and_quiet() {
+        let ctx = ctx();
+        let s = ModelState::initial(&ctx);
+        assert_eq!(s, ModelState::initial(&ctx));
+        assert_eq!(s.fingerprint(), ModelState::initial(&ctx).fingerprint());
+        assert!(!s.has_pending_work());
+        assert!(!s.all_delivered());
+        assert!(s.consistent(&ctx).is_ok());
+        assert_eq!(s.measure(&ctx).rank(), 0);
+    }
+
+    #[test]
+    fn staggered_initial_switch_spreads_sources() {
+        let ctx = ModelSpec::new(Topology::mesh(&[2, 2]), ModelProtocol::Clrp, 2)
+            .msg(0, 3)
+            .msg(1, 2)
+            .compile();
+        let a = ModelState::fresh_probe(&ctx, 0);
+        let b = ModelState::fresh_probe(&ctx, 1);
+        assert_ne!(a.switch, b.switch, "coordinate sums 0 and 1 stagger");
+    }
+}

@@ -1,0 +1,550 @@
+//! The transition relation: every enabled action, and its deterministic
+//! application.
+//!
+//! All nondeterminism lives in *which* action fires next — each
+//! [`Action`] itself is a deterministic state-to-state function, which is
+//! what makes schedules replayable and shrinkable. Actions divide into
+//! *protocol* actions (the automaton's own moves) and *environment*
+//! actions (message arrival, fault, repair): a state counts as deadlocked
+//! when work is pending and no **protocol** action is enabled — the
+//! environment is never obliged to act.
+
+use std::fmt;
+
+use wavesim_topology::{NodeId, PortDir};
+
+use crate::spec::{ModelCtx, Mutation};
+use crate::state::{LaneSt, ModelState, Phase};
+
+/// One atomic move of the protocol automaton or its environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Message `msg` arrives and launches its establishment.
+    Inject {
+        /// Message index.
+        msg: u8,
+    },
+    /// `msg`'s probe examines the lane behind minimal output `port` at
+    /// its current node: reserves and advances when free, otherwise
+    /// marks the History Store and stays.
+    Scan {
+        /// Message index.
+        msg: u8,
+        /// `PortDir::index()` of the examined output.
+        port: u8,
+    },
+    /// Phase-two claim: `msg`'s probe parks on the held lane behind
+    /// `port` and sends the victim a release request.
+    Force {
+        /// Message index.
+        msg: u8,
+        /// `PortDir::index()` of the contested output.
+        port: u8,
+    },
+    /// The probe retreats one hop, releasing the last reserved lane.
+    Backtrack {
+        /// Message index.
+        msg: u8,
+    },
+    /// The probe, back at its source with this switch exhausted, moves to
+    /// the next untried switch / enters phase two / gives up.
+    NextSwitch {
+        /// Message index.
+        msg: u8,
+    },
+    /// A parked probe acquires its (now free) lane and advances.
+    Resume {
+        /// Message index.
+        msg: u8,
+    },
+    /// A parked probe abandons its (now faulty) lane and resumes the
+    /// search.
+    Unpark {
+        /// Message index.
+        msg: u8,
+    },
+    /// A parked probe re-issues its release request to the lane's new
+    /// `Ready` holder (the original victim is gone — the concurrent
+    /// release was discarded, §4).
+    Reforce {
+        /// Message index.
+        msg: u8,
+    },
+    /// The acknowledgment walks one hop back toward the source.
+    AckStep {
+        /// Message index.
+        msg: u8,
+    },
+    /// The message crosses its established circuit (or the wormhole
+    /// fall-back plane) and is delivered.
+    Deliver {
+        /// Message index.
+        msg: u8,
+    },
+    /// CARP releases the circuit after use (explicit teardown).
+    Teardown {
+        /// Message index.
+        msg: u8,
+    },
+    /// A tearing circuit releases its next lane, front to back.
+    TeardownStep {
+        /// Message index.
+        msg: u8,
+    },
+    /// The spec's armed lane fault fires.
+    Fault,
+    /// The faulted lane returns to service.
+    Repair,
+}
+
+impl Action {
+    /// True for the automaton's own moves (a pending-work state where
+    /// none of these is enabled is deadlocked).
+    #[must_use]
+    pub fn is_protocol(self) -> bool {
+        !matches!(self, Action::Inject { .. } | Action::Fault | Action::Repair)
+    }
+
+    /// The message this action belongs to, if any.
+    #[must_use]
+    pub fn msg(self) -> Option<u8> {
+        match self {
+            Action::Inject { msg }
+            | Action::Scan { msg, .. }
+            | Action::Force { msg, .. }
+            | Action::Backtrack { msg }
+            | Action::NextSwitch { msg }
+            | Action::Resume { msg }
+            | Action::Unpark { msg }
+            | Action::Reforce { msg }
+            | Action::AckStep { msg }
+            | Action::Deliver { msg }
+            | Action::Teardown { msg }
+            | Action::TeardownStep { msg } => Some(msg),
+            Action::Fault | Action::Repair => None,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Action::Inject { msg } => write!(f, "inject m{msg}"),
+            Action::Scan { msg, port } => write!(f, "scan m{msg} port{port}"),
+            Action::Force { msg, port } => write!(f, "force m{msg} port{port}"),
+            Action::Backtrack { msg } => write!(f, "backtrack m{msg}"),
+            Action::NextSwitch { msg } => write!(f, "next-switch m{msg}"),
+            Action::Resume { msg } => write!(f, "resume m{msg}"),
+            Action::Unpark { msg } => write!(f, "unpark m{msg}"),
+            Action::Reforce { msg } => write!(f, "reforce m{msg}"),
+            Action::AckStep { msg } => write!(f, "ack m{msg}"),
+            Action::Deliver { msg } => write!(f, "deliver m{msg}"),
+            Action::Teardown { msg } => write!(f, "teardown m{msg}"),
+            Action::TeardownStep { msg } => write!(f, "teardown-step m{msg}"),
+            Action::Fault => write!(f, "fault"),
+            Action::Repair => write!(f, "repair"),
+        }
+    }
+}
+
+fn bit(port: PortDir) -> u8 {
+    1u8 << port.index()
+}
+
+/// Every action enabled in `s`, in a deterministic order (message index,
+/// then action kind, then port) — the explorer's successor order and the
+/// fuzzer's choice domain both come from here.
+#[must_use]
+pub fn enabled(ctx: &ModelCtx, s: &ModelState) -> Vec<Action> {
+    let mut acts = Vec::new();
+    let force_allowed = ctx.spec.protocol.force_enabled();
+    for (i, c) in s.circs.iter().enumerate() {
+        let m = i as u8;
+        match c.phase {
+            Phase::Pending => acts.push(Action::Inject { msg: m }),
+            Phase::Probing(ref p) => {
+                if let Some(lane) = p.parked {
+                    match s.lanes[lane as usize] {
+                        LaneSt::Free => acts.push(Action::Resume { msg: m }),
+                        LaneSt::Faulty => acts.push(Action::Unpark { msg: m }),
+                        LaneSt::Held(v) => {
+                            // The original victim released and someone else
+                            // re-reserved the lane: re-issue the request if
+                            // the new holder is an eligible (Ready) victim.
+                            // Under DropRelease the request is lost again —
+                            // no transition.
+                            let victim_ready = matches!(s.circs[v as usize].phase, Phase::Ready);
+                            if p.force && victim_ready && ctx.spec.mutation != Mutation::DropRelease
+                            {
+                                acts.push(Action::Reforce { msg: m });
+                            }
+                        }
+                    }
+                } else {
+                    let at = NodeId(u32::from(p.at));
+                    let dest = ctx.spec.msgs[i].1;
+                    let mut stuck_here = true;
+                    for port in ctx.spec.topo.min_ports(at, dest) {
+                        if p.history[p.at as usize] & bit(port) != 0 {
+                            continue;
+                        }
+                        stuck_here = false;
+                        let lane = ctx
+                            .lane_of(at, port, p.switch)
+                            .expect("minimal ports always have a physical link");
+                        let pick = match s.lanes[lane as usize] {
+                            LaneSt::Held(v) if p.force => {
+                                let vph = &s.circs[v as usize].phase;
+                                let eligible = matches!(vph, Phase::Ready)
+                                    || (ctx.spec.mutation == Mutation::WaitEstablishing
+                                        && matches!(vph, Phase::Probing(_) | Phase::Acking { .. }));
+                                if eligible && force_allowed {
+                                    Action::Force {
+                                        msg: m,
+                                        port: port.index() as u8,
+                                    }
+                                } else {
+                                    Action::Scan {
+                                        msg: m,
+                                        port: port.index() as u8,
+                                    }
+                                }
+                            }
+                            _ => Action::Scan {
+                                msg: m,
+                                port: port.index() as u8,
+                            },
+                        };
+                        acts.push(pick);
+                    }
+                    if stuck_here {
+                        if c.path.is_empty() {
+                            acts.push(Action::NextSwitch { msg: m });
+                        } else {
+                            acts.push(Action::Backtrack { msg: m });
+                        }
+                    }
+                }
+            }
+            Phase::Acking { .. } => acts.push(Action::AckStep { msg: m }),
+            Phase::Ready => {
+                if !c.delivered {
+                    acts.push(Action::Deliver { msg: m });
+                } else if !ctx.spec.protocol.is_clrp() {
+                    acts.push(Action::Teardown { msg: m });
+                }
+            }
+            Phase::Tearing { .. } => acts.push(Action::TeardownStep { msg: m }),
+            Phase::Wormhole => {
+                if !c.delivered {
+                    acts.push(Action::Deliver { msg: m });
+                }
+            }
+            Phase::Closed => {}
+        }
+    }
+    if let Some(f) = ctx.spec.fault {
+        if !s.fault_fired {
+            acts.push(Action::Fault);
+        } else if f.repair && !s.repaired {
+            acts.push(Action::Repair);
+        }
+    }
+    acts
+}
+
+/// Applies `a` to `s`, returning the successor. `a` must be enabled in
+/// `s` (the explorer and the fuzzer only feed enabled actions; the
+/// shrinker re-checks enabledness before calling).
+///
+/// # Panics
+/// Panics (in debug builds, plus a few unconditional `expect`s) when `a`
+/// is not actually enabled — a disabled action has no defined successor.
+#[must_use]
+pub fn apply(ctx: &ModelCtx, s: &ModelState, a: Action) -> ModelState {
+    let mut n = s.clone();
+    match a {
+        Action::Inject { msg } => {
+            n.circs[msg as usize].phase = Phase::Probing(ModelState::fresh_probe(ctx, msg));
+        }
+        Action::Scan { msg, port } => {
+            let dest = ctx.spec.msgs[msg as usize].1;
+            let c = &mut n.circs[msg as usize];
+            let Phase::Probing(ref mut p) = c.phase else {
+                unreachable!("scan on a non-probing circuit")
+            };
+            let pd = PortDir::from_index(usize::from(port));
+            let at = NodeId(u32::from(p.at));
+            let lane = ctx.lane_of(at, pd, p.switch).expect("scan on a boundary");
+            p.history[p.at as usize] |= bit(pd);
+            if s.lanes[lane as usize] == LaneSt::Free {
+                n.lanes[lane as usize] = LaneSt::Held(msg);
+                c.path.push(lane);
+                p.at = ctx.lane_dest(lane).0 as u8;
+                if NodeId(u32::from(p.at)) == dest {
+                    let left = c.path.len() as u8;
+                    c.phase = Phase::Acking { left };
+                }
+            }
+        }
+        Action::Force { msg, port } => {
+            let Phase::Probing(ref p) = s.circs[msg as usize].phase else {
+                unreachable!("force on a non-probing circuit")
+            };
+            let pd = PortDir::from_index(usize::from(port));
+            let at = NodeId(u32::from(p.at));
+            let lane = ctx.lane_of(at, pd, p.switch).expect("force on a boundary");
+            let LaneSt::Held(v) = s.lanes[lane as usize] else {
+                unreachable!("force on an unheld lane")
+            };
+            if let Phase::Probing(ref mut p) = n.circs[msg as usize].phase {
+                p.parked = Some(lane);
+            }
+            // The release request reaches the victim unless this run
+            // deliberately drops it; an Establishing victim (only
+            // eligible under WaitEstablishing) is not released at all —
+            // the probe just waits, which is exactly the bug.
+            let victim_ready = matches!(s.circs[v as usize].phase, Phase::Ready);
+            if victim_ready && ctx.spec.mutation != Mutation::DropRelease {
+                n.circs[v as usize].phase = Phase::Tearing { freed: 0 };
+            }
+        }
+        Action::Reforce { msg } => {
+            let Phase::Probing(ref p) = s.circs[msg as usize].phase else {
+                unreachable!("reforce on a non-probing circuit")
+            };
+            let lane = p.parked.expect("reforce needs a parked probe");
+            let LaneSt::Held(v) = s.lanes[lane as usize] else {
+                unreachable!("reforce on an unheld lane")
+            };
+            n.circs[v as usize].phase = Phase::Tearing { freed: 0 };
+        }
+        Action::Backtrack { msg } => {
+            let c = &mut n.circs[msg as usize];
+            let lane = c.path.pop().expect("backtrack with an empty path");
+            n.lanes[lane as usize] = LaneSt::Free;
+            let (src, _, _) = ctx.lane_endpoints(lane);
+            let Phase::Probing(ref mut p) = c.phase else {
+                unreachable!("backtrack on a non-probing circuit")
+            };
+            p.at = src.0 as u8;
+        }
+        Action::NextSwitch { msg } => {
+            let all = ctx.all_switches();
+            let force_allowed = ctx.spec.protocol.force_enabled();
+            let c = &mut n.circs[msg as usize];
+            let Phase::Probing(ref mut p) = c.phase else {
+                unreachable!("next-switch on a non-probing circuit")
+            };
+            debug_assert!(c.path.is_empty(), "switch change away from the source");
+            p.tried |= 1 << (p.switch - 1);
+            if p.tried != all {
+                let k = ctx.spec.k;
+                let mut next = p.switch % k + 1;
+                while p.tried & (1 << (next - 1)) != 0 {
+                    next = next % k + 1;
+                }
+                p.switch = next;
+                p.history.iter_mut().for_each(|h| *h = 0);
+            } else if !p.force && force_allowed {
+                // Phase two: same staggered sweep, Force bit set.
+                let (src, _) = ctx.spec.msgs[msg as usize];
+                p.force = true;
+                p.tried = 0;
+                p.switch = ctx.initial_switch(src);
+                p.history.iter_mut().for_each(|h| *h = 0);
+            } else if ctx.spec.mutation == Mutation::SkipBackoff {
+                // The bug: relaunch from scratch instead of backing off
+                // to the wormhole escape path. The cleared History Store
+                // voids the finite-search argument.
+                c.phase = Phase::Probing(ModelState::fresh_probe(ctx, msg));
+            } else {
+                c.phase = Phase::Wormhole;
+            }
+        }
+        Action::Resume { msg } => {
+            let dest = ctx.spec.msgs[msg as usize].1;
+            let c = &mut n.circs[msg as usize];
+            let Phase::Probing(ref mut p) = c.phase else {
+                unreachable!("resume on a non-probing circuit")
+            };
+            let lane = p.parked.take().expect("resume needs a parked probe");
+            debug_assert_eq!(s.lanes[lane as usize], LaneSt::Free);
+            n.lanes[lane as usize] = LaneSt::Held(msg);
+            let (_, port, _) = ctx.lane_endpoints(lane);
+            p.history[p.at as usize] |= bit(port);
+            c.path.push(lane);
+            p.at = ctx.lane_dest(lane).0 as u8;
+            if NodeId(u32::from(p.at)) == dest {
+                let left = c.path.len() as u8;
+                c.phase = Phase::Acking { left };
+            }
+        }
+        Action::Unpark { msg } => {
+            let c = &mut n.circs[msg as usize];
+            let Phase::Probing(ref mut p) = c.phase else {
+                unreachable!("unpark on a non-probing circuit")
+            };
+            let lane = p.parked.take().expect("unpark needs a parked probe");
+            debug_assert_eq!(s.lanes[lane as usize], LaneSt::Faulty);
+            let (_, port, _) = ctx.lane_endpoints(lane);
+            p.history[p.at as usize] |= bit(port);
+        }
+        Action::AckStep { msg } => {
+            let c = &mut n.circs[msg as usize];
+            let Phase::Acking { left } = c.phase else {
+                unreachable!("ack-step on a non-acking circuit")
+            };
+            c.phase = if left <= 1 {
+                Phase::Ready
+            } else {
+                Phase::Acking { left: left - 1 }
+            };
+        }
+        Action::Deliver { msg } => {
+            n.circs[msg as usize].delivered = true;
+        }
+        Action::Teardown { msg } => {
+            n.circs[msg as usize].phase = Phase::Tearing { freed: 0 };
+        }
+        Action::TeardownStep { msg } => {
+            let c = &mut n.circs[msg as usize];
+            let Phase::Tearing { freed } = c.phase else {
+                unreachable!("teardown-step on a non-tearing circuit")
+            };
+            let lane = c.path[usize::from(freed)];
+            // Release only what this circuit still holds: a lane lost to
+            // a fault stays Faulty, and once repaired it may already be
+            // Free or re-reserved by another probe.
+            if n.lanes[lane as usize] == LaneSt::Held(msg) {
+                n.lanes[lane as usize] = LaneSt::Free;
+            }
+            let freed = freed + 1;
+            if usize::from(freed) == c.path.len() {
+                c.path.clear();
+                c.phase = if c.delivered {
+                    Phase::Closed
+                } else if ctx.spec.protocol.is_clrp() && c.retries > 0 {
+                    // The RetryWait path: relaunch the establishment.
+                    c.retries -= 1;
+                    Phase::Probing(ModelState::fresh_probe(ctx, msg))
+                } else {
+                    Phase::Wormhole
+                };
+            } else {
+                c.phase = Phase::Tearing { freed };
+            }
+        }
+        Action::Fault => {
+            let f = ctx.spec.fault.expect("fault action without a fault spec");
+            n.fault_fired = true;
+            let prev = n.lanes[f.lane as usize];
+            n.lanes[f.lane as usize] = LaneSt::Faulty;
+            if let LaneSt::Held(v) = prev {
+                // Evict the holder; teardown releases the rest of its
+                // path and the completion rule decides retry vs escape.
+                match n.circs[v as usize].phase {
+                    Phase::Tearing { .. } => {}
+                    _ => n.circs[v as usize].phase = Phase::Tearing { freed: 0 },
+                }
+            }
+        }
+        Action::Repair => {
+            let f = ctx.spec.fault.expect("repair action without a fault spec");
+            debug_assert_eq!(s.lanes[f.lane as usize], LaneSt::Faulty);
+            n.lanes[f.lane as usize] = LaneSt::Free;
+            n.repaired = true;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ModelProtocol, ModelSpec};
+    use wavesim_topology::Topology;
+
+    fn two_msg_ctx(protocol: ModelProtocol, k: u8) -> ModelCtx {
+        ModelSpec::new(Topology::mesh(&[2, 2]), protocol, k)
+            .msg(0, 3)
+            .msg(3, 0)
+            .compile()
+    }
+
+    /// Drives the only-enabled-action path to completion; panics on
+    /// branching so tests stay focused on deterministic corridors.
+    fn run_single(ctx: &ModelCtx, mut s: ModelState, cap: u32) -> ModelState {
+        for _ in 0..cap {
+            let acts = enabled(ctx, &s);
+            if acts.is_empty() {
+                return s;
+            }
+            s = apply(ctx, &s, acts[0]);
+        }
+        panic!("no quiescence within {cap} steps");
+    }
+
+    #[test]
+    fn one_message_establishes_and_delivers() {
+        let ctx = ModelSpec::new(Topology::mesh(&[2, 2]), ModelProtocol::Clrp, 1)
+            .msg(0, 3)
+            .compile();
+        let s = run_single(&ctx, ModelState::initial(&ctx), 100);
+        assert!(s.all_delivered());
+        assert!(matches!(s.circs[0].phase, Phase::Ready), "CLRP caches");
+        assert_eq!(s.circs[0].path.len(), 2, "two-hop circuit held");
+        assert!(s.consistent(&ctx).is_ok());
+    }
+
+    #[test]
+    fn carp_tears_down_after_delivery() {
+        let ctx = ModelSpec::new(Topology::mesh(&[2, 2]), ModelProtocol::Carp, 1)
+            .msg(0, 3)
+            .compile();
+        let s = run_single(&ctx, ModelState::initial(&ctx), 100);
+        assert!(s.all_delivered());
+        assert!(matches!(s.circs[0].phase, Phase::Closed), "CARP releases");
+        assert!(s.lanes.iter().all(|&l| l == LaneSt::Free));
+    }
+
+    #[test]
+    fn enabled_order_is_deterministic() {
+        let ctx = two_msg_ctx(ModelProtocol::Clrp, 2);
+        let s = ModelState::initial(&ctx);
+        assert_eq!(enabled(&ctx, &s), enabled(&ctx, &s));
+        assert_eq!(
+            enabled(&ctx, &s),
+            vec![Action::Inject { msg: 0 }, Action::Inject { msg: 1 }]
+        );
+    }
+
+    #[test]
+    fn faulted_lane_evicts_and_clrp_retries() {
+        let spec = ModelSpec::new(Topology::mesh(&[2, 2]), ModelProtocol::Clrp, 1)
+            .msg(0, 3)
+            .fault_on_first_path(false);
+        let ctx = spec.compile();
+        // Establish fully, then fire the fault.
+        let mut s = ModelState::initial(&ctx);
+        loop {
+            let acts = enabled(&ctx, &s);
+            let Some(&a) = acts
+                .iter()
+                .find(|a| a.is_protocol() || matches!(a, Action::Inject { .. }))
+            else {
+                break;
+            };
+            s = apply(&ctx, &s, a);
+            if matches!(s.circs[0].phase, Phase::Ready) {
+                break;
+            }
+        }
+        assert!(matches!(s.circs[0].phase, Phase::Ready));
+        let s = apply(&ctx, &s, Action::Fault);
+        assert!(matches!(s.circs[0].phase, Phase::Tearing { .. }));
+        let end = run_single(&ctx, s, 200);
+        assert!(end.all_delivered(), "retry or wormhole still delivers");
+        assert!(end.consistent(&ctx).is_ok());
+    }
+}

@@ -38,7 +38,7 @@ pub mod progress;
 pub use deadlock::{check_fabric, check_wave, DeadlockReport};
 pub use events::CircuitLedger;
 pub use invariants::audit_wave;
-pub use livelock::{check_probe_livelock, LivelockReport};
+pub use livelock::{check_probe_livelock, wave_measure, LivelockReport, ProgressMeasure};
 pub use progress::ProgressMonitor;
 
 // Static checks, re-exported so downstream users need only this crate.

@@ -16,6 +16,69 @@
 use wavesim_core::probe::ProbeState;
 use wavesim_core::WaveNetwork;
 
+/// The progress measure shared by the runtime detector and the offline
+/// model checker (`wavesim-model`) — **one** definition of "the protocol
+/// made progress", so the two can never drift apart.
+///
+/// Every component is nondecreasing over a run (they are counts of
+/// one-way events), which is the property both users rely on:
+///
+/// * the runtime detector calls a network live only while the measure
+///   keeps growing between observations;
+/// * the model checker's lasso search exploits that any cycle in the
+///   reachable state graph must keep the measure constant, so livelocks
+///   hide entirely inside one rank layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgressMeasure {
+    /// Messages accepted into the protocol layer.
+    pub injected: u64,
+    /// Messages delivered (circuit or wormhole).
+    pub delivered: u64,
+    /// One-way escapes: establishments abandoned to the wormhole plane,
+    /// circuits torn down for good, retry budget consumed, fault events
+    /// absorbed — progress in the "giving up is also progress" sense of
+    /// Theorems 3–4.
+    pub escaped: u64,
+}
+
+impl ProgressMeasure {
+    /// Collapses the components into one monotone rank. Deliveries weigh
+    /// most, then escapes, then injections; the packing only needs to be
+    /// monotone in each component, which `saturating` arithmetic keeps
+    /// true even on absurd inputs.
+    #[must_use]
+    pub fn rank(&self) -> u64 {
+        self.delivered
+            .saturating_mul(1 << 40)
+            .saturating_add(self.escaped.saturating_mul(1 << 20))
+            .saturating_add(self.injected)
+    }
+
+    /// True when `self` is strictly ahead of `earlier` — the network
+    /// moved between two observations.
+    #[must_use]
+    pub fn advanced_since(&self, earlier: &ProgressMeasure) -> bool {
+        self.rank() > earlier.rank()
+    }
+}
+
+/// Reads the measure off a live network — the runtime side of the shared
+/// definition (the model checker computes the same components from its
+/// abstract states).
+#[must_use]
+pub fn wave_measure(net: &WaveNetwork) -> ProgressMeasure {
+    let s = net.stats();
+    ProgressMeasure {
+        injected: s.msgs_sent,
+        delivered: s.msgs_circuit + s.msgs_wormhole,
+        escaped: s.wormhole_fallbacks
+            + s.teardowns
+            + s.establish_retries
+            + s.lane_faults
+            + s.lane_repairs,
+    }
+}
+
 /// Result of a livelock check.
 #[derive(Debug, Clone, Copy)]
 pub struct LivelockReport {
@@ -25,6 +88,8 @@ pub struct LivelockReport {
     pub bound: u64,
     /// Messages accepted but never delivered at check time.
     pub undelivered: u64,
+    /// The shared progress measure at check time.
+    pub measure: ProgressMeasure,
     /// Verdict: bound respected and (if the run is over) nothing lost.
     pub livelock_free: bool,
 }
@@ -35,11 +100,17 @@ pub struct LivelockReport {
 pub fn check_probe_livelock(net: &WaveNetwork) -> LivelockReport {
     let bound = ProbeState::step_bound(net.topology());
     let max = net.max_probe_steps();
-    let undelivered = if net.busy() { 0 } else { net.outstanding() };
+    let measure = wave_measure(net);
+    let undelivered = if net.busy() {
+        0
+    } else {
+        measure.injected - measure.delivered
+    };
     LivelockReport {
         max_probe_steps: max,
         bound,
         undelivered,
+        measure,
         livelock_free: max <= bound && undelivered == 0,
     }
 }

@@ -20,19 +20,24 @@ pub fn fingerprint(values: &[u64]) -> u64 {
     acc
 }
 
-/// Fingerprint of everything that moves in a [`WaveNetwork`].
+/// Fingerprint of everything that moves in a [`WaveNetwork`]. The
+/// protocol-level components come from the one shared
+/// [`crate::ProgressMeasure`] (the same definition the model checker
+/// ranks states with); only the fabric- and occupancy-level extras are
+/// enumerated here.
 #[must_use]
 pub fn wave_fingerprint(net: &WaveNetwork) -> u64 {
+    let m = crate::livelock::wave_measure(net);
     let s = net.stats();
     let f = net.fabric().stats();
     fingerprint(&[
-        s.msgs_circuit,
-        s.msgs_wormhole,
+        m.injected,
+        m.delivered,
+        m.escaped,
         s.probe_hops,
         s.probe_backtracks,
         s.setups_ok,
         s.setups_failed,
-        s.teardowns,
         f.flit_hops,
         f.delivered_flits,
         net.outstanding(),

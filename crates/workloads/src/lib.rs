@@ -30,6 +30,6 @@ pub mod traffic;
 
 pub use carp::{CarpOp, CarpTrace, PairwiseSpec};
 pub use faults::{FaultPlan, FaultSchedule, FaultScheduleEvent};
-pub use patterns::TrafficPattern;
+pub use patterns::{pattern_pairs, TrafficPattern};
 pub use reqrep::{ReqRepConfig, ReqRepWorkload};
 pub use traffic::{LengthDist, TrafficConfig, TrafficSource};

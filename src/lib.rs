@@ -15,6 +15,8 @@
 //!   CARP routing protocols;
 //! * [`workloads`] — synthetic traffic, locality generators, CARP traces;
 //! * [`verify`] — deadlock/livelock detectors and invariant audits;
+//! * [`model`] — exhaustive protocol model checker and schedule fuzzer
+//!   (machine-checks Theorems 1–4 on small fabrics);
 //! * [`trace`] — flight-recorder observability: structured trace records,
 //!   Perfetto export, metrics exposition, stall post-mortems;
 //! * [`json`] — the dependency-free JSON reader/writer the artifacts use.
@@ -23,6 +25,7 @@
 
 pub use wavesim_core as core;
 pub use wavesim_json as json;
+pub use wavesim_model as model;
 pub use wavesim_network as network;
 pub use wavesim_sim as sim;
 pub use wavesim_topology as topology;

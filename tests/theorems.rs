@@ -196,3 +196,192 @@ fn fallback_routing_functions_are_certified() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Exhaustive model checking (wavesim-model): the theorems proved over
+// EVERY interleaving on small fabrics, not just the interleavings one
+// simulator run happens to produce. State/transition counts are pinned:
+// exploration is deterministic, so a drifting count means the protocol
+// automaton itself changed and the proofs must be re-reviewed.
+// ---------------------------------------------------------------------
+
+/// Theorems 1–4, machine-checked: CLRP, CARP, and pure probe/MB
+/// backtracking (CLRP with Force disabled) on a 2x2 mesh and a 3x3 torus
+/// (the torus constructor requires radix >= 3, so 2x2 tori do not exist).
+#[test]
+fn theorems_1_to_4_exhaustive_on_small_fabrics() {
+    use wavesim::model::{check, ModelProtocol, ModelSpec};
+    let mesh_msgs = |spec: ModelSpec| spec.msg(0, 3).msg(3, 0).msg(1, 2);
+    let torus_msgs = |spec: ModelSpec| spec.msg(0, 4).msg(4, 8).msg(8, 0);
+    let matrix: Vec<(&str, ModelSpec, u64, u64)> = vec![
+        (
+            "clrp/mesh2x2",
+            mesh_msgs(ModelSpec::new(
+                Topology::mesh(&[2, 2]),
+                ModelProtocol::Clrp,
+                1,
+            )),
+            7767,
+            19753,
+        ),
+        (
+            "carp/mesh2x2",
+            mesh_msgs(ModelSpec::new(
+                Topology::mesh(&[2, 2]),
+                ModelProtocol::Carp,
+                1,
+            )),
+            6220,
+            17828,
+        ),
+        (
+            "probe/mesh2x2",
+            mesh_msgs(ModelSpec::new(
+                Topology::mesh(&[2, 2]),
+                ModelProtocol::ClrpNoForce,
+                1,
+            )),
+            2351,
+            6510,
+        ),
+        (
+            "clrp/torus3x3",
+            torus_msgs(ModelSpec::new(
+                Topology::torus(&[3, 3]),
+                ModelProtocol::Clrp,
+                1,
+            )),
+            1728,
+            4752,
+        ),
+        (
+            "carp/torus3x3",
+            torus_msgs(ModelSpec::new(
+                Topology::torus(&[3, 3]),
+                ModelProtocol::Carp,
+                1,
+            )),
+            4913,
+            14739,
+        ),
+        (
+            "probe/torus3x3",
+            torus_msgs(ModelSpec::new(
+                Topology::torus(&[3, 3]),
+                ModelProtocol::ClrpNoForce,
+                1,
+            )),
+            1728,
+            4752,
+        ),
+    ];
+    for (name, spec, states, transitions) in matrix {
+        let out = check(&spec, 20_000_000);
+        assert!(out.proved(), "{name}: {}", out.verdict());
+        assert_eq!(out.states, states, "{name}: state count drifted");
+        assert_eq!(
+            out.transitions, transitions,
+            "{name}: transition count drifted"
+        );
+    }
+}
+
+/// The fault/RetryWait path, exhaustively: a lane fault mid-protocol
+/// (with repair for CLRP, without for CARP) cannot introduce a deadlock
+/// or livelock in ANY interleaving of fault vs. protocol steps.
+#[test]
+fn exhaustive_check_survives_lane_fault_and_retrywait() {
+    use wavesim::model::{check, ModelProtocol, ModelSpec};
+    let clrp = ModelSpec::new(Topology::mesh(&[2, 2]), ModelProtocol::Clrp, 1)
+        .msg(0, 3)
+        .msg(3, 0)
+        .fault_on_first_path(true);
+    let out = check(&clrp, 20_000_000);
+    assert!(out.proved(), "clrp+fault+repair: {}", out.verdict());
+    assert_eq!(out.states, 816, "clrp fault state count drifted");
+    assert_eq!(out.transitions, 1924);
+
+    let carp = ModelSpec::new(Topology::mesh(&[2, 2]), ModelProtocol::Carp, 1)
+        .msg(0, 3)
+        .msg(3, 0)
+        .fault_on_first_path(false);
+    let out = check(&carp, 20_000_000);
+    assert!(out.proved(), "carp+fault: {}", out.verdict());
+    assert_eq!(out.states, 612, "carp fault state count drifted");
+    assert_eq!(out.transitions, 1496);
+}
+
+/// Negative controls: each protocol mutation re-introduces a known-unsafe
+/// behavior, and the checker must find it, shrink it, and produce a
+/// schedule whose concrete replay round-trips through the trace tooling.
+#[test]
+fn mutations_yield_shrunk_replayable_counterexamples() {
+    use wavesim::model::{
+        check, replay_schedule, shrink, ModelProtocol, ModelSpec, Mutation, ViolationKind,
+    };
+    use wavesim::trace::{read_columnar, stream::read_jsonl};
+
+    // drop-release: the Force victim's release never wakes the parked
+    // probe — a lost-wakeup deadlock with NO circular wait.
+    let spec = ModelSpec::new(Topology::mesh(&[2, 2]), ModelProtocol::Clrp, 1)
+        .msg(0, 1)
+        .msg(2, 3)
+        .msg(0, 3)
+        .mutate(Mutation::DropRelease);
+    let cx = check(&spec, 20_000_000)
+        .violation
+        .expect("drop-release must deadlock");
+    let ViolationKind::Deadlock { wait_cycle } = &cx.kind else {
+        panic!("expected deadlock, got {:?}", cx.kind)
+    };
+    assert!(wait_cycle.is_none(), "lost wakeup has no wait cycle");
+    let shrunk = shrink(&spec, &cx);
+    assert!(shrunk.schedule.len() <= cx.schedule.len());
+    let rep = replay_schedule(&spec, &shrunk.schedule);
+    assert!(rep.survived(), "real CLRP does not drop releases: {rep:?}");
+    assert_eq!(
+        read_jsonl(&rep.jsonl()).expect("valid JSONL").len(),
+        rep.records.len()
+    );
+    assert_eq!(
+        read_columnar(&rep.columnar())
+            .expect("valid WSTRACE1")
+            .len(),
+        rep.records.len()
+    );
+
+    // skip-backoff: an exhausted probe relaunches with a cleared History
+    // Store instead of escaping to wormhole — a livelock lasso.
+    let spec = ModelSpec::new(Topology::mesh(&[2, 2]), ModelProtocol::Carp, 1)
+        .msg(0, 1)
+        .msg(2, 3)
+        .msg(0, 3)
+        .mutate(Mutation::SkipBackoff);
+    let cx = check(&spec, 20_000_000)
+        .violation
+        .expect("skip-backoff must livelock");
+    assert_eq!(cx.kind, ViolationKind::Livelock);
+    let loop_start = cx.loop_start.expect("lasso has a loop");
+    assert!(loop_start < cx.schedule.len());
+    let shrunk = shrink(&spec, &cx);
+    assert!(shrunk.schedule.len() <= cx.schedule.len());
+    assert!(shrunk.loop_start.is_some(), "shrinking must keep the loop");
+
+    // wait-establishing: force probes wait on Establishing circuits —
+    // exactly what the §4 no-wait rule forbids — and four ring messages
+    // on a 4x4 torus row close a genuine circular wait.
+    let spec = ModelSpec::new(Topology::torus(&[4, 4]), ModelProtocol::Clrp, 1)
+        .msg(0, 2)
+        .msg(1, 3)
+        .msg(2, 0)
+        .msg(3, 1)
+        .mutate(Mutation::WaitEstablishing);
+    let cx = check(&spec, 20_000_000)
+        .violation
+        .expect("wait-establishing must deadlock");
+    let ViolationKind::Deadlock { wait_cycle } = &cx.kind else {
+        panic!("expected deadlock, got {:?}", cx.kind)
+    };
+    let cycle = wait_cycle.as_ref().expect("a genuine circular wait");
+    assert!(cycle.len() >= 2, "cycle involves several probes: {cycle:?}");
+}
