@@ -4,8 +4,14 @@
 //! throughput and latency in three windows: *before* the fault, *during*
 //! it (until the matching [`TraceEvent::LaneRepair`], or the end of the
 //! trace for permanent faults), and *after* the repair. The before/after
-//! windows mirror the outage's own length, so the three numbers are
-//! directly comparable rates.
+//! windows mirror the outage's own length *where the trace allows it*:
+//! the before window is clamped at cycle 0 (a fault early in the run has
+//! less history than the outage is long) and the after window is clamped
+//! at both the trace end and the lane's **next** fault (so it never
+//! counts a later outage's degraded cycles as recovery). Because the
+//! windows can therefore be shorter than the outage, comparisons must go
+//! through [`PhaseStats::rate`] — deliveries per cycle over the window's
+//! *actual* length — not raw delivery counts.
 
 use wavesim_sim::Cycle;
 use wavesim_trace::{TraceEvent, TraceRecord};
@@ -23,6 +29,33 @@ pub struct PhaseStats {
     pub delivered: u64,
     /// Mean end-to-end latency of those deliveries.
     pub mean_latency: f64,
+}
+
+impl PhaseStats {
+    /// The window's actual length in cycles. Clamping (at cycle 0, the
+    /// trace end, or the lane's next fault) can make this shorter than
+    /// the outage it mirrors.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.to.saturating_sub(self.from)
+    }
+
+    /// True for a window clamped down to nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deliveries per cycle over the window's actual length — the
+    /// comparable throughput figure. Zero for an empty window.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.delivered as f64 / self.len() as f64
+        }
+    }
 }
 
 /// One lane fault's before/during/after comparison.
@@ -86,6 +119,13 @@ pub fn impact(records: &[TraceRecord], spans: &[MessageSpan]) -> Vec<FaultImpact
         let end = horizon + 1;
         let during_end = repair_at.unwrap_or(end);
         let dur = during_end.saturating_sub(rec.at).max(1);
+        // The recovery window must stop where the same lane fails again:
+        // counting a later outage's cycles as "after" understates the
+        // recovery rate.
+        let next_fault_at = records[i + 1..].iter().find_map(|r| match r.ev {
+            TraceEvent::LaneFault { link: l, switch: s } if l == link && s == switch => Some(r.at),
+            _ => None,
+        });
         out.push(FaultImpact {
             link,
             switch,
@@ -93,7 +133,13 @@ pub fn impact(records: &[TraceRecord], spans: &[MessageSpan]) -> Vec<FaultImpact
             repair_at,
             before: phase(&deliveries, rec.at.saturating_sub(dur), rec.at),
             during: phase(&deliveries, rec.at, during_end),
-            after: repair_at.map(|r| phase(&deliveries, r, r.saturating_add(dur).min(end))),
+            after: repair_at.map(|r| {
+                let to = r
+                    .saturating_add(dur)
+                    .min(end)
+                    .min(next_fault_at.unwrap_or(u64::MAX));
+                phase(&deliveries, r, to.max(r))
+            }),
         });
     }
     out
@@ -165,6 +211,74 @@ mod tests {
         // During runs to the trace horizon (inclusive of the last cycle).
         assert_eq!((f.during.from, f.during.to), (10, 31));
         assert_eq!(f.during.delivered, 1);
+    }
+
+    #[test]
+    fn early_fault_before_window_clamps_at_zero_and_reports_its_real_length() {
+        // Outage is 17 cycles but only 3 cycles of history exist: the
+        // before window must be [0, 3) and say so, not pretend to be
+        // 17 cycles long.
+        let recs = vec![
+            deliver(1, 0, 1, 1),
+            deliver(2, 1, 2, 1),
+            rec(3, 2, TraceEvent::LaneFault { link: 0, switch: 1 }),
+            rec(20, 3, TraceEvent::LaneRepair { link: 0, switch: 1 }),
+            deliver(30, 4, 3, 4),
+        ];
+        let set = reconstruct(&recs);
+        let f = &impact(&recs, &set.spans)[0];
+        assert_eq!((f.before.from, f.before.to), (0, 3));
+        assert_eq!(f.before.len(), 3);
+        assert_eq!(f.before.delivered, 2);
+        assert!((f.before.rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(f.during.len(), 17);
+        // The after window is clamped by the trace end (horizon 30, so
+        // exclusive bound 31): [20, 31), 11 cycles, not 17.
+        assert_eq!(f.after.unwrap().len(), 11);
+    }
+
+    #[test]
+    fn after_window_stops_at_the_lanes_next_fault() {
+        // First outage [10, 20) has length 10, but the same lane fails
+        // again at 25: the recovery window is [20, 25), not [20, 30) —
+        // the delivery at 27 happens *during the second outage* and must
+        // not be credited to the first one's recovery.
+        let recs = vec![
+            rec(10, 0, TraceEvent::LaneFault { link: 2, switch: 1 }),
+            rec(20, 1, TraceEvent::LaneRepair { link: 2, switch: 1 }),
+            deliver(22, 2, 1, 3),
+            rec(25, 3, TraceEvent::LaneFault { link: 2, switch: 1 }),
+            deliver(27, 4, 2, 9),
+            rec(40, 5, TraceEvent::LaneRepair { link: 2, switch: 1 }),
+            deliver(45, 6, 3, 2),
+        ];
+        let set = reconstruct(&recs);
+        let faults = impact(&recs, &set.spans);
+        assert_eq!(faults.len(), 2);
+        let first = &faults[0];
+        let after = first.after.unwrap();
+        assert_eq!((after.from, after.to), (20, 25));
+        assert_eq!(after.len(), 5);
+        assert_eq!(after.delivered, 1, "delivery at 27 belongs to outage 2");
+        assert!((after.rate() - 0.2).abs() < 1e-12);
+        // The second outage's recovery window is clamped only by the
+        // trace end (horizon 45, so exclusive bound 46), not 40+15.
+        let second = &faults[1];
+        assert_eq!(second.after.unwrap().to, 46);
+    }
+
+    #[test]
+    fn other_lane_faults_do_not_clamp_the_after_window() {
+        let recs = vec![
+            rec(10, 0, TraceEvent::LaneFault { link: 1, switch: 1 }),
+            rec(20, 1, TraceEvent::LaneRepair { link: 1, switch: 1 }),
+            rec(22, 2, TraceEvent::LaneFault { link: 7, switch: 2 }),
+            rec(60, 3, TraceEvent::LaneRepair { link: 7, switch: 2 }),
+        ];
+        let set = reconstruct(&recs);
+        let faults = impact(&recs, &set.spans);
+        let after = faults[0].after.unwrap();
+        assert_eq!((after.from, after.to), (20, 30));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! float precision, total sort orders upstream — so a 2×2 golden report
 //! can be byte-compared across `--jobs` settings in the test suite.
 
-use wavesim_bench::table::{f2, pct, Table};
+use wavesim_bench::table::{f2, f3, pct, Table};
 use wavesim_json::Value;
 use wavesim_sim::stats::Histogram;
 use wavesim_trace::timeseries;
@@ -135,10 +135,15 @@ pub fn tables(a: &Analysis) -> Vec<Table> {
     if !a.faults.is_empty() {
         let mut t = Table::new(
             "A5",
-            "fault impact windows (delivered @ mean latency)",
+            "fault impact windows (delivered/cycle @ mean latency, over actual window length)",
             &["lane", "fault", "repair", "before", "during", "after"],
         );
-        let phase = |p: &crate::PhaseStats| format!("{} @ {}", p.delivered, f2(p.mean_latency));
+        // Windows clamp at cycle 0, the trace end, and the lane's next
+        // fault, so raw counts are not comparable — rates over the
+        // window's actual length are.
+        let phase = |p: &crate::PhaseStats| {
+            format!("{} @ {} ({}cy)", f3(p.rate()), f2(p.mean_latency), p.len())
+        };
         for f in &a.faults {
             t.push(vec![
                 format!("({},{})", f.link, f.switch),
@@ -258,7 +263,9 @@ pub fn to_json(a: &Analysis) -> Value {
         Value::obj(vec![
             ("from", p.from.into()),
             ("to", p.to.into()),
+            ("length", p.len().into()),
             ("delivered", p.delivered.into()),
+            ("rate", p.rate().into()),
             ("mean_latency", p.mean_latency.into()),
         ])
     };

@@ -166,7 +166,8 @@ mod tests {
         assert_eq!(rows[1].delivered, 1);
         assert_eq!(rows[1].flits, 16);
         assert_eq!(rows[1].cache_hits, 1);
-        assert!((rows[1].p50 - 11.0).abs() < 1e-9);
+        assert!((rows[1].p50.unwrap() - 11.0).abs() < 1e-9);
+        assert_eq!(rows[0].p50, None, "no deliveries in the first window");
     }
 
     #[test]

@@ -16,13 +16,21 @@
 use wavesim_core::{ProtocolKind, WaveConfig};
 use wavesim_workloads::{ReqRepConfig, ReqRepWorkload};
 
-use crate::runner::{run_request_reply, RunSpec};
+use crate::runner::{run_request_reply, ParallelSweep, RunSpec};
 use crate::table::{f2, pct};
 use crate::{Scale, Table};
 
-/// Runs E13.
+/// Runs E13 serially (equivalent to [`run_with_jobs`] with one job).
 #[must_use]
 pub fn run(scale: Scale) -> Table {
+    run_with_jobs(scale, 1)
+}
+
+/// Runs E13, fanning the locality points out over `jobs` worker threads.
+/// Every point builds its own networks and workloads from the point
+/// value, so the table is byte-identical for any job count.
+#[must_use]
+pub fn run_with_jobs(scale: Scale, jobs: usize) -> Table {
     let mut t = Table::new(
         "E13",
         "closed-loop DSM remote accesses: round-trip time, wormhole vs CLRP",
@@ -38,7 +46,7 @@ pub fn run(scale: Scale) -> Table {
     let spec = RunSpec::standard(scale.warmup, scale.measure);
     let localities = scale.sweep(&[0.0, 0.5, 0.9]);
 
-    for &loc in &localities {
+    let rows = ParallelSweep::new(jobs).run(&localities, |_, &loc| {
         let go = |protocol: ProtocolKind| {
             let cfg = WaveConfig {
                 protocol,
@@ -63,14 +71,17 @@ pub fn run(scale: Scale) -> Table {
         };
         let wh = go(ProtocolKind::WormholeOnly);
         let wv = go(ProtocolKind::Clrp);
-        t.push(vec![
+        vec![
             f2(loc),
             f2(wh.avg_round_trip),
             f2(wv.avg_round_trip),
             f2(wh.avg_round_trip / wv.avg_round_trip.max(1e-9)),
             pct(wv.wave.hit_rate()),
             format!("{}+{}", wh.completed, wv.completed),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.push(row);
     }
     t
 }
@@ -96,5 +107,12 @@ mod tests {
             last > first,
             "locality must raise the hit rate: {first} -> {last}"
         );
+    }
+
+    #[test]
+    fn table_is_byte_identical_across_jobs() {
+        let serial = run_with_jobs(Scale::small(), 1);
+        let fanned = run_with_jobs(Scale::small(), 4);
+        assert_eq!(format!("{serial:?}"), format!("{fanned:?}"));
     }
 }

@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E14). See the crate docs and EXPERIMENTS.md
+//! The experiment suite (E1–E15). See the crate docs and EXPERIMENTS.md
 //! for the claim-to-experiment mapping.
 
 pub mod e10_variants;
@@ -6,6 +6,7 @@ pub mod e11_loadsweep;
 pub mod e12_ablations;
 pub mod e13_dsm;
 pub mod e14_dynamic_faults;
+pub mod e15_collectives;
 pub mod e1_deadlock;
 pub mod e2_livelock;
 pub mod e3_msglen;
@@ -78,9 +79,10 @@ pub fn run_by_id(id: &str, scale: Scale) -> Vec<Table> {
 }
 
 /// Like [`run_by_id`], but fans sweep points out over `jobs` worker
-/// threads where the experiment supports it (the E11 load sweep and the
-/// E14 MTBF sweep). Results are merged in point order and are
-/// byte-identical for any job count.
+/// threads where the experiment supports it (the E11 load sweep, the E13
+/// locality sweep, the E14 MTBF sweep, and the E15 collective grid).
+/// Results are merged in point order and are byte-identical for any job
+/// count.
 ///
 /// # Panics
 /// Panics on an unknown id.
@@ -99,9 +101,10 @@ pub fn run_by_id_with_jobs(id: &str, scale: Scale, jobs: usize) -> Vec<Table> {
         "e10" => vec![e10_variants::run(scale)],
         "e11" => vec![e11_loadsweep::run_with_jobs(scale, jobs)],
         "e12" => vec![e12_ablations::run(scale)],
-        "e13" => vec![e13_dsm::run(scale)],
+        "e13" => vec![e13_dsm::run_with_jobs(scale, jobs)],
         "e14" => vec![e14_dynamic_faults::run_with_jobs(scale, jobs)],
-        other => panic!("unknown experiment id {other:?} (use e1..e14)"),
+        "e15" => vec![e15_collectives::run_with_jobs(scale, jobs)],
+        other => panic!("unknown experiment id {other:?} (use e1..e15)"),
     }
 }
 
@@ -110,5 +113,6 @@ pub fn run_by_id_with_jobs(id: &str, scale: Scale, jobs: usize) -> Vec<Table> {
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+        "e15",
     ]
 }

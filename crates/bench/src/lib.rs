@@ -22,6 +22,8 @@
 //! | E11 | the saturation curve: latency & accepted vs offered load |
 //! | E12 | ablations: switch staggering, window size, buffer sizing |
 //! | E13 | closed-loop DSM request/reply round trips |
+//! | E14 | dynamic lane faults: fail/repair churn under load |
+//! | E15 | dependency-gated collective replay under CLRP / CARP / MB-1 |
 //!
 //! Every experiment is a pure function from a [`Scale`] to a [`Table`];
 //! the `wavesim` CLI prints full-size runs, the Criterion benches run
@@ -37,8 +39,9 @@ pub mod timeseries;
 pub mod tracecap;
 
 pub use runner::{
-    apply_fault_schedule, drive, run_carp_trace, run_open_loop, run_request_reply, run_scripted,
-    Drained, Driver, ParallelSweep, ReqRepResult, RunResult, RunSpec,
+    apply_fault_schedule, drive, run_carp_trace, run_dep_trace, run_open_loop, run_request_reply,
+    run_scripted, run_service, Drained, Driver, ParallelSweep, ReqRepResult, RunResult, RunSpec,
+    ServiceResult,
 };
 pub use table::Table;
 

@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! wavesim all [--scale small|paper] [--json] [--jobs N]   run every experiment
-//! wavesim e1 .. e14 [--scale ...] [--json] [--jobs N]     run one experiment
+//! wavesim e1 .. e15 [--scale ...] [--json] [--jobs N]     run one experiment
 //!                                              (--jobs fans sweep points over
 //!                                              N threads; output is identical
 //!                                              to --jobs 1)
 //! wavesim run [workload flags]                 one custom simulation
+//! wavesim gen-trace --collective C --out FILE  emit a dependency trace
 //! wavesim analyze --trace run.jsonl            trace analytics report
 //! wavesim check [--side N]                     static deadlock-freedom checks (CDG)
 //! wavesim check --model clrp|carp|probe        exhaustive protocol model check
@@ -32,6 +33,21 @@
 //!              --side N  --load F  --len N  --locality F  --cycles N
 //!              --seed N  --k N  --alpha N  --cache N  --misroutes N
 //!              --shards N
+//!
+//! `run --replay-trace FILE` replays a dependency-aware message trace
+//! (JSON or JSONL, see `wavesim_workloads::trace_io`) instead of driving
+//! the open-loop generator: each message is released only once all its
+//! `deps` have been *delivered*, so injection timing responds to the
+//! network. Cyclic traces are rejected at load. `gen-trace` emits the
+//! collective traces E15 replays (all-to-all, reduce, broadcast,
+//! transpose-sweep) for a mesh of `--side`; `--out x.jsonl` selects the
+//! line-oriented format, any other name the pretty JSON document.
+//!
+//! `run --service-clients N` drives closed-loop service traffic instead:
+//! N clients (bookkeeping is O(active), so millions are fine) ramp in
+//! over the first fifth of `--cycles`, each issuing a request to a
+//! server partner chosen with `--locality`, thinking after each reply,
+//! and re-issuing — offered load responds to delivered latency.
 //!
 //! `--shards N` spatially partitions the wormhole fabric into N
 //! contiguous router bands stepped on N threads. The partitioning is
@@ -86,7 +102,7 @@ use wavesim_workloads::{LengthDist, TrafficConfig, TrafficPattern, TrafficSource
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wavesim <all|e1..e14|run|analyze|convert-trace|check|fuzz|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
+        "usage: wavesim <all|e1..e15|run|gen-trace|analyze|convert-trace|check|fuzz|validate-trace|info> [--scale small|paper] [--json] [--jobs N] [--side N]\n\
          model check: wavesim check --model clrp|carp|probe [--topology mesh|torus] [--side N]\n\
                       [--k N] [--msgs N] [--seed N] [--fault] [--repair] [--mutate M]\n\
                       [--max-states N] [--counterexample FILE]\n\
@@ -94,6 +110,10 @@ fn usage() -> ! {
          run flags: --protocol clrp|carp|wormhole --topology mesh|torus --side N --load F\n\
                     --len N --locality F --cycles N --seed N --k N --alpha N --cache N\n\
                     --misroutes N --shards N\n\
+                    --replay-trace FILE (dependency-aware trace replay)\n\
+                    --service-clients N (closed-loop service traffic)\n\
+         gen-trace: wavesim gen-trace --collective all-to-all|reduce|broadcast|transpose-sweep\n\
+                    [--side N] [--len N] [--seed N] --out FILE (.jsonl streams, else JSON doc)\n\
          fault flags (run): --fault-plan FILE --fault-schedule FILE\n\
          trace flags: --trace-out FILE --metrics-out FILE --flight-recorder N\n\
                       --trace-jsonl FILE --trace-bin FILE --trace-sample N\n\
@@ -124,6 +144,11 @@ struct Args {
     cache: usize,
     misroutes: u8,
     shards: usize,
+    // dependency-trace replay / closed-loop service mode (`run`)
+    replay_trace: Option<String>,
+    service_clients: Option<u64>,
+    // `gen-trace` inputs
+    collective: Option<String>,
     // fault injection
     fault_plan: Option<String>,
     fault_schedule: Option<String>,
@@ -184,6 +209,9 @@ fn parse_args() -> Args {
         cache: 16,
         misroutes: 2,
         shards: 1,
+        replay_trace: None,
+        service_clients: None,
+        collective: None,
         fault_plan: None,
         fault_schedule: None,
         trace_out: None,
@@ -325,6 +353,14 @@ fn parse_args() -> Args {
                     usage();
                 }
             }
+            "--replay-trace" => args.replay_trace = Some(argv.next().unwrap_or_else(|| usage())),
+            "--service-clients" => {
+                args.service_clients = Some(next_parse!(argv));
+                if args.service_clients == Some(0) {
+                    usage();
+                }
+            }
+            "--collective" => args.collective = Some(argv.next().unwrap_or_else(|| usage())),
             "--fault-plan" => args.fault_plan = Some(argv.next().unwrap_or_else(|| usage())),
             "--fault-schedule" => {
                 args.fault_schedule = Some(argv.next().unwrap_or_else(|| usage()));
@@ -550,7 +586,37 @@ fn apply_fault_inputs(net: &mut WaveNetwork, args: &Args) -> bool {
     true
 }
 
+/// What a `run` invocation produced: the open-loop and replay modes share
+/// [`wavesim_bench::RunResult`]; the closed-loop service mode has its own
+/// round-trip accounting.
+enum RunOutcome {
+    /// Open-loop traffic or a dependency-trace replay.
+    Flat(wavesim_bench::RunResult),
+    /// Closed-loop service traffic.
+    Service(wavesim_bench::ServiceResult),
+}
+
 fn custom_run(args: &Args) -> bool {
+    if args.replay_trace.is_some() && args.service_clients.is_some() {
+        eprintln!("error: --replay-trace and --service-clients are mutually exclusive");
+        return false;
+    }
+    let replay = match &args.replay_trace {
+        Some(path) => match std::fs::File::open(path) {
+            Ok(f) => match wavesim_workloads::trace_io::load_dep_trace(f) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    eprintln!("error: replay trace {path}: {e}");
+                    return false;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: replay trace {path}: cannot open: {e}");
+                return false;
+            }
+        },
+        None => None,
+    };
     let topo = if args.torus {
         Topology::torus(&[args.side, args.side])
     } else {
@@ -570,23 +636,23 @@ fn custom_run(args: &Args) -> bool {
     if !apply_fault_inputs(&mut net, args) {
         return false;
     }
-    let mut src = TrafficSource::new(
-        topo,
-        TrafficConfig {
-            load: args.load,
-            pattern: if args.locality > 0.0 {
-                TrafficPattern::HotPairs {
-                    partners: 3,
-                    locality: args.locality,
-                }
-            } else {
-                TrafficPattern::Uniform
-            },
-            len: LengthDist::Fixed(args.len),
-            seed: args.seed,
-            stop_at: u64::MAX,
-        },
-    );
+    if let Some(t) = &replay {
+        let n = topo.num_nodes();
+        if let Some(m) = t
+            .messages
+            .iter()
+            .find(|m| m.msg.src.0 >= n || m.msg.dest.0 >= n)
+        {
+            eprintln!(
+                "error: replay trace message {} uses node {} but this {}x{} network has {n} nodes (generate with a matching --side)",
+                m.msg.id.0,
+                m.msg.src.0.max(m.msg.dest.0),
+                args.side,
+                args.side,
+            );
+            return false;
+        }
+    }
     let warmup = args.cycles / 5;
     let tracing = args.trace_out.is_some()
         || args.metrics_out.is_some()
@@ -618,7 +684,53 @@ fn custom_run(args: &Args) -> bool {
             args.progress.is_some(),
         );
     }
-    let r = run_open_loop(&mut net, &mut src, RunSpec::standard(warmup, args.cycles));
+    let outcome = if let Some(trace) = &replay {
+        RunOutcome::Flat(wavesim_bench::run_dep_trace(
+            &mut net,
+            trace,
+            RunSpec::replay(trace.horizon()),
+        ))
+    } else if let Some(clients) = args.service_clients {
+        let mut wl = wavesim_workloads::ServiceWorkload::new(
+            topo,
+            wavesim_workloads::ServiceConfig {
+                clients,
+                locality: args.locality,
+                seed: args.seed,
+                ramp: warmup.max(1),
+                stop_at: warmup + args.cycles,
+                ..wavesim_workloads::ServiceConfig::default()
+            },
+        );
+        RunOutcome::Service(wavesim_bench::run_service(
+            &mut net,
+            &mut wl,
+            RunSpec::standard(warmup, args.cycles),
+        ))
+    } else {
+        let mut src = TrafficSource::new(
+            topo,
+            TrafficConfig {
+                load: args.load,
+                pattern: if args.locality > 0.0 {
+                    TrafficPattern::HotPairs {
+                        partners: 3,
+                        locality: args.locality,
+                    }
+                } else {
+                    TrafficPattern::Uniform
+                },
+                len: LengthDist::Fixed(args.len),
+                seed: args.seed,
+                stop_at: u64::MAX,
+            },
+        );
+        RunOutcome::Flat(run_open_loop(
+            &mut net,
+            &mut src,
+            RunSpec::standard(warmup, args.cycles),
+        ))
+    };
     let counters = if sampling {
         wavesim_bench::timeseries::disarm_sampler();
         let series = wavesim_bench::timeseries::take_series();
@@ -674,32 +786,77 @@ fn custom_run(args: &Args) -> bool {
             }
         }
         if let Some(path) = &args.metrics_out {
-            let page = wavesim_bench::metrics::metrics_snapshot(&net, &r, &t.records);
-            if !write_file(path, &page) {
-                return false;
+            match &outcome {
+                RunOutcome::Flat(r) => {
+                    let page = wavesim_bench::metrics::metrics_snapshot(&net, r, &t.records);
+                    if !write_file(path, &page) {
+                        return false;
+                    }
+                    println!("wrote metrics: {path}");
+                }
+                RunOutcome::Service(_) => {
+                    eprintln!("note: --metrics-out applies to open-loop and replay runs; ignored");
+                }
             }
-            println!("wrote metrics: {path}");
         }
     }
+    let mode = if let Some(path) = &args.replay_trace {
+        format!("replay of {path}")
+    } else if let Some(clients) = args.service_clients {
+        format!("service ({clients} clients)")
+    } else {
+        "single run".to_string()
+    };
     println!(
-        "single run: {:?} on {}x{} {}",
+        "{mode}: {:?} on {}x{} {}",
         args.protocol,
         args.side,
         args.side,
         if args.torus { "torus" } else { "mesh" }
     );
-    println!(
-        "  offered load     : {} flits/node/cycle (len {} flits, locality {})",
-        args.load, args.len, args.locality
-    );
-    println!("  sent / delivered : {} / {}", r.sent, r.delivered);
-    println!(
-        "  avg latency      : {:.1} cycles (p99 <= {})",
-        r.avg_latency, r.p99_latency
-    );
-    println!("  accepted thpt    : {:.3} flits/node/cycle", r.throughput);
-    println!("  circuit fraction : {:.1}%", r.circuit_fraction * 100.0);
-    let s = r.wave;
+    let (s, ok) = match &outcome {
+        RunOutcome::Flat(r) => {
+            if let Some(trace) = &replay {
+                println!(
+                    "  trace            : {} messages, {} roots, horizon {}",
+                    trace.len(),
+                    trace.num_roots(),
+                    trace.horizon()
+                );
+            } else {
+                println!(
+                    "  offered load     : {} flits/node/cycle (len {} flits, locality {})",
+                    args.load, args.len, args.locality
+                );
+            }
+            println!("  sent / delivered : {} / {}", r.sent, r.delivered);
+            println!(
+                "  avg latency      : {:.1} cycles (p99 <= {})",
+                r.avg_latency, r.p99_latency
+            );
+            if replay.is_some() {
+                println!("  makespan         : {} cycles", r.end);
+            } else {
+                println!("  accepted thpt    : {:.3} flits/node/cycle", r.throughput);
+            }
+            println!("  circuit fraction : {:.1}%", r.circuit_fraction * 100.0);
+            (r.wave, r.clean())
+        }
+        RunOutcome::Service(r) => {
+            println!(
+                "  requests         : {} issued / {} completed ({} clients retired)",
+                r.requests, r.completed, r.retired
+            );
+            println!(
+                "  avg round trip   : {:.1} cycles (p99 <= {})",
+                r.avg_round_trip, r.p99_round_trip
+            );
+            (
+                r.wave,
+                r.drained && !r.stalled && (r.completed > 0 || r.requests == 0),
+            )
+        }
+    };
     println!(
         "  probes {} (ok {} / exhausted {}), backtracks {}, misroutes {}",
         s.probes_sent, s.probes_reached, s.probes_exhausted, s.probe_backtracks, s.probe_misroutes
@@ -720,9 +877,76 @@ fn custom_run(args: &Args) -> bool {
     }
     println!(
         "  verdict          : {}",
-        if r.clean() { "CLEAN" } else { "CHECK FAILED" }
+        if ok { "CLEAN" } else { "CHECK FAILED" }
     );
-    r.clean()
+    ok
+}
+
+/// `wavesim gen-trace --collective C [--side N] [--len N] [--seed N]
+/// --out FILE` — emits one of E15's dependency-aware collective traces
+/// for `run --replay-trace`. A `.jsonl` output name selects the
+/// line-oriented stream format; anything else gets the pretty JSON
+/// document (`load_dep_trace` sniffs either back in by content).
+fn gen_trace_cmd(args: &Args) -> bool {
+    let Some(which) = &args.collective else {
+        eprintln!(
+            "error: gen-trace needs --collective all-to-all|reduce|broadcast|transpose-sweep"
+        );
+        return false;
+    };
+    let Some(out) = &args.out else {
+        eprintln!("error: gen-trace needs --out FILE");
+        return false;
+    };
+    let known = ["all-to-all", "reduce", "broadcast", "transpose-sweep"];
+    if !known.contains(&which.as_str()) {
+        eprintln!(
+            "error: unknown collective {which:?} (use {})",
+            known.join("|")
+        );
+        return false;
+    }
+    let topo = if args.torus {
+        Topology::torus(&[args.side, args.side])
+    } else {
+        Topology::mesh(&[args.side, args.side])
+    };
+    // transpose-sweep draws per-phase destinations from --seed; the tree
+    // collectives are fully determined by the topology.
+    let trace = if which == "transpose-sweep" {
+        wavesim_workloads::collectives::pattern_sweep(
+            &topo,
+            TrafficPattern::Transpose,
+            3,
+            args.len,
+            args.seed,
+        )
+    } else {
+        experiments::e15_collectives::build_trace(&topo, which, args.len)
+    };
+    let file = match std::fs::File::create(out) {
+        Ok(f) => std::io::BufWriter::new(f),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            return false;
+        }
+    };
+    let res = if out.ends_with(".jsonl") {
+        wavesim_workloads::trace_io::save_dep_trace_jsonl(&trace, file)
+    } else {
+        wavesim_workloads::trace_io::save_dep_trace(&trace, file)
+    };
+    if let Err(e) = res {
+        eprintln!("error: cannot write {out}: {e}");
+        return false;
+    }
+    println!(
+        "wrote {which} trace: {out} ({} messages, {} roots, horizon {})",
+        trace.len(),
+        trace.num_roots(),
+        trace.horizon()
+    );
+    true
 }
 
 /// `wavesim analyze` — turns a captured record stream (JSONL or binary
@@ -1124,6 +1348,11 @@ fn main() -> ExitCode {
         "info" => info(),
         "run" => {
             if !custom_run(&args) {
+                return ExitCode::FAILURE;
+            }
+        }
+        "gen-trace" => {
+            if !gen_trace_cmd(&args) {
                 return ExitCode::FAILURE;
             }
         }

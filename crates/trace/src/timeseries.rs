@@ -11,7 +11,9 @@
 //!
 //! Windows are half-open `[start, start + window)`; a trailing partial
 //! window is emitted by [`WindowSeries::finish`] with its real `end` so
-//! rates stay honest.
+//! rates stay honest. A window that delivered nothing has *no* latency:
+//! its p50/p99 are `None` (empty CSV cells, JSON `null`, no Perfetto
+//! counter sample), never a fabricated zero.
 
 use std::fmt::Write as _;
 
@@ -30,10 +32,13 @@ pub struct WindowRow {
     pub delivered: u64,
     /// Flits delivered inside the window.
     pub flits: u64,
-    /// Median delivery latency of the window's deliveries (0 when none).
-    pub p50: f64,
-    /// 99th-percentile delivery latency (0 when none).
-    pub p99: f64,
+    /// Median delivery latency of the window's deliveries; `None` when
+    /// the window delivered nothing (an empty window has no latency, and
+    /// reporting `0` would read as "instant delivery").
+    pub p50: Option<f64>,
+    /// 99th-percentile delivery latency; `None` when the window
+    /// delivered nothing.
+    pub p99: Option<f64>,
     /// Circuit-cache hits observed in the window.
     pub cache_hits: u64,
     /// Circuit-cache misses observed in the window.
@@ -128,8 +133,8 @@ impl WindowSeries {
             end,
             delivered: self.delivered,
             flits: self.flits,
-            p50: self.lat.p50().unwrap_or(0.0),
-            p99: self.lat.p99().unwrap_or(0.0),
+            p50: self.lat.p50(),
+            p99: self.lat.p99(),
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             active_routers: self.active_peak,
@@ -181,8 +186,8 @@ impl WindowSeries {
                     end,
                     delivered: self.delivered,
                     flits: self.flits,
-                    p50: self.lat.p50().unwrap_or(0.0),
-                    p99: self.lat.p99().unwrap_or(0.0),
+                    p50: self.lat.p50(),
+                    p99: self.lat.p99(),
                     cache_hits: self.cache_hits,
                     cache_misses: self.cache_misses,
                     active_routers: self.active_peak,
@@ -201,17 +206,20 @@ pub fn to_csv(rows: &[WindowRow], nodes: u64) -> String {
         "start,end,delivered,flits,throughput,p50_latency,p99_latency,\
          cache_hits,cache_misses,cache_hit_rate,active_routers\n",
     );
+    // Empty windows have no latency: their p50/p99 cells stay empty
+    // rather than printing a misleading 0.
+    let quantile = |q: Option<f64>| q.map_or_else(String::new, |v| format!("{v:.4}"));
     for r in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{:.6},{:.4},{:.4},{},{},{:.4},{}",
+            "{},{},{},{},{:.6},{},{},{},{},{:.4},{}",
             r.start,
             r.end,
             r.delivered,
             r.flits,
             r.throughput(nodes),
-            r.p50,
-            r.p99,
+            quantile(r.p50),
+            quantile(r.p99),
             r.cache_hits,
             r.cache_misses,
             r.hit_rate(),
@@ -233,8 +241,8 @@ pub fn to_json(rows: &[WindowRow], nodes: u64) -> Value {
                     ("delivered", r.delivered.into()),
                     ("flits", r.flits.into()),
                     ("throughput", r.throughput(nodes).into()),
-                    ("p50_latency", r.p50.into()),
-                    ("p99_latency", r.p99.into()),
+                    ("p50_latency", r.p50.map_or(Value::Null, Value::from)),
+                    ("p99_latency", r.p99.map_or(Value::Null, Value::from)),
                     ("cache_hits", r.cache_hits.into()),
                     ("cache_misses", r.cache_misses.into()),
                     ("cache_hit_rate", r.hit_rate().into()),
@@ -247,7 +255,9 @@ pub fn to_json(rows: &[WindowRow], nodes: u64) -> Value {
 
 /// Builds Perfetto counter-track events (`ph: "C"`) from rows, one sample
 /// per window start per metric, for
-/// [`crate::perfetto::export_with_counters`].
+/// [`crate::perfetto::export_with_counters`]. Windows with no deliveries
+/// emit no latency samples (the counter track simply has a gap there),
+/// so an idle stretch never renders as a latency of zero.
 #[must_use]
 pub fn perfetto_counters(rows: &[WindowRow], nodes: u64) -> Vec<Value> {
     let mut out = Vec::with_capacity(rows.len() * 5);
@@ -267,8 +277,12 @@ pub fn perfetto_counters(rows: &[WindowRow], nodes: u64) -> Vec<Value> {
             "throughput (flits/node/cycle)",
             r.throughput(nodes),
         );
-        push(r.start, "p50 latency (cycles)", r.p50);
-        push(r.start, "p99 latency (cycles)", r.p99);
+        if let Some(p50) = r.p50 {
+            push(r.start, "p50 latency (cycles)", p50);
+        }
+        if let Some(p99) = r.p99 {
+            push(r.start, "p99 latency (cycles)", p99);
+        }
         push(r.start, "cache hit rate", r.hit_rate());
         push(r.start, "active routers", r.active_routers as f64);
     }
@@ -299,7 +313,7 @@ mod tests {
         assert_eq!(w0.active_routers, 2);
         assert!((w0.hit_rate() - 0.5).abs() < 1e-12);
         assert!((w0.throughput(4) - 16.0 / 400.0).abs() < 1e-12);
-        assert!(w0.p50 >= 40.0 && w0.p99 <= 63.0);
+        assert!(w0.p50.unwrap() >= 40.0 && w0.p99.unwrap() <= 63.0);
         let w1 = &rows[1];
         assert_eq!((w1.start, w1.end), (100, 200));
         assert_eq!(w1.delivered, 1);
@@ -316,6 +330,42 @@ mod tests {
         assert_eq!(rows[1].delivered, 0);
         assert_eq!(rows[2].delivered, 0);
         assert_eq!(rows[3].delivered, 1);
+        // Empty windows have no latency — explicitly None, not 0.
+        assert_eq!(rows[1].p50, None);
+        assert_eq!(rows[2].p99, None);
+        assert!(rows[3].p50.is_some());
+    }
+
+    #[test]
+    fn empty_window_latency_is_null_in_json_and_blank_in_csv() {
+        let mut s = WindowSeries::new(10, 1);
+        s.record_delivery(5, 3, 1);
+        s.record_delivery(25, 7, 1);
+        let rows = s.finish(30);
+        assert_eq!(rows.len(), 3);
+        let json = to_json(&rows, 1);
+        assert!(matches!(json[1]["p50_latency"], Value::Null));
+        assert!(matches!(json[1]["p99_latency"], Value::Null));
+        assert_eq!(json[0]["p50_latency"].as_f64(), Some(3.0));
+        let csv = to_csv(&rows, 1);
+        let line: Vec<&str> = csv.lines().nth(2).unwrap().split(',').collect();
+        assert_eq!(line[5], "", "empty window's p50 cell must be blank");
+        assert_eq!(line[6], "", "empty window's p99 cell must be blank");
+        let full: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(full[5], "3.0000");
+    }
+
+    #[test]
+    fn empty_windows_emit_no_latency_counter_samples() {
+        let mut s = WindowSeries::new(10, 1);
+        s.record_delivery(5, 3, 1);
+        s.record_delivery(25, 7, 1);
+        let rows = s.finish(30);
+        // Row 1 is empty: 3 counters instead of 5.
+        let counters = perfetto_counters(&rows, 1);
+        assert_eq!(counters.len(), 5 + 3 + 5);
+        let doc = perfetto::export_with_counters(&[], counters);
+        perfetto::validate(&doc).expect("valid");
     }
 
     #[test]

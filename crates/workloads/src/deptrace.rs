@@ -1,0 +1,229 @@
+//! Dependency-aware message traces.
+//!
+//! A [`DepTrace`] is a message script whose entries carry explicit
+//! *dependency edges*: message `B` with `deps = [A]` must not be injected
+//! before `A` has been **delivered**. This is the natural encoding of
+//! application communication — a reduce step cannot start before its
+//! children's partial sums arrive, phase `p+1` of a sweep waits for phase
+//! `p` — and it makes replay *self-paced*: the trace adapts to whatever
+//! latency the network under test exhibits instead of firing on a wall
+//! clock recorded on some other machine.
+//!
+//! Semantics:
+//!
+//! * a message's `created_at` is its **earliest release** cycle — it is
+//!   released at `max(created_at, last dependency delivered + 1)`;
+//! * dependencies are by message id and must reference messages present
+//!   in the same trace;
+//! * the dependency graph must be acyclic — [`DepTrace::validate`]
+//!   rejects cycles (a cyclic trace can never finish replaying).
+//!
+//! The replay loop lives in `wavesim-bench::runner::run_dep_trace`;
+//! persistence (versioned JSON / JSONL) in [`crate::trace_io`];
+//! generators for classic collectives in [`crate::collectives`].
+
+use std::collections::HashMap;
+
+use wavesim_network::Message;
+use wavesim_sim::Cycle;
+
+/// One message of a dependency trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepMessage {
+    /// The message itself (`created_at` = earliest release cycle).
+    pub msg: Message,
+    /// Ids of messages that must be *delivered* before this one releases.
+    pub deps: Vec<u64>,
+}
+
+/// A dependency-ordered message script.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DepTrace {
+    /// The messages, in file order. Order carries no semantics beyond
+    /// deterministic tie-breaking; release order is set by `created_at`
+    /// and the dependency edges.
+    pub messages: Vec<DepMessage>,
+}
+
+impl DepTrace {
+    /// Builds a trace and validates it in one step.
+    ///
+    /// # Errors
+    /// Same conditions as [`DepTrace::validate`].
+    pub fn new(messages: Vec<DepMessage>) -> Result<Self, String> {
+        let t = Self { messages };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Number of messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// True when the trace has no messages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Latest earliest-release cycle in the trace (0 when empty). Actual
+    /// replay can extend far past this: dependent messages release only
+    /// when their dependencies deliver.
+    #[must_use]
+    pub fn horizon(&self) -> Cycle {
+        self.messages
+            .iter()
+            .map(|m| m.msg.created_at)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Messages with no dependencies (the replay's initially-ready set).
+    #[must_use]
+    pub fn num_roots(&self) -> usize {
+        self.messages.iter().filter(|m| m.deps.is_empty()).count()
+    }
+
+    /// Checks the trace invariants: unique message ids, every dependency
+    /// referencing an id present in the trace, and an acyclic dependency
+    /// graph (checked with Kahn's algorithm, so the error names a message
+    /// that sits on a cycle).
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut index: HashMap<u64, usize> = HashMap::with_capacity(self.messages.len());
+        for (i, m) in self.messages.iter().enumerate() {
+            if index.insert(m.msg.id.0, i).is_some() {
+                return Err(format!("duplicate message id {}", m.msg.id.0));
+            }
+        }
+        // Kahn's topological sort over dep -> dependent edges. Anything
+        // left with a positive indegree afterwards sits on (or behind) a
+        // dependency cycle.
+        let mut indegree = vec![0u32; self.messages.len()];
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); self.messages.len()];
+        for (i, m) in self.messages.iter().enumerate() {
+            for &dep in &m.deps {
+                let Some(&j) = index.get(&dep) else {
+                    return Err(format!(
+                        "message {} depends on unknown message id {dep}",
+                        m.msg.id.0
+                    ));
+                };
+                if j == i {
+                    return Err(format!("message {} depends on itself", m.msg.id.0));
+                }
+                indegree[i] += 1;
+                dependents[j].push(i as u32);
+            }
+        }
+        let mut queue: Vec<u32> = (0..self.messages.len() as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
+        let mut done = 0usize;
+        while let Some(i) = queue.pop() {
+            done += 1;
+            for &d in &dependents[i as usize] {
+                indegree[d as usize] -= 1;
+                if indegree[d as usize] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if done < self.messages.len() {
+            let stuck = self
+                .messages
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| indegree[i] > 0)
+                .map(|(_, m)| m.msg.id.0)
+                .min()
+                .expect("an unprocessed message exists");
+            return Err(format!(
+                "cyclic dependency: message {stuck} can never be released \
+                 (it waits, directly or transitively, on itself)"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_topology::NodeId;
+
+    fn msg(id: u64, src: u32, dest: u32) -> Message {
+        Message::new(id, NodeId(src), NodeId(dest), 8, 0)
+    }
+
+    fn dm(id: u64, src: u32, dest: u32, deps: &[u64]) -> DepMessage {
+        DepMessage {
+            msg: msg(id, src, dest),
+            deps: deps.to_vec(),
+        }
+    }
+
+    #[test]
+    fn diamond_is_valid() {
+        let t = DepTrace::new(vec![
+            dm(0, 0, 1, &[]),
+            dm(1, 1, 2, &[0]),
+            dm(2, 1, 3, &[0]),
+            dm(3, 2, 0, &[1, 2]),
+        ])
+        .unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.num_roots(), 1);
+        assert_eq!(t.horizon(), 0);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let err = DepTrace::new(vec![dm(7, 0, 1, &[]), dm(7, 1, 2, &[])]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn unknown_dependency_rejected() {
+        let err = DepTrace::new(vec![dm(0, 0, 1, &[99])]).unwrap_err();
+        assert!(err.contains("unknown"), "{err}");
+    }
+
+    #[test]
+    fn self_dependency_rejected() {
+        let err = DepTrace::new(vec![dm(0, 0, 1, &[0])]).unwrap_err();
+        assert!(err.contains("itself"), "{err}");
+    }
+
+    #[test]
+    fn two_cycle_rejected_with_clear_error() {
+        let err = DepTrace::new(vec![dm(0, 0, 1, &[1]), dm(1, 1, 2, &[0])]).unwrap_err();
+        assert!(err.contains("cyclic"), "{err}");
+        assert!(err.contains('0'), "names a cycle member: {err}");
+    }
+
+    #[test]
+    fn long_cycle_behind_valid_prefix_rejected() {
+        // 0 is fine; 1 -> 2 -> 3 -> 1 is a cycle.
+        let err = DepTrace::new(vec![
+            dm(0, 0, 1, &[]),
+            dm(1, 1, 2, &[3]),
+            dm(2, 2, 3, &[1]),
+            dm(3, 3, 0, &[2]),
+        ])
+        .unwrap_err();
+        assert!(err.contains("cyclic"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = DepTrace::default();
+        assert!(t.validate().is_ok());
+        assert!(t.is_empty());
+        assert_eq!(t.horizon(), 0);
+    }
+}

@@ -17,19 +17,30 @@
 //!   like the phased communication of stencil and pairwise-exchange
 //!   kernels (the "compiler" of §3.2, modelled as a trace generator);
 //! * [`faults`] — static lane-fault plans for the E8 resilience
-//!   experiment and timed dynamic fail/repair schedules for E14.
+//!   experiment and timed dynamic fail/repair schedules for E14;
+//! * [`deptrace`] / [`collectives`] — dependency-aware message traces
+//!   (release gated on upstream deliveries) and the classic collectives
+//!   (all-to-all, reduce/broadcast trees, phased pattern sweeps) emitted
+//!   in that form, replayed by `wavesim-bench`'s `run_dep_trace`;
+//! * [`service`] — closed-loop service traffic with O(active)
+//!   bookkeeping, scaling the [`reqrep`] idea to millions of clients.
 
 #![warn(missing_docs)]
 
 pub mod carp;
+pub mod collectives;
+pub mod deptrace;
 pub mod faults;
 pub mod patterns;
 pub mod reqrep;
+pub mod service;
 pub mod trace_io;
 pub mod traffic;
 
 pub use carp::{CarpOp, CarpTrace, PairwiseSpec};
+pub use deptrace::{DepMessage, DepTrace};
 pub use faults::{FaultPlan, FaultSchedule, FaultScheduleEvent};
 pub use patterns::{pattern_pairs, TrafficPattern};
 pub use reqrep::{ReqRepConfig, ReqRepWorkload};
+pub use service::{ServiceConfig, ServiceEvent, ServiceWorkload};
 pub use traffic::{LengthDist, TrafficConfig, TrafficSource};

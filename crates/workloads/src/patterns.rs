@@ -3,6 +3,10 @@
 //! Each pattern maps a source node to a destination draw. Deterministic
 //! patterns (transpose, bit-reversal, bit-complement) may leave a node
 //! silent when it maps to itself — the convention of the literature.
+//! Callers that cannot tolerate silent nodes (phased collectives, which
+//! would deadlock on a member that never sends) draw with
+//! [`TrafficPattern::dest_or_remap`], which remaps self-images
+//! deterministically instead.
 
 use wavesim_sim::SimRng;
 use wavesim_topology::{NodeId, Topology};
@@ -151,15 +155,48 @@ impl TrafficPattern {
             }
         }
     }
+
+    /// Like [`TrafficPattern::dest`], but *remaps* a silent source
+    /// deterministically instead of returning `None`: a source whose
+    /// pattern image is itself (a transpose diagonal, a bit-reversal
+    /// palindrome) sends to its successor node id instead. Collective
+    /// sweeps use this so every node stays productive — a phased
+    /// collective with silent members would deadlock waiting on messages
+    /// that are never sent.
+    ///
+    /// Returns `None` only when the topology has fewer than two nodes
+    /// (no non-self destination exists at all).
+    #[must_use]
+    pub fn dest_or_remap(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        rng: &mut SimRng,
+        seed: u64,
+    ) -> Option<NodeId> {
+        let n = topo.num_nodes();
+        if n < 2 {
+            return None;
+        }
+        match self.dest(topo, src, rng, seed) {
+            Some(d) => Some(d),
+            None => Some(NodeId((src.0 + 1) % n)),
+        }
+    }
 }
 
 /// Materializes `count` deterministic `(src, dest)` pairs under a
 /// pattern: sources round-robin over the nodes, destinations are drawn
 /// with [`TrafficPattern::dest`] from an rng derived from `seed`. Silent
-/// sources are skipped. Built for the model checker (`wavesim-model`),
-/// whose specs are *fixed* small message sets rather than rate-driven
-/// streams — but any caller wanting a reproducible pattern sample can
-/// use it.
+/// sources are **skipped deterministically** — the round-robin simply
+/// moves on, so the returned pairs never contain a self-send and the
+/// request is still filled from the productive sources (a bounded
+/// attempts budget keeps a fully-silent pattern from looping forever).
+/// Callers that instead need *every* node productive (phased collectives)
+/// should draw with [`TrafficPattern::dest_or_remap`]. Built for the
+/// model checker (`wavesim-model`), whose specs are *fixed* small message
+/// sets rather than rate-driven streams — but any caller wanting a
+/// reproducible pattern sample can use it.
 #[must_use]
 pub fn pattern_pairs(
     topo: &Topology,
@@ -180,6 +217,7 @@ pub fn pattern_pairs(
         let src = nodes[i % nodes.len()];
         i += 1;
         if let Some(dest) = pattern.dest(topo, src, &mut rng, seed) {
+            debug_assert_ne!(dest, src, "patterns never draw a self-send");
             pairs.push((src, dest));
         }
     }
@@ -341,6 +379,65 @@ mod tests {
         assert!(counts[3] > 0, "tail partners still get traffic");
         let frac0 = f64::from(counts[0]) / 8000.0;
         assert!((frac0 - 0.48).abs() < 0.05, "hottest share {frac0}");
+    }
+
+    #[test]
+    fn dest_or_remap_makes_every_source_productive() {
+        let t = mesh();
+        let mut rng = SimRng::new(5);
+        for pat in [
+            TrafficPattern::Transpose,
+            TrafficPattern::BitReversal,
+            TrafficPattern::BitComplement,
+        ] {
+            for src in t.nodes() {
+                let d = pat.dest_or_remap(&t, src, &mut rng, 0).unwrap();
+                assert_ne!(d, src, "{pat:?} remap must not self-send");
+            }
+        }
+        // The remap is deterministic: a transpose diagonal node sends to
+        // its successor id.
+        let diag = t.node(Coords::new(&[2, 2]));
+        let d = TrafficPattern::Transpose
+            .dest_or_remap(&t, diag, &mut rng, 0)
+            .unwrap();
+        assert_eq!(d.0, diag.0 + 1);
+        // Productive sources keep their pattern image.
+        let src = t.node(Coords::new(&[1, 3]));
+        let d = TrafficPattern::Transpose
+            .dest_or_remap(&t, src, &mut rng, 0)
+            .unwrap();
+        assert_eq!(t.coords(d).as_slice(), &[3, 1]);
+    }
+
+    #[test]
+    fn hotspot_source_at_hot_node_still_injects() {
+        // The hot node itself falls through to uniform — it is never
+        // silent and never targets itself.
+        let t = mesh();
+        let mut rng = SimRng::new(6);
+        let pat = TrafficPattern::Hotspot {
+            node: 5,
+            fraction: 0.9,
+        };
+        for _ in 0..200 {
+            let d = pat.dest(&t, NodeId(5), &mut rng, 0).unwrap();
+            assert_ne!(d, NodeId(5));
+        }
+    }
+
+    #[test]
+    fn pattern_pairs_skips_silent_sources_but_fills_request() {
+        let t = mesh();
+        // 16 sources round-robin; 4 transpose diagonals are silent, yet a
+        // 16-pair request is filled entirely from productive sources.
+        let pairs = pattern_pairs(&t, TrafficPattern::Transpose, 16, 3);
+        assert_eq!(pairs.len(), 16);
+        for (s, d) in &pairs {
+            assert_ne!(s, d);
+            let c = t.coords(*s);
+            assert!(c.get(0) != c.get(1), "diagonal sources are skipped");
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use wavesim_topology::NodeId;
 use wavesim_topology::LinkId;
 
 use crate::carp::{CarpOp, CarpTrace};
+use crate::deptrace::{DepMessage, DepTrace};
 use crate::faults::{FaultPlan, FaultSchedule, FaultScheduleEvent};
 
 const VERSION: u64 = 1;
@@ -172,6 +173,130 @@ pub fn load_script<R: Read>(mut reader: R) -> Result<Vec<(Cycle, Message)>, Stri
         return Err("script is not time-sorted".into());
     }
     Ok(script)
+}
+
+fn dep_message_to_json(m: &DepMessage) -> Value {
+    let mut pairs = vec![
+        ("id", m.msg.id.0.into()),
+        ("src", u64::from(m.msg.src.0).into()),
+        ("dest", u64::from(m.msg.dest.0).into()),
+        ("len", m.msg.len_flits.into()),
+        ("created", m.msg.created_at.into()),
+    ];
+    if !m.deps.is_empty() {
+        pairs.push((
+            "deps",
+            Value::Arr(m.deps.iter().map(|&d| d.into()).collect()),
+        ));
+    }
+    Value::obj(pairs)
+}
+
+fn dep_message_from_json(v: &Value) -> Result<DepMessage, String> {
+    let msg = message_from_json(v)?;
+    let deps = match &v["deps"] {
+        Value::Null => Vec::new(),
+        d => {
+            let items = d.as_array().ok_or("deps must be an array")?;
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(item.as_u64().ok_or("deps entries must be message ids")?);
+            }
+            out
+        }
+    };
+    Ok(DepMessage { msg, deps })
+}
+
+/// Serializes a dependency trace as one pretty JSON document
+/// (`{"version": 1, "messages": [{id, src, dest, len, created,
+/// deps?}, ...]}`; a missing `deps` key means no dependencies).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_dep_trace<W: Write>(trace: &DepTrace, mut writer: W) -> std::io::Result<()> {
+    let file = Value::obj(vec![
+        ("version", VERSION.into()),
+        (
+            "messages",
+            Value::Arr(trace.messages.iter().map(dep_message_to_json).collect()),
+        ),
+    ]);
+    writer.write_all(file.pretty().as_bytes())
+}
+
+/// Serializes a dependency trace as JSONL: a `{"version": 1}` header
+/// line, then one compact message object per line — the format to use
+/// when traces are large or emitted by a streaming producer.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_dep_trace_jsonl<W: Write>(trace: &DepTrace, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "{{\"version\": {VERSION}}}")?;
+    for m in &trace.messages {
+        writeln!(writer, "{}", dep_message_to_json(m).compact())?;
+    }
+    Ok(())
+}
+
+/// Deserializes a dependency trace saved by [`save_dep_trace`] (one JSON
+/// document) **or** [`save_dep_trace_jsonl`] (header line + one message
+/// per line); the format is sniffed from the content. The loaded trace is
+/// fully validated — unknown or duplicate ids and **cyclic dependency
+/// graphs are rejected here**, at load time, because a cyclic trace can
+/// never finish replaying.
+///
+/// # Errors
+/// Fails on malformed JSON, an unknown version, an invalid message
+/// (zero length, self-send), or a broken dependency graph.
+pub fn load_dep_trace<R: Read>(mut reader: R) -> Result<DepTrace, String> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| format!("read failed: {e}"))?;
+    let check_version = |v: &Value| -> Result<(), String> {
+        let version = v["version"]
+            .as_u64()
+            .ok_or("malformed dependency trace: no version")?;
+        if version == VERSION {
+            Ok(())
+        } else {
+            Err(format!(
+                "unsupported dependency trace version {version} (expected {VERSION})"
+            ))
+        }
+    };
+    let messages = if let Ok(doc) = Value::parse(&text) {
+        // Whole-document form: {"version", "messages": [...]}. A bare
+        // {"version"} (a JSONL header with no message lines) is an empty
+        // trace.
+        check_version(&doc)?;
+        match &doc["messages"] {
+            Value::Null => Vec::new(),
+            m => {
+                let items = m.as_array().ok_or("messages must be an array")?;
+                items
+                    .iter()
+                    .map(dep_message_from_json)
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        }
+    } else {
+        // JSONL form: header line, then one message object per line.
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty dependency trace")?;
+        let hv =
+            Value::parse(header).map_err(|e| format!("malformed dependency trace header: {e}"))?;
+        check_version(&hv)?;
+        let mut out = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let v =
+                Value::parse(line).map_err(|e| format!("malformed trace line {}: {e}", i + 2))?;
+            out.push(dep_message_from_json(&v)?);
+        }
+        out
+    };
+    DepTrace::new(messages)
 }
 
 /// Serializes a fault plan as pretty JSON
@@ -469,6 +594,87 @@ mod tests {
         assert!(load_fault_plan(wide_switch.as_bytes()).is_err());
         let not_a_pair = r#"{"version": 1, "lanes": [[3]]}"#;
         assert!(load_fault_plan(not_a_pair.as_bytes()).is_err());
+    }
+
+    fn diamond() -> DepTrace {
+        DepTrace::new(vec![
+            DepMessage {
+                msg: Message::new(0, NodeId(0), NodeId(3), 8, 0),
+                deps: vec![],
+            },
+            DepMessage {
+                msg: Message::new(1, NodeId(3), NodeId(1), 8, 0),
+                deps: vec![0],
+            },
+            DepMessage {
+                msg: Message::new(2, NodeId(3), NodeId(2), 8, 0),
+                deps: vec![0],
+            },
+            DepMessage {
+                msg: Message::new(3, NodeId(1), NodeId(0), 8, 5),
+                deps: vec![1, 2],
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dep_trace_roundtrips_in_both_formats() {
+        let trace = diamond();
+        let mut doc = Vec::new();
+        save_dep_trace(&trace, &mut doc).unwrap();
+        assert_eq!(load_dep_trace(doc.as_slice()).unwrap(), trace);
+
+        let mut jsonl = Vec::new();
+        save_dep_trace_jsonl(&trace, &mut jsonl).unwrap();
+        assert_eq!(load_dep_trace(jsonl.as_slice()).unwrap(), trace);
+
+        // save -> load -> save is byte-stable in both formats.
+        let mut doc2 = Vec::new();
+        save_dep_trace(&load_dep_trace(doc.as_slice()).unwrap(), &mut doc2).unwrap();
+        assert_eq!(doc, doc2);
+        let mut jsonl2 = Vec::new();
+        save_dep_trace_jsonl(&load_dep_trace(jsonl.as_slice()).unwrap(), &mut jsonl2).unwrap();
+        assert_eq!(jsonl, jsonl2);
+    }
+
+    #[test]
+    fn cyclic_dep_trace_rejected_at_load() {
+        let cyclic = concat!(
+            r#"{"version": 1, "messages": ["#,
+            r#"{"id":0,"src":0,"dest":1,"len":4,"created":0,"deps":[1]},"#,
+            r#"{"id":1,"src":1,"dest":2,"len":4,"created":0,"deps":[0]}]}"#
+        );
+        let err = load_dep_trace(cyclic.as_bytes()).unwrap_err();
+        assert!(err.contains("cyclic"), "{err}");
+    }
+
+    #[test]
+    fn malformed_dep_traces_rejected_not_panicking() {
+        assert!(load_dep_trace(&b""[..]).is_err());
+        assert!(load_dep_trace(&b"not json"[..]).is_err());
+        assert!(load_dep_trace(&b"{}"[..]).is_err());
+        let bad_version = r#"{"version": 9, "messages": []}"#;
+        assert!(load_dep_trace(bad_version.as_bytes())
+            .unwrap_err()
+            .contains("version"));
+        let unknown_dep = r#"{"version": 1, "messages": [{"id":0,"src":0,"dest":1,"len":4,"created":0,"deps":[7]}]}"#;
+        assert!(load_dep_trace(unknown_dep.as_bytes())
+            .unwrap_err()
+            .contains("unknown"));
+        let dup = r#"{"version": 1, "messages": [{"id":0,"src":0,"dest":1,"len":4,"created":0},{"id":0,"src":1,"dest":2,"len":4,"created":0}]}"#;
+        assert!(load_dep_trace(dup.as_bytes())
+            .unwrap_err()
+            .contains("duplicate"));
+        let self_send =
+            r#"{"version": 1, "messages": [{"id":0,"src":3,"dest":3,"len":4,"created":0}]}"#;
+        assert!(load_dep_trace(self_send.as_bytes()).is_err());
+        // A bare JSONL header is an empty trace; a bad body line errors.
+        assert!(load_dep_trace(&b"{\"version\": 1}"[..]).unwrap().is_empty());
+        let bad_line = "{\"version\": 1}\nnot json\n";
+        assert!(load_dep_trace(bad_line.as_bytes())
+            .unwrap_err()
+            .contains("line 2"));
     }
 
     #[test]

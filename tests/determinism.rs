@@ -4,12 +4,14 @@
 
 use wavesim::core::{ProtocolKind, WaveConfig, WaveNetwork};
 use wavesim::topology::Topology;
+use wavesim::workloads::{collectives, trace_io};
 use wavesim::workloads::{
     CarpTrace, FaultSchedule, LengthDist, TrafficConfig, TrafficPattern, TrafficSource,
 };
-use wavesim_bench::experiments::{e11_loadsweep, e14_dynamic_faults};
+use wavesim_bench::experiments::{e11_loadsweep, e13_dsm, e14_dynamic_faults, e15_collectives};
 use wavesim_bench::{
-    apply_fault_schedule, run_carp_trace, run_open_loop, ParallelSweep, RunSpec, Scale,
+    apply_fault_schedule, run_carp_trace, run_dep_trace, run_open_loop, ParallelSweep, RunSpec,
+    Scale,
 };
 
 fn full_run(seed: u64, protocol: ProtocolKind) -> Vec<(u64, u64)> {
@@ -156,6 +158,25 @@ fn e11_table_is_identical_across_job_counts() {
     let serial = e11_loadsweep::run(scale);
     let one = e11_loadsweep::run_with_jobs(scale, 1);
     let four = e11_loadsweep::run_with_jobs(scale, 4);
+    assert!(!serial.rows.is_empty());
+    assert_eq!(serial.rows, one.rows);
+    assert_eq!(serial.rows, four.rows, "--jobs 4 must not change the table");
+}
+
+/// Closed-loop traffic must not cost determinism either: the E13 DSM
+/// table — request/reply round trips with bounded outstanding windows —
+/// is byte-identical across job counts.
+#[test]
+fn e13_table_is_identical_across_job_counts() {
+    let scale = Scale {
+        side: 4,
+        measure: 2_000,
+        warmup: 500,
+        sweep_points: 3,
+    };
+    let serial = e13_dsm::run(scale);
+    let one = e13_dsm::run_with_jobs(scale, 1);
+    let four = e13_dsm::run_with_jobs(scale, 4);
     assert!(!serial.rows.is_empty());
     assert_eq!(serial.rows, one.rows);
     assert_eq!(serial.rows, four.rows, "--jobs 4 must not change the table");
@@ -413,4 +434,122 @@ fn golden_trace_sharded_runs_match_seed_kernel() {
         hash_str(&sharded_run(16, ProtocolKind::Carp, 4, false)),
         0xfbe4_3188_c230_e789,
     );
+}
+
+// ---------------------------------------------------------------------
+// Dependency-aware replay (`run --replay-trace`, E15): release order is
+// set by delivery events, which makes determinism *harder* — a dependent
+// message's injection cycle is itself a simulation output. The replay
+// must still be a pure function of (trace, config), byte-identical
+// across shard counts and job counts.
+// ---------------------------------------------------------------------
+
+/// One all-to-all collective replayed to completion at the given shard
+/// count; the full `RunResult` Debug string pins every counter and float
+/// bit pattern.
+fn replayed_collective(protocol: ProtocolKind, shards: usize) -> String {
+    let topo = Topology::mesh(&[4, 4]);
+    let trace = collectives::all_to_all(&topo, 24);
+    let mut net = WaveNetwork::new(
+        topo,
+        WaveConfig {
+            protocol,
+            cache_capacity: 8,
+            ..WaveConfig::default()
+        },
+    );
+    net.set_shards(shards);
+    let r = run_dep_trace(&mut net, &trace, RunSpec::replay(trace.horizon()));
+    assert_eq!(
+        r.delivered,
+        trace.len() as u64,
+        "{protocol:?} --shards {shards}: the whole collective must deliver"
+    );
+    format!("{r:?}")
+}
+
+/// The diamond criterion at scale: an all-to-all dependency trace (every
+/// phase gated on the previous phase's deliveries) replays byte-identically
+/// across `--shards 1/2/4`, under CLRP and under plain wormhole.
+#[test]
+fn dep_trace_replay_is_byte_identical_across_shard_counts() {
+    for protocol in [ProtocolKind::Clrp, ProtocolKind::WormholeOnly] {
+        let serial = replayed_collective(protocol, 1);
+        for shards in [2usize, 4] {
+            assert_eq!(
+                serial,
+                replayed_collective(protocol, shards),
+                "{protocol:?}: replay diverged at --shards {shards}"
+            );
+        }
+    }
+}
+
+/// The full E15 collective grid — every collective × protocol × length —
+/// is byte-identical across job counts.
+#[test]
+fn e15_table_is_identical_across_job_counts() {
+    let scale = Scale {
+        side: 4,
+        measure: 2_000,
+        warmup: 500,
+        sweep_points: 2,
+    };
+    let serial = e15_collectives::run(scale);
+    let one = e15_collectives::run_with_jobs(scale, 1);
+    let four = e15_collectives::run_with_jobs(scale, 4);
+    assert!(!serial.rows.is_empty());
+    assert_eq!(serial.rows, one.rows);
+    assert_eq!(serial.rows, four.rows, "--jobs 4 must not change the table");
+}
+
+/// The small E13 and E15 tables rendered to their exact row strings:
+/// pins the closed-loop request/reply pipeline and the dependency-gated
+/// collective replay against this kernel.
+#[test]
+fn golden_trace_e13_and_e15_tables_are_reproducible() {
+    let scale = Scale {
+        side: 4,
+        measure: 2_000,
+        warmup: 500,
+        sweep_points: 3,
+    };
+    golden_check(
+        "e13_rows",
+        hash_str(&format!("{:?}", e13_dsm::run(scale).rows)),
+        0x0a2a_730d_def9_e8e4,
+    );
+    let scale = Scale {
+        sweep_points: 2,
+        ..scale
+    };
+    golden_check(
+        "e15_rows",
+        hash_str(&format!("{:?}", e15_collectives::run(scale).rows)),
+        0x3c9a_aca5_3ba0_b86a,
+    );
+}
+
+/// A cyclic dependency trace can never finish replaying, so it must be
+/// rejected when *loaded*, with an error naming a stuck message — not
+/// hang the replay loop later.
+#[test]
+fn cyclic_dep_traces_are_rejected_at_load() {
+    let text = r#"{"version": 1}
+{"id": 0, "src": 0, "dest": 5, "len": 8, "created": 0, "deps": [2]}
+{"id": 1, "src": 5, "dest": 6, "len": 8, "created": 0, "deps": [0]}
+{"id": 2, "src": 6, "dest": 0, "len": 8, "created": 0, "deps": [1]}
+"#;
+    let err = trace_io::load_dep_trace(text.as_bytes()).expect_err("cycle must be rejected");
+    assert!(
+        err.contains("cyclic dependency") && err.contains('0'),
+        "error must diagnose the cycle and name a stuck message: {err}"
+    );
+
+    // Unknown dependency ids are caught the same way.
+    let text = r#"{"version": 1}
+{"id": 0, "src": 0, "dest": 5, "len": 8, "created": 0, "deps": [99]}
+"#;
+    let err = trace_io::load_dep_trace(text.as_bytes()).expect_err("dangling dep must be rejected");
+    assert!(err.contains("unknown message id 99"), "{err}");
 }
