@@ -96,53 +96,100 @@ fn phase(deliveries: &[(Cycle, u64)], from: Cycle, to: Cycle) -> PhaseStats {
     }
 }
 
+/// One fault-timeline entry: `(cycle, link, switch, is_fault)`.
+type LaneEvent = (Cycle, u32, u8, bool);
+
+/// Incremental fault-impact accounting. The fold only retains the (rare)
+/// lane fault / repair timeline plus the trace horizon; the window math
+/// runs at [`FaultFold::finish`] against the reconstructed deliveries.
+/// [`impact`] is the batch wrapper.
+#[derive(Default)]
+pub struct FaultFold {
+    timeline: Vec<LaneEvent>,
+    horizon: Cycle,
+}
+
+impl FaultFold {
+    /// An empty fold.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one record: every record advances the horizon, lane fault /
+    /// repair events extend the timeline.
+    pub fn fold(&mut self, rec: &TraceRecord) {
+        self.horizon = self.horizon.max(rec.at);
+        match rec.ev {
+            TraceEvent::LaneFault { link, switch } => {
+                self.timeline.push((rec.at, link, switch, true));
+            }
+            TraceEvent::LaneRepair { link, switch } => {
+                self.timeline.push((rec.at, link, switch, false));
+            }
+            _ => {}
+        }
+    }
+
+    /// Builds one [`FaultImpact`] per lane fault. `spans` are the
+    /// reconstructed deliveries (already in delivery order).
+    #[must_use]
+    pub fn finish(self, spans: &[MessageSpan]) -> Vec<FaultImpact> {
+        let deliveries: Vec<(Cycle, u64)> =
+            spans.iter().map(|s| (s.delivered, s.latency())).collect();
+        debug_assert!(deliveries.windows(2).all(|w| w[0].0 <= w[1].0));
+
+        let mut out = Vec::new();
+        for (i, &(fault_at, link, switch, is_fault)) in self.timeline.iter().enumerate() {
+            if !is_fault {
+                continue;
+            }
+            let later = &self.timeline[i + 1..];
+            let repair_at = later
+                .iter()
+                .find(|&&(_, l, s, f)| !f && l == link && s == switch)
+                .map(|&(at, ..)| at);
+            // Exclusive bound that still covers deliveries at the last
+            // cycle.
+            let end = self.horizon + 1;
+            let during_end = repair_at.unwrap_or(end);
+            let dur = during_end.saturating_sub(fault_at).max(1);
+            // The recovery window must stop where the same lane fails
+            // again: counting a later outage's cycles as "after"
+            // understates the recovery rate.
+            let next_fault_at = later
+                .iter()
+                .find(|&&(_, l, s, f)| f && l == link && s == switch)
+                .map(|&(at, ..)| at);
+            out.push(FaultImpact {
+                link,
+                switch,
+                fault_at,
+                repair_at,
+                before: phase(&deliveries, fault_at.saturating_sub(dur), fault_at),
+                during: phase(&deliveries, fault_at, during_end),
+                after: repair_at.map(|r| {
+                    let to = r
+                        .saturating_add(dur)
+                        .min(end)
+                        .min(next_fault_at.unwrap_or(u64::MAX));
+                    phase(&deliveries, r, to.max(r))
+                }),
+            });
+        }
+        out
+    }
+}
+
 /// Builds one [`FaultImpact`] per lane fault in the trace. `spans` are the
 /// reconstructed deliveries (already in delivery order).
 #[must_use]
 pub fn impact(records: &[TraceRecord], spans: &[MessageSpan]) -> Vec<FaultImpact> {
-    let horizon = records.last().map_or(0, |r| r.at);
-    let deliveries: Vec<(Cycle, u64)> = spans.iter().map(|s| (s.delivered, s.latency())).collect();
-    debug_assert!(deliveries.windows(2).all(|w| w[0].0 <= w[1].0));
-
-    let mut out = Vec::new();
-    for (i, rec) in records.iter().enumerate() {
-        let TraceEvent::LaneFault { link, switch } = rec.ev else {
-            continue;
-        };
-        let repair_at = records[i + 1..].iter().find_map(|r| match r.ev {
-            TraceEvent::LaneRepair {
-                link: l, switch: s, ..
-            } if l == link && s == switch => Some(r.at),
-            _ => None,
-        });
-        // Exclusive bound that still covers deliveries at the last cycle.
-        let end = horizon + 1;
-        let during_end = repair_at.unwrap_or(end);
-        let dur = during_end.saturating_sub(rec.at).max(1);
-        // The recovery window must stop where the same lane fails again:
-        // counting a later outage's cycles as "after" understates the
-        // recovery rate.
-        let next_fault_at = records[i + 1..].iter().find_map(|r| match r.ev {
-            TraceEvent::LaneFault { link: l, switch: s } if l == link && s == switch => Some(r.at),
-            _ => None,
-        });
-        out.push(FaultImpact {
-            link,
-            switch,
-            fault_at: rec.at,
-            repair_at,
-            before: phase(&deliveries, rec.at.saturating_sub(dur), rec.at),
-            during: phase(&deliveries, rec.at, during_end),
-            after: repair_at.map(|r| {
-                let to = r
-                    .saturating_add(dur)
-                    .min(end)
-                    .min(next_fault_at.unwrap_or(u64::MAX));
-                phase(&deliveries, r, to.max(r))
-            }),
-        });
+    let mut fold = FaultFold::new();
+    for rec in records {
+        fold.fold(rec);
     }
-    out
+    fold.finish(spans)
 }
 
 #[cfg(test)]

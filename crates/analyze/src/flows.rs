@@ -87,73 +87,104 @@ fn flow(flows: &mut BTreeMap<(u32, u32), FlowStats>, src: u32, dest: u32) -> &mu
     e
 }
 
-/// Attributes cache behaviour and delivery latency to flows. Returns the
-/// flows sorted by traffic (deliveries, then lookups) descending, with the
-/// `(src, dest)` key breaking ties so the order is deterministic.
-#[must_use]
-pub fn attribute(records: &[TraceRecord], set: &SpanSet) -> Vec<FlowStats> {
-    let mut flows: BTreeMap<(u32, u32), FlowStats> = BTreeMap::new();
-    // Delivery sums from the reconstructed spans.
-    for s in &set.spans {
-        let e = flow(&mut flows, s.src, s.dest);
-        e.delivered += 1;
-        match s.mode {
-            SpanMode::Circuit => e.circuit_msgs += 1,
-            SpanMode::Fallback => e.fallback_msgs += 1,
-            SpanMode::Wormhole => e.wormhole_msgs += 1,
-        }
-        e.flits += u64::from(s.len_flits);
-        e.latency_sum += s.latency();
-        e.setup_sum += s.setup;
-        e.queue_sum += s.queue;
-        e.transit_sum += s.transit;
+/// Incremental flow attribution. [`FlowFold::fold`] consumes the cache /
+/// fault-recovery events one record at a time; [`FlowFold::finish`] merges
+/// in the delivery sums and setup-side costs from the reconstructed
+/// [`SpanSet`] and sorts. Every accumulation is additive per `(src, dest)`
+/// key, so the interleaving of the record stream with the span merge does
+/// not affect the result — [`attribute`] is the batch wrapper.
+#[derive(Default)]
+pub struct FlowFold {
+    flows: BTreeMap<(u32, u32), FlowStats>,
+    broken_at: HashMap<(u32, u32), Cycle>,
+}
+
+impl FlowFold {
+    /// An empty fold.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
-    // Setup-side costs from the circuit lifecycles.
-    for log in set.circuits.values() {
-        let e = flow(&mut flows, log.src, log.dest);
-        e.force_launches += u64::from(log.force_launches);
-        e.parks += u64::from(log.parks);
-        e.victim_chain = e.victim_chain.max(log.parks);
-    }
-    // Cache traffic and fault recovery from the raw record stream.
-    let mut broken_at: HashMap<(u32, u32), Cycle> = HashMap::new();
-    for rec in records {
+
+    /// Folds one record's cache traffic / fault recovery contribution.
+    pub fn fold(&mut self, rec: &TraceRecord) {
         match rec.ev {
             TraceEvent::CacheHit { node, dest, .. } => {
-                flow(&mut flows, node, dest).cache_hits += 1;
+                flow(&mut self.flows, node, dest).cache_hits += 1;
             }
             TraceEvent::CacheMiss { node, dest } => {
-                flow(&mut flows, node, dest).cache_misses += 1;
+                flow(&mut self.flows, node, dest).cache_misses += 1;
             }
             TraceEvent::CacheEvict {
                 node, victim_dest, ..
             } => {
-                flow(&mut flows, node, victim_dest).evictions_suffered += 1;
+                flow(&mut self.flows, node, victim_dest).evictions_suffered += 1;
             }
             TraceEvent::CircuitBroken { src, dest, .. } => {
                 // Keep the earliest unanswered breakage per flow.
-                broken_at.entry((src, dest)).or_insert(rec.at);
+                self.broken_at.entry((src, dest)).or_insert(rec.at);
             }
             TraceEvent::EstablishRetry { src, dest, .. } => {
-                let e = flow(&mut flows, src, dest);
+                let e = flow(&mut self.flows, src, dest);
                 e.retries += 1;
-                if let Some(t) = broken_at.remove(&(src, dest)) {
+                if let Some(t) = self.broken_at.remove(&(src, dest)) {
                     e.retry_wait += rec.at - t;
                 }
             }
             _ => {}
         }
     }
-    let mut out: Vec<FlowStats> = flows.into_values().collect();
-    out.sort_by(|a, b| {
-        (b.delivered, b.cache_hits + b.cache_misses, a.src, a.dest).cmp(&(
-            a.delivered,
-            a.cache_hits + a.cache_misses,
-            b.src,
-            b.dest,
-        ))
-    });
-    out
+
+    /// Merges the span-derived sums and returns the flows sorted by
+    /// traffic (deliveries, then lookups) descending, `(src, dest)`
+    /// breaking ties.
+    #[must_use]
+    pub fn finish(mut self, set: &SpanSet) -> Vec<FlowStats> {
+        // Delivery sums from the reconstructed spans.
+        for s in &set.spans {
+            let e = flow(&mut self.flows, s.src, s.dest);
+            e.delivered += 1;
+            match s.mode {
+                SpanMode::Circuit => e.circuit_msgs += 1,
+                SpanMode::Fallback => e.fallback_msgs += 1,
+                SpanMode::Wormhole => e.wormhole_msgs += 1,
+            }
+            e.flits += u64::from(s.len_flits);
+            e.latency_sum += s.latency();
+            e.setup_sum += s.setup;
+            e.queue_sum += s.queue;
+            e.transit_sum += s.transit;
+        }
+        // Setup-side costs from the circuit lifecycles.
+        for log in set.circuits.values() {
+            let e = flow(&mut self.flows, log.src, log.dest);
+            e.force_launches += u64::from(log.force_launches);
+            e.parks += u64::from(log.parks);
+            e.victim_chain = e.victim_chain.max(log.parks);
+        }
+        let mut out: Vec<FlowStats> = self.flows.into_values().collect();
+        out.sort_by(|a, b| {
+            (b.delivered, b.cache_hits + b.cache_misses, a.src, a.dest).cmp(&(
+                a.delivered,
+                a.cache_hits + a.cache_misses,
+                b.src,
+                b.dest,
+            ))
+        });
+        out
+    }
+}
+
+/// Attributes cache behaviour and delivery latency to flows. Returns the
+/// flows sorted by traffic (deliveries, then lookups) descending, with the
+/// `(src, dest)` key breaking ties so the order is deterministic.
+#[must_use]
+pub fn attribute(records: &[TraceRecord], set: &SpanSet) -> Vec<FlowStats> {
+    let mut fold = FlowFold::new();
+    for rec in records {
+        fold.fold(rec);
+    }
+    fold.finish(set)
 }
 
 #[cfg(test)]

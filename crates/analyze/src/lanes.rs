@@ -29,40 +29,52 @@ pub struct LaneStats {
     pub held_cycles: u64,
 }
 
-/// Computes per-lane reservation occupancy from a record stream. Returns
-/// lanes sorted hottest first (held cycles, then reservations, then lane
-/// id — a total order, so the result is deterministic).
-#[must_use]
-pub fn occupancy(records: &[TraceRecord]) -> Vec<LaneStats> {
-    let horizon = records.last().map_or(0, |r| r.at);
-    // The switch a probe searches is named by its circuit's launch, not
-    // repeated on every hop.
-    let mut switch_of: HashMap<u64, u8> = HashMap::new();
-    // Lanes currently held by each probe, reservation order (a stack:
-    // backtracks release the most recent hop).
-    type HeldStack = Vec<((u32, u8), Cycle)>;
-    let mut stacks: HashMap<u64, HeldStack> = HashMap::new();
-    // Probes holding lanes on behalf of each circuit.
-    let mut probes_of: HashMap<u64, Vec<u64>> = HashMap::new();
-    let mut acc: HashMap<(u32, u8), LaneStats> = HashMap::new();
+/// Lanes currently held by each probe, reservation order (a stack:
+/// backtracks release the most recent hop).
+type HeldStack = Vec<((u32, u8), Cycle)>;
 
-    let close =
-        |lane: (u32, u8), since: Cycle, until: Cycle, acc: &mut HashMap<(u32, u8), LaneStats>| {
-            let e = acc.entry(lane).or_insert(LaneStats {
-                link: lane.0,
-                switch: lane.1,
-                reservations: 0,
-                held_cycles: 0,
-            });
-            e.held_cycles += until.saturating_sub(since);
-        };
+fn close(lane: (u32, u8), since: Cycle, until: Cycle, acc: &mut HashMap<(u32, u8), LaneStats>) {
+    let e = acc.entry(lane).or_insert(LaneStats {
+        link: lane.0,
+        switch: lane.1,
+        reservations: 0,
+        held_cycles: 0,
+    });
+    e.held_cycles += until.saturating_sub(since);
+}
 
-    for rec in records {
+/// Incremental lane-occupancy accounting; [`occupancy`] is the batch
+/// wrapper. The horizon is tracked as the highest cycle folded so far
+/// (record streams are cycle-ordered, so this equals the last record's
+/// cycle), and still-open reservations close against it at
+/// [`LaneFold::finish`].
+#[derive(Default)]
+pub struct LaneFold {
+    horizon: Cycle,
+    /// The switch a probe searches is named by its circuit's launch, not
+    /// repeated on every hop.
+    switch_of: HashMap<u64, u8>,
+    stacks: HashMap<u64, HeldStack>,
+    /// Probes holding lanes on behalf of each circuit.
+    probes_of: HashMap<u64, Vec<u64>>,
+    acc: HashMap<(u32, u8), LaneStats>,
+}
+
+impl LaneFold {
+    /// An empty fold.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one record.
+    pub fn fold(&mut self, rec: &TraceRecord) {
+        self.horizon = self.horizon.max(rec.at);
         match rec.ev {
             TraceEvent::ProbeLaunch {
                 circuit, switch, ..
             } => {
-                switch_of.insert(circuit, switch);
+                self.switch_of.insert(circuit, switch);
             }
             TraceEvent::ProbeHop {
                 circuit,
@@ -70,9 +82,10 @@ pub fn occupancy(records: &[TraceRecord]) -> Vec<LaneStats> {
                 link,
                 ..
             } => {
-                let sw = switch_of.get(&circuit).copied().unwrap_or(1);
+                let sw = self.switch_of.get(&circuit).copied().unwrap_or(1);
                 let lane = (link, sw);
-                acc.entry(lane)
+                self.acc
+                    .entry(lane)
                     .or_insert(LaneStats {
                         link,
                         switch: sw,
@@ -80,46 +93,63 @@ pub fn occupancy(records: &[TraceRecord]) -> Vec<LaneStats> {
                         held_cycles: 0,
                     })
                     .reservations += 1;
-                stacks.entry(probe).or_default().push((lane, rec.at));
-                let ps = probes_of.entry(circuit).or_default();
+                self.stacks.entry(probe).or_default().push((lane, rec.at));
+                let ps = self.probes_of.entry(circuit).or_default();
                 if !ps.contains(&probe) {
                     ps.push(probe);
                 }
             }
             TraceEvent::ProbeBacktrack { probe, .. } => {
-                if let Some((lane, since)) = stacks.get_mut(&probe).and_then(Vec::pop) {
-                    close(lane, since, rec.at, &mut acc);
+                if let Some((lane, since)) = self.stacks.get_mut(&probe).and_then(Vec::pop) {
+                    close(lane, since, rec.at, &mut self.acc);
                 }
             }
             TraceEvent::CircuitReleased { circuit } | TraceEvent::CircuitAbandoned { circuit } => {
-                for probe in probes_of.remove(&circuit).unwrap_or_default() {
-                    for (lane, since) in stacks.remove(&probe).unwrap_or_default() {
-                        close(lane, since, rec.at, &mut acc);
+                for probe in self.probes_of.remove(&circuit).unwrap_or_default() {
+                    for (lane, since) in self.stacks.remove(&probe).unwrap_or_default() {
+                        close(lane, since, rec.at, &mut self.acc);
                     }
                 }
             }
             _ => {}
         }
     }
-    // Reservations still open when the trace ends are charged to the
-    // horizon; without this a saturated run would under-count its hottest
-    // (never-released) lanes.
-    for stack in stacks.into_values() {
-        for (lane, since) in stack {
-            close(lane, since, horizon, &mut acc);
-        }
-    }
 
-    let mut out: Vec<LaneStats> = acc.into_values().collect();
-    out.sort_by(|a, b| {
-        (b.held_cycles, b.reservations, a.link, a.switch).cmp(&(
-            a.held_cycles,
-            a.reservations,
-            b.link,
-            b.switch,
-        ))
-    });
-    out
+    /// Closes open reservations at the horizon and returns the lanes
+    /// sorted hottest first.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<LaneStats> {
+        // Reservations still open when the trace ends are charged to the
+        // horizon; without this a saturated run would under-count its
+        // hottest (never-released) lanes.
+        for stack in self.stacks.into_values() {
+            for (lane, since) in stack {
+                close(lane, since, self.horizon, &mut self.acc);
+            }
+        }
+        let mut out: Vec<LaneStats> = self.acc.into_values().collect();
+        out.sort_by(|a, b| {
+            (b.held_cycles, b.reservations, a.link, a.switch).cmp(&(
+                a.held_cycles,
+                a.reservations,
+                b.link,
+                b.switch,
+            ))
+        });
+        out
+    }
+}
+
+/// Computes per-lane reservation occupancy from a record stream. Returns
+/// lanes sorted hottest first (held cycles, then reservations, then lane
+/// id — a total order, so the result is deterministic).
+#[must_use]
+pub fn occupancy(records: &[TraceRecord]) -> Vec<LaneStats> {
+    let mut fold = LaneFold::new();
+    for rec in records {
+        fold.fold(rec);
+    }
+    fold.finish()
 }
 
 #[cfg(test)]

@@ -26,11 +26,11 @@
 pub mod faults;
 pub mod flows;
 pub mod lanes;
+pub mod live;
 pub mod report;
 pub mod series;
 pub mod spans;
 
-use wavesim_sim::stats::Histogram;
 use wavesim_sim::Cycle;
 use wavesim_trace::timeseries::WindowRow;
 use wavesim_trace::TraceRecord;
@@ -38,6 +38,7 @@ use wavesim_trace::TraceRecord;
 pub use faults::{FaultImpact, PhaseStats};
 pub use flows::FlowStats;
 pub use lanes::LaneStats;
+pub use live::{live_sink, take_analysis, LiveAnalytics, LiveHandle, LiveSink};
 pub use spans::{CircuitLog, MessageSpan, SpanMode, SpanSet};
 
 /// Analyzer knobs.
@@ -50,6 +51,10 @@ pub struct AnalyzeOptions {
     /// Node count for throughput normalization; inferred from the trace
     /// when `None`.
     pub nodes: Option<u64>,
+    /// 1-in-N bulk-kind sampling factor the capture was taken with
+    /// (`--trace-sample N`); counts derived from sampled kinds are scaled
+    /// back up by this. `1` (the default) means an unsampled capture.
+    pub sample_factor: u64,
 }
 
 impl Default for AnalyzeOptions {
@@ -58,6 +63,7 @@ impl Default for AnalyzeOptions {
             window: 1000,
             top_k: 10,
             nodes: None,
+            sample_factor: 1,
         }
     }
 }
@@ -118,66 +124,20 @@ pub struct Analysis {
     pub nodes: u64,
     /// Table row budget carried into the report.
     pub top_k: usize,
+    /// Sampling factor the sampled-kind counts were scaled by (1 for an
+    /// unsampled capture).
+    pub sample_factor: u64,
 }
 
 /// Runs every analysis pass over one record stream.
+///
+/// This is the batch entry point of [`live::LiveAnalytics`]: the records
+/// are folded one at a time through the same incremental engine the live
+/// plane runs, so an offline analysis of a capture and a live analysis of
+/// the same stream are byte-identical by construction.
 #[must_use]
 pub fn analyze(records: &[TraceRecord], opts: AnalyzeOptions) -> Analysis {
-    let spans = spans::reconstruct(records);
-    let flows = flows::attribute(records, &spans);
-    let lanes = lanes::occupancy(records);
-    let faults = faults::impact(records, &spans.spans);
-    let (series, nodes) = series::derive(records, opts.window.max(1), opts.nodes);
-
-    let mut hist = Histogram::new();
-    let (mut setup, mut queue, mut transit, mut flits) = (0u64, 0u64, 0u64, 0u64);
-    let mut by_mode = [0u64; 3];
-    for s in &spans.spans {
-        hist.record(s.latency());
-        setup += s.setup;
-        queue += s.queue;
-        transit += s.transit;
-        flits += u64::from(s.len_flits);
-        by_mode[match s.mode {
-            SpanMode::Circuit => 0,
-            SpanMode::Wormhole => 1,
-            SpanMode::Fallback => 2,
-        }] += 1;
-    }
-    let delivered = spans.spans.len() as u64;
-    let per = |x: u64| {
-        if delivered == 0 {
-            0.0
-        } else {
-            x as f64 / delivered as f64
-        }
-    };
-    let summary = Summary {
-        records: records.len() as u64,
-        first_at: records.first().map_or(0, |r| r.at),
-        last_at: records.last().map_or(0, |r| r.at),
-        delivered,
-        circuit_msgs: by_mode[0],
-        wormhole_msgs: by_mode[1],
-        fallback_msgs: by_mode[2],
-        in_flight: spans.in_flight,
-        flits,
-        mean_latency: hist.mean(),
-        p50: hist.p50().unwrap_or(0.0),
-        p95: hist.p95().unwrap_or(0.0),
-        p99: hist.p99().unwrap_or(0.0),
-        mean_setup: per(setup),
-        mean_queue: per(queue),
-        mean_transit: per(transit),
-    };
-    Analysis {
-        summary,
-        spans,
-        flows,
-        lanes,
-        faults,
-        series,
-        nodes,
-        top_k: opts.top_k,
-    }
+    let mut engine = live::LiveAnalytics::new(opts);
+    engine.fold_many(records);
+    engine.finish()
 }

@@ -1,0 +1,267 @@
+//! Live (streaming) analytics.
+//!
+//! [`LiveAnalytics`] composes the per-pass folds ([`SpanFold`],
+//! [`FlowFold`], [`LaneFold`], [`FaultFold`], [`SeriesFold`]) into one
+//! engine that consumes a record stream one [`TraceRecord`] at a time and
+//! produces the exact [`Analysis`] the offline [`crate::analyze`] path
+//! computes — `analyze` *is* this fold run over a slice, so live and
+//! offline results are identical by construction.
+//!
+//! For running beside a capture, [`live_sink`] wraps the fold in a
+//! [`wavesim_trace::stream::StreamSink`] whose "encoder" folds records on
+//! the writer thread instead of encoding bytes: the simulation thread only
+//! pays the existing chunk-and-send cost, and the fold keeps up off the
+//! hot path. After the sink is finished (joining the writer thread),
+//! [`take_analysis`] extracts the sealed [`Analysis`].
+
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use wavesim_sim::stats::Histogram;
+use wavesim_sim::Cycle;
+use wavesim_trace::stream::{ChunkEncoder, StreamSink};
+use wavesim_trace::TraceRecord;
+
+use crate::faults::FaultFold;
+use crate::flows::FlowFold;
+use crate::lanes::LaneFold;
+use crate::series::SeriesFold;
+use crate::spans::SpanFold;
+use crate::{Analysis, AnalyzeOptions, SpanMode, Summary};
+
+/// Incremental counterpart of [`crate::analyze`]: fold records as they
+/// arrive, then [`LiveAnalytics::finish`] into a full [`Analysis`].
+///
+/// Memory is bounded by the run's *entities* (messages, circuits, lanes,
+/// faults, windows), not by the record count — the bulk event classes
+/// (plane ticks, probe hops, cache lookups) fold into counters and never
+/// accumulate.
+pub struct LiveAnalytics {
+    opts: AnalyzeOptions,
+    records: u64,
+    first_at: Option<Cycle>,
+    last_at: Cycle,
+    spans: SpanFold,
+    flows: FlowFold,
+    lanes: LaneFold,
+    faults: FaultFold,
+    series: SeriesFold,
+}
+
+impl LiveAnalytics {
+    /// An empty engine with the given knobs.
+    #[must_use]
+    pub fn new(opts: AnalyzeOptions) -> Self {
+        LiveAnalytics {
+            opts,
+            records: 0,
+            first_at: None,
+            last_at: 0,
+            spans: SpanFold::new(),
+            flows: FlowFold::new(),
+            lanes: LaneFold::new(),
+            faults: FaultFold::new(),
+            series: SeriesFold::new(opts.window.max(1), opts.nodes),
+        }
+    }
+
+    /// Folds one record into every pass. Records must arrive in sequence
+    /// order, as every [`wavesim_trace::TraceSink`] stores them.
+    pub fn fold(&mut self, rec: &TraceRecord) {
+        self.records += 1;
+        self.first_at.get_or_insert(rec.at);
+        self.last_at = rec.at;
+        self.spans.fold(rec);
+        self.flows.fold(rec);
+        self.lanes.fold(rec);
+        self.faults.fold(rec);
+        self.series.fold(rec);
+    }
+
+    /// Folds a batch of records.
+    pub fn fold_many(&mut self, recs: &[TraceRecord]) {
+        for rec in recs {
+            self.fold(rec);
+        }
+    }
+
+    /// Records folded so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Seals every pass and assembles the [`Analysis`].
+    #[must_use]
+    pub fn finish(self) -> Analysis {
+        let factor = self.opts.sample_factor.max(1);
+        let spans = self.spans.finish();
+        let mut flows = self.flows.finish(&spans);
+        let mut lanes = self.lanes.finish();
+        let faults = self.faults.finish(&spans.spans);
+        let (series, nodes) = self.series.finish();
+
+        // A 1-in-N sampled capture keeps every lifecycle event but only
+        // one in N of the bulk kinds (cache lookups, probe hops), so the
+        // counts derived from those kinds under-report by the sampling
+        // factor. Scaling restores unbiased *rate* estimates; the factor
+        // is stamped into the report so readers know these are estimates.
+        // Multiplying by a constant preserves the sort orders.
+        if factor > 1 {
+            for f in &mut flows {
+                f.cache_hits *= factor;
+                f.cache_misses *= factor;
+            }
+            for l in &mut lanes {
+                l.reservations *= factor;
+                l.held_cycles *= factor;
+            }
+        }
+
+        let mut hist = Histogram::new();
+        let (mut setup, mut queue, mut transit, mut flits) = (0u64, 0u64, 0u64, 0u64);
+        let mut by_mode = [0u64; 3];
+        for s in &spans.spans {
+            hist.record(s.latency());
+            setup += s.setup;
+            queue += s.queue;
+            transit += s.transit;
+            flits += u64::from(s.len_flits);
+            by_mode[match s.mode {
+                SpanMode::Circuit => 0,
+                SpanMode::Wormhole => 1,
+                SpanMode::Fallback => 2,
+            }] += 1;
+        }
+        let delivered = spans.spans.len() as u64;
+        let per = |x: u64| {
+            if delivered == 0 {
+                0.0
+            } else {
+                x as f64 / delivered as f64
+            }
+        };
+        let summary = Summary {
+            records: self.records,
+            first_at: self.first_at.unwrap_or(0),
+            last_at: self.last_at,
+            delivered,
+            circuit_msgs: by_mode[0],
+            wormhole_msgs: by_mode[1],
+            fallback_msgs: by_mode[2],
+            in_flight: spans.in_flight,
+            flits,
+            mean_latency: hist.mean(),
+            p50: hist.p50().unwrap_or(0.0),
+            p95: hist.p95().unwrap_or(0.0),
+            p99: hist.p99().unwrap_or(0.0),
+            mean_setup: per(setup),
+            mean_queue: per(queue),
+            mean_transit: per(transit),
+        };
+        Analysis {
+            summary,
+            spans,
+            flows,
+            lanes,
+            faults,
+            series,
+            nodes,
+            top_k: self.opts.top_k,
+            sample_factor: factor,
+        }
+    }
+}
+
+/// Shared handle to a [`LiveAnalytics`] fold running on a capture writer
+/// thread. `None` once [`take_analysis`] has sealed it.
+pub type LiveHandle = Arc<Mutex<Option<LiveAnalytics>>>;
+
+/// A [`ChunkEncoder`] that folds records instead of encoding bytes, so
+/// the fold runs on the [`StreamSink`] writer thread.
+pub struct LiveEncoder {
+    handle: LiveHandle,
+}
+
+impl ChunkEncoder for LiveEncoder {
+    fn encode_chunk(&mut self, recs: &[TraceRecord], _out: &mut Vec<u8>) {
+        if let Some(live) = self.handle.lock().expect("live fold poisoned").as_mut() {
+            live.fold_many(recs);
+        }
+    }
+}
+
+/// The live-analytics sink: a [`StreamSink`] whose writer thread folds
+/// records and discards the (empty) byte output.
+pub type LiveSink = StreamSink<io::Sink, LiveEncoder>;
+
+/// Record batch size handed to the fold thread per channel send.
+const LIVE_CHUNK: usize = 8192;
+
+/// Arms a live fold: returns the shared handle and the [`TraceSink`]
+/// (tee it beside the capture sinks). Finish the sink — joining its
+/// writer thread — before calling [`take_analysis`].
+///
+/// [`TraceSink`]: wavesim_trace::TraceSink
+#[must_use]
+pub fn live_sink(opts: AnalyzeOptions) -> (LiveHandle, LiveSink) {
+    let handle: LiveHandle = Arc::new(Mutex::new(Some(LiveAnalytics::new(opts))));
+    let enc = LiveEncoder {
+        handle: Arc::clone(&handle),
+    };
+    let sink = StreamSink::with_encoder(io::sink(), enc, LIVE_CHUNK);
+    (handle, sink)
+}
+
+/// Seals the fold behind `handle` and returns its [`Analysis`]; `None`
+/// if it was already taken. Only call after the owning sink finished,
+/// otherwise in-queue records would be silently missing.
+#[must_use]
+pub fn take_analysis(handle: &LiveHandle) -> Option<Analysis> {
+    handle
+        .lock()
+        .expect("live fold poisoned")
+        .take()
+        .map(LiveAnalytics::finish)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavesim_trace::TraceSink;
+
+    #[test]
+    fn sink_folds_everything_before_take() {
+        let recs = vec![
+            TraceRecord {
+                at: 2,
+                seq: 0,
+                ev: wavesim_trace::TraceEvent::WormholeInject {
+                    msg: 1,
+                    src: 0,
+                    dest: 3,
+                    len_flits: 8,
+                },
+            },
+            TraceRecord {
+                at: 9,
+                seq: 1,
+                ev: wavesim_trace::TraceEvent::WormholeDeliver {
+                    msg: 1,
+                    src: 0,
+                    dest: 3,
+                    latency: 8,
+                },
+            },
+        ];
+        let (handle, mut sink) = live_sink(AnalyzeOptions::default());
+        sink.record_many(&recs);
+        TraceSink::finish(&mut sink).expect("finish");
+        let live = take_analysis(&handle).expect("first take");
+        assert!(take_analysis(&handle).is_none(), "second take is empty");
+        let offline = crate::analyze(&recs, AnalyzeOptions::default());
+        assert_eq!(live.summary.records, offline.summary.records);
+        assert_eq!(live.summary.delivered, 1);
+        assert_eq!(live.nodes, offline.nodes);
+    }
+}

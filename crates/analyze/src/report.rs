@@ -25,6 +25,12 @@ pub fn tables(a: &Analysis) -> Vec<Table> {
     let mut t = Table::new("A1", "run summary", &["metric", "value"]);
     let mut kv = |k: &str, v: String| t.push(vec![k.to_string(), v]);
     kv("trace records", s.records.to_string());
+    if a.sample_factor != 1 {
+        kv(
+            "sample factor",
+            format!("1/{} (sampled kinds rescaled)", a.sample_factor),
+        );
+    }
     kv("cycles", format!("{}..{}", s.first_at, s.last_at));
     kv("nodes", a.nodes.to_string());
     kv("delivered", s.delivered.to_string());
@@ -174,7 +180,7 @@ pub fn render(a: &Analysis) -> String {
 #[must_use]
 pub fn to_json(a: &Analysis) -> Value {
     let s = &a.summary;
-    let summary = Value::obj(vec![
+    let mut summary_rows = vec![
         ("records", s.records.into()),
         ("first_at", s.first_at.into()),
         ("last_at", s.last_at.into()),
@@ -192,7 +198,11 @@ pub fn to_json(a: &Analysis) -> Value {
         ("mean_setup", s.mean_setup.into()),
         ("mean_queue", s.mean_queue.into()),
         ("mean_transit", s.mean_transit.into()),
-    ]);
+    ];
+    if a.sample_factor != 1 {
+        summary_rows.insert(1, ("sample_factor", a.sample_factor.into()));
+    }
+    let summary = Value::obj(summary_rows);
     let flows = Value::Arr(
         a.flows
             .iter()
@@ -379,6 +389,43 @@ mod tests {
             );
         }
         assert!(r1.contains("0->3"));
+    }
+
+    #[test]
+    fn sample_factor_is_stamped_only_when_sampled() {
+        let unsampled = analyze(&sample(), AnalyzeOptions::default());
+        let r = render(&unsampled);
+        assert!(
+            !r.contains("sample factor"),
+            "unsampled report is unchanged"
+        );
+        assert!(to_json(&unsampled)
+            .get("summary")
+            .and_then(|s| s.get("sample_factor"))
+            .is_none());
+
+        let sampled = analyze(
+            &sample(),
+            AnalyzeOptions {
+                sample_factor: 8,
+                ..AnalyzeOptions::default()
+            },
+        );
+        let r = render(&sampled);
+        assert!(r.contains("sample factor"), "{r}");
+        assert!(r.contains("1/8"), "{r}");
+        assert_eq!(
+            to_json(&sampled)
+                .get("summary")
+                .and_then(|s| s.get("sample_factor"))
+                .and_then(Value::as_u64),
+            Some(8)
+        );
+        // Sampled-kind counts (cache hits/misses) are rescaled by the
+        // factor; exact-kind counts (deliveries) are not.
+        let f = &sampled.flows[0];
+        assert_eq!(f.cache_misses, 8, "1 sampled miss × factor 8");
+        assert_eq!(f.delivered, 1, "deliveries are never sampled");
     }
 
     #[test]

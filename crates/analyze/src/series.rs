@@ -41,7 +41,98 @@ fn visit_nodes(ev: &TraceEvent, mut visit: impl FnMut(u32)) {
         | TraceEvent::CircuitReleased { .. }
         | TraceEvent::CircuitAbandoned { .. }
         | TraceEvent::LaneFault { .. }
-        | TraceEvent::LaneRepair { .. } => {}
+        | TraceEvent::LaneRepair { .. }
+        | TraceEvent::WatchdogTrip { .. } => {}
+    }
+}
+
+/// Incremental window-series derivation; [`derive`] is the batch wrapper.
+///
+/// The offline path infers the node count in a prepass; the fold instead
+/// tracks the highest node id seen while folding. That is equivalent
+/// because [`WindowSeries`] rows never read the node count — it only
+/// normalizes throughput at render time — so the fold constructs the
+/// series with a placeholder and reports the inferred count at
+/// [`SeriesFold::finish`].
+pub struct SeriesFold {
+    series: WindowSeries,
+    explicit_nodes: Option<u64>,
+    max_node: u32,
+    flits_of: HashMap<u64, u32>,
+    cur_at: Option<Cycle>,
+    touched: HashSet<u32>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SeriesFold {
+    /// An empty fold over `window`-cycle windows. `nodes` as in
+    /// [`derive`].
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: u64, nodes: Option<u64>) -> Self {
+        SeriesFold {
+            series: WindowSeries::new(window, nodes.unwrap_or(1).max(1)),
+            explicit_nodes: nodes,
+            max_node: 0,
+            flits_of: HashMap::new(),
+            cur_at: None,
+            touched: HashSet::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn flush(&mut self, at: Cycle) {
+        self.series
+            .observe(at, self.touched.len() as u64, self.hits, self.misses);
+        self.touched.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Folds one record. Records must arrive in cycle order.
+    pub fn fold(&mut self, rec: &TraceRecord) {
+        if let Some(c) = self.cur_at {
+            if c != rec.at {
+                self.flush(c);
+            }
+        }
+        self.cur_at = Some(rec.at);
+        let max_node = &mut self.max_node;
+        let touched = &mut self.touched;
+        visit_nodes(&rec.ev, |n| {
+            *max_node = (*max_node).max(n);
+            touched.insert(n);
+        });
+        match rec.ev {
+            TraceEvent::TransferStart { msg, len_flits, .. }
+            | TraceEvent::WormholeInject { msg, len_flits, .. } => {
+                self.flits_of.insert(msg, len_flits);
+            }
+            TraceEvent::CacheHit { .. } => self.hits += 1,
+            TraceEvent::CacheMiss { .. } => self.misses += 1,
+            TraceEvent::WormholeDeliver { msg, latency, .. }
+            | TraceEvent::CircuitDeliver { msg, latency, .. } => {
+                let flits = u64::from(self.flits_of.get(&msg).copied().unwrap_or(0));
+                self.series.record_delivery(rec.at, latency, flits);
+            }
+            _ => {}
+        }
+    }
+
+    /// Flushes the tail window and returns the rows plus the node count
+    /// used (the explicit count, or the inferred highest-node-plus-one).
+    #[must_use]
+    pub fn finish(mut self) -> (Vec<WindowRow>, u64) {
+        let end = self.cur_at.map_or(0, |at| at + 1);
+        if let Some(at) = self.cur_at {
+            self.flush(at);
+        }
+        let nodes = self.explicit_nodes.unwrap_or(u64::from(self.max_node) + 1);
+        (self.series.finish(end), nodes)
     }
 }
 
@@ -51,69 +142,11 @@ fn visit_nodes(ev: &TraceEvent, mut visit: impl FnMut(u32)) {
 /// bound otherwise). Returns the rows and the node count used.
 #[must_use]
 pub fn derive(records: &[TraceRecord], window: u64, nodes: Option<u64>) -> (Vec<WindowRow>, u64) {
-    let nodes = nodes.unwrap_or_else(|| {
-        let mut max_node = 0u32;
-        for rec in records {
-            visit_nodes(&rec.ev, |n| max_node = max_node.max(n));
-        }
-        u64::from(max_node) + 1
-    });
-    let mut flits_of: HashMap<u64, u32> = HashMap::new();
+    let mut fold = SeriesFold::new(window, nodes);
     for rec in records {
-        match rec.ev {
-            TraceEvent::TransferStart { msg, len_flits, .. }
-            | TraceEvent::WormholeInject { msg, len_flits, .. } => {
-                flits_of.insert(msg, len_flits);
-            }
-            _ => {}
-        }
+        fold.fold(rec);
     }
-
-    let mut series = WindowSeries::new(window, nodes.max(1));
-    let mut cur_at: Option<Cycle> = None;
-    let mut touched: HashSet<u32> = HashSet::new();
-    let mut hits = 0u64;
-    let mut misses = 0u64;
-    let flush = |series: &mut WindowSeries,
-                 at: Cycle,
-                 touched: &mut HashSet<u32>,
-                 hits: &mut u64,
-                 misses: &mut u64| {
-        series.observe(at, touched.len() as u64, *hits, *misses);
-        touched.clear();
-        *hits = 0;
-        *misses = 0;
-    };
-    for rec in records {
-        if cur_at.is_some_and(|c| c != rec.at) {
-            flush(
-                &mut series,
-                cur_at.unwrap(),
-                &mut touched,
-                &mut hits,
-                &mut misses,
-            );
-        }
-        cur_at = Some(rec.at);
-        visit_nodes(&rec.ev, |n| {
-            touched.insert(n);
-        });
-        match rec.ev {
-            TraceEvent::CacheHit { .. } => hits += 1,
-            TraceEvent::CacheMiss { .. } => misses += 1,
-            TraceEvent::WormholeDeliver { msg, latency, .. }
-            | TraceEvent::CircuitDeliver { msg, latency, .. } => {
-                let flits = u64::from(flits_of.get(&msg).copied().unwrap_or(0));
-                series.record_delivery(rec.at, latency, flits);
-            }
-            _ => {}
-        }
-    }
-    if let Some(at) = cur_at {
-        flush(&mut series, at, &mut touched, &mut hits, &mut misses);
-    }
-    let end = records.last().map_or(0, |r| r.at + 1);
-    (series.finish(end), nodes)
+    fold.finish()
 }
 
 #[cfg(test)]

@@ -158,14 +158,27 @@ fn segments(
     (setup, to_start - setup, latency - to_start)
 }
 
-/// Reconstructs every delivered message's span (and every circuit's
-/// lifecycle) from a record stream. Records must be in sequence order, as
-/// every [`wavesim_trace::TraceSink`] stores them.
-#[must_use]
-pub fn reconstruct(records: &[TraceRecord]) -> SpanSet {
-    let mut set = SpanSet::default();
-    let mut pending: HashMap<u64, Pending> = HashMap::new();
-    for rec in records {
+/// Incremental span reconstruction: feed records one at a time with
+/// [`SpanFold::fold`], then [`SpanFold::finish`]. [`reconstruct`] is the
+/// batch wrapper, so both paths produce identical results by construction.
+#[derive(Default)]
+pub struct SpanFold {
+    set: SpanSet,
+    pending: HashMap<u64, Pending>,
+}
+
+impl SpanFold {
+    /// An empty fold.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one record. Records must arrive in sequence order, as every
+    /// [`wavesim_trace::TraceSink`] stores them.
+    pub fn fold(&mut self, rec: &TraceRecord) {
+        let set = &mut self.set;
+        let pending = &mut self.pending;
         let at = rec.at;
         match rec.ev {
             TraceEvent::ProbeLaunch {
@@ -292,15 +305,33 @@ pub fn reconstruct(records: &[TraceRecord]) -> SpanSet {
             _ => {}
         }
     }
-    set.in_flight = pending.len() as u64;
-    if set.circuit_protocol {
-        for s in &mut set.spans {
-            if s.mode == SpanMode::Wormhole {
-                s.mode = SpanMode::Fallback;
+
+    /// Seals the fold: counts unfinished transfers and rewrites wormhole
+    /// deliveries to fallbacks when the trace carries circuit traffic.
+    #[must_use]
+    pub fn finish(mut self) -> SpanSet {
+        self.set.in_flight = self.pending.len() as u64;
+        if self.set.circuit_protocol {
+            for s in &mut self.set.spans {
+                if s.mode == SpanMode::Wormhole {
+                    s.mode = SpanMode::Fallback;
+                }
             }
         }
+        self.set
     }
-    set
+}
+
+/// Reconstructs every delivered message's span (and every circuit's
+/// lifecycle) from a record stream. Records must be in sequence order, as
+/// every [`wavesim_trace::TraceSink`] stores them.
+#[must_use]
+pub fn reconstruct(records: &[TraceRecord]) -> SpanSet {
+    let mut fold = SpanFold::new();
+    for rec in records {
+        fold.fold(rec);
+    }
+    fold.finish()
 }
 
 #[cfg(test)]

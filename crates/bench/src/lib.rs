@@ -32,11 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod livestate;
 pub mod metrics;
 pub mod runner;
+pub mod serve;
 pub mod table;
 pub mod timeseries;
 pub mod tracecap;
+pub mod watchdog;
 
 pub use runner::{
     apply_fault_schedule, drive, run_carp_trace, run_dep_trace, run_open_loop, run_request_reply,

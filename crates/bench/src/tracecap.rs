@@ -47,7 +47,14 @@ thread_local! {
     static BIN_PATH: RefCell<Option<(PathBuf, u64)>> = const { RefCell::new(None) };
     /// Traces captured on this thread, in run order.
     static CAPTURED: RefCell<Vec<RunTrace>> = const { RefCell::new(Vec::new()) };
+    /// Factory producing an extra sink teed beside the capture sinks at
+    /// every run start (the CLI installs the live-analytics fold here;
+    /// `wavesim-bench` cannot depend on `wavesim-analyze`, so the fold is
+    /// injected from above as an opaque [`TraceSink`]).
+    static EXTRA: RefCell<Option<ExtraFactory>> = const { RefCell::new(None) };
 }
+
+type ExtraFactory = Box<dyn FnMut() -> Box<dyn TraceSink>>;
 
 /// One run's flight-recorder contents plus outcome metadata.
 #[derive(Debug, Clone)]
@@ -185,6 +192,30 @@ pub fn disarm_bin_stream() {
     BIN_PATH.set(None);
 }
 
+/// Arms an extra trace sink for *every* subsequent [`crate::drive`] call
+/// on this thread: `factory` is invoked at each run start and its sink is
+/// teed beside the capture sinks (the flight recorder stays the
+/// query-answering primary). The live-observability plane rides here —
+/// the CLI arms a [`wavesim-analyze`] streaming fold without
+/// `wavesim-bench` depending on that crate. Cleared by
+/// [`disarm_extra_sink`].
+///
+/// [`wavesim-analyze`]: https://docs.rs/wavesim-analyze
+pub fn arm_extra_sink(factory: impl FnMut() -> Box<dyn TraceSink> + 'static) {
+    EXTRA.set(Some(Box::new(factory)));
+}
+
+/// Clears the extra-sink factory.
+pub fn disarm_extra_sink() {
+    EXTRA.take();
+}
+
+/// True when an extra-sink factory is armed on this thread.
+#[must_use]
+pub fn extra_sink_armed() -> bool {
+    EXTRA.with_borrow(Option::is_some)
+}
+
 /// Installs a trace sink into `net` if this thread is armed: the flight
 /// recorder, optionally teed into pending JSONL and/or binary columnar
 /// streams (the recorder stays the query-answering primary through the
@@ -215,7 +246,8 @@ pub(crate) fn install(net: &mut WaveNetwork) -> bool {
             }
         })
     });
-    if capacity.is_none() && jsonl.is_none() && bin.is_none() {
+    let extra = EXTRA.with_borrow_mut(|f| f.as_mut().map(|make| make()));
+    if capacity.is_none() && jsonl.is_none() && bin.is_none() && extra.is_none() {
         return false;
     }
     let mut sink: Box<dyn TraceSink> =
@@ -225,6 +257,9 @@ pub(crate) fn install(net: &mut WaveNetwork) -> bool {
     }
     if let Some(s) = bin {
         sink = Box::new(TeeSink::new(sink, Box::new(s)));
+    }
+    if let Some(s) = extra {
+        sink = Box::new(TeeSink::new(sink, s));
     }
     net.install_trace_sink(sink);
     true

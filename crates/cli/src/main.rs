@@ -85,9 +85,34 @@
 //! `--trace-sample N` keeps 1-in-N of the bulk event kinds (plane ticks,
 //! probe hops, cache probes) deterministically while always keeping
 //! lifecycle events. `analyze --trace` accepts either format
-//! transparently, and `wavesim convert-trace IN --out FILE [--to
-//! jsonl|bin]` converts losslessly between them (`validate-trace` also
-//! recognises both, alongside Perfetto exports).
+//! transparently (pass the same `--trace-sample N` to rescale a sampled
+//! capture's bulk counts; the factor is stamped into the report), and
+//! `wavesim convert-trace IN --out FILE [--to jsonl|bin]` converts
+//! losslessly between them (`validate-trace` also recognises both,
+//! alongside Perfetto exports). Both `analyze` and `convert-trace`
+//! stream their input frame-by-frame, so arbitrarily large captures are
+//! processed in bounded memory.
+//!
+//! Live observability (`run` and experiments): `--serve-metrics ADDR`
+//! binds a dependency-free HTTP endpoint serving the running simulation's
+//! vitals (`GET /metrics` Prometheus text, `GET /status` JSON);
+//! `--live-status` prints a one-line progress report to stderr every 8192
+//! cycles. Both read a snapshot board the drive loop publishes every 64
+//! cycles — stdout stays byte-identical to an unserved run.
+//! `--live-analyze` (`run` only) folds the full record stream through the
+//! incremental analytics engine *during* the run on the capture writer
+//! thread and prints the same report `analyze` would, with no second pass
+//! over a trace file.
+//!
+//! Watchdogs (`run` and experiments): `--watch-stall N` trips when no
+//! message is delivered for N cycles, `--watch-retries N` on more than N
+//! establishment retries in a 4096-cycle window, `--watch-imbalance F` when
+//! the slowest shard exceeds F× the mean wall time (nondeterministic —
+//! off by default), `--watch-deadlock` runs a wait-for-graph cycle search
+//! once the fabric stops for 2048 cycles. A trip stamps a `watchdog_trip`
+//! record into the trace; `--watch-postmortem FILE` additionally flushes a
+//! flight-recorder post-mortem bundle, and `--watch-abort` ends the run
+//! with a nonzero exit.
 //! ```
 
 use std::env;
@@ -118,8 +143,11 @@ fn usage() -> ! {
          trace flags: --trace-out FILE --metrics-out FILE --flight-recorder N\n\
                       --trace-jsonl FILE --trace-bin FILE --trace-sample N\n\
                       --timeseries-out FILE --window N --progress N\n\
+         live flags:  --serve-metrics ADDR --live-status --live-analyze\n\
+         watchdogs:   --watch-stall N --watch-retries N --watch-imbalance F\n\
+                      --watch-deadlock --watch-abort --watch-postmortem FILE\n\
          analyze flags: --trace FILE [--report FILE] [--json FILE] [--timeseries FILE]\n\
-                        [--window N] [--top N]\n\
+                        [--window N] [--top N] [--trace-sample N]\n\
          convert-trace: wavesim convert-trace IN --out FILE [--to jsonl|bin]"
     );
     std::process::exit(2);
@@ -163,6 +191,17 @@ struct Args {
     timeseries_out: Option<String>,
     window: u64,
     progress: Option<u64>,
+    // live observability plane
+    serve_metrics: Option<String>,
+    live_status: bool,
+    live_analyze: bool,
+    // watchdog rules
+    watch_stall: Option<u64>,
+    watch_retries: Option<u64>,
+    watch_imbalance: Option<f64>,
+    watch_deadlock: bool,
+    watch_abort: bool,
+    watch_postmortem: Option<String>,
     // `analyze` inputs/outputs
     trace_in: Option<String>,
     report_out: Option<String>,
@@ -223,6 +262,15 @@ fn parse_args() -> Args {
         timeseries_out: None,
         window: 1000,
         progress: None,
+        serve_metrics: None,
+        live_status: false,
+        live_analyze: false,
+        watch_stall: None,
+        watch_retries: None,
+        watch_imbalance: None,
+        watch_deadlock: false,
+        watch_abort: false,
+        watch_postmortem: None,
         trace_in: None,
         report_out: None,
         json_out: None,
@@ -365,6 +413,29 @@ fn parse_args() -> Args {
             "--fault-schedule" => {
                 args.fault_schedule = Some(argv.next().unwrap_or_else(|| usage()));
             }
+            "--serve-metrics" => {
+                args.serve_metrics = Some(argv.next().unwrap_or_else(|| usage()));
+            }
+            "--live-status" => args.live_status = true,
+            "--live-analyze" => args.live_analyze = true,
+            "--watch-stall" => {
+                args.watch_stall = Some(next_parse!(argv));
+                if args.watch_stall == Some(0) {
+                    usage();
+                }
+            }
+            "--watch-retries" => args.watch_retries = Some(next_parse!(argv)),
+            "--watch-imbalance" => {
+                args.watch_imbalance = Some(next_parse!(argv));
+                if args.watch_imbalance.is_some_and(|f| f <= 1.0) {
+                    usage();
+                }
+            }
+            "--watch-deadlock" => args.watch_deadlock = true,
+            "--watch-abort" => args.watch_abort = true,
+            "--watch-postmortem" => {
+                args.watch_postmortem = Some(argv.next().unwrap_or_else(|| usage()));
+            }
             "--trace-out" => args.trace_out = Some(argv.next().unwrap_or_else(|| usage())),
             "--metrics-out" => args.metrics_out = Some(argv.next().unwrap_or_else(|| usage())),
             "--flight-recorder" => {
@@ -498,34 +569,53 @@ fn convert_trace(args: &Args) -> bool {
         eprintln!("error: convert-trace needs --out FILE");
         return false;
     };
-    let records = match wavesim_trace::stream::read_trace_file(std::path::Path::new(input)) {
+    // Stream end to end: the reader decodes the input frame-by-frame and
+    // the writer is the same chunked background sink the capture path
+    // uses, so conversion runs in bounded memory at any capture size.
+    use wavesim_trace::stream::TraceReader as _;
+    let mut reader = match wavesim_trace::stream::stream_trace_file(std::path::Path::new(input)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {input}: {e}");
             return false;
         }
     };
-    let (bytes, what) = if args.to_bin {
-        let mut buf = wavesim_trace::ColumnarBuf::new();
-        buf.record_many(&records);
-        (buf.into_bytes(), "binary columnar")
-    } else {
-        let mut text = String::new();
-        for rec in &records {
-            wavesim_trace::stream::encode_record(&mut text, rec);
-            text.push('\n');
+    let (mut sink, what): (Box<dyn TraceSink>, &str) = if args.to_bin {
+        match wavesim_trace::stream::ColumnarSink::create(std::path::Path::new(out)) {
+            Ok(s) => (Box::new(s), "binary columnar"),
+            Err(e) => {
+                eprintln!("error: cannot write {out}: {e}");
+                return false;
+            }
         }
-        (text.into_bytes(), "JSONL")
+    } else {
+        match wavesim_trace::stream::JsonlSink::create(std::path::Path::new(out)) {
+            Ok(s) => (Box::new(s), "JSONL"),
+            Err(e) => {
+                eprintln!("error: cannot write {out}: {e}");
+                return false;
+            }
+        }
     };
-    if let Err(e) = std::fs::write(out, &bytes) {
+    let mut n: u64 = 0;
+    while let Some(rec) = reader.next_record() {
+        match rec {
+            Ok(r) => {
+                sink.record(r);
+                n += 1;
+            }
+            Err(e) => {
+                eprintln!("error: {input}: {e}");
+                return false;
+            }
+        }
+    }
+    if let Err(e) = sink.finish() {
         eprintln!("error: cannot write {out}: {e}");
         return false;
     }
-    println!(
-        "converted {input} -> {out}: {} records as {what} ({} bytes)",
-        records.len(),
-        bytes.len()
-    );
+    let bytes = std::fs::metadata(out).map_or(0, |m| m.len());
+    println!("converted {input} -> {out}: {n} records as {what} ({bytes} bytes)");
     true
 }
 
@@ -584,6 +674,68 @@ fn apply_fault_inputs(net: &mut WaveNetwork, args: &Args) -> bool {
         println!("scheduled dynamic faults: {path} ({} events)", sched.len());
     }
     true
+}
+
+/// Builds the watchdog rule set from the `--watch-*` flags.
+fn watchdog_config(args: &Args) -> wavesim_bench::watchdog::WatchdogConfig {
+    wavesim_bench::watchdog::WatchdogConfig {
+        stall_cycles: args.watch_stall,
+        retry_limit: args.watch_retries,
+        imbalance: args.watch_imbalance,
+        deadlock: args.watch_deadlock,
+        abort: args.watch_abort,
+        post_mortem: args.watch_postmortem.as_ref().map(std::path::PathBuf::from),
+    }
+}
+
+/// Arms the live-status board and (with `--serve-metrics`) binds the HTTP
+/// endpoint. Everything the plane emits goes to stderr or the socket, so
+/// stdout stays byte-identical to an unserved run.
+fn arm_live_plane(args: &Args) -> bool {
+    if args.live_status || args.serve_metrics.is_some() {
+        wavesim_bench::livestate::arm(args.live_status);
+    }
+    if let Some(addr) = &args.serve_metrics {
+        match wavesim_bench::serve::serve(addr) {
+            Ok(local) => {
+                eprintln!("serving live metrics on http://{local}/metrics (JSON status at /status)")
+            }
+            Err(e) => {
+                eprintln!("error: --serve-metrics {addr}: {e}");
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Prints every watched run's trips; returns `true` when any trip aborted
+/// a run (the caller turns that into a nonzero exit).
+fn print_watchdog_reports() -> bool {
+    let mut aborted = false;
+    for rep in wavesim_bench::watchdog::take_reports() {
+        for t in &rep.trips {
+            let name = match t.rule {
+                1 => "stall",
+                2 => "retry-storm",
+                3 => "shard-imbalance",
+                4 => "wait-cycle",
+                _ => "unknown",
+            };
+            println!(
+                "watchdog: {name} tripped at cycle {}: {} > limit {}",
+                t.at, t.value, t.limit
+            );
+        }
+        if let Some(p) = &rep.post_mortem {
+            println!("watchdog: wrote post-mortem bundle: {}", p.display());
+        }
+        if rep.aborted {
+            println!("watchdog: run aborted");
+            aborted = true;
+        }
+    }
+    aborted
 }
 
 /// What a `run` invocation produced: the open-loop and replay modes share
@@ -684,6 +836,33 @@ fn custom_run(args: &Args) -> bool {
             args.progress.is_some(),
         );
     }
+    let watch = watchdog_config(args);
+    if watch.any() {
+        // A post-mortem bundle carries the flight recorder's tail, so make
+        // sure one is recording even when no export flag armed it.
+        if watch.post_mortem.is_some() && !tracing {
+            tracecap::arm_flight_recorder(args.flight_recorder);
+        }
+        wavesim_bench::watchdog::arm(watch);
+    }
+    if !arm_live_plane(args) {
+        return false;
+    }
+    let live_handle = if args.live_analyze {
+        let (handle, sink) = wavesim_analyze::live_sink(wavesim_analyze::AnalyzeOptions {
+            window: args.window,
+            top_k: args.top,
+            nodes: None,
+            sample_factor: 1,
+        });
+        let mut slot = Some(sink);
+        tracecap::arm_extra_sink(move || {
+            Box::new(slot.take().expect("one live-analytics sink per run"))
+        });
+        Some(handle)
+    } else {
+        None
+    };
     let outcome = if let Some(trace) = &replay {
         RunOutcome::Flat(wavesim_bench::run_dep_trace(
             &mut net,
@@ -731,6 +910,10 @@ fn custom_run(args: &Args) -> bool {
             RunSpec::standard(warmup, args.cycles),
         ))
     };
+    if wavesim_bench::watchdog::armed() {
+        wavesim_bench::watchdog::disarm();
+    }
+    let watchdog_aborted = print_watchdog_reports();
     let counters = if sampling {
         wavesim_bench::timeseries::disarm_sampler();
         let series = wavesim_bench::timeseries::take_series();
@@ -875,10 +1058,25 @@ fn custom_run(args: &Args) -> bool {
             s.lane_faults, s.lane_repairs, s.circuits_broken, s.establish_retries
         );
     }
+    let ok = ok && !watchdog_aborted;
     println!(
         "  verdict          : {}",
         if ok { "CLEAN" } else { "CHECK FAILED" }
     );
+    if let Some(handle) = &live_handle {
+        tracecap::disarm_extra_sink();
+        match wavesim_analyze::take_analysis(handle) {
+            Some(a) => {
+                println!();
+                println!("live analytics (folded during the run):");
+                print!("{}", wavesim_analyze::report::render(&a));
+            }
+            None => {
+                eprintln!("error: live analytics produced no analysis");
+                return false;
+            }
+        }
+    }
     ok
 }
 
@@ -960,21 +1158,33 @@ fn analyze_cmd(args: &Args) -> bool {
         );
         return false;
     };
-    let records = match wavesim_trace::stream::read_trace_file(std::path::Path::new(path)) {
+    // Stream the capture record-by-record into the incremental engine:
+    // peak memory is one frame, whatever the capture size, and the result
+    // is identical to the offline fold by construction.
+    use wavesim_trace::stream::TraceReader as _;
+    let mut reader = match wavesim_trace::stream::stream_trace_file(std::path::Path::new(path)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {path}: {e}");
             return false;
         }
     };
-    let analysis = wavesim_analyze::analyze(
-        &records,
-        wavesim_analyze::AnalyzeOptions {
-            window: args.window,
-            top_k: args.top,
-            nodes: None,
-        },
-    );
+    let mut live = wavesim_analyze::LiveAnalytics::new(wavesim_analyze::AnalyzeOptions {
+        window: args.window,
+        top_k: args.top,
+        nodes: None,
+        sample_factor: args.trace_sample.max(1),
+    });
+    while let Some(rec) = reader.next_record() {
+        match rec {
+            Ok(r) => live.fold(&r),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return false;
+            }
+        }
+    }
+    let analysis = live.finish();
     let report = wavesim_analyze::report::render(&analysis);
     match &args.report_out {
         Some(out) => {
@@ -1008,14 +1218,24 @@ fn analyze_cmd(args: &Args) -> bool {
 fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &Args) -> bool {
     let tracing =
         args.trace_out.is_some() || args.trace_jsonl.is_some() || args.trace_bin.is_some();
-    let jobs = if tracing && jobs > 1 {
-        eprintln!("note: tracing forces --jobs 1 (the capture is thread-local)");
+    let watch = watchdog_config(args);
+    let jobs = if (tracing || watch.any()) && jobs > 1 {
+        eprintln!("note: tracing and watchdogs force --jobs 1 (both are thread-local)");
         1
     } else {
         jobs
     };
     if args.metrics_out.is_some() {
         eprintln!("note: --metrics-out applies to `run` only; ignored for experiments");
+    }
+    if args.live_analyze {
+        eprintln!("note: --live-analyze applies to `run` only; ignored for experiments");
+    }
+    if !arm_live_plane(args) {
+        return false;
+    }
+    if watch.any() {
+        wavesim_bench::watchdog::arm(watch);
     }
     if tracing {
         tracecap::arm_flight_recorder(args.flight_recorder);
@@ -1047,6 +1267,10 @@ fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &A
             }
         }
     }
+    if wavesim_bench::watchdog::armed() {
+        wavesim_bench::watchdog::disarm();
+    }
+    let watchdog_aborted = print_watchdog_reports();
     if tracing {
         tracecap::disarm_flight_recorder();
         tracecap::disarm_jsonl_stream();
@@ -1084,7 +1308,7 @@ fn run_experiments(ids: &[&str], scale: Scale, json: bool, jobs: usize, args: &A
             None => eprintln!("note: no run captured; no trace written"),
         }
     }
-    true
+    !watchdog_aborted
 }
 
 /// Builds a model-checker spec from the CLI flags. `--model` selects the

@@ -53,7 +53,7 @@ pub use dataplane::DataPlane;
 pub use events::{EventBus, PlaneEvent};
 pub use ids::{CircuitId, LaneId, ProbeId};
 pub use lanes::{LaneState, LaneTable};
-pub use network::{FaultEvent, WaveNetwork};
+pub use network::{FaultEvent, HealthSnapshot, WaveNetwork};
 pub use probe::{ProbeFlit, ProbeState};
 pub use snapshot::{CircuitSnap, LaneUse, NetSnapshot, ProbeSnap};
 pub use stats::WaveStats;

@@ -102,6 +102,25 @@ impl FaultEvent {
     }
 }
 
+/// A cheap cross-plane health snapshot ([`WaveNetwork::health`]): the
+/// instantaneous quantities live observers poll without perturbing the
+/// run.
+#[derive(Debug, Clone, Default)]
+pub struct HealthSnapshot {
+    /// Flits currently in the wormhole fabric.
+    pub in_flight_flits: u64,
+    /// Messages accepted but not yet delivered.
+    pub outstanding_msgs: u64,
+    /// Routers currently doing work, across planes.
+    pub active_routers: u64,
+    /// Pending control-plane events (probes, acks, teardowns, transfers).
+    pub control_backlog: u64,
+    /// Cycles since any flit last moved in the fabric.
+    pub progress_age: u64,
+    /// Per-shard wall-clock nanoseconds spent stepping the fabric.
+    pub shard_wall_ns: Vec<u64>,
+}
+
 /// The complete wave-switched network (Fig. 2 routers at every node):
 /// three plane engines composed over an event bus.
 pub struct WaveNetwork {
@@ -253,6 +272,34 @@ impl WaveNetwork {
     /// Flushes the hub's pending batch first so the view is current.
     pub fn trace_sink(&mut self) -> Option<&dyn TraceSink> {
         self.trace.sink()
+    }
+
+    /// Emits an out-of-band annotation into the trace stream (no-op when
+    /// untraced). Watchdogs and other observers use this to stamp
+    /// structured events — e.g. [`TraceEvent::WatchdogTrip`] — into the
+    /// same globally-sequenced record stream the planes write, so a
+    /// post-mortem shows exactly where the observer fired relative to
+    /// protocol activity.
+    pub fn trace_note(&mut self, now: Cycle, ev: TraceEvent) {
+        if self.trace.armed() {
+            self.trace.emit(now, ev);
+        }
+    }
+
+    /// A cheap cross-plane health snapshot for live observers (watchdogs,
+    /// the metrics endpoint). Every field is O(1) to read except the
+    /// per-shard walls, which borrow the fabric's existing accounting.
+    #[must_use]
+    pub fn health(&self, now: Cycle) -> HealthSnapshot {
+        let fabric = self.data.fabric();
+        HealthSnapshot {
+            in_flight_flits: fabric.in_flight_flits(),
+            outstanding_msgs: self.outstanding_msgs,
+            active_routers: self.active_routers(),
+            control_backlog: self.control_backlog() as u64,
+            progress_age: fabric.progress_age(now),
+            shard_wall_ns: fabric.shard_wall_ns().to_vec(),
+        }
     }
 
     // ------------------------------------------------------------------

@@ -122,6 +122,7 @@ const T_LANE_FAULT: u8 = 20;
 const T_LANE_REPAIR: u8 = 21;
 const T_CIRCUIT_BROKEN: u8 = 22;
 const T_ESTABLISH_RETRY: u8 = 23;
+const T_WATCHDOG_TRIP: u8 = 24;
 
 // ---------------------------------------------------------------------
 // Per-frame id interner
@@ -512,6 +513,12 @@ fn encode_event(ev: &TraceEvent, p: &mut Vec<u8>, ids: &mut Interner) -> (u8, bo
             push_varint(p, u64::from(attempt));
             (T_ESTABLISH_RETRY, false)
         }
+        TraceEvent::WatchdogTrip { rule, value, limit } => {
+            push_varint(p, u64::from(rule));
+            push_varint(p, value);
+            push_varint(p, limit);
+            (T_WATCHDOG_TRIP, false)
+        }
     }
 }
 
@@ -640,83 +647,93 @@ impl<'a> ColumnarReader<'a> {
     fn decode_frame(&mut self) -> Result<bool, String> {
         self.frame.clear();
         self.next = 0;
-        if self.pos >= self.bytes.len() {
-            return Ok(false);
-        }
-        let b = self.bytes;
-        let pos = &mut self.pos;
-        let n = read_varint(b, pos)? as usize;
-        if n == 0 {
-            return Err("empty frame".into());
-        }
-        let &flags = b.get(*pos).ok_or("truncated frame header")?;
-        *pos += 1;
-        if flags & !FLAG_EXPLICIT_SEQ != 0 {
-            return Err(format!("unknown frame flags 0x{flags:02x}"));
-        }
-        let first_at = read_varint(b, pos)?;
-        let first_seq = read_varint(b, pos)?;
-        let dict_len = read_varint(b, pos)? as usize;
-        let mut dict = Vec::with_capacity(dict_len.min(1 << 20));
-        for _ in 0..dict_len {
-            dict.push(read_varint(b, pos)?);
-        }
-        let take_col = |pos: &mut usize| -> Result<(usize, usize), String> {
-            let len = read_varint(b, pos)? as usize;
-            let start = *pos;
-            let end = start.checked_add(len).ok_or("column length overflow")?;
-            if end > b.len() {
-                return Err("truncated column".into());
-            }
-            *pos = end;
-            Ok((start, end))
-        };
-        let (kinds_s, kinds_e) = take_col(pos)?;
-        if kinds_e - kinds_s != n {
-            return Err(format!(
-                "kind column holds {} tags for {n} records",
-                kinds_e - kinds_s
-            ));
-        }
-        let (cyc_s, cyc_e) = take_col(pos)?;
-        let (seq_s, seq_e) = if flags & FLAG_EXPLICIT_SEQ != 0 {
-            take_col(pos)?
-        } else {
-            (0, 0)
-        };
-        let (pay_s, pay_e) = take_col(pos)?;
-
-        let mut cyc = cyc_s;
-        let mut seqp = seq_s;
-        let mut pay = pay_s;
-        let mut at = first_at;
-        let mut seq = first_seq;
-        self.frame.reserve(n);
-        for (i, &tag) in b[kinds_s..kinds_e].iter().enumerate() {
-            let d = unzigzag(read_varint(&b[..cyc_e], &mut cyc)?);
-            at = if i == 0 {
-                first_at
-            } else {
-                at.wrapping_add(d as u64)
-            };
-            if flags & FLAG_EXPLICIT_SEQ != 0 {
-                let d = unzigzag(read_varint(&b[..seq_e], &mut seqp)?);
-                seq = if i == 0 {
-                    first_seq
-                } else {
-                    seq.wrapping_add(d as u64)
-                };
-            } else {
-                seq = first_seq + i as u64;
-            }
-            let ev = decode_event(tag, &b[..pay_e], &mut pay, &dict)?;
-            self.frame.push(TraceRecord { at, seq, ev });
-        }
-        if cyc != cyc_e || pay != pay_e || seqp != seq_e {
-            return Err("frame columns longer than their records".into());
-        }
-        Ok(true)
+        decode_frame_into(self.bytes, &mut self.pos, &mut self.frame)
     }
+}
+
+/// Decodes one frame of `b` (no magic prefix) starting at `*pos` into
+/// `frame`, advancing `*pos` past it. `Ok(false)` at end of input; on
+/// `Err` the position is unspecified. Shared by the in-memory
+/// [`ColumnarReader`] and the incremental [`FrameStream`].
+fn decode_frame_into(
+    b: &[u8],
+    pos: &mut usize,
+    frame: &mut Vec<TraceRecord>,
+) -> Result<bool, String> {
+    if *pos >= b.len() {
+        return Ok(false);
+    }
+    let n = read_varint(b, pos)? as usize;
+    if n == 0 {
+        return Err("empty frame".into());
+    }
+    let &flags = b.get(*pos).ok_or("truncated frame header")?;
+    *pos += 1;
+    if flags & !FLAG_EXPLICIT_SEQ != 0 {
+        return Err(format!("unknown frame flags 0x{flags:02x}"));
+    }
+    let first_at = read_varint(b, pos)?;
+    let first_seq = read_varint(b, pos)?;
+    let dict_len = read_varint(b, pos)? as usize;
+    let mut dict = Vec::with_capacity(dict_len.min(1 << 20));
+    for _ in 0..dict_len {
+        dict.push(read_varint(b, pos)?);
+    }
+    let take_col = |pos: &mut usize| -> Result<(usize, usize), String> {
+        let len = read_varint(b, pos)? as usize;
+        let start = *pos;
+        let end = start.checked_add(len).ok_or("column length overflow")?;
+        if end > b.len() {
+            return Err("truncated column".into());
+        }
+        *pos = end;
+        Ok((start, end))
+    };
+    let (kinds_s, kinds_e) = take_col(pos)?;
+    if kinds_e - kinds_s != n {
+        return Err(format!(
+            "kind column holds {} tags for {n} records",
+            kinds_e - kinds_s
+        ));
+    }
+    let (cyc_s, cyc_e) = take_col(pos)?;
+    let (seq_s, seq_e) = if flags & FLAG_EXPLICIT_SEQ != 0 {
+        take_col(pos)?
+    } else {
+        (0, 0)
+    };
+    let (pay_s, pay_e) = take_col(pos)?;
+
+    let mut cyc = cyc_s;
+    let mut seqp = seq_s;
+    let mut pay = pay_s;
+    let mut at = first_at;
+    let mut seq = first_seq;
+    frame.reserve(n);
+    for (i, &tag) in b[kinds_s..kinds_e].iter().enumerate() {
+        let d = unzigzag(read_varint(&b[..cyc_e], &mut cyc)?);
+        at = if i == 0 {
+            first_at
+        } else {
+            at.wrapping_add(d as u64)
+        };
+        if flags & FLAG_EXPLICIT_SEQ != 0 {
+            let d = unzigzag(read_varint(&b[..seq_e], &mut seqp)?);
+            seq = if i == 0 {
+                first_seq
+            } else {
+                seq.wrapping_add(d as u64)
+            };
+        } else {
+            seq = first_seq + i as u64;
+        }
+        let ev = decode_event(tag, &b[..pay_e], &mut pay, &dict)?;
+        frame.push(TraceRecord { at, seq, ev });
+    }
+    if cyc != cyc_e || pay != pay_e || seqp != seq_e {
+        return Err("frame columns longer than their records".into());
+    }
+    Ok(true)
 }
 
 impl crate::stream::TraceReader for ColumnarReader<'_> {
@@ -737,6 +754,90 @@ impl crate::stream::TraceReader for ColumnarReader<'_> {
         let rec = self.frame[self.next];
         self.next += 1;
         Some(Ok(rec))
+    }
+}
+
+/// Incremental frame decoder over an arbitrary byte source.
+///
+/// Unlike [`ColumnarReader`], which borrows a fully materialized capture,
+/// this reads the source in fixed-size gulps and decodes one frame at a
+/// time: peak memory is one frame's records plus the undecoded window,
+/// never the capture size — the multi-GB post-mortem path.
+///
+/// The source must be positioned *after* the [`MAGIC`] prefix (the
+/// format sniffer consumes it).
+pub struct FrameStream<R: std::io::Read> {
+    src: R,
+    /// Bytes read but not yet decoded; `pos` marks the consumed prefix.
+    buf: Vec<u8>,
+    pos: usize,
+    eof: bool,
+}
+
+/// Bytes [`FrameStream`] reads from its source per refill.
+const STREAM_GULP: usize = 256 * 1024;
+
+impl<R: std::io::Read> FrameStream<R> {
+    /// A frame stream over `src` (positioned past the magic).
+    pub fn new(src: R) -> Self {
+        Self {
+            src,
+            buf: Vec::new(),
+            pos: 0,
+            eof: false,
+        }
+    }
+
+    /// Tops the window up with one gulp; records end-of-source.
+    fn refill(&mut self) -> Result<(), String> {
+        // Drop the consumed prefix before growing so the window stays
+        // proportional to one frame, not the bytes read so far.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        let start = self.buf.len();
+        self.buf.resize(start + STREAM_GULP, 0);
+        let mut filled = start;
+        while filled < self.buf.len() {
+            match self.src.read(&mut self.buf[filled..]) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("trace stream read: {e}")),
+            }
+        }
+        self.buf.truncate(filled);
+        Ok(())
+    }
+
+    /// Decodes the next frame into `frame` (cleared first). `Ok(false)`
+    /// at end of source.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or a frame that is still malformed once the
+    /// whole source is available to it.
+    pub fn next_frame(&mut self, frame: &mut Vec<TraceRecord>) -> Result<bool, String> {
+        loop {
+            frame.clear();
+            let mut pos = self.pos;
+            match decode_frame_into(&self.buf, &mut pos, frame) {
+                Ok(true) => {
+                    self.pos = pos;
+                    return Ok(true);
+                }
+                Ok(false) if self.eof => return Ok(false),
+                // A decode error on a partial window usually just means
+                // the frame is split across gulps: read more and retry.
+                // Only an error with the whole source in view is real.
+                Ok(false) | Err(_) if !self.eof => self.refill()?,
+                Err(e) => return Err(e),
+                Ok(false) => return Ok(false),
+            }
+        }
     }
 }
 
@@ -884,6 +985,11 @@ fn decode_event(tag: u8, b: &[u8], pos: &mut usize, dict: &[u64]) -> Result<Trac
             src: n32!(pos),
             dest: n32!(pos),
             attempt: n8!(pos),
+        },
+        T_WATCHDOG_TRIP => TraceEvent::WatchdogTrip {
+            rule: n8!(pos),
+            value: read_varint(b, pos)?,
+            limit: read_varint(b, pos)?,
         },
         other => return Err(format!("unknown kind tag {other}")),
     })

@@ -297,6 +297,16 @@ pub enum TraceEvent {
         /// Which retry this is (1-based, bounded by the retry budget).
         attempt: u8,
     },
+    /// A run watchdog rule fired (progress SLO violated; see
+    /// `wavesim-bench`'s watchdog for the rule numbering).
+    WatchdogTrip {
+        /// Which rule fired (stable small integer, see the watchdog docs).
+        rule: u8,
+        /// The observed value that violated the rule.
+        value: u64,
+        /// The rule's configured threshold.
+        limit: u64,
+    },
 }
 
 impl TraceEvent {
@@ -326,6 +336,7 @@ impl TraceEvent {
             TraceEvent::LaneRepair { .. } => "lane_repair",
             TraceEvent::CircuitBroken { .. } => "circuit_broken",
             TraceEvent::EstablishRetry { .. } => "establish_retry",
+            TraceEvent::WatchdogTrip { .. } => "watchdog_trip",
         }
     }
 }

@@ -27,6 +27,32 @@ fn sanitize(name: &str) -> String {
     out
 }
 
+/// Escapes a label *value* per the exposition format: `\`, `"`, and
+/// newline become `\\`, `\"`, and `\n`.
+fn escape_label(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes `# HELP` / comment text: `\` and newline only — quotes are
+/// legal in help text, but a raw newline would terminate the line and
+/// leave the remainder as garbage the scraper rejects.
+fn escape_help(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+}
+
 fn fmt_f64(x: f64) -> String {
     if x.is_nan() {
         "NaN".to_string()
@@ -56,7 +82,7 @@ impl MetricsPage {
         self.out.push_str("# HELP ");
         self.out.push_str(name);
         self.out.push(' ');
-        self.out.push_str(help);
+        escape_help(&mut self.out, help);
         self.out.push_str("\n# TYPE ");
         self.out.push_str(name);
         self.out.push(' ');
@@ -65,9 +91,10 @@ impl MetricsPage {
     }
 
     /// Appends a free-form `# <text>` comment line (page-level headers).
+    /// Backslashes and newlines are escaped so the comment stays one line.
     pub fn comment(&mut self, text: &str) {
         self.out.push_str("# ");
-        self.out.push_str(text);
+        escape_help(&mut self.out, text);
         self.out.push('\n');
     }
 
@@ -85,14 +112,7 @@ impl MetricsPage {
             }
             self.out.push_str(&sanitize(k));
             self.out.push_str("=\"");
-            for c in v.chars() {
-                match c {
-                    '\\' => self.out.push_str("\\\\"),
-                    '"' => self.out.push_str("\\\""),
-                    '\n' => self.out.push_str("\\n"),
-                    _ => self.out.push(c),
-                }
-            }
+            escape_label(&mut self.out, v);
             self.out.push('"');
         }
         self.out.push_str(&format!("}} {}\n", fmt_f64(value)));
@@ -223,6 +243,69 @@ mod tests {
         assert!(text.contains("# TYPE wavesim_run_info gauge\n"));
         assert!(text
             .contains("wavesim_run_info{protocol=\"clrp\",topology=\"16x16 \\\"mesh\\\"\"} 1\n"));
+    }
+
+    /// Inverse of [`escape_label`], for the round-trip test below.
+    fn unescape_label(v: &str) -> String {
+        let mut out = String::with_capacity(v.len());
+        let mut chars = v.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let nasty = "a\\b \"quoted\"\nnext \\n literal";
+        let mut page = MetricsPage::new();
+        page.gauge_labeled(
+            "wavesim_run_info",
+            "Run identity.",
+            &[("label", nasty.to_string())],
+            1.0,
+        );
+        let text = page.render();
+        // Every line must stay a single line: no raw newline may survive
+        // inside the label value.
+        let data_line = text
+            .lines()
+            .find(|l| l.starts_with("wavesim_run_info{"))
+            .expect("gauge line present");
+        let start = data_line.find("label=\"").expect("label present") + "label=\"".len();
+        let end = data_line.rfind('"').expect("closing quote");
+        assert_eq!(unescape_label(&data_line[start..end]), nasty);
+    }
+
+    #[test]
+    fn help_and_comment_text_is_escaped() {
+        let mut page = MetricsPage::new();
+        page.comment("line one\nline two \\ slash");
+        page.counter("wavesim_total", "multi\nline help", 3);
+        let text = page.render();
+        assert!(text.contains("# line one\\nline two \\\\ slash\n"));
+        assert!(text.contains("# HELP wavesim_total multi\\nline help\n"));
+        // Page parses line-by-line: each line is either a comment or
+        // `name value` — the embedded newlines must not create orphans.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split(' ').count() == 2,
+                "orphan line: {line:?}"
+            );
+        }
     }
 
     #[test]

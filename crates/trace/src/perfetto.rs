@@ -311,6 +311,12 @@ fn shape_of(ev: &TraceEvent) -> Shape {
                 ("attempt", u64::from(attempt).into()),
             ],
         ),
+        TraceEvent::WatchdogTrip { rule, value, limit } => Shape::Instant(
+            PlaneId::Control.pid(),
+            0,
+            format!("watchdog r{rule}"),
+            vec![("value", value.into()), ("limit", limit.into())],
+        ),
     }
 }
 

@@ -214,6 +214,11 @@ pub fn record_to_json(rec: &TraceRecord) -> Value {
             pairs.push(("dest", dest.into()));
             pairs.push(("attempt", u64::from(attempt).into()));
         }
+        TraceEvent::WatchdogTrip { rule, value, limit } => {
+            pairs.push(("rule", u64::from(rule).into()));
+            pairs.push(("value", value.into()));
+            pairs.push(("limit", limit.into()));
+        }
     }
     Value::obj(pairs)
 }
@@ -449,6 +454,11 @@ mod tests {
                 src: 0,
                 dest: 1,
                 attempt: 1,
+            },
+            TraceEvent::WatchdogTrip {
+                rule: 1,
+                value: 9000,
+                limit: 4096,
             },
         ];
         for (i, ev) in evs.iter().enumerate() {

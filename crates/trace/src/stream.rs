@@ -138,9 +138,20 @@ impl<W: Write + Send + 'static, E: ChunkEncoder + Default> StreamSink<W, E> {
     /// # Panics
     /// Panics if `chunk_cap` is zero.
     pub fn with_chunk(writer: W, chunk_cap: usize) -> Self {
+        Self::with_encoder(writer, E::default(), chunk_cap)
+    }
+}
+
+impl<W: Write + Send + 'static, E: ChunkEncoder> StreamSink<W, E> {
+    /// Streams records through an explicitly constructed encoder — the
+    /// entry point for stateful encoders that carry shared handles (the
+    /// live-analytics fold rides this with an `io::sink()` writer).
+    ///
+    /// # Panics
+    /// Panics if `chunk_cap` is zero.
+    pub fn with_encoder(writer: W, enc: E, chunk_cap: usize) -> Self {
         assert!(chunk_cap > 0, "chunk capacity must be positive");
         let (tx, rx) = sync_channel(QUEUE_CHUNKS);
-        let enc = E::default();
         let handle = std::thread::spawn(move || writer_loop(writer, enc, &rx));
         Self {
             tx: Some(tx),
@@ -439,6 +450,150 @@ pub fn read_trace_file(path: &Path) -> Result<Vec<TraceRecord>, String> {
 }
 
 // ---------------------------------------------------------------------
+// Incremental readers over io::Read sources
+// ---------------------------------------------------------------------
+
+/// A format-agnostic incremental decoder over any byte source.
+///
+/// Where [`read_trace_file`] materializes the whole capture,
+/// this sniffs the format from the leading bytes and then yields records
+/// one at a time — JSONL line by line, columnar frame by frame — so peak
+/// memory is one frame (plus the read window), whatever the capture size.
+/// `convert-trace` and `analyze` run on this.
+pub struct StreamingReader<R: io::Read> {
+    inner: StreamingInner<R>,
+    failed: bool,
+}
+
+/// The sniffed leading bytes chained back in front of the source.
+type Resumed<R> = io::Chain<io::Cursor<Vec<u8>>, R>;
+
+enum StreamingInner<R: io::Read> {
+    Jsonl {
+        src: io::BufReader<Resumed<R>>,
+        line: String,
+        line_no: usize,
+    },
+    Columnar {
+        frames: crate::columnar::FrameStream<Resumed<R>>,
+        frame: Vec<TraceRecord>,
+        next: usize,
+    },
+}
+
+impl<R: io::Read> StreamingReader<R> {
+    /// Sniffs the format from `src`'s first bytes and builds the matching
+    /// incremental decoder.
+    ///
+    /// # Errors
+    /// Fails when the source cannot be read at all.
+    pub fn new(mut src: R) -> Result<Self, String> {
+        use std::io::Read as _;
+        // Pull just enough bytes to check for the columnar magic; hand
+        // anything that is not the magic back to the line reader.
+        let mut head = vec![0u8; crate::columnar::MAGIC.len()];
+        let mut got = 0;
+        while got < head.len() {
+            match src.read(&mut head[got..]) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("trace stream read: {e}")),
+            }
+        }
+        head.truncate(got);
+        let inner = if TraceFormat::detect(&head) == TraceFormat::Columnar {
+            StreamingInner::Columnar {
+                frames: crate::columnar::FrameStream::new(io::Cursor::new(Vec::new()).chain(src)),
+                frame: Vec::new(),
+                next: 0,
+            }
+        } else {
+            StreamingInner::Jsonl {
+                src: io::BufReader::new(io::Cursor::new(head).chain(src)),
+                line: String::new(),
+                line_no: 0,
+            }
+        };
+        Ok(Self {
+            inner,
+            failed: false,
+        })
+    }
+
+    /// The sniffed source format.
+    #[must_use]
+    pub fn format(&self) -> TraceFormat {
+        match self.inner {
+            StreamingInner::Jsonl { .. } => TraceFormat::Jsonl,
+            StreamingInner::Columnar { .. } => TraceFormat::Columnar,
+        }
+    }
+}
+
+impl<R: io::Read> TraceReader for StreamingReader<R> {
+    fn next_record(&mut self) -> Option<Result<TraceRecord, String>> {
+        if self.failed {
+            return None;
+        }
+        let res = match &mut self.inner {
+            StreamingInner::Jsonl { src, line, line_no } => loop {
+                use std::io::BufRead as _;
+                line.clear();
+                match src.read_line(line) {
+                    Ok(0) => return None,
+                    Ok(_) => {}
+                    Err(e) => break Err(format!("line {}: read error: {e}", *line_no + 1)),
+                }
+                *line_no += 1;
+                let text = line.trim();
+                if text.is_empty() {
+                    continue;
+                }
+                break Value::parse(text)
+                    .map_err(|e| format!("line {line_no}: {e}"))
+                    .and_then(|v| {
+                        record_from_json(&v).map_err(|e| format!("line {line_no}: {e}"))
+                    });
+            },
+            StreamingInner::Columnar {
+                frames,
+                frame,
+                next,
+            } => {
+                if *next >= frame.len() {
+                    match frames.next_frame(frame) {
+                        Ok(true) => *next = 0,
+                        Ok(false) => return None,
+                        Err(e) => {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                    }
+                }
+                let rec = frame[*next];
+                *next += 1;
+                return Some(Ok(rec));
+            }
+        };
+        if res.is_err() {
+            self.failed = true;
+        }
+        Some(res)
+    }
+}
+
+/// Opens `path` as an incremental [`StreamingReader`] (auto-detected
+/// format, bounded memory).
+///
+/// # Errors
+/// Fails when the file cannot be opened.
+pub fn stream_trace_file(path: &Path) -> Result<StreamingReader<File>, String> {
+    let file = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    StreamingReader::new(file)
+}
+
+// ---------------------------------------------------------------------
 // JSONL encode/decode
 // ---------------------------------------------------------------------
 
@@ -646,6 +801,9 @@ pub fn encode_record(buf: &mut String, rec: &TraceRecord) {
         } => {
             push_fields!(buf, circuit, src, dest, attempt);
         }
+        TraceEvent::WatchdogTrip { rule, value, limit } => {
+            push_fields!(buf, rule, value, limit);
+        }
     }
     buf.push('}');
 }
@@ -775,6 +933,11 @@ pub fn record_from_json(v: &Value) -> Result<TraceRecord, String> {
             src: num32(v, "src")?,
             dest: num32(v, "dest")?,
             attempt: num8(v, "attempt")?,
+        },
+        "watchdog_trip" => TraceEvent::WatchdogTrip {
+            rule: num8(v, "rule")?,
+            value: num(v, "value")?,
+            limit: num(v, "limit")?,
         },
         other => return Err(format!("unknown event kind `{other}`")),
     };
@@ -947,6 +1110,11 @@ mod tests {
                 dest: 12,
                 attempt: 1,
             },
+            TraceEvent::WatchdogTrip {
+                rule: 2,
+                value: 5000,
+                limit: 4096,
+            },
         ];
         evs.into_iter()
             .enumerate()
@@ -1086,5 +1254,107 @@ mod tests {
         encode_record(&mut text, &rec);
         text.push_str("\n\n");
         assert_eq!(read_jsonl(&text).unwrap(), vec![rec]);
+    }
+
+    /// A reader that hands out at most `cap` bytes per call — exercises
+    /// the partial-read paths in the magic sniff and frame refill.
+    struct Dribble<'a> {
+        data: &'a [u8],
+        pos: usize,
+        cap: usize,
+    }
+
+    impl io::Read for Dribble<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let n = out.len().min(self.cap).min(self.data.len() - self.pos);
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn drain<R: io::Read>(mut reader: StreamingReader<R>) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        while let Some(rec) = reader.next_record() {
+            out.push(rec.expect("stream"));
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_reader_detects_and_decodes_both_formats() {
+        let recs = sample_records();
+
+        let mut jsonl = JsonlSink::with_chunk(Vec::new(), 4);
+        jsonl.record_many(&recs);
+        let jsonl_bytes = jsonl.finish_into().expect("finish");
+        let reader = StreamingReader::new(&jsonl_bytes[..]).expect("open");
+        assert_eq!(reader.format(), TraceFormat::Jsonl);
+        assert_eq!(drain(reader), recs);
+
+        let mut bin = ColumnarSink::with_chunk(Vec::new(), 4);
+        bin.record_many(&recs);
+        let bin_bytes = bin.finish_into().expect("finish");
+        let reader = StreamingReader::new(&bin_bytes[..]).expect("open");
+        assert_eq!(reader.format(), TraceFormat::Columnar);
+        assert_eq!(drain(reader), recs);
+    }
+
+    #[test]
+    fn streaming_reader_survives_short_reads() {
+        // Frames of 3 records force several frame boundaries, and a
+        // 7-byte dribble guarantees every frame straddles refills.
+        let recs = sample_records();
+        let mut bin = ColumnarSink::with_chunk(Vec::new(), 3);
+        bin.record_many(&recs);
+        let bytes = bin.finish_into().expect("finish");
+        for cap in [1, 7, 64] {
+            let src = Dribble {
+                data: &bytes,
+                pos: 0,
+                cap,
+            };
+            let reader = StreamingReader::new(src).expect("open");
+            assert_eq!(reader.format(), TraceFormat::Columnar);
+            assert_eq!(drain(reader), recs, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn streaming_reader_handles_tiny_and_empty_inputs() {
+        // Shorter than the magic: must fall back to JSONL (and yield
+        // nothing on empty input).
+        let reader = StreamingReader::new(&b""[..]).expect("open");
+        assert_eq!(reader.format(), TraceFormat::Jsonl);
+        assert!(drain(reader).is_empty());
+
+        let rec = TraceRecord {
+            at: 4,
+            seq: 0,
+            ev: TraceEvent::CacheMiss { node: 1, dest: 2 },
+        };
+        let mut text = String::new();
+        encode_record(&mut text, &rec);
+        text.push('\n');
+        let reader = StreamingReader::new(text.as_bytes()).expect("open");
+        assert_eq!(drain(reader), vec![rec]);
+    }
+
+    #[test]
+    fn streaming_reader_reports_corrupt_columnar() {
+        let recs = sample_records();
+        let mut bin = ColumnarSink::with_chunk(Vec::new(), 4);
+        bin.record_many(&recs);
+        let mut bytes = bin.finish_into().expect("finish");
+        bytes.truncate(bytes.len() - 3); // chop mid-frame
+        let mut reader = StreamingReader::new(&bytes[..]).expect("open");
+        let mut saw_err = false;
+        while let Some(rec) = reader.next_record() {
+            if rec.is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err, "truncated frame must surface an error");
     }
 }
